@@ -1,0 +1,64 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every harness regenerates one table or figure of the paper's evaluation at a
+configurable scale.  The scale is controlled by the ``REPRO_BENCH_SCALE``
+environment variable:
+
+* ``small`` (default) — minutes for the whole ``pytest benchmarks/`` run;
+* ``medium`` — closer to the paper's smallest configurations;
+* ``paper``  — the full Table 2 sizes (hours; use for final numbers only).
+
+Each harness prints its rows (the same rows/series the paper reports) and
+writes them to ``benchmarks/results/<name>.txt`` so the output survives
+pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.analysis import render_table
+from repro.circuits import BenchmarkSpec, paper_configurations, scaled_configurations
+from repro.ir import Circuit, decompose_to_cx
+from repro.partition import QubitMapping, oee_partition
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def suite_specs() -> List[BenchmarkSpec]:
+    """Benchmark specs for the configured scale."""
+    scale = bench_scale()
+    if scale == "paper":
+        return paper_configurations()
+    return scaled_configurations(scale)
+
+
+def family_specs(*families: str) -> List[BenchmarkSpec]:
+    wanted = {family.upper() for family in families}
+    return [spec for spec in suite_specs() if spec.family in wanted]
+
+
+def prepare(spec: BenchmarkSpec) -> Tuple[Circuit, "QuantumNetwork", QubitMapping]:
+    """Build, decompose and place one benchmark instance."""
+    circuit, network = spec.build()
+    decomposed = decompose_to_cx(circuit)
+    mapping = oee_partition(decomposed, network).mapping
+    return decomposed, network, mapping
+
+
+def emit(name: str, rows: Sequence[Mapping[str, object]],
+         columns: Sequence[str] | None = None, note: str = "") -> str:
+    """Render rows, print them and persist them under benchmarks/results/."""
+    table = render_table(rows, columns=columns)
+    header = f"== {name} (scale={bench_scale()}) =="
+    text = f"{header}\n{note}\n{table}\n" if note else f"{header}\n{table}\n"
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print("\n" + text)
+    return text

@@ -1,0 +1,41 @@
+"""Motivation experiment — estimated output fidelity per compiler.
+
+Not a numbered figure in the paper, but it quantifies the claim that drives
+it (Section 1/3: remote communication is the dominant error source in DQC).
+For every benchmark instance the harness reports the estimated end-to-end
+fidelity of the AutoComm, sparse-baseline and GP-TP programs under the
+multiplicative error model of ``repro.analysis.fidelity``.
+"""
+
+import pytest
+
+from _harness import emit, suite_specs, prepare
+from repro import compile_autocomm, compile_gp_tp, compile_sparse
+from repro.analysis import ErrorModel, estimate_fidelity
+
+MODEL = ErrorModel(epr_error=0.01, two_qubit_error=0.001, one_qubit_error=0.0001,
+                   coherence_time=50_000.0)
+
+
+def _rows():
+    rows = []
+    for spec in suite_specs():
+        circuit, network, mapping = prepare(spec)
+        autocomm = compile_autocomm(circuit, network, mapping=mapping)
+        sparse = compile_sparse(circuit, network, mapping=mapping)
+        gp_tp = compile_gp_tp(circuit, network, mapping=mapping)
+        rows.append({
+            "name": spec.name,
+            "autocomm": round(estimate_fidelity(autocomm, MODEL), 4),
+            "sparse": round(estimate_fidelity(sparse, MODEL), 4),
+            "gp_tp": round(estimate_fidelity(gp_tp, MODEL), 4),
+        })
+    return rows
+
+
+def test_fidelity_motivation(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    emit("fidelity_motivation", rows,
+         columns=["name", "autocomm", "sparse", "gp_tp"],
+         note="Estimated output fidelity per compiler (epr_error=1%, "
+              "2q=0.1%, 1q=0.01%, T_coh=50k CX). Higher is better.")

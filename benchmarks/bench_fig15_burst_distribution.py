@@ -1,0 +1,47 @@
+"""Figure 15 — burst-communication distribution assembled by AutoComm.
+
+Reports Pr[one communication carries >= X remote CX gates] for the
+building-block circuits (MCTR/RCA/QFT, Figure 15a) and the application
+circuits (BV/QAOA/UCCSD, Figure 15b), plus the fraction of communications
+carrying at least two remote CX gates (the paper reports 76.8% on average).
+"""
+
+import pytest
+
+from _harness import emit, family_specs, prepare
+from repro import compile_autocomm
+
+BUILDING_BLOCKS = ("MCTR", "RCA", "QFT")
+APPLICATIONS = ("BV", "QAOA", "UCCSD")
+X_VALUES = (1, 2, 3, 4, 6, 8, 10)
+
+
+def _distribution_rows(specs):
+    rows = []
+    carrying_two = []
+    for spec in specs:
+        circuit, network, mapping = prepare(spec)
+        program = compile_autocomm(circuit, network, mapping=mapping)
+        distribution = program.burst_distribution(max_x=max(X_VALUES))
+        row = {"name": spec.name}
+        for x in X_VALUES:
+            row[f"Pr[>={x}]"] = round(distribution.get(x, 0.0), 3)
+        rows.append(row)
+        carrying_two.append(distribution.get(2, 0.0))
+    average = sum(carrying_two) / len(carrying_two) if carrying_two else 0.0
+    return rows, average
+
+
+@pytest.mark.parametrize("panel,families", [
+    ("fig15a_building_blocks", BUILDING_BLOCKS),
+    ("fig15b_applications", APPLICATIONS),
+])
+def test_fig15_burst_distribution(benchmark, panel, families):
+    specs = family_specs(*families)
+    rows, avg_two = benchmark.pedantic(lambda: _distribution_rows(specs),
+                                       rounds=1, iterations=1)
+    emit(panel, rows,
+         columns=["name"] + [f"Pr[>={x}]" for x in X_VALUES],
+         note=f"Figure 15: burst distribution; fraction of communications "
+              f"carrying >= 2 remote CX = {avg_two:.1%} "
+              f"(paper average across the suite: 76.8%).")

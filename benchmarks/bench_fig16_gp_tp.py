@@ -1,0 +1,42 @@
+"""Figure 16 — AutoComm compared to the GP-TP (qubit movement) compiler.
+
+For every benchmark family the harness reports the ratio of communication
+counts and latencies (GP-TP over AutoComm), averaged over the family's
+configurations, which is exactly the bar chart of Figure 16 (paper averages:
+3.3x communications, 4.3x latency; BV is the extreme case).
+"""
+
+import pytest
+
+from _harness import emit, suite_specs, prepare
+from repro import compile_autocomm, compile_gp_tp
+from repro.analysis import geometric_mean
+
+
+def _family_ratios():
+    per_family = {}
+    for spec in suite_specs():
+        circuit, network, mapping = prepare(spec)
+        autocomm = compile_autocomm(circuit, network, mapping=mapping)
+        gp_tp = compile_gp_tp(circuit, network, mapping=mapping)
+        entry = per_family.setdefault(spec.family, {"improv": [], "lat": []})
+        entry["improv"].append(gp_tp.metrics.total_comm
+                               / max(1, autocomm.metrics.total_comm))
+        entry["lat"].append(gp_tp.metrics.latency
+                            / max(1e-9, autocomm.metrics.latency))
+    rows = []
+    for family, data in sorted(per_family.items()):
+        rows.append({
+            "family": family,
+            "improv_factor": round(geometric_mean(data["improv"]), 2),
+            "lat_dec_factor": round(geometric_mean(data["lat"]), 2),
+        })
+    return rows
+
+
+def test_fig16_gp_tp_comparison(benchmark):
+    rows = benchmark.pedantic(_family_ratios, rounds=1, iterations=1)
+    emit("fig16_gp_tp", rows,
+         columns=["family", "improv_factor", "lat_dec_factor"],
+         note="Figure 16: GP-TP / AutoComm ratios per benchmark family "
+              "(paper averages 3.3x comm, 4.3x latency; BV largest).")

@@ -1,0 +1,71 @@
+"""Figure 17(a)-(c) — the effect of each AutoComm optimisation.
+
+* (a) aggregation with vs without gate commutation (QFT, BV);
+* (b) hybrid Cat/TP assignment vs Cat-Comm only (RCA, QFT);
+* (c) burst-greedy schedule vs plain greedy schedule (MCTR, QFT).
+
+Each harness reports the same ratio the paper plots (ablated / AutoComm), so
+values above 1.0 mean the optimisation helps.
+"""
+
+import pytest
+
+from _harness import emit, family_specs, prepare
+from repro import compile_autocomm
+from repro.baselines import compile_cat_only, compile_no_commute, compile_plain_schedule
+
+
+def _comm_ratio_rows(families, ablation):
+    rows = []
+    for spec in family_specs(*families):
+        circuit, network, mapping = prepare(spec)
+        full = compile_autocomm(circuit, network, mapping=mapping)
+        ablated = ablation(circuit, network, mapping=mapping)
+        rows.append({
+            "name": spec.name,
+            "autocomm_comm": full.metrics.total_comm,
+            "ablated_comm": ablated.metrics.total_comm,
+            "ratio": round(ablated.metrics.total_comm
+                           / max(1, full.metrics.total_comm), 2),
+        })
+    return rows
+
+
+def test_fig17a_aggregation_commutation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: _comm_ratio_rows(("QFT", "BV"), compile_no_commute),
+        rounds=1, iterations=1)
+    emit("fig17a_aggregation", rows,
+         note="Figure 17(a): communication count without commutation-aware "
+              "aggregation over AutoComm (paper: 4.3x-6.7x).")
+
+
+def test_fig17b_hybrid_assignment(benchmark):
+    rows = benchmark.pedantic(
+        lambda: _comm_ratio_rows(("RCA", "QFT"), compile_cat_only),
+        rounds=1, iterations=1)
+    emit("fig17b_assignment", rows,
+         note="Figure 17(b): Cat-Comm-only assignment over the hybrid "
+              "assignment (paper: 1.0x-4.6x, QFT largest).")
+
+
+def test_fig17c_burst_greedy_schedule(benchmark):
+    def run():
+        rows = []
+        for spec in family_specs("MCTR", "QFT"):
+            circuit, network, mapping = prepare(spec)
+            full = compile_autocomm(circuit, network, mapping=mapping)
+            plain = compile_plain_schedule(circuit, network, mapping=mapping)
+            rows.append({
+                "name": spec.name,
+                "burst_greedy_latency": round(full.metrics.latency, 1),
+                "plain_greedy_latency": round(plain.metrics.latency, 1),
+                "ratio": round(plain.metrics.latency
+                               / max(1e-9, full.metrics.latency), 2),
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig17c_scheduling", rows,
+         note="Figure 17(c): plain greedy latency over burst-greedy latency "
+              "(paper: 1.17x-1.61x).")

@@ -1,0 +1,119 @@
+"""Figure 17(d)(e) — sensitivity of the improvement factor to #qubit and #node.
+
+The test program is MCTR, as in the paper.  Part (d) sweeps the number of
+qubits at fixed node counts; part (e) sweeps the number of nodes at fixed
+qubit counts.  The reported quantity is the improv. factor (baseline
+communications over AutoComm communications); the paper observes that it
+converges as qubits-per-node grows and deteriorates when qubits-per-node is
+small.
+"""
+
+import pytest
+
+from _harness import bench_scale, emit
+from repro import compile_autocomm, compile_sparse
+from repro.circuits import mctr_circuit
+from repro.hardware import uniform_network
+from repro.ir import decompose_to_cx
+from repro.partition import oee_partition
+
+
+def _sweep_points():
+    scale = bench_scale()
+    if scale == "paper":
+        qubit_sweep = [100, 200, 300, 400, 500, 600]
+        node_counts = [10, 20, 50]
+        node_sweep = [2, 10, 20, 50, 100]
+        qubit_counts = [100, 200, 300]
+    elif scale == "medium":
+        qubit_sweep = [40, 60, 80, 100]
+        node_counts = [4, 8]
+        node_sweep = [2, 4, 8, 16]
+        qubit_counts = [48, 96]
+    else:
+        qubit_sweep = [16, 24, 32, 40]
+        node_counts = [2, 4]
+        node_sweep = [2, 4, 8]
+        qubit_counts = [24, 40]
+    return qubit_sweep, node_counts, node_sweep, qubit_counts
+
+
+def _improv_factor(num_qubits, num_nodes, builder=mctr_circuit):
+    per_node = -(-num_qubits // num_nodes)
+    circuit = decompose_to_cx(builder(num_qubits))
+    network = uniform_network(num_nodes, per_node)
+    mapping = oee_partition(circuit, network).mapping
+    autocomm = compile_autocomm(circuit, network, mapping=mapping)
+    sparse = compile_sparse(circuit, network, mapping=mapping)
+    return sparse.metrics.total_comm / max(1, autocomm.metrics.total_comm)
+
+
+def test_fig17d_qubit_sweep(benchmark):
+    qubit_sweep, node_counts, _, _ = _sweep_points()
+
+    def run():
+        rows = []
+        for num_qubits in qubit_sweep:
+            row = {"num_qubits": num_qubits}
+            for num_nodes in node_counts:
+                row[f"{num_nodes} nodes"] = round(_improv_factor(num_qubits, num_nodes), 2)
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig17d_qubit_sweep", rows,
+         note="Figure 17(d): MCTR improv. factor vs #qubit; the factor "
+              "stabilises once qubits-per-node is large.")
+
+
+def test_fig17e_node_sweep(benchmark):
+    _, _, node_sweep, qubit_counts = _sweep_points()
+
+    def run():
+        rows = []
+        for num_nodes in node_sweep:
+            row = {"num_nodes": num_nodes}
+            for num_qubits in qubit_counts:
+                if num_nodes >= num_qubits:
+                    row[f"{num_qubits} qubits"] = None
+                    continue
+                row[f"{num_qubits} qubits"] = round(
+                    _improv_factor(num_qubits, num_nodes), 2)
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig17e_node_sweep", rows,
+         note="Figure 17(e): MCTR improv. factor vs #node; performance "
+              "degrades when each node holds only a few qubits.")
+
+
+def test_fig17e_node_sweep_qft(benchmark):
+    """Companion sweep on QFT.
+
+    Our V-chain MCTR has node-size-independent bursts (see EXPERIMENTS.md),
+    so the paper's qubits-per-node trend is additionally demonstrated on QFT,
+    where burst sizes track the node capacity directly.
+    """
+    from repro.circuits import qft_circuit
+
+    _, _, node_sweep, qubit_counts = _sweep_points()
+    num_qubits = min(qubit_counts)
+
+    def run():
+        rows = []
+        for num_nodes in node_sweep:
+            if num_nodes >= num_qubits:
+                continue
+            rows.append({
+                "num_nodes": num_nodes,
+                "qubits_per_node": -(-num_qubits // num_nodes),
+                "improv_factor": round(
+                    _improv_factor(num_qubits, num_nodes, builder=qft_circuit), 2),
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig17e_node_sweep_qft", rows,
+         note=f"Figure 17(e) companion on QFT-{num_qubits}: the improv. factor "
+              "tracks qubits-per-node and degrades as nodes are added.")

@@ -1,0 +1,67 @@
+"""Compiler-pass micro-benchmarks (compile-time performance, not paper data).
+
+These benchmarks time the individual AutoComm passes on a mid-size QFT so
+regressions in compilation speed are visible; they use pytest-benchmark's
+statistical timing (multiple rounds), unlike the table/figure harnesses which
+run each expensive experiment once.
+"""
+
+import pytest
+
+from repro.core import (
+    aggregate_communications,
+    assign_communications,
+    schedule_communications,
+)
+from repro.circuits import qft_circuit, qaoa_maxcut_circuit
+from repro.hardware import uniform_network
+from repro.ir import decompose_to_cx
+from repro.partition import oee_partition
+
+
+@pytest.fixture(scope="module")
+def qft_instance():
+    circuit = decompose_to_cx(qft_circuit(16))
+    network = uniform_network(4, 4)
+    mapping = oee_partition(circuit, network).mapping
+    return circuit, network, mapping
+
+
+@pytest.fixture(scope="module")
+def qaoa_instance():
+    circuit = decompose_to_cx(qaoa_maxcut_circuit(24, layers=1, degree=3))
+    network = uniform_network(4, 6)
+    mapping = oee_partition(circuit, network).mapping
+    return circuit, network, mapping
+
+
+def test_perf_decompose_qft(benchmark):
+    circuit = qft_circuit(16)
+    benchmark(decompose_to_cx, circuit)
+
+
+def test_perf_oee_partition(benchmark, qft_instance):
+    circuit, network, _ = qft_instance
+    benchmark(oee_partition, circuit, network)
+
+
+def test_perf_aggregation_qft(benchmark, qft_instance):
+    circuit, _, mapping = qft_instance
+    benchmark(aggregate_communications, circuit, mapping)
+
+
+def test_perf_aggregation_qaoa(benchmark, qaoa_instance):
+    circuit, _, mapping = qaoa_instance
+    benchmark(aggregate_communications, circuit, mapping)
+
+
+def test_perf_assignment(benchmark, qft_instance):
+    circuit, _, mapping = qft_instance
+    aggregation = aggregate_communications(circuit, mapping)
+    benchmark(assign_communications, aggregation)
+
+
+def test_perf_scheduling(benchmark, qft_instance):
+    circuit, network, mapping = qft_instance
+    assignment = assign_communications(aggregate_communications(circuit, mapping))
+    benchmark(schedule_communications, assignment, network)

@@ -1,0 +1,35 @@
+"""Table 2 — benchmark program statistics under the OEE static mapping.
+
+Regenerates the columns of Table 2 (#qubit, #node, #gate, #CX, #REM CX) for
+every benchmark instance at the configured scale.  The timed quantity is the
+full preparation pipeline: circuit generation, CX-basis decomposition and OEE
+partitioning.
+"""
+
+import pytest
+
+from _harness import emit, suite_specs
+from repro.analysis import table2_row
+from repro.circuits import build_benchmark
+from repro.ir import decompose_to_cx
+from repro.partition import oee_partition
+
+SPECS = suite_specs()
+_ROWS = []
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+def test_table2_row(benchmark, spec):
+    def run():
+        circuit, network = spec.build()
+        decomposed = decompose_to_cx(circuit)
+        mapping = oee_partition(decomposed, network).mapping
+        return table2_row(spec.name, circuit, decomposed, mapping, spec.num_nodes)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    _ROWS.append(row)
+    emit("table2_suite", _ROWS,
+         columns=["name", "num_qubits", "num_nodes", "num_gates", "num_cx",
+                  "num_remote_cx"],
+         note="Paper Table 2: benchmark programs (qubits evenly distributed, "
+              "OEE mapping).")

@@ -1,0 +1,26 @@
+"""Pytest configuration for the benchmark harnesses.
+
+Adds the benchmarks directory to ``sys.path`` so the `_harness` helper module
+is importable regardless of how pytest is invoked, and provides a
+session-scoped cache so expensive compilations are shared between benchmark
+functions that need the same compiled program.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def compile_cache():
+    """Session-wide memo table: (compiler-name, spec-name) -> CompiledProgram."""
+    return {}

@@ -1,0 +1,53 @@
+"""Run every compiler on the scaled benchmark suite and print a comparison.
+
+This reproduces, at reduced scale, the structure of the paper's Table 3 and
+Figure 16 in one sweep: AutoComm vs the sparse per-gate baseline vs the GP-TP
+qubit-movement compiler, plus the two assignment/aggregation ablations.
+
+Run with:  python examples/compare_compilers.py [small|medium]
+"""
+
+import sys
+
+from repro import compile_autocomm, compile_gp_tp, compile_sparse
+from repro.analysis import geometric_mean, render_table
+from repro.baselines import compile_cat_only, compile_no_commute
+from repro.circuits import scaled_configurations
+from repro.ir import decompose_to_cx
+from repro.partition import oee_partition
+
+COMPILERS = {
+    "autocomm": compile_autocomm,
+    "sparse": compile_sparse,
+    "gp-tp": compile_gp_tp,
+    "cat-only": compile_cat_only,
+    "no-commute": compile_no_commute,
+}
+
+
+def main(scale: str = "small") -> None:
+    rows = []
+    improvements = {name: [] for name in COMPILERS if name != "autocomm"}
+    for spec in scaled_configurations(scale):
+        circuit, network = spec.build()
+        mapping = oee_partition(decompose_to_cx(circuit), network).mapping
+        results = {name: compiler(circuit, network, mapping=mapping)
+                   for name, compiler in COMPILERS.items()}
+        row = {"benchmark": spec.name}
+        autocomm_comm = results["autocomm"].metrics.total_comm
+        for name, program in results.items():
+            row[name] = program.metrics.total_comm
+            if name != "autocomm" and autocomm_comm:
+                improvements[name].append(program.metrics.total_comm / autocomm_comm)
+        rows.append(row)
+
+    print("remote communications per compiler (lower is better):\n")
+    print(render_table(rows, columns=["benchmark"] + list(COMPILERS)))
+
+    print("\ngeometric-mean communication overhead relative to AutoComm:")
+    for name, factors in improvements.items():
+        print(f"  {name:12s} {geometric_mean(factors):.2f}x")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "small")

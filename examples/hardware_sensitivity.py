@@ -1,0 +1,59 @@
+"""Hardware sensitivity study: EPR latency and communication-qubit count.
+
+The paper fixes the Table 1 latency numbers and two communication qubits per
+node; this example explores how AutoComm's latency advantage over the sparse
+baseline changes when those hardware assumptions move — slower EPR
+generation widens the gap, and more communication qubits narrow the
+scheduling pressure.
+
+Run with:  python examples/hardware_sensitivity.py
+"""
+
+from repro import compile_autocomm, compile_sparse
+from repro.analysis import render_table
+from repro.circuits import qft_circuit
+from repro.hardware import LatencyModel, uniform_network
+from repro.ir import decompose_to_cx
+from repro.partition import oee_partition
+
+
+def run_point(circuit, mapping, num_nodes, qubits_per_node, comm_qubits, t_epr):
+    latency = LatencyModel(t_epr=t_epr)
+    network = uniform_network(num_nodes, qubits_per_node,
+                              comm_qubits_per_node=comm_qubits, latency=latency)
+    autocomm = compile_autocomm(circuit, network, mapping=mapping)
+    sparse = compile_sparse(circuit, network, mapping=mapping)
+    return autocomm.metrics.latency, sparse.metrics.latency
+
+
+def main() -> None:
+    num_qubits, num_nodes = 20, 4
+    qubits_per_node = num_qubits // num_nodes
+    circuit = qft_circuit(num_qubits)
+    reference_network = uniform_network(num_nodes, qubits_per_node)
+    mapping = oee_partition(decompose_to_cx(circuit), reference_network).mapping
+
+    print("EPR preparation latency sweep (2 comm qubits per node):\n")
+    rows = []
+    for t_epr in (4.0, 8.0, 12.0, 24.0, 48.0):
+        auto, sparse = run_point(circuit, mapping, num_nodes, qubits_per_node,
+                                 comm_qubits=2, t_epr=t_epr)
+        rows.append({"t_epr [CX]": t_epr, "autocomm latency": round(auto, 1),
+                     "sparse latency": round(sparse, 1),
+                     "LAT-DEC factor": round(sparse / auto, 2)})
+    print(render_table(rows))
+
+    print("\ncommunication-qubit count sweep (t_epr = 12 CX):\n")
+    rows = []
+    for comm_qubits in (1, 2, 4, 8):
+        auto, sparse = run_point(circuit, mapping, num_nodes, qubits_per_node,
+                                 comm_qubits=comm_qubits, t_epr=12.0)
+        rows.append({"comm qubits/node": comm_qubits,
+                     "autocomm latency": round(auto, 1),
+                     "sparse latency": round(sparse, 1),
+                     "LAT-DEC factor": round(sparse / auto, 2)})
+    print(render_table(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Distributed QAOA max-cut: the paper's flagship near-term application.
+
+Builds a QAOA circuit for a random 3-regular max-cut instance, distributes it
+over a small quantum data centre, and shows how AutoComm's three passes
+reshape the communication profile compared to per-gate communication.
+
+Run with:  python examples/qaoa_maxcut.py [num_qubits] [num_nodes]
+"""
+
+import sys
+
+from repro import compile_autocomm, compile_sparse
+from repro.analysis import mean_remote_cx_per_comm, render_table
+from repro.circuits import qaoa_maxcut_circuit, random_maxcut_graph, qaoa_circuit_for_graph
+from repro.comm import CommScheme
+from repro.hardware import uniform_network
+from repro.ir import decompose_to_cx
+from repro.partition import oee_partition
+
+
+def main(num_qubits: int = 24, num_nodes: int = 4, layers: int = 2) -> None:
+    graph = random_maxcut_graph(num_qubits, degree=3, seed=11)
+    circuit = qaoa_circuit_for_graph(graph, layers=layers,
+                                     name=f"qaoa-{num_qubits}")
+    per_node = -(-num_qubits // num_nodes)
+    network = uniform_network(num_nodes, per_node)
+
+    print(f"max-cut instance: {graph.number_of_nodes()} vertices, "
+          f"{graph.number_of_edges()} edges, p={layers} QAOA layers")
+
+    # Static placement: OEE minimises the number of remote ZZ interactions.
+    decomposed = decompose_to_cx(circuit)
+    partition = oee_partition(decomposed, network)
+    print(f"OEE partition: cut weight {partition.initial_cut:.0f} -> "
+          f"{partition.final_cut:.0f} remote interactions "
+          f"({partition.num_exchanges} exchanges)\n")
+
+    autocomm = compile_autocomm(circuit, network, mapping=partition.mapping)
+    sparse = compile_sparse(circuit, network, mapping=partition.mapping)
+
+    cat = sum(1 for b in autocomm.blocks if b.scheme is CommScheme.CAT)
+    tp = sum(1 for b in autocomm.blocks if b.scheme is CommScheme.TP)
+    rows = [
+        {"metric": "remote gates", "autocomm": autocomm.metrics.num_remote_gates,
+         "sparse": sparse.metrics.num_remote_gates},
+        {"metric": "burst blocks", "autocomm": len(autocomm.blocks),
+         "sparse": len(sparse.blocks)},
+        {"metric": "  cat / tp blocks", "autocomm": f"{cat} / {tp}", "sparse": "-"},
+        {"metric": "communications", "autocomm": autocomm.metrics.total_comm,
+         "sparse": sparse.metrics.total_comm},
+        {"metric": "mean REM-CX per comm",
+         "autocomm": round(mean_remote_cx_per_comm(autocomm.blocks, autocomm.mapping), 2),
+         "sparse": 1.0},
+        {"metric": "latency [CX units]", "autocomm": round(autocomm.metrics.latency, 1),
+         "sparse": round(sparse.metrics.latency, 1)},
+    ]
+    print(render_table(rows, columns=["metric", "autocomm", "sparse"]))
+
+    improv = sparse.metrics.total_comm / max(1, autocomm.metrics.total_comm)
+    lat_dec = sparse.metrics.latency / max(1e-9, autocomm.metrics.latency)
+    print(f"\nAutoComm reduces communications by {improv:.2f}x "
+          f"and latency by {lat_dec:.2f}x on this instance.")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    main(*args) if args else main()

@@ -1,0 +1,46 @@
+"""Quickstart: compile a distributed QFT with AutoComm and compare to the baseline.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import compile_autocomm, compile_sparse, comparison_factors
+from repro.circuits import qft_circuit
+from repro.hardware import uniform_network
+
+
+def main() -> None:
+    # A 24-qubit QFT spread over 4 quantum nodes (6 data qubits each, 2
+    # communication qubits each, all-to-all EPR links).
+    circuit = qft_circuit(24)
+    network = uniform_network(num_nodes=4, qubits_per_node=6)
+
+    print(f"program: {circuit.name}, {circuit.num_qubits} qubits, "
+          f"{len(circuit)} gates")
+    print(f"machine: {network.num_nodes} nodes x {network.node(0).num_data_qubits} "
+          f"data qubits, {network.node(0).num_comm_qubits} comm qubits per node\n")
+
+    autocomm = compile_autocomm(circuit, network)
+    baseline = compile_sparse(circuit, network, mapping=autocomm.mapping)
+
+    print("                      AutoComm    baseline")
+    print(f"remote communications  {autocomm.metrics.total_comm:8d}    "
+          f"{baseline.metrics.total_comm:8d}")
+    print(f"  of which TP-Comm     {autocomm.metrics.tp_comm:8d}    "
+          f"{baseline.metrics.tp_comm:8d}")
+    print(f"peak remote CX / comm  {autocomm.metrics.peak_rem_cx:8.1f}    "
+          f"{baseline.metrics.peak_rem_cx:8.1f}")
+    print(f"program latency [CX]   {autocomm.metrics.latency:8.1f}    "
+          f"{baseline.metrics.latency:8.1f}")
+
+    factors = comparison_factors(baseline.metrics, autocomm.metrics)
+    print(f"\nimprov. factor (comm): {factors['improv_factor']:.2f}x")
+    print(f"LAT-DEC factor (time): {factors['lat_dec_factor']:.2f}x")
+
+    print("\nburst distribution Pr[comm carries >= X remote CX]:")
+    for x, probability in sorted(autocomm.burst_distribution(max_x=8).items()):
+        bar = "#" * int(40 * probability)
+        print(f"  X >= {x:2d}: {probability:5.2f} {bar}")
+
+
+if __name__ == "__main__":
+    main()

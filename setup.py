@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment used for the reproduction has no network access and no
+``wheel`` package, so PEP 517 editable installs are unavailable; this shim
+lets ``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` on modern setups) work from the pyproject metadata.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""AutoComm reproduction: burst-communication compilation for distributed quantum programs.
+
+The package is organised in layers:
+
+* :mod:`repro.ir` — circuit IR, decomposition, commutation, simulator;
+* :mod:`repro.hardware` — nodes, networks, latency model, comm-qubit tracking;
+* :mod:`repro.partition` — static qubit-to-node mapping (OEE);
+* :mod:`repro.comm` — burst blocks and the Cat-Comm / TP-Comm protocols;
+* :mod:`repro.core` — the AutoComm passes (aggregation, assignment,
+  scheduling) and the compilation pipeline;
+* :mod:`repro.baselines` — the compilers AutoComm is compared against;
+* :mod:`repro.circuits` — benchmark circuit generators (Table 2 suite);
+* :mod:`repro.analysis` — burst statistics and result-table builders.
+
+Quick start::
+
+    from repro import compile_autocomm, compile_sparse
+    from repro.circuits import qft_circuit
+    from repro.hardware import uniform_network
+
+    circuit = qft_circuit(20)
+    network = uniform_network(num_nodes=4, qubits_per_node=5)
+    autocomm = compile_autocomm(circuit, network)
+    baseline = compile_sparse(circuit, network)
+    print(autocomm.metrics.total_comm, baseline.metrics.total_comm)
+"""
+
+from .core import (
+    AutoCommCompiler,
+    AutoCommConfig,
+    CompiledProgram,
+    compile_autocomm,
+    comparison_factors,
+)
+from .baselines import compile_sparse, compile_gp_tp
+from .hardware import uniform_network, QuantumNetwork, LatencyModel, DEFAULT_LATENCY
+from .partition import QubitMapping, oee_partition
+from .ir import Circuit, Gate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutoCommCompiler",
+    "AutoCommConfig",
+    "CompiledProgram",
+    "compile_autocomm",
+    "comparison_factors",
+    "compile_sparse",
+    "compile_gp_tp",
+    "uniform_network",
+    "QuantumNetwork",
+    "LatencyModel",
+    "DEFAULT_LATENCY",
+    "QubitMapping",
+    "oee_partition",
+    "Circuit",
+    "Gate",
+    "__version__",
+]

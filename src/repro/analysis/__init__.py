@@ -1,0 +1,32 @@
+"""Analysis utilities: burst statistics and table builders for the evaluation."""
+
+from .burst_stats import (
+    burst_distribution,
+    communication_loads,
+    inverse_burst_distribution,
+    qft_inverse_burst_bound,
+    qaoa_inverse_burst_bound,
+    mean_remote_cx_per_comm,
+)
+from .tables import table2_row, table3_row, render_table, geometric_mean
+from .fidelity import ErrorModel, DEFAULT_ERROR_MODEL, estimate_fidelity, fidelity_breakdown
+from .visualize import schedule_timeline, burst_histogram
+
+__all__ = [
+    "burst_distribution",
+    "communication_loads",
+    "inverse_burst_distribution",
+    "qft_inverse_burst_bound",
+    "qaoa_inverse_burst_bound",
+    "mean_remote_cx_per_comm",
+    "table2_row",
+    "table3_row",
+    "render_table",
+    "geometric_mean",
+    "ErrorModel",
+    "DEFAULT_ERROR_MODEL",
+    "estimate_fidelity",
+    "fidelity_breakdown",
+    "schedule_timeline",
+    "burst_histogram",
+]

@@ -1,0 +1,86 @@
+"""Burst-communication statistics (Section 3.2 and Figure 15).
+
+Two views are provided:
+
+* the *measured* burst distribution of a compiled program
+  (``Pr[one communication carries >= X remote CX gates]``), re-exported from
+  :mod:`repro.core.metrics`;
+* the *analytical* upper bounds the paper derives for the inverse-burst
+  distribution of QFT and QAOA (``P(4) <= 1/t`` for QFT and
+  ``P(4) <= (t - 2 (r mod t)) / r`` for QAOA), used to check that the
+  implementation's measured burstiness is at least as rich as the theory
+  predicts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..comm.blocks import CommBlock
+from ..core.metrics import burst_distribution, communication_loads
+from ..partition.mapping import QubitMapping
+
+__all__ = [
+    "burst_distribution",
+    "communication_loads",
+    "inverse_burst_distribution",
+    "qft_inverse_burst_bound",
+    "qaoa_inverse_burst_bound",
+    "mean_remote_cx_per_comm",
+]
+
+
+def inverse_burst_distribution(blocks: Sequence[CommBlock],
+                               mapping: QubitMapping,
+                               thresholds: Sequence[int] = (2, 4, 6, 8)) -> Dict[int, float]:
+    """Measured analogue of the paper's P(x): fraction of remote gates whose
+    burst block carries fewer than ``x`` remote CX gates.
+    """
+    sizes: List[int] = []
+    for block in blocks:
+        remote = block.num_remote_gates(mapping)
+        sizes.extend([remote] * remote)
+    total = len(sizes)
+    if total == 0:
+        return {x: 0.0 for x in thresholds}
+    return {x: sum(1 for s in sizes if s < x) / total for x in thresholds}
+
+
+def qft_inverse_burst_bound(num_qubits: int, num_nodes: int,
+                            threshold: int = 4) -> float:
+    """Paper's analytical bound ``P(2m) <= (m - 1) / t`` for the QFT.
+
+    ``t`` is the number of qubits per node; ``threshold`` must be even.
+    """
+    if threshold % 2 != 0:
+        raise ValueError("threshold must be even (remote CRZ = 2 remote CX)")
+    qubits_per_node = num_qubits / num_nodes
+    m = threshold // 2
+    return min(1.0, (m - 1) / qubits_per_node)
+
+
+def qaoa_inverse_burst_bound(qubits_per_node: int, remote_interactions: int,
+                             threshold: int = 4) -> float:
+    """Paper's analytical bound ``P(4) <= (t - 2 (r mod t)) / r`` for QAOA.
+
+    ``remote_interactions`` is the number of remote ZZ interactions between
+    one pair of nodes (the paper's ``r``); the bound only applies when
+    ``r > t``, otherwise 1.0 (no guarantee) is returned.
+    """
+    t, r = qubits_per_node, remote_interactions
+    if r <= 0:
+        return 0.0
+    if r <= t:
+        return 1.0
+    if threshold != 4:
+        raise ValueError("the paper's closed form is stated for P(4)")
+    return max(0.0, min(1.0, (t - 2 * (r % t)) / r))
+
+
+def mean_remote_cx_per_comm(blocks: Sequence[CommBlock],
+                            mapping: QubitMapping) -> float:
+    """Average number of remote CX gates carried per issued communication."""
+    loads = communication_loads(blocks, mapping)
+    if not loads:
+        return 0.0
+    return sum(loads) / len(loads)

@@ -1,0 +1,83 @@
+"""Table builders for the evaluation harness.
+
+These helpers take compiled programs and produce the rows of the paper's
+tables (Table 2 benchmark statistics, Table 3 AutoComm results) as plain
+dictionaries, plus text renderers so the benchmark harnesses can print the
+same rows the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..core.metrics import CompilationMetrics, comparison_factors
+from ..core.pipeline import CompiledProgram
+from ..ir.circuit import Circuit
+from ..partition.mapping import QubitMapping
+
+__all__ = ["table2_row", "table3_row", "render_table", "geometric_mean"]
+
+
+def table2_row(name: str, circuit: Circuit, decomposed: Circuit,
+               mapping: QubitMapping, num_nodes: int) -> Dict[str, object]:
+    """One row of Table 2: benchmark statistics under the OEE mapping."""
+    return {
+        "name": name,
+        "num_qubits": circuit.num_qubits,
+        "num_nodes": num_nodes,
+        "num_gates": len(decomposed),
+        "num_cx": decomposed.num_cx_gates(),
+        "num_remote_cx": mapping.count_remote_gates(decomposed),
+    }
+
+
+def table3_row(autocomm: CompiledProgram, baseline: CompiledProgram) -> Dict[str, object]:
+    """One row of Table 3: AutoComm results relative to the sparse baseline."""
+    factors = comparison_factors(baseline.metrics, autocomm.metrics)
+    return {
+        "name": autocomm.name,
+        "tot_comm": autocomm.metrics.total_comm,
+        "tp_comm": autocomm.metrics.tp_comm,
+        "peak_rem_cx": autocomm.metrics.peak_rem_cx,
+        "baseline_comm": baseline.metrics.total_comm,
+        "improv_factor": factors["improv_factor"],
+        "lat_dec_factor": factors["lat_dec_factor"],
+    }
+
+
+def render_table(rows: Sequence[Mapping[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 float_format: str = "{:.2f}") -> str:
+    """Render rows as a fixed-width text table (for harness output)."""
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [max(len(line[i]) for line in rendered) for i in range(len(columns))]
+    lines = []
+    for index, line in enumerate(rendered):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+        if index == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, used to average improvement factors across programs."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

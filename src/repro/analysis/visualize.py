@@ -1,0 +1,64 @@
+"""Text visualisations of compiled programs.
+
+Terminal-friendly renderings used by the examples and handy when debugging a
+schedule: an ASCII timeline of the remote communications per node, and a
+histogram of burst-block sizes.  No plotting dependencies are required.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.pipeline import CompiledProgram
+from ..core.scheduling import ScheduledOp
+
+__all__ = ["schedule_timeline", "burst_histogram"]
+
+
+def schedule_timeline(program: CompiledProgram, width: int = 72) -> str:
+    """ASCII timeline of remote communications, one row per node.
+
+    Each character cell covers ``latency / width`` time units; a cell shows
+    ``C`` when a Cat-Comm block is active on the node, ``T`` for a TP-Comm
+    block, ``#`` when more than one communication overlaps, and ``.`` when
+    the node's communication qubits are idle.
+    """
+    if program.schedule is None:
+        raise ValueError("program has no schedule attached")
+    comm_ops: List[ScheduledOp] = program.schedule.comm_ops()
+    latency = program.schedule.latency
+    num_nodes = program.network.num_nodes
+    if latency <= 0 or not comm_ops:
+        return "\n".join(f"node {n}: (no remote communication)"
+                         for n in range(num_nodes))
+
+    cell = latency / width
+    rows: Dict[int, List[str]] = {n: ["."] * width for n in range(num_nodes)}
+    for op in comm_ops:
+        symbol = "T" if op.kind.startswith("tp") else "C"
+        first = min(width - 1, int(op.start / cell))
+        last = min(width - 1, max(first, int((op.end - 1e-9) / cell)))
+        for node in op.nodes:
+            row = rows[node]
+            for position in range(first, last + 1):
+                row[position] = symbol if row[position] == "." else "#"
+    lines = [f"0{' ' * (width - len(str(round(latency))) - 1)}{round(latency)} [CX units]"]
+    for node in range(num_nodes):
+        lines.append(f"node {node}: {''.join(rows[node])}")
+    return "\n".join(lines)
+
+
+def burst_histogram(program: CompiledProgram, max_width: int = 40) -> str:
+    """Histogram of burst-block sizes (remote CX gates per block)."""
+    sizes = [block.num_remote_gates(program.mapping) for block in program.blocks]
+    if not sizes:
+        return "(no burst blocks)"
+    counts: Dict[int, int] = {}
+    for size in sizes:
+        counts[size] = counts.get(size, 0) + 1
+    peak = max(counts.values())
+    lines = []
+    for size in sorted(counts):
+        bar = "#" * max(1, int(max_width * counts[size] / peak))
+        lines.append(f"{size:3d} remote CX | {bar} {counts[size]}")
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Benchmark circuit generators (Table 2 of the paper) and random circuits."""
+
+from .qft import qft_circuit
+from .bv import bv_circuit, random_secret
+from .rca import ripple_carry_adder, rca_circuit_for_width
+from .mctr import mctr_circuit
+from .qaoa import qaoa_maxcut_circuit, qaoa_circuit_for_graph, random_maxcut_graph
+from .uccsd import uccsd_circuit, pauli_string_exponential
+from .arithmetic import arithmetic_snippet, arithmetic_snippet_layout
+from .random_circuits import random_circuit, random_clifford_t_circuit
+from .suite import (
+    BenchmarkSpec,
+    BENCHMARK_FAMILIES,
+    build_benchmark,
+    paper_configurations,
+    scaled_configurations,
+)
+
+__all__ = [
+    "qft_circuit",
+    "bv_circuit",
+    "random_secret",
+    "ripple_carry_adder",
+    "rca_circuit_for_width",
+    "mctr_circuit",
+    "qaoa_maxcut_circuit",
+    "qaoa_circuit_for_graph",
+    "random_maxcut_graph",
+    "uccsd_circuit",
+    "pauli_string_exponential",
+    "arithmetic_snippet",
+    "arithmetic_snippet_layout",
+    "random_circuit",
+    "random_clifford_t_circuit",
+    "BenchmarkSpec",
+    "BENCHMARK_FAMILIES",
+    "build_benchmark",
+    "paper_configurations",
+    "scaled_configurations",
+]

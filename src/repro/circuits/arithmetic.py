@@ -1,0 +1,63 @@
+"""The arithmetic program snippet of Figure 4.
+
+The paper's running example is a small snippet "modified from quantum
+arithmetic circuits" with seven qubits spread over three nodes.  The exact
+gate list is only shown graphically, so this module provides a
+representative reconstruction with the properties the paper's walk-through
+relies on:
+
+* qubit ``q3`` (hosted on node B) interacts with node A through six remote
+  CX gates, making (q3, node A) the hub pair picked by preprocessing (the
+  paper's figure shows five; one extra keeps our final burst bidirectional);
+* the remote gates come in both directions (q3 as control and as target), so
+  the aggregation result contains unidirectional and bidirectional blocks;
+* a ``T``/``Tdg`` gate on the hub qubit separates two remote CX gates of one
+  otherwise-unidirectional block, which forces the tie-case TP-Comm
+  assignment discussed in Section 4.3;
+* a local CX (``q5, q3``) that commutes with neither neighbouring block
+  breaks the linear merge exactly as in Figure 8.
+
+The default node layout is ``{q0, q1, q2} -> A``, ``{q3, q4} -> B``,
+``{q5, q6} -> C``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..ir.circuit import Circuit
+
+__all__ = ["arithmetic_snippet", "arithmetic_snippet_layout"]
+
+
+def arithmetic_snippet(name: str = "arithmetic-snippet") -> Circuit:
+    """Build the Figure 4 style arithmetic snippet (7 qubits, 3 nodes)."""
+    circuit = Circuit(7, name=name)
+    # Stage 1: q3 driven by node-A qubits (unidirectional-target burst).
+    circuit.t(0)
+    circuit.cx(1, 3)
+    circuit.h(4)
+    circuit.cx(2, 3)
+    circuit.rz(0.25, 1)
+    # Stage 2: remote interaction with node C interleaved (different pair).
+    circuit.cx(1, 6)
+    # Stage 3: q3 now drives node-A qubits, with a Tdg splitting the run.
+    circuit.cx(3, 0)
+    circuit.tdg(3)
+    circuit.cx(3, 1)
+    # A local gate inside node B.
+    circuit.t(4)
+    circuit.cx(4, 3)
+    # Stage 4: local CX that blocks the merge (q5 on node C with q3).
+    circuit.cx(5, 3)
+    # Stage 5: final burst between q3 and node A, mixed direction.
+    circuit.cx(3, 2)
+    circuit.cx(0, 3)
+    circuit.h(6)
+    circuit.cx(2, 6)
+    return circuit
+
+
+def arithmetic_snippet_layout() -> Dict[int, int]:
+    """Default qubit-to-node assignment used by the paper's walk-through."""
+    return {0: 0, 1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 2}

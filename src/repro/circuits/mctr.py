@@ -1,0 +1,47 @@
+"""Multi-controlled gate (MCTR) benchmark circuit.
+
+The MCTR benchmark of Table 2 is a wide multi-controlled X (Toffoli
+generalisation) spanning the whole register.  We realise it with the
+V-chain construction (:func:`repro.ir.decompose.mct_v_chain`): half of the
+register supplies the controls, the middle qubits act as ancillas and the
+last qubit is the target, so every qubit participates and the Toffoli
+cascade creates long chains of remote interactions once distributed.
+"""
+
+from __future__ import annotations
+
+from ..ir.circuit import Circuit
+from ..ir.decompose import mct_v_chain
+
+__all__ = ["mctr_circuit"]
+
+
+def mctr_circuit(num_qubits: int, repetitions: int = 1,
+                 name: str | None = None) -> Circuit:
+    """Build the MCTR benchmark on ``num_qubits`` qubits.
+
+    The register is split into ``k = (num_qubits + 1) // 2`` controls,
+    ``k - 2`` ancillas and one target (any spare qubits stay idle).
+    ``repetitions`` repeats the multi-controlled gate, which scales the gate
+    count without changing the communication structure (useful for latency
+    sweeps).
+    """
+    if num_qubits < 3:
+        raise ValueError("MCTR needs at least 3 qubits")
+    num_controls = (num_qubits + 1) // 2
+    controls = list(range(num_controls))
+    num_ancillas = max(0, num_controls - 2)
+    ancillas = list(range(num_controls, num_controls + num_ancillas))
+    target = num_controls + num_ancillas
+    if target >= num_qubits:
+        # Small registers: shrink the control count so everything fits.
+        num_controls = (num_qubits - 1 + 2) // 2
+        controls = list(range(num_controls))
+        ancillas = list(range(num_controls, num_qubits - 1))
+        target = num_qubits - 1
+
+    circuit = Circuit(num_qubits, name=name or f"mctr-{num_qubits}")
+    single = mct_v_chain(controls, target, ancillas)
+    for _ in range(max(1, repetitions)):
+        circuit.extend(single.gates)
+    return circuit

@@ -1,0 +1,60 @@
+"""Random circuit generators for property-based testing and fuzzing."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..ir.circuit import Circuit
+from ..ir.gates import Gate
+
+__all__ = ["random_circuit", "random_clifford_t_circuit"]
+
+_ONE_QUBIT = ("x", "y", "z", "h", "s", "sdg", "t", "tdg", "rx", "ry", "rz")
+_TWO_QUBIT = ("cx", "cz", "crz", "rzz", "swap")
+_CLIFFORD_T_1Q = ("x", "z", "h", "s", "sdg", "t", "tdg")
+_CLIFFORD_T_2Q = ("cx", "cz")
+
+
+def _random_gate(rng: np.random.Generator, num_qubits: int,
+                 one_qubit: Sequence[str], two_qubit: Sequence[str],
+                 two_qubit_prob: float) -> Gate:
+    if num_qubits >= 2 and rng.random() < two_qubit_prob:
+        name = str(rng.choice(two_qubit))
+        a, b = rng.choice(num_qubits, size=2, replace=False)
+        params = (float(rng.uniform(0, 2 * np.pi)),) if name in ("crz", "rzz") else ()
+        return Gate(name, (int(a), int(b)), params)
+    name = str(rng.choice(one_qubit))
+    qubit = int(rng.integers(num_qubits))
+    params = (float(rng.uniform(0, 2 * np.pi)),) if name in ("rx", "ry", "rz") else ()
+    return Gate(name, (qubit,), params)
+
+
+def random_circuit(num_qubits: int, num_gates: int, seed: Optional[int] = None,
+                   two_qubit_prob: float = 0.5,
+                   name: str = "random") -> Circuit:
+    """A random circuit over the full registered gate alphabet."""
+    if num_qubits < 1:
+        raise ValueError("need at least one qubit")
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits, name=name)
+    for _ in range(num_gates):
+        circuit.append(_random_gate(rng, num_qubits, _ONE_QUBIT, _TWO_QUBIT,
+                                    two_qubit_prob))
+    return circuit
+
+
+def random_clifford_t_circuit(num_qubits: int, num_gates: int,
+                              seed: Optional[int] = None,
+                              two_qubit_prob: float = 0.5,
+                              name: str = "random-clifford-t") -> Circuit:
+    """A random circuit restricted to the Clifford+T alphabet (CX basis)."""
+    if num_qubits < 1:
+        raise ValueError("need at least one qubit")
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits, name=name)
+    for _ in range(num_gates):
+        circuit.append(_random_gate(rng, num_qubits, _CLIFFORD_T_1Q,
+                                    _CLIFFORD_T_2Q, two_qubit_prob))
+    return circuit

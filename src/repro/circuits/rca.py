@@ -1,0 +1,73 @@
+"""Ripple-carry adder benchmark circuit (Cuccaro construction).
+
+The VBE/Cuccaro ripple-carry adder is the arithmetic building block of
+Table 2.  Its MAJ/UMA cascade produces chains of CX and Toffoli gates along
+neighbouring qubits, giving medium-sized burst blocks with mixed
+control/target roles (which is why RCA needs TP-Comm in Table 3).
+"""
+
+from __future__ import annotations
+
+from ..ir.circuit import Circuit
+
+__all__ = ["ripple_carry_adder", "rca_circuit_for_width"]
+
+
+def _maj(circuit: Circuit, a: int, b: int, c: int) -> None:
+    """Majority gadget of the Cuccaro adder."""
+    circuit.cx(c, b)
+    circuit.cx(c, a)
+    circuit.ccx(a, b, c)
+
+
+def _uma(circuit: Circuit, a: int, b: int, c: int) -> None:
+    """Un-majority-and-add gadget of the Cuccaro adder."""
+    circuit.ccx(a, b, c)
+    circuit.cx(c, a)
+    circuit.cx(a, b)
+
+
+def ripple_carry_adder(num_bits: int, name: str | None = None) -> Circuit:
+    """Build a Cuccaro ripple-carry adder for two ``num_bits``-bit registers.
+
+    Register layout: qubit 0 is the carry-in, followed by interleaved
+    ``b_i, a_i`` pairs, with the final qubit the carry-out — ``2 * num_bits + 2``
+    qubits in total.
+    """
+    if num_bits < 1:
+        raise ValueError("adder needs at least one bit")
+    num_qubits = 2 * num_bits + 2
+    circuit = Circuit(num_qubits, name=name or f"rca-{num_qubits}")
+    carry_in = 0
+    carry_out = num_qubits - 1
+
+    def b_index(i: int) -> int:
+        return 1 + 2 * i
+
+    def a_index(i: int) -> int:
+        return 2 + 2 * i
+
+    _maj(circuit, carry_in, b_index(0), a_index(0))
+    for i in range(1, num_bits):
+        _maj(circuit, a_index(i - 1), b_index(i), a_index(i))
+    circuit.cx(a_index(num_bits - 1), carry_out)
+    for i in reversed(range(1, num_bits)):
+        _uma(circuit, a_index(i - 1), b_index(i), a_index(i))
+    _uma(circuit, carry_in, b_index(0), a_index(0))
+    return circuit
+
+
+def rca_circuit_for_width(num_qubits: int, name: str | None = None) -> Circuit:
+    """Build the largest ripple-carry adder fitting in ``num_qubits`` qubits.
+
+    The circuit is then padded (by construction it simply does not touch the
+    spare qubits) so that its register width is exactly ``num_qubits``, which
+    keeps the node layouts of Table 2 directly comparable.
+    """
+    if num_qubits < 4:
+        raise ValueError("need at least 4 qubits for a 1-bit adder")
+    num_bits = (num_qubits - 2) // 2
+    adder = ripple_carry_adder(num_bits)
+    padded = Circuit(num_qubits, name=name or f"rca-{num_qubits}")
+    padded.extend(adder.gates)
+    return padded

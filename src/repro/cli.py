@@ -1,0 +1,162 @@
+"""Command-line interface.
+
+``python -m repro.cli compile program.qasm --nodes 4`` compiles an OpenQASM
+2.0 program for a distributed machine and prints the communication report;
+``python -m repro.cli generate qft --qubits 16`` writes a benchmark circuit
+as QASM; ``python -m repro.cli compare program.qasm --nodes 4`` runs every
+compiler on the same program.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .analysis import render_table
+from .analysis.fidelity import DEFAULT_ERROR_MODEL, estimate_fidelity
+from .baselines import (
+    compile_cat_only,
+    compile_gp_tp,
+    compile_no_commute,
+    compile_plain_schedule,
+    compile_sparse,
+)
+from .circuits import BENCHMARK_FAMILIES, build_benchmark
+from .core import compile_autocomm
+from .hardware import uniform_network
+from .ir import Circuit, from_qasm, to_qasm
+
+__all__ = ["main", "build_parser"]
+
+COMPILERS: Dict[str, Callable] = {
+    "autocomm": compile_autocomm,
+    "sparse": compile_sparse,
+    "gp-tp": compile_gp_tp,
+    "cat-only": compile_cat_only,
+    "no-commute": compile_no_commute,
+    "plain-schedule": compile_plain_schedule,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AutoComm: burst-communication compilation for distributed "
+                    "quantum programs (MICRO 2022 reproduction)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = subparsers.add_parser(
+        "compile", help="compile an OpenQASM 2.0 file for a distributed machine")
+    compile_parser.add_argument("qasm", type=Path, help="input .qasm file")
+    compile_parser.add_argument("--nodes", type=int, required=True,
+                                help="number of quantum nodes")
+    compile_parser.add_argument("--qubits-per-node", type=int, default=None,
+                                help="data qubits per node (default: fit the program)")
+    compile_parser.add_argument("--comm-qubits", type=int, default=2,
+                                help="communication qubits per node (default 2)")
+    compile_parser.add_argument("--compiler", choices=sorted(COMPILERS),
+                                default="autocomm")
+    compile_parser.add_argument("--fidelity", action="store_true",
+                                help="also print an estimated program fidelity")
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="run every compiler on the same program")
+    compare_parser.add_argument("qasm", type=Path)
+    compare_parser.add_argument("--nodes", type=int, required=True)
+    compare_parser.add_argument("--qubits-per-node", type=int, default=None)
+    compare_parser.add_argument("--comm-qubits", type=int, default=2)
+
+    generate_parser = subparsers.add_parser(
+        "generate", help="write a benchmark circuit as OpenQASM 2.0")
+    generate_parser.add_argument("family", choices=sorted(f.lower() for f in BENCHMARK_FAMILIES))
+    generate_parser.add_argument("--qubits", type=int, required=True)
+    generate_parser.add_argument("--output", type=Path, default=None,
+                                 help="output file (default: stdout)")
+    return parser
+
+
+def _load_circuit(path: Path) -> Circuit:
+    if not path.exists():
+        raise SystemExit(f"error: no such file: {path}")
+    return from_qasm(path.read_text())
+
+
+def _make_network(circuit: Circuit, nodes: int, qubits_per_node: Optional[int],
+                  comm_qubits: int):
+    per_node = qubits_per_node or -(-circuit.num_qubits // nodes)
+    return uniform_network(nodes, per_node, comm_qubits_per_node=comm_qubits)
+
+
+def _report_rows(program) -> List[dict]:
+    metrics = program.metrics
+    return [
+        {"metric": "compiler", "value": program.compiler},
+        {"metric": "qubits", "value": program.circuit.num_qubits},
+        {"metric": "gates (CX basis)", "value": len(program.circuit)},
+        {"metric": "remote gates", "value": metrics.num_remote_gates},
+        {"metric": "burst blocks", "value": metrics.num_blocks},
+        {"metric": "communications", "value": metrics.total_comm},
+        {"metric": "  TP-Comm", "value": metrics.tp_comm},
+        {"metric": "  Cat-Comm", "value": metrics.cat_comm},
+        {"metric": "peak REM CX / comm", "value": metrics.peak_rem_cx},
+        {"metric": "latency [CX units]", "value": round(metrics.latency, 1)},
+    ]
+
+
+def _cmd_compile(args) -> int:
+    circuit = _load_circuit(args.qasm)
+    network = _make_network(circuit, args.nodes, args.qubits_per_node,
+                            args.comm_qubits)
+    program = COMPILERS[args.compiler](circuit, network)
+    rows = _report_rows(program)
+    if args.fidelity:
+        rows.append({"metric": "estimated fidelity",
+                     "value": round(estimate_fidelity(program, DEFAULT_ERROR_MODEL), 4)})
+    print(render_table(rows, columns=["metric", "value"]))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    circuit = _load_circuit(args.qasm)
+    network = _make_network(circuit, args.nodes, args.qubits_per_node,
+                            args.comm_qubits)
+    autocomm = compile_autocomm(circuit, network)
+    rows = []
+    for name, compiler in sorted(COMPILERS.items()):
+        program = (autocomm if name == "autocomm"
+                   else compiler(circuit, network, mapping=autocomm.mapping))
+        rows.append({
+            "compiler": name,
+            "communications": program.metrics.total_comm,
+            "tp_comm": program.metrics.tp_comm,
+            "peak_rem_cx": program.metrics.peak_rem_cx,
+            "latency": round(program.metrics.latency, 1),
+        })
+    print(render_table(rows, columns=["compiler", "communications", "tp_comm",
+                                      "peak_rem_cx", "latency"]))
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    circuit, _ = build_benchmark(args.family.upper(), args.qubits, num_nodes=1)
+    text = to_qasm(circuit)
+    if args.output is None:
+        print(text, end="")
+    else:
+        args.output.write_text(text)
+        print(f"wrote {args.output} ({circuit.num_qubits} qubits, "
+              f"{len(circuit)} gates)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"compile": _cmd_compile, "compare": _cmd_compare,
+                "generate": _cmd_generate}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Remote communication substrate: blocks, protocols and cost accounting."""
+
+from .blocks import CommBlock, CommPattern, CommScheme, cat_comm_segments
+from .primitives import (
+    epr_pair_circuit,
+    teleport_circuit,
+    release_comm_qubit,
+    remote_cx_via_cat,
+    remote_cx_via_tp,
+    cat_comm_block_circuit,
+    tp_comm_block_circuit,
+)
+from .cost import (
+    CommCost,
+    block_comm_count,
+    total_comm_count,
+    block_latency,
+    peak_remote_cx_per_comm,
+)
+
+__all__ = [
+    "CommBlock",
+    "CommPattern",
+    "CommScheme",
+    "cat_comm_segments",
+    "epr_pair_circuit",
+    "teleport_circuit",
+    "release_comm_qubit",
+    "remote_cx_via_cat",
+    "remote_cx_via_tp",
+    "cat_comm_block_circuit",
+    "tp_comm_block_circuit",
+    "CommCost",
+    "block_comm_count",
+    "total_comm_count",
+    "block_latency",
+    "peak_remote_cx_per_comm",
+]

@@ -1,0 +1,105 @@
+"""Communication cost accounting.
+
+The paper's first metric is the number of issued remote communications (one
+EPR pair each).  Cat-Comm executes a whole block with one communication;
+TP-Comm always charges two (one teleport out, one to release the occupied
+communication qubit), which is exactly how Section 5.1 defines the metric.
+This module turns a list of assigned blocks into those counts and also
+provides per-block latency estimates used by the scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..hardware.timing import DEFAULT_LATENCY, LatencyModel
+from ..partition.mapping import QubitMapping
+from .blocks import CommBlock, CommScheme
+
+__all__ = ["CommCost", "block_comm_count", "total_comm_count",
+           "block_latency", "peak_remote_cx_per_comm"]
+
+
+@dataclass(frozen=True)
+class CommCost:
+    """Aggregate communication cost of a compiled program."""
+
+    total_comm: int
+    tp_comm: int
+    cat_comm: int
+    peak_remote_cx: float
+
+    def as_dict(self) -> dict:
+        return {
+            "total_comm": self.total_comm,
+            "tp_comm": self.tp_comm,
+            "cat_comm": self.cat_comm,
+            "peak_remote_cx": self.peak_remote_cx,
+        }
+
+
+def block_comm_count(block: CommBlock, mapping: QubitMapping) -> int:
+    """Number of remote communications (EPR pairs) issued for one block."""
+    if block.scheme is CommScheme.TP:
+        return block.tp_comm_cost()
+    if block.scheme is CommScheme.CAT:
+        return block.cat_comm_cost(mapping)
+    raise ValueError("block has no communication scheme assigned")
+
+
+def total_comm_count(blocks: Sequence[CommBlock], mapping: QubitMapping) -> CommCost:
+    """Aggregate communication cost over all blocks of a compiled program."""
+    total = 0
+    tp = 0
+    cat = 0
+    peak = 0.0
+    for block in blocks:
+        count = block_comm_count(block, mapping)
+        total += count
+        if block.scheme is CommScheme.TP:
+            tp += count
+        else:
+            cat += count
+        peak = max(peak, block_remote_cx_per_comm(block, mapping))
+    return CommCost(total_comm=total, tp_comm=tp, cat_comm=cat, peak_remote_cx=peak)
+
+
+def block_remote_cx_per_comm(block: CommBlock, mapping: QubitMapping) -> float:
+    """Remote CX gates carried per communication by one block.
+
+    For TP-Comm blocks the paper averages over the two communications of the
+    round trip.
+    """
+    remote = block.num_remote_gates(mapping)
+    comms = block_comm_count(block, mapping)
+    if comms == 0:
+        return 0.0
+    return remote / comms
+
+
+def peak_remote_cx_per_comm(blocks: Sequence[CommBlock],
+                            mapping: QubitMapping) -> float:
+    """Maximum remote CX gates carried by one communication (``Peak # REM CX``)."""
+    return max((block_remote_cx_per_comm(b, mapping) for b in blocks), default=0.0)
+
+
+def block_latency(block: CommBlock, mapping: QubitMapping,
+                  latency: LatencyModel = DEFAULT_LATENCY) -> float:
+    """Protocol latency of one block, excluding EPR-pair preparation.
+
+    The scheduler adds EPR preparation separately so it can pipeline it with
+    earlier computation.
+    """
+    num_2q = 0
+    num_1q = 0
+    for gate in block.gates:
+        if gate.is_multi_qubit:
+            num_2q += 1
+        elif gate.is_single_qubit:
+            num_1q += 1
+    if block.scheme is CommScheme.TP:
+        return latency.tp_comm_latency(num_2q, num_1q)
+    segments = max(1, block.cat_comm_cost(mapping))
+    body = num_2q * latency.t_2q + num_1q * latency.t_1q
+    return segments * (latency.t_cat_entangle + latency.t_cat_disentangle) + body

@@ -1,0 +1,247 @@
+"""Remote communication protocol circuits.
+
+This module expands remote interactions into explicit protocol circuits so
+the compiler's transformations can be *verified by simulation*:
+
+* EPR pair preparation,
+* quantum teleportation (TP-Comm building block),
+* Cat-Comm (cat-entangler / cat-disentangler) execution of a burst block,
+* TP-Comm execution of a burst block (teleport, run locally, teleport back).
+
+The circuits use the *deferred measurement* form of the protocols: the
+classically-controlled Pauli corrections of Figure 2 are replaced by the
+equivalent quantum-controlled gates, which makes every protocol a pure
+unitary circuit that the statevector simulator can check exactly.  The
+measurement-based latency accounting (measurements, classical bits) lives in
+:mod:`repro.hardware.timing` and :mod:`repro.comm.cost`; the physical
+realisation does not change the compiler's decisions.
+
+After a coherent cat-entangler/disentangler or teleportation, the
+communication qubits are left in ``|+>`` states; callers that want to reuse
+them can append Hadamards (see :func:`release_comm_qubit`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..ir.circuit import Circuit
+from ..ir.gates import Gate
+from ..partition.mapping import QubitMapping
+from .blocks import CommBlock
+
+__all__ = [
+    "epr_pair_circuit",
+    "teleport_circuit",
+    "release_comm_qubit",
+    "remote_cx_via_cat",
+    "remote_cx_via_tp",
+    "cat_comm_block_circuit",
+    "tp_comm_block_circuit",
+]
+
+
+def epr_pair_circuit(qubit_a: int, qubit_b: int, num_qubits: int) -> Circuit:
+    """Prepare ``(|00> + |11>)/sqrt(2)`` on the pair ``(qubit_a, qubit_b)``."""
+    circuit = Circuit(num_qubits, name="epr")
+    circuit.h(qubit_a)
+    circuit.cx(qubit_a, qubit_b)
+    return circuit
+
+
+def teleport_circuit(source: int, epr_near: int, epr_far: int,
+                     num_qubits: int, include_epr: bool = True) -> Circuit:
+    """Teleport the state of ``source`` onto ``epr_far``.
+
+    ``epr_near`` / ``epr_far`` are the two halves of an EPR pair (near = same
+    node as the source).  With deferred measurement the corrections become a
+    CX from ``epr_near`` and a CZ from ``source``; afterwards ``source`` and
+    ``epr_near`` are left in ``|+>``.
+    """
+    circuit = Circuit(num_qubits, name="teleport")
+    if include_epr:
+        circuit.h(epr_near)
+        circuit.cx(epr_near, epr_far)
+    circuit.cx(source, epr_near)
+    circuit.h(source)
+    circuit.cx(epr_near, epr_far)
+    circuit.cz(source, epr_far)
+    return circuit
+
+
+def release_comm_qubit(circuit: Circuit, comm_qubit: int) -> Circuit:
+    """Map a post-protocol ``|+>`` communication qubit back to ``|0>``."""
+    circuit.h(comm_qubit)
+    return circuit
+
+
+def remote_cx_via_cat(control: int, target: int, comm_near: int, comm_far: int,
+                      num_qubits: int) -> Circuit:
+    """One remote CX implemented with Cat-Comm (Figure 2a, deferred form)."""
+    block = [Gate("cx", (control, target))]
+    return _cat_protocol(block, hub=control, comm_near=comm_near,
+                         comm_far=comm_far, num_qubits=num_qubits)
+
+
+def remote_cx_via_tp(control: int, target: int, comm_near: int, comm_far: int,
+                     return_near: int, return_far: int,
+                     num_qubits: int) -> Circuit:
+    """One remote CX implemented with TP-Comm (Figure 2b, deferred form).
+
+    ``(comm_near, comm_far)`` carry the outbound teleport,
+    ``(return_far, return_near)`` carry the teleport that releases the
+    occupied communication qubit by moving the state back to
+    ``return_near`` on the control's node.
+    """
+    circuit = Circuit(num_qubits, name="remote-cx-tp")
+    circuit.compose(teleport_circuit(control, comm_near, comm_far, num_qubits))
+    circuit.cx(comm_far, target)
+    circuit.compose(teleport_circuit(comm_far, return_far, return_near, num_qubits))
+    return circuit
+
+
+def _substitute_hub(gates: Iterable[Gate], hub: int, replacement: int) -> List[Gate]:
+    out = []
+    for gate in gates:
+        if hub in gate.qubits:
+            mapping = {q: (replacement if q == hub else q) for q in gate.qubits}
+            out.append(gate.remap(mapping))
+        else:
+            out.append(gate)
+    return out
+
+
+# How single-qubit gates on the hub transform under conjugation by a Hadamard
+# (used when the hub is the *target* of every remote CX, Figure 10a).
+_H_CONJUGATION = {
+    "x": ("z", False), "z": ("x", False), "h": ("h", False), "id": ("id", False),
+    "sx": ("s", False), "sxdg": ("sdg", False), "s": ("sx", False),
+    "sdg": ("sxdg", False), "rx": ("rz", True), "rz": ("rx", True),
+    "y": ("y", True),
+}
+
+
+def _conjugate_hub_gate(gate: Gate) -> Gate:
+    """Return ``H g H`` for a single-qubit gate on the hub."""
+    entry = _H_CONJUGATION.get(gate.name)
+    if entry is None:
+        raise ValueError(
+            f"cannot conjugate hub gate {gate.name!r} by Hadamard; such a gate "
+            "should have forced a TP-Comm assignment")
+    new_name, keep_params = entry
+    params = gate.params if keep_params else ()
+    if gate.name == "y":
+        # H Y H = -Y; the sign is a global phase, keep Y.
+        return Gate("y", gate.qubits)
+    return Gate(new_name, gate.qubits, params)
+
+
+def _conjugate_body_by_hub_h(gates: Sequence[Gate], hub: int) -> List[Gate]:
+    """Conjugate the block body by ``H`` on the hub only.
+
+    Remote CX gates targeting the hub become CZ gates (which are diagonal and
+    therefore hub-control compatible); single-qubit hub gates are mapped
+    through the Hadamard conjugation table; everything else is untouched.
+    """
+    out: List[Gate] = []
+    for gate in gates:
+        if gate.name == "cx" and gate.target == hub:
+            out.append(Gate("cz", (hub, gate.qubits[0])))
+        elif gate.is_single_qubit and gate.qubits[0] == hub:
+            out.append(_conjugate_hub_gate(gate))
+        else:
+            out.append(gate)
+    return out
+
+
+def _cat_protocol(gates: Sequence[Gate], hub: int, comm_near: int, comm_far: int,
+                  num_qubits: int, hub_is_target: bool = False) -> Circuit:
+    """Cat-Comm execution of ``gates`` with the hub mirrored onto ``comm_far``.
+
+    When ``hub_is_target`` is True the block is first conjugated by a
+    Hadamard on the hub (Figure 10a) so that every remote gate becomes
+    hub-diagonal and can ride on the cat state.
+    """
+    circuit = Circuit(num_qubits, name="cat-comm")
+    body = list(gates)
+    # Hub-only gates before the first / after the last multi-qubit gate can
+    # (and for non-diagonal gates, must) run directly on the hub outside the
+    # cat-entangled window.
+    prefix: List[Gate] = []
+    suffix: List[Gate] = []
+    while body and body[0].is_single_qubit and body[0].qubits[0] == hub:
+        prefix.append(body.pop(0))
+    while body and body[-1].is_single_qubit and body[-1].qubits[0] == hub:
+        suffix.insert(0, body.pop())
+
+    for gate in prefix:
+        circuit.append(gate)
+    if hub_is_target:
+        circuit.h(hub)
+        body = _conjugate_body_by_hub_h(body, hub)
+    # EPR pair between the two communication qubits.
+    circuit.h(comm_near)
+    circuit.cx(comm_near, comm_far)
+    # Cat-entangler (deferred measurement form).
+    circuit.cx(hub, comm_near)
+    circuit.cx(comm_near, comm_far)
+    # Execute the block with the hub replaced by the remote cat copy.
+    for gate in _substitute_hub(body, hub, comm_far):
+        circuit.append(gate)
+    # Cat-disentangler (deferred measurement form).
+    circuit.h(comm_far)
+    circuit.cz(comm_far, hub)
+    if hub_is_target:
+        circuit.h(hub)
+    for gate in suffix:
+        circuit.append(gate)
+    return circuit
+
+
+def cat_comm_block_circuit(block: CommBlock, mapping: QubitMapping,
+                           comm_near: int, comm_far: int,
+                           num_qubits: int) -> Circuit:
+    """Expand a burst block into its Cat-Comm protocol circuit.
+
+    The block must be executable by a single Cat-Comm invocation
+    (``block.cat_comm_cost(mapping) == 1``); otherwise a ``ValueError`` is
+    raised — the assignment pass never asks for a multi-invocation Cat
+    expansion.
+    """
+    from .blocks import CommPattern
+
+    if block.cat_comm_cost(mapping) != 1:
+        raise ValueError("block needs more than one Cat-Comm invocation; "
+                         "assignment should have chosen TP-Comm")
+    pattern = block.pattern(mapping)
+    hub_is_target = pattern is CommPattern.UNIDIRECTIONAL_TARGET
+    return _cat_protocol(block.gates, block.hub_qubit, comm_near, comm_far,
+                         num_qubits, hub_is_target=hub_is_target)
+
+
+def tp_comm_block_circuit(block: CommBlock, mapping: QubitMapping,
+                          comm_near: int, comm_far: int,
+                          return_near: int, return_far: int,
+                          num_qubits: int) -> Circuit:
+    """Expand a burst block into its TP-Comm protocol circuit.
+
+    The hub state is teleported to ``comm_far`` on the remote node, the whole
+    block runs locally there, and a second teleportation over
+    ``(return_far, return_near)`` brings the state back onto the hub qubit's
+    node (modelled here as landing on ``return_near``), after which a local
+    SWAP restores it to the original hub qubit.
+    """
+    circuit = Circuit(num_qubits, name="tp-comm")
+    hub = block.hub_qubit
+    circuit.compose(teleport_circuit(hub, comm_near, comm_far, num_qubits))
+    for gate in _substitute_hub(block.gates, hub, comm_far):
+        circuit.append(gate)
+    circuit.compose(teleport_circuit(comm_far, return_far, return_near, num_qubits))
+    # The teleported state now sits on return_near (same node as the hub);
+    # restore it onto the hub data qubit.  The hub qubit was left in |+> by the
+    # outbound teleportation, so reset it coherently first.
+    circuit.h(hub)
+    circuit.cx(return_near, hub)
+    circuit.cx(hub, return_near)
+    circuit.cx(return_near, hub)
+    return circuit

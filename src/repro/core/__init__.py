@@ -1,0 +1,44 @@
+"""AutoComm core passes: aggregation, assignment, scheduling and the pipeline."""
+
+from .aggregation import AggregationResult, aggregate_communications, CommAggregator
+from .assignment import AssignmentResult, assign_communications, choose_scheme
+from .scheduling import (
+    ScheduleResult,
+    ScheduledOp,
+    FusedTPChain,
+    schedule_communications,
+    fuse_tp_chains,
+)
+from .metrics import (
+    CompilationMetrics,
+    comparison_factors,
+    burst_distribution,
+    communication_loads,
+)
+from .pipeline import AutoCommConfig, AutoCommCompiler, CompiledProgram, compile_autocomm
+from .collective import CollectiveBlock, form_collectives, collective_latency
+
+__all__ = [
+    "AggregationResult",
+    "aggregate_communications",
+    "CommAggregator",
+    "AssignmentResult",
+    "assign_communications",
+    "choose_scheme",
+    "ScheduleResult",
+    "ScheduledOp",
+    "FusedTPChain",
+    "schedule_communications",
+    "fuse_tp_chains",
+    "CompilationMetrics",
+    "comparison_factors",
+    "burst_distribution",
+    "communication_loads",
+    "AutoCommConfig",
+    "AutoCommCompiler",
+    "CompiledProgram",
+    "compile_autocomm",
+    "CollectiveBlock",
+    "form_collectives",
+    "collective_latency",
+]

@@ -1,0 +1,96 @@
+"""Evaluation metrics (Section 5.1 of the paper).
+
+* ``total_comm`` — number of issued remote communications (EPR pairs); one
+  per Cat-Comm invocation, two per TP-Comm block.
+* ``tp_comm`` — communications spent on TP-Comm blocks.
+* ``peak_rem_cx`` — the largest number of remote two-qubit gates executed
+  through one communication (averaged over the two communications of a TP
+  round trip).
+* ``latency`` — program execution time in CX-gate units, from the
+  resource-constrained schedule.
+* ``improv_factor`` / ``lat_dec_factor`` — baseline-over-AutoComm ratios of
+  communication count and latency.
+
+The burst distribution of Figure 15 (probability that one communication
+carries at least X remote CX gates) is also computed here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..comm.blocks import CommBlock, CommScheme
+from ..partition.mapping import QubitMapping
+
+__all__ = ["CompilationMetrics", "comparison_factors", "burst_distribution",
+           "communication_loads"]
+
+
+@dataclass(frozen=True)
+class CompilationMetrics:
+    """Headline numbers for one compiled program."""
+
+    name: str
+    total_comm: int
+    tp_comm: int
+    cat_comm: int
+    peak_rem_cx: float
+    latency: float
+    num_blocks: int
+    num_remote_gates: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "total_comm": self.total_comm,
+            "tp_comm": self.tp_comm,
+            "cat_comm": self.cat_comm,
+            "peak_rem_cx": self.peak_rem_cx,
+            "latency": self.latency,
+            "num_blocks": self.num_blocks,
+            "num_remote_gates": self.num_remote_gates,
+        }
+
+
+def comparison_factors(baseline: CompilationMetrics,
+                       optimized: CompilationMetrics) -> Dict[str, float]:
+    """Return the paper's two relative metrics: improv. and LAT-DEC factors."""
+    improv = (baseline.total_comm / optimized.total_comm
+              if optimized.total_comm else float("inf"))
+    lat_dec = (baseline.latency / optimized.latency
+               if optimized.latency else float("inf"))
+    return {"improv_factor": improv, "lat_dec_factor": lat_dec}
+
+
+def communication_loads(blocks: Sequence[CommBlock],
+                        mapping: QubitMapping) -> List[float]:
+    """Remote-CX load of every issued communication.
+
+    Cat-Comm blocks contribute one entry per Cat segment; TP-Comm blocks
+    contribute two entries, each carrying half of the block's remote gates
+    (the paper's averaging convention).
+    """
+    loads: List[float] = []
+    for block in blocks:
+        remote = block.num_remote_gates(mapping)
+        if block.scheme is CommScheme.TP:
+            loads.extend([remote / 2.0, remote / 2.0])
+        else:
+            segments = max(1, block.cat_comm_cost(mapping))
+            per_segment = remote / segments
+            loads.extend([per_segment] * segments)
+    return loads
+
+
+def burst_distribution(blocks: Sequence[CommBlock], mapping: QubitMapping,
+                       max_x: Optional[int] = None) -> Dict[int, float]:
+    """``Pr[one communication carries >= X remote CX gates]`` (Figure 15)."""
+    loads = communication_loads(blocks, mapping)
+    if not loads:
+        return {}
+    if max_x is None:
+        max_x = max(1, int(max(loads)))
+    total = len(loads)
+    return {x: sum(1 for load in loads if load >= x) / total
+            for x in range(1, max_x + 1)}

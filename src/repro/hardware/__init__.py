@@ -1,0 +1,21 @@
+"""Distributed quantum hardware model: nodes, networks, latency, resources."""
+
+from .node import QuantumNode
+from .network import QuantumNetwork, uniform_network
+from .timing import LatencyModel, DEFAULT_LATENCY
+from .epr import CommResourceTracker, Reservation
+from .topology import apply_topology, topology_graph, hop_counts, SUPPORTED_TOPOLOGIES
+
+__all__ = [
+    "QuantumNode",
+    "QuantumNetwork",
+    "uniform_network",
+    "LatencyModel",
+    "DEFAULT_LATENCY",
+    "CommResourceTracker",
+    "Reservation",
+    "apply_topology",
+    "topology_graph",
+    "hop_counts",
+    "SUPPORTED_TOPOLOGIES",
+]

@@ -1,0 +1,150 @@
+"""Communication-qubit resource tracking.
+
+Every remote communication (one Cat-Comm invocation or one qubit
+teleportation) occupies one communication qubit on each of the two nodes
+involved for the duration of the protocol.  With only two communication
+qubits per node (the paper's near-term assumption), at most two remote
+communications can be in flight at any node simultaneously.
+
+:class:`CommResourceTracker` keeps, per node, the set of busy time intervals
+on each communication qubit and answers "when is the earliest time at or
+after ``t`` when this node has a free communication qubit for ``duration``
+time units?".  The block scheduler in :mod:`repro.core.scheduling` and the
+baseline schedulers both build on it, so the resource constraint is applied
+identically to every compiler being compared.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .network import QuantumNetwork
+
+__all__ = ["CommResourceTracker", "Reservation"]
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """A booked interval on one communication qubit of one node."""
+
+    node: int
+    slot: int
+    start: float
+    end: float
+    label: str = ""
+
+
+class CommResourceTracker:
+    """Interval-based occupancy tracker for communication qubits."""
+
+    def __init__(self, network: QuantumNetwork) -> None:
+        self.network = network
+        # busy[node][slot] = sorted list of (start, end) intervals
+        self._busy: Dict[int, List[List[Tuple[float, float]]]] = {
+            node.index: [[] for _ in range(node.num_comm_qubits)]
+            for node in network
+        }
+        self.reservations: List[Reservation] = []
+
+    # ----------------------------------------------------------------- queries
+
+    def slot_free(self, node: int, slot: int, start: float, end: float) -> bool:
+        """True when ``slot`` of ``node`` is idle over ``[start, end)``."""
+        for (s, e) in self._busy[node][slot]:
+            if s < end and start < e:
+                return False
+        return True
+
+    def earliest_slot(self, node: int, duration: float,
+                      not_before: float = 0.0) -> Tuple[float, int]:
+        """Earliest (start, slot) at or after ``not_before`` with ``duration`` free."""
+        best_start: Optional[float] = None
+        best_slot = 0
+        for slot in range(len(self._busy[node])):
+            start = self._earliest_on_slot(node, slot, duration, not_before)
+            if best_start is None or start < best_start:
+                best_start, best_slot = start, slot
+        assert best_start is not None
+        return best_start, best_slot
+
+    def earliest_joint(self, nodes: Sequence[int], duration: float,
+                       not_before: float = 0.0) -> Tuple[float, Dict[int, int]]:
+        """Earliest start time when *every* node in ``nodes`` has a free slot.
+
+        Returns the start time and the chosen slot per node.  Uses a simple
+        fixed-point iteration: propose the max of per-node earliest starts,
+        re-check each node at that time, repeat until stable.
+        """
+        time = not_before
+        for _ in range(1000):
+            slots: Dict[int, int] = {}
+            proposal = time
+            for node in nodes:
+                start, slot = self.earliest_slot(node, duration, time)
+                slots[node] = slot
+                proposal = max(proposal, start)
+            if proposal == time:
+                return time, slots
+            time = proposal
+        raise RuntimeError("resource search did not converge")  # pragma: no cover
+
+    def _earliest_on_slot(self, node: int, slot: int, duration: float,
+                          not_before: float) -> float:
+        intervals = self._busy[node][slot]
+        start = not_before
+        for (s, e) in intervals:
+            if start + duration <= s:
+                return start
+            if e > start:
+                start = e
+        return start
+
+    # ------------------------------------------------------------------ booking
+
+    def reserve(self, node: int, start: float, end: float,
+                slot: Optional[int] = None, label: str = "") -> Reservation:
+        """Book ``[start, end)`` on a communication qubit of ``node``.
+
+        When ``slot`` is omitted the first free slot is used.  Raises
+        ``ValueError`` if no slot is free for the whole interval.
+        """
+        if end < start:
+            raise ValueError("reservation end precedes start")
+        if slot is None:
+            for candidate in range(len(self._busy[node])):
+                if self.slot_free(node, candidate, start, end):
+                    slot = candidate
+                    break
+            else:
+                raise ValueError(
+                    f"node {node} has no free communication qubit in "
+                    f"[{start}, {end})")
+        elif not self.slot_free(node, slot, start, end):
+            raise ValueError(
+                f"slot {slot} of node {node} is busy in [{start}, {end})")
+        insort(self._busy[node][slot], (start, end))
+        reservation = Reservation(node=node, slot=slot, start=start, end=end,
+                                  label=label)
+        self.reservations.append(reservation)
+        return reservation
+
+    # ---------------------------------------------------------------- reporting
+
+    def utilisation(self, node: int, horizon: Optional[float] = None) -> float:
+        """Fraction of busy time across the node's communication qubits."""
+        if horizon is None:
+            horizon = self.makespan()
+        if horizon <= 0:
+            return 0.0
+        busy = sum(e - s for slot in self._busy[node] for (s, e) in slot)
+        return busy / (horizon * len(self._busy[node]))
+
+    def makespan(self) -> float:
+        """Latest reservation end time across the whole network."""
+        ends = [e for node in self._busy.values() for slot in node for (_, e) in slot]
+        return max(ends, default=0.0)
+
+    def num_reservations(self) -> int:
+        return len(self.reservations)

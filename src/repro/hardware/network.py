@@ -1,0 +1,107 @@
+"""Distributed quantum system model.
+
+A :class:`QuantumNetwork` is a collection of :class:`~repro.hardware.node.QuantumNode`
+objects with pairwise EPR connectivity.  Following the paper (Section 3), we
+assume quantum communication can be established between any two nodes
+(all-to-all, data-centre style connectivity); link metadata is still kept per
+pair so non-uniform EPR latencies can be modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .node import QuantumNode
+from .timing import DEFAULT_LATENCY, LatencyModel
+
+__all__ = ["QuantumNetwork", "uniform_network"]
+
+
+class QuantumNetwork:
+    """A set of quantum nodes with all-to-all EPR links."""
+
+    def __init__(self, nodes: Iterable[QuantumNode],
+                 latency: LatencyModel = DEFAULT_LATENCY) -> None:
+        self.nodes: List[QuantumNode] = list(nodes)
+        if not self.nodes:
+            raise ValueError("a network needs at least one node")
+        indices = [node.index for node in self.nodes]
+        if indices != list(range(len(self.nodes))):
+            raise ValueError("node indices must be 0..k-1 in order")
+        self.latency = latency
+        self._epr_latency_overrides: Dict[Tuple[int, int], float] = {}
+
+    # ---------------------------------------------------------------- basics
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def total_data_qubits(self) -> int:
+        return sum(node.num_data_qubits for node in self.nodes)
+
+    def __iter__(self) -> Iterator[QuantumNode]:
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def node(self, index: int) -> QuantumNode:
+        return self.nodes[index]
+
+    def comm_capacity(self, node_index: int) -> int:
+        """Number of simultaneous remote communications a node can sustain."""
+        return self.nodes[node_index].num_comm_qubits
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"QuantumNetwork(nodes={self.num_nodes}, "
+                f"data_qubits={self.total_data_qubits})")
+
+    # ------------------------------------------------------------------ links
+
+    def set_epr_latency(self, node_a: int, node_b: int, latency: float) -> None:
+        """Override the EPR-preparation latency for one node pair."""
+        if node_a == node_b:
+            raise ValueError("EPR links connect distinct nodes")
+        self._epr_latency_overrides[self._key(node_a, node_b)] = float(latency)
+
+    def epr_latency(self, node_a: int, node_b: int) -> float:
+        """EPR-pair preparation latency between two nodes."""
+        if node_a == node_b:
+            raise ValueError("EPR links connect distinct nodes")
+        return self._epr_latency_overrides.get(
+            self._key(node_a, node_b), self.latency.t_epr)
+
+    @staticmethod
+    def _key(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a < b else (b, a)
+
+    def node_pairs(self) -> List[Tuple[int, int]]:
+        """All unordered node pairs."""
+        return [(i, j) for i in range(self.num_nodes)
+                for j in range(i + 1, self.num_nodes)]
+
+    # --------------------------------------------------------------- capacity
+
+    def validate_capacity(self, num_program_qubits: int) -> None:
+        """Raise if the program's qubits cannot fit in the network."""
+        if num_program_qubits > self.total_data_qubits:
+            raise ValueError(
+                f"program needs {num_program_qubits} data qubits but the "
+                f"network only provides {self.total_data_qubits}")
+
+
+def uniform_network(num_nodes: int, qubits_per_node: int,
+                    comm_qubits_per_node: int = 2,
+                    latency: LatencyModel = DEFAULT_LATENCY) -> QuantumNetwork:
+    """Build a homogeneous all-to-all network (the paper's hardware setting)."""
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    nodes = [
+        QuantumNode(index=i, num_data_qubits=qubits_per_node,
+                    num_comm_qubits=comm_qubits_per_node)
+        for i in range(num_nodes)
+    ]
+    return QuantumNetwork(nodes, latency=latency)

@@ -1,0 +1,56 @@
+"""Quantum node model.
+
+A :class:`QuantumNode` is one modular quantum processor in a distributed
+system.  It holds a fixed number of *data* qubits (which store program
+state) and *communication* qubits (which hold remote EPR halves during
+Cat-Comm / TP-Comm).  The AutoComm paper assumes two communication qubits per
+node, which is the default here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = ["QuantumNode"]
+
+
+@dataclass(frozen=True)
+class QuantumNode:
+    """One quantum processor in the distributed system.
+
+    Attributes:
+        index: node id within the network.
+        num_data_qubits: data-qubit capacity of the node.
+        num_comm_qubits: number of communication qubits (EPR endpoints) the
+            node can hold simultaneously; the paper assumes 2.
+        name: optional human-readable label.
+    """
+
+    index: int
+    num_data_qubits: int
+    num_comm_qubits: int = 2
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("node index must be non-negative")
+        if self.num_data_qubits <= 0:
+            raise ValueError("a node must hold at least one data qubit")
+        if self.num_comm_qubits < 1:
+            raise ValueError("a node needs at least one communication qubit")
+        if not self.name:
+            object.__setattr__(self, "name", f"node{self.index}")
+
+    @property
+    def total_qubits(self) -> int:
+        """Physical qubit count: data plus communication qubits."""
+        return self.num_data_qubits + self.num_comm_qubits
+
+    def can_host(self, num_program_qubits: int) -> bool:
+        """True when ``num_program_qubits`` program qubits fit on this node."""
+        return num_program_qubits <= self.num_data_qubits
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"QuantumNode({self.name}, data={self.num_data_qubits}, "
+                f"comm={self.num_comm_qubits})")

@@ -1,0 +1,115 @@
+"""Latency model for distributed quantum programs.
+
+All latencies are expressed in units of one CX gate time, following Table 1
+of the AutoComm paper:
+
+==========================  ========  =========
+operation                   symbol    latency
+==========================  ========  =========
+single-qubit gate           t1q       0.1
+CX / CZ gate                t2q       1
+measurement                 tms       5
+remote EPR pair preparation tep       12
+one classical bit transfer  tcb       1
+==========================  ========  =========
+
+Derived quantities used throughout the scheduler:
+
+* ``t_tele`` — one qubit teleportation (CX + H + two measurements in
+  parallel + two classical bits + corrections) ≈ 8 CX, matching the "about 8
+  CX time" figure quoted in Section 4.4.
+* ``t_cat_entangle`` / ``t_cat_disentangle`` — the two halves of the
+  cat-comm protocol of Figure 2(a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from ..ir.gates import Gate
+
+__all__ = ["LatencyModel", "DEFAULT_LATENCY"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Operation latencies, normalised to the CX gate time."""
+
+    t_1q: float = 0.1
+    t_2q: float = 1.0
+    t_measure: float = 5.0
+    t_epr: float = 12.0
+    t_classical_bit: float = 1.0
+
+    # ------------------------------------------------------------ derived
+
+    @property
+    def t_teleport(self) -> float:
+        """Latency of teleporting one qubit once the EPR pair is ready.
+
+        CX + H + measurement (both measurements run in parallel) + classical
+        transfer + the worst-case two local corrections.
+        """
+        return (self.t_2q + self.t_1q + self.t_measure
+                + self.t_classical_bit + 2 * self.t_1q)
+
+    @property
+    def t_cat_entangle(self) -> float:
+        """Cat-entangler: local CX + measurement + classical bit + X correction."""
+        return self.t_2q + self.t_measure + self.t_classical_bit + self.t_1q
+
+    @property
+    def t_cat_disentangle(self) -> float:
+        """Cat-disentangler: H + measurement + classical bit + Z correction."""
+        return self.t_1q + self.t_measure + self.t_classical_bit + self.t_1q
+
+    # ------------------------------------------------------------ queries
+
+    def gate_latency(self, gate: Gate) -> float:
+        """Latency of one local gate."""
+        if gate.is_barrier:
+            return 0.0
+        if gate.name == "measure":
+            return self.t_measure
+        if gate.name == "reset":
+            return self.t_measure + self.t_1q
+        if gate.num_qubits == 1:
+            return self.t_1q
+        # Local multi-qubit gates count as CX-equivalents per constituent CX;
+        # callers normally decompose first, so this is a conservative default.
+        return self.t_2q
+
+    def cat_comm_latency(self, num_local_2q: int, num_local_1q: int = 0) -> float:
+        """Latency of one Cat-Comm invocation executing a block locally.
+
+        Does not include EPR preparation (the scheduler accounts for EPR
+        pipelining explicitly).
+        """
+        body = num_local_2q * self.t_2q + num_local_1q * self.t_1q
+        return self.t_cat_entangle + body + self.t_cat_disentangle
+
+    def tp_comm_latency(self, num_local_2q: int, num_local_1q: int = 0) -> float:
+        """Latency of one TP-Comm block: teleport, run the block, teleport back."""
+        body = num_local_2q * self.t_2q + num_local_1q * self.t_1q
+        return 2 * self.t_teleport + body
+
+    def with_overrides(self, **kwargs: float) -> "LatencyModel":
+        """Return a copy with selected latencies replaced."""
+        return replace(self, **kwargs)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "t_1q": self.t_1q,
+            "t_2q": self.t_2q,
+            "t_measure": self.t_measure,
+            "t_epr": self.t_epr,
+            "t_classical_bit": self.t_classical_bit,
+            "t_teleport": self.t_teleport,
+            "t_cat_entangle": self.t_cat_entangle,
+            "t_cat_disentangle": self.t_cat_disentangle,
+        }
+
+
+#: The paper's Table 1 latency configuration.
+DEFAULT_LATENCY = LatencyModel()

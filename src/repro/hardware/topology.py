@@ -1,0 +1,104 @@
+"""Quantum network topologies beyond the all-to-all assumption.
+
+The paper assumes any two nodes can establish an EPR pair directly (data
+centre style).  Real near-term networks may instead offer a line, ring or
+grid of links; a remote EPR pair between non-adjacent nodes is then built by
+entanglement swapping along the shortest path, which multiplies the
+preparation latency by (roughly) the hop count.
+
+:func:`apply_topology` configures a :class:`~repro.hardware.network.QuantumNetwork`
+with per-pair EPR latencies derived from a chosen topology, so the effect of
+constrained connectivity on AutoComm's schedules can be studied without
+touching the compiler.  (The communication *count* metrics are unaffected:
+one logical remote communication still consumes one end-to-end EPR pair.)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from .network import QuantumNetwork
+
+__all__ = [
+    "topology_graph",
+    "apply_topology",
+    "hop_counts",
+    "SUPPORTED_TOPOLOGIES",
+]
+
+SUPPORTED_TOPOLOGIES = ("all-to-all", "line", "ring", "star", "grid")
+
+
+def topology_graph(kind: str, num_nodes: int,
+                   grid_columns: Optional[int] = None) -> nx.Graph:
+    """Build the link graph of a named topology over ``num_nodes`` nodes."""
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    kind = kind.lower()
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_nodes))
+    if kind == "all-to-all":
+        graph.add_edges_from((i, j) for i in range(num_nodes)
+                             for j in range(i + 1, num_nodes))
+    elif kind == "line":
+        graph.add_edges_from((i, i + 1) for i in range(num_nodes - 1))
+    elif kind == "ring":
+        graph.add_edges_from((i, (i + 1) % num_nodes) for i in range(num_nodes))
+        if num_nodes == 2:
+            graph = nx.Graph()
+            graph.add_nodes_from(range(2))
+            graph.add_edge(0, 1)
+    elif kind == "star":
+        graph.add_edges_from((0, i) for i in range(1, num_nodes))
+    elif kind == "grid":
+        columns = grid_columns or max(1, int(math.isqrt(num_nodes)))
+        for node in range(num_nodes):
+            row, col = divmod(node, columns)
+            right = node + 1
+            below = node + columns
+            if col + 1 < columns and right < num_nodes:
+                graph.add_edge(node, right)
+            if below < num_nodes:
+                graph.add_edge(node, below)
+    else:
+        raise ValueError(f"unknown topology {kind!r}; choose from {SUPPORTED_TOPOLOGIES}")
+    return graph
+
+
+def hop_counts(graph: nx.Graph) -> Dict[Tuple[int, int], int]:
+    """Shortest-path hop count for every node pair of a connected link graph."""
+    if graph.number_of_nodes() > 1 and not nx.is_connected(graph):
+        raise ValueError("topology graph must be connected")
+    lengths = dict(nx.all_pairs_shortest_path_length(graph))
+    counts: Dict[Tuple[int, int], int] = {}
+    nodes = sorted(graph.nodes)
+    for i in nodes:
+        for j in nodes:
+            if i < j:
+                counts[(i, j)] = lengths[i][j]
+    return counts
+
+
+def apply_topology(network: QuantumNetwork, kind: str,
+                   swap_overhead: float = 1.0,
+                   grid_columns: Optional[int] = None) -> QuantumNetwork:
+    """Set per-pair EPR latencies on ``network`` according to a topology.
+
+    The EPR preparation latency between two nodes becomes
+    ``t_epr * (1 + swap_overhead * (hops - 1))``: adjacent nodes keep the
+    base latency, and each additional entanglement-swapping hop adds
+    ``swap_overhead`` times the base latency.
+
+    Returns the same network object (mutated) for chaining.
+    """
+    if swap_overhead < 0:
+        raise ValueError("swap_overhead must be non-negative")
+    graph = topology_graph(kind, network.num_nodes, grid_columns=grid_columns)
+    base = network.latency.t_epr
+    for (a, b), hops in hop_counts(graph).items():
+        latency = base * (1.0 + swap_overhead * (hops - 1))
+        network.set_epr_latency(a, b, latency)
+    return network

@@ -1,0 +1,115 @@
+"""Dependency DAG over a circuit's instruction list.
+
+Nodes are instruction indices; a directed edge ``i -> j`` means instruction
+``j`` must run after ``i`` because they touch a common qubit and ``i``
+appears earlier.  Only *immediate* per-qubit dependencies are materialised,
+which is sufficient for ASAP scheduling and critical-path analysis.
+Barriers create dependencies across every qubit they span.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from .circuit import Circuit
+from .gates import Gate
+
+__all__ = ["CircuitDAG"]
+
+
+class CircuitDAG:
+    """Immediate-dependency DAG of a circuit."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self.graph = nx.DiGraph()
+        self._build()
+
+    def _build(self) -> None:
+        last_on_qubit: Dict[int, int] = {}
+        for index, gate in enumerate(self.circuit):
+            self.graph.add_node(index, gate=gate)
+            qubits = gate.qubits if not gate.is_barrier else tuple(range(self.circuit.num_qubits))
+            preds = set()
+            for q in qubits:
+                if q in last_on_qubit:
+                    preds.add(last_on_qubit[q])
+            for p in preds:
+                self.graph.add_edge(p, index)
+            for q in qubits:
+                last_on_qubit[q] = index
+
+    # ------------------------------------------------------------------ views
+
+    def gate(self, index: int) -> Gate:
+        return self.graph.nodes[index]["gate"]
+
+    def predecessors(self, index: int) -> List[int]:
+        return sorted(self.graph.predecessors(index))
+
+    def successors(self, index: int) -> List[int]:
+        return sorted(self.graph.successors(index))
+
+    def topological_order(self) -> List[int]:
+        return list(nx.topological_sort(self.graph))
+
+    def front_layer(self) -> List[int]:
+        """Instruction indices with no predecessors."""
+        return sorted(n for n in self.graph.nodes if self.graph.in_degree(n) == 0)
+
+    # -------------------------------------------------------------- scheduling
+
+    def asap_levels(self) -> Dict[int, int]:
+        """Assign each instruction the earliest integer layer it can occupy."""
+        levels: Dict[int, int] = {}
+        for node in nx.topological_sort(self.graph):
+            preds = list(self.graph.predecessors(node))
+            levels[node] = 0 if not preds else max(levels[p] for p in preds) + 1
+        return levels
+
+    def critical_path_length(
+        self, duration: Callable[[Gate], float]
+    ) -> float:
+        """Length of the longest path weighting each node by ``duration``.
+
+        This is the circuit latency under unlimited parallelism, which is the
+        model used for local-gate latency in the paper's evaluation (remote
+        communications get a resource-constrained schedule on top of this, see
+        :mod:`repro.core.scheduling`).
+        """
+        finish: Dict[int, float] = {}
+        best = 0.0
+        for node in nx.topological_sort(self.graph):
+            gate = self.gate(node)
+            start = 0.0
+            for pred in self.graph.predecessors(node):
+                start = max(start, finish[pred])
+            finish[node] = start + duration(gate)
+            best = max(best, finish[node])
+        return best
+
+    def asap_start_times(
+        self, duration: Callable[[Gate], float]
+    ) -> Dict[int, float]:
+        """ASAP start time per instruction under unlimited parallelism."""
+        finish: Dict[int, float] = {}
+        start_times: Dict[int, float] = {}
+        for node in nx.topological_sort(self.graph):
+            gate = self.gate(node)
+            start = 0.0
+            for pred in self.graph.predecessors(node):
+                start = max(start, finish[pred])
+            start_times[node] = start
+            finish[node] = start + duration(gate)
+        return start_times
+
+    def layers(self) -> List[List[int]]:
+        """Group instructions into ASAP layers (lists of instruction indices)."""
+        levels = self.asap_levels()
+        grouped: Dict[int, List[int]] = defaultdict(list)
+        for node, level in levels.items():
+            grouped[level].append(node)
+        return [sorted(grouped[level]) for level in sorted(grouped)]

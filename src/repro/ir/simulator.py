@@ -1,0 +1,201 @@
+"""Small dense statevector simulator.
+
+The simulator exists to *verify* compiler transformations on small circuits
+(decomposition correctness, commutation rewrites, communication protocol
+semantics), not to run large programs.  It therefore favours clarity over
+performance and supports up to roughly 14 qubits comfortably.
+
+Conventions
+-----------
+Qubit 0 is the most significant bit of the computational basis index, i.e.
+for two qubits the basis ordering is ``|q0 q1> = |00>, |01>, |10>, |11>``.
+This matches the unitary builders in :mod:`repro.ir.gates`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .circuit import Circuit
+from .gates import Gate
+
+__all__ = [
+    "simulate",
+    "circuit_unitary",
+    "apply_gate",
+    "zero_state",
+    "random_statevector",
+    "reduced_density_matrix",
+    "states_equal_up_to_global_phase",
+    "unitaries_equal_up_to_global_phase",
+    "fidelity",
+    "purity",
+]
+
+
+def zero_state(num_qubits: int) -> np.ndarray:
+    """Return the ``|0...0>`` statevector on ``num_qubits`` qubits."""
+    state = np.zeros(2 ** num_qubits, dtype=complex)
+    state[0] = 1.0
+    return state
+
+
+def random_statevector(num_qubits: int, seed: Optional[int] = None) -> np.ndarray:
+    """Return a Haar-ish random normalised statevector (Gaussian method)."""
+    rng = np.random.default_rng(seed)
+    vec = rng.normal(size=2 ** num_qubits) + 1j * rng.normal(size=2 ** num_qubits)
+    return vec / np.linalg.norm(vec)
+
+
+def _as_tensor(state: np.ndarray, num_qubits: int) -> np.ndarray:
+    return np.reshape(state, (2,) * num_qubits)
+
+
+def apply_gate(state: np.ndarray, gate: Gate, num_qubits: int,
+               rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Apply a single gate to ``state`` and return the new statevector.
+
+    Measurements collapse the state using ``rng`` (which must be provided
+    when the circuit contains measurements); resets project onto ``|0>`` and
+    renormalise (measure-and-flip semantics).  Barriers are no-ops.
+    """
+    if gate.is_barrier:
+        return state
+    if gate.name == "measure":
+        return _collapse(state, gate.qubits[0], num_qubits, rng)[0]
+    if gate.name == "reset":
+        collapsed, outcome = _collapse(state, gate.qubits[0], num_qubits, rng)
+        if outcome == 1:
+            collapsed = apply_gate(collapsed, Gate("x", (gate.qubits[0],)), num_qubits)
+        return collapsed
+
+    matrix = gate.unitary()
+    k = gate.num_qubits
+    tensor = _as_tensor(state, num_qubits)
+    axes = list(gate.qubits)
+    # Move the gate's qubit axes to the front, apply the matrix, move back.
+    tensor = np.moveaxis(tensor, axes, range(k))
+    shape = tensor.shape
+    tensor = np.reshape(tensor, (2 ** k, -1))
+    tensor = matrix @ tensor
+    tensor = np.reshape(tensor, shape)
+    tensor = np.moveaxis(tensor, range(k), axes)
+    return np.reshape(tensor, 2 ** num_qubits)
+
+
+def _collapse(state: np.ndarray, qubit: int, num_qubits: int,
+              rng: Optional[np.random.Generator]) -> Tuple[np.ndarray, int]:
+    """Measure ``qubit`` in the Z basis, collapsing and renormalising."""
+    if rng is None:
+        raise ValueError(
+            "circuit contains measurement/reset; pass a seed to simulate()")
+    tensor = _as_tensor(state, num_qubits)
+    tensor = np.moveaxis(tensor, qubit, 0)
+    prob0 = float(np.sum(np.abs(tensor[0]) ** 2))
+    outcome = 0 if rng.random() < prob0 else 1
+    keep = tensor[outcome]
+    norm = np.linalg.norm(keep)
+    new_tensor = np.zeros_like(tensor)
+    if norm > 0:
+        new_tensor[outcome] = keep / norm
+    new_tensor = np.moveaxis(new_tensor, 0, qubit)
+    return np.reshape(new_tensor, 2 ** num_qubits), outcome
+
+
+def simulate(circuit: Circuit, initial_state: Optional[np.ndarray] = None,
+             seed: Optional[int] = None) -> np.ndarray:
+    """Run ``circuit`` on ``initial_state`` (default ``|0...0>``).
+
+    Returns the final statevector.  A ``seed`` is required when the circuit
+    contains measurements or resets.
+    """
+    num_qubits = circuit.num_qubits
+    if num_qubits > 20:
+        raise ValueError("simulator limited to 20 qubits")
+    if initial_state is None:
+        state = zero_state(num_qubits)
+    else:
+        state = np.asarray(initial_state, dtype=complex)
+        if state.shape != (2 ** num_qubits,):
+            raise ValueError(
+                f"initial state has wrong dimension {state.shape}, expected "
+                f"{(2 ** num_qubits,)}")
+        state = state.copy()
+    rng = np.random.default_rng(seed) if seed is not None else None
+    for gate in circuit:
+        state = apply_gate(state, gate, num_qubits, rng)
+    return state
+
+
+def circuit_unitary(circuit: Circuit) -> np.ndarray:
+    """Return the full unitary of a measurement-free circuit."""
+    num_qubits = circuit.num_qubits
+    if num_qubits > 10:
+        raise ValueError("circuit_unitary limited to 10 qubits")
+    dim = 2 ** num_qubits
+    unitary = np.eye(dim, dtype=complex)
+    for column in range(dim):
+        state = np.zeros(dim, dtype=complex)
+        state[column] = 1.0
+        for gate in circuit:
+            if not gate.is_unitary and not gate.is_barrier:
+                raise ValueError(f"non-unitary gate {gate.name!r} in circuit")
+            state = apply_gate(state, gate, num_qubits)
+        unitary[:, column] = state
+    return unitary
+
+
+def reduced_density_matrix(state: np.ndarray, keep: Sequence[int],
+                           num_qubits: int) -> np.ndarray:
+    """Partial trace keeping the qubits in ``keep`` (in the given order)."""
+    keep = list(keep)
+    drop = [q for q in range(num_qubits) if q not in keep]
+    tensor = _as_tensor(state, num_qubits)
+    tensor = np.transpose(tensor, keep + drop)
+    tensor = np.reshape(tensor, (2 ** len(keep), 2 ** len(drop)))
+    return tensor @ tensor.conj().T
+
+
+def purity(rho: np.ndarray) -> float:
+    """Return ``Tr(rho^2)`` as a real number."""
+    return float(np.real(np.trace(rho @ rho)))
+
+
+def fidelity(state: np.ndarray, rho_or_state: np.ndarray) -> float:
+    """Fidelity between a pure state and either a pure state or a density matrix."""
+    state = np.asarray(state, dtype=complex)
+    other = np.asarray(rho_or_state, dtype=complex)
+    if other.ndim == 1:
+        return float(abs(np.vdot(state, other)) ** 2)
+    return float(np.real(np.conj(state) @ other @ state))
+
+
+def states_equal_up_to_global_phase(a: np.ndarray, b: np.ndarray,
+                                    atol: float = 1e-8) -> bool:
+    """True when two statevectors differ only by a global phase."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        return False
+    overlap = np.vdot(a, b)
+    return bool(abs(abs(overlap) - 1.0) < atol * max(1.0, np.linalg.norm(a) ** 2))
+
+
+def unitaries_equal_up_to_global_phase(a: np.ndarray, b: np.ndarray,
+                                       atol: float = 1e-8) -> bool:
+    """True when two unitaries differ only by a global phase."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        return False
+    # Find the first element of b with non-negligible magnitude and use it to
+    # normalise the relative phase.
+    idx = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+    if abs(b[idx]) < atol:
+        return bool(np.allclose(a, b, atol=atol))
+    phase = a[idx] / b[idx]
+    if abs(abs(phase) - 1.0) > 1e-6:
+        return False
+    return bool(np.allclose(a, phase * b, atol=atol))

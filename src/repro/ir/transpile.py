@@ -1,0 +1,145 @@
+"""Local circuit optimisation passes.
+
+The AutoComm paper assumes its input has already been through a standard
+single-node compilation flow ("gate unrolling" and friends in Figure 1).
+This module provides the local clean-up passes such a flow performs, so the
+benchmark circuits fed to the communication passes are not artificially
+inflated:
+
+* :func:`cancel_adjacent_inverses` — remove gate pairs ``G G†`` that are
+  adjacent on their qubits (CX-CX, H-H, S-Sdg, ...).
+* :func:`merge_rotations` — merge adjacent rotations about the same axis on
+  the same qubit (``RZ(a) RZ(b) -> RZ(a+b)``) and drop the result when the
+  combined angle is a multiple of 2π.
+* :func:`drop_identities` — remove explicit identity gates and zero-angle
+  rotations.
+* :func:`optimize_circuit` — run the passes to a fixed point.
+
+All passes preserve the circuit unitary exactly (up to global phase for the
+zero-rotation removal), which the test-suite checks by simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from .circuit import Circuit
+from .gates import Gate, gate_spec
+
+__all__ = [
+    "cancel_adjacent_inverses",
+    "merge_rotations",
+    "drop_identities",
+    "optimize_circuit",
+]
+
+_TWO_PI = 2.0 * math.pi
+
+#: Rotation gates that can be merged when adjacent on the same qubit(s).
+_MERGEABLE = frozenset({"rx", "ry", "rz", "p", "rzz", "rxx", "crz", "crx", "cry", "cp"})
+
+
+def _is_inverse_pair(a: Gate, b: Gate) -> bool:
+    """True when ``b`` undoes ``a`` exactly (same qubits, inverse operation)."""
+    if a.qubits != b.qubits:
+        return False
+    if not (a.is_unitary and b.is_unitary):
+        return False
+    spec = a.spec
+    if spec.self_inverse and a.name == b.name and a.params == b.params == ():
+        return True
+    if spec.inverse_name is not None and b.name == spec.inverse_name:
+        return True
+    if (a.name == b.name and spec.num_params == 1
+            and abs(a.params[0] + b.params[0]) < 1e-12):
+        return True
+    return False
+
+
+def cancel_adjacent_inverses(circuit: Circuit) -> Circuit:
+    """Remove gate pairs that are mutual inverses and adjacent on their qubits.
+
+    Adjacency is per-qubit: two gates cancel only if no other gate touching
+    any of their qubits sits between them.
+    """
+    gates = list(circuit.gates)
+    removed = [False] * len(gates)
+    last_on_qubit: Dict[int, int] = {}
+    for index, gate in enumerate(gates):
+        if gate.is_barrier:
+            for q in range(circuit.num_qubits):
+                last_on_qubit[q] = index
+            continue
+        candidates = {last_on_qubit.get(q) for q in gate.qubits}
+        previous = candidates.pop() if len(candidates) == 1 else None
+        if (previous is not None and not removed[previous]
+                and not gates[previous].is_barrier
+                and _is_inverse_pair(gates[previous], gate)):
+            removed[previous] = True
+            removed[index] = True
+            # Roll the per-qubit pointer back past the cancelled pair.
+            for q in gate.qubits:
+                last_on_qubit.pop(q, None)
+            continue
+        for q in gate.qubits:
+            last_on_qubit[q] = index
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+    out.extend(g for g, dead in zip(gates, removed) if not dead)
+    return out
+
+
+def merge_rotations(circuit: Circuit) -> Circuit:
+    """Merge adjacent same-axis rotations on identical qubit tuples."""
+    out_gates: List[Gate] = []
+    last_on_qubit: Dict[int, int] = {}
+    for gate in circuit:
+        if gate.is_barrier:
+            for q in range(circuit.num_qubits):
+                last_on_qubit[q] = -1
+            out_gates.append(gate)
+            continue
+        merge_index: Optional[int] = None
+        if gate.name in _MERGEABLE:
+            candidates = {last_on_qubit.get(q) for q in gate.qubits}
+            if len(candidates) == 1:
+                candidate = candidates.pop()
+                if (candidate is not None and candidate >= 0
+                        and out_gates[candidate].name == gate.name
+                        and out_gates[candidate].qubits == gate.qubits):
+                    merge_index = candidate
+        if merge_index is not None:
+            angle = out_gates[merge_index].params[0] + gate.params[0]
+            out_gates[merge_index] = Gate(gate.name, gate.qubits, (angle,))
+        else:
+            out_gates.append(gate)
+            for q in gate.qubits:
+                last_on_qubit[q] = len(out_gates) - 1
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+    out.extend(out_gates)
+    return out
+
+
+def drop_identities(circuit: Circuit, atol: float = 1e-12) -> Circuit:
+    """Remove identity gates and (multiples-of-2π) zero rotations."""
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+    for gate in circuit:
+        if gate.name == "id":
+            continue
+        if gate.name in _MERGEABLE and len(gate.params) == 1:
+            angle = math.remainder(gate.params[0], _TWO_PI)
+            if abs(angle) < atol:
+                continue
+        out.append(gate)
+    return out
+
+
+def optimize_circuit(circuit: Circuit, max_iterations: int = 10) -> Circuit:
+    """Run the local passes to a fixed point (bounded by ``max_iterations``)."""
+    current = circuit
+    for _ in range(max_iterations):
+        optimized = drop_identities(merge_rotations(cancel_adjacent_inverses(current)))
+        if len(optimized) == len(current):
+            return optimized
+        current = optimized
+    return current

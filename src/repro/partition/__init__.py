@@ -1,0 +1,17 @@
+"""Qubit-to-node partitioning: interaction graphs, mappings and OEE search."""
+
+from .interaction_graph import interaction_graph, interaction_matrix, cut_weight
+from .mapping import QubitMapping, round_robin_mapping, block_mapping
+from .oee import oee_partition, OEEResult, exchange_gain
+
+__all__ = [
+    "interaction_graph",
+    "interaction_matrix",
+    "cut_weight",
+    "QubitMapping",
+    "round_robin_mapping",
+    "block_mapping",
+    "oee_partition",
+    "OEEResult",
+    "exchange_gain",
+]

@@ -1,0 +1,53 @@
+"""Weighted qubit-interaction graph of a circuit.
+
+Vertices are program qubits; an edge's weight counts how many multi-qubit
+gates join the two qubits.  The static partitioners in
+:mod:`repro.partition.oee` minimise the total weight of edges cut by the
+qubit-to-node assignment, which equals the number of remote multi-qubit
+gates under a static mapping.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Tuple
+
+import networkx as nx
+
+from ..ir.circuit import Circuit
+
+__all__ = ["interaction_graph", "cut_weight", "interaction_matrix"]
+
+
+def interaction_graph(circuit: Circuit) -> nx.Graph:
+    """Build the weighted interaction graph of ``circuit``.
+
+    Every qubit appears as a vertex even if it is idle, so partitioners see
+    the full register.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(range(circuit.num_qubits))
+    weights: Counter = circuit.interaction_pairs()
+    for (a, b), weight in weights.items():
+        graph.add_edge(a, b, weight=weight)
+    return graph
+
+
+def interaction_matrix(circuit: Circuit):
+    """Dense symmetric matrix of pairwise interaction counts (numpy array)."""
+    import numpy as np
+
+    matrix = np.zeros((circuit.num_qubits, circuit.num_qubits), dtype=float)
+    for (a, b), weight in circuit.interaction_pairs().items():
+        matrix[a, b] = weight
+        matrix[b, a] = weight
+    return matrix
+
+
+def cut_weight(graph: nx.Graph, assignment: Dict[int, int]) -> float:
+    """Total weight of edges whose endpoints live on different nodes."""
+    total = 0.0
+    for a, b, data in graph.edges(data=True):
+        if assignment[a] != assignment[b]:
+            total += data.get("weight", 1.0)
+    return total

@@ -1,0 +1,137 @@
+"""Qubit-to-node mapping.
+
+A :class:`QubitMapping` records, for every program qubit, the node it lives
+on.  Every AutoComm pass and every baseline consumes the same mapping object,
+so the classification of gates as local vs. remote is consistent across
+compilers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..hardware.network import QuantumNetwork
+from ..ir.circuit import Circuit
+from ..ir.gates import Gate
+
+__all__ = ["QubitMapping", "round_robin_mapping", "block_mapping"]
+
+
+class QubitMapping:
+    """Static assignment of program qubits to quantum nodes."""
+
+    def __init__(self, assignment: Mapping[int, int],
+                 network: Optional[QuantumNetwork] = None) -> None:
+        self._assignment: Dict[int, int] = {int(q): int(n) for q, n in assignment.items()}
+        if not self._assignment:
+            raise ValueError("mapping cannot be empty")
+        expected = set(range(len(self._assignment)))
+        if set(self._assignment) != expected:
+            raise ValueError("mapping must cover qubits 0..n-1 exactly")
+        self.network = network
+        if network is not None:
+            self._validate_against(network)
+
+    def _validate_against(self, network: QuantumNetwork) -> None:
+        loads = Counter(self._assignment.values())
+        for node_index, load in loads.items():
+            if node_index < 0 or node_index >= network.num_nodes:
+                raise ValueError(f"mapping references unknown node {node_index}")
+            capacity = network.node(node_index).num_data_qubits
+            if load > capacity:
+                raise ValueError(
+                    f"node {node_index} holds {load} qubits but only has "
+                    f"{capacity} data qubits")
+
+    # ----------------------------------------------------------------- queries
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self._assignment)
+
+    @property
+    def num_nodes(self) -> int:
+        return max(self._assignment.values()) + 1
+
+    def node_of(self, qubit: int) -> int:
+        """Node index hosting ``qubit``."""
+        return self._assignment[qubit]
+
+    def qubits_on(self, node: int) -> Tuple[int, ...]:
+        """Sorted tuple of qubits living on ``node``."""
+        return tuple(sorted(q for q, n in self._assignment.items() if n == node))
+
+    def as_dict(self) -> Dict[int, int]:
+        return dict(self._assignment)
+
+    def nodes_of(self, gate: Gate) -> Tuple[int, ...]:
+        """Sorted tuple of distinct nodes a gate touches."""
+        return tuple(sorted({self._assignment[q] for q in gate.qubits}))
+
+    def is_remote(self, gate: Gate) -> bool:
+        """True when a multi-qubit gate spans more than one node."""
+        if not gate.is_multi_qubit:
+            return False
+        return len({self._assignment[q] for q in gate.qubits}) > 1
+
+    def remote_gates(self, circuit: Circuit) -> List[Tuple[int, Gate]]:
+        """All (index, gate) pairs of remote multi-qubit gates in order."""
+        return [(i, g) for i, g in enumerate(circuit) if self.is_remote(g)]
+
+    def count_remote_gates(self, circuit: Circuit) -> int:
+        """Number of remote multi-qubit gates under this mapping."""
+        return sum(1 for g in circuit if self.is_remote(g))
+
+    def remote_pair_histogram(self, circuit: Circuit) -> Counter:
+        """Counter of (qubit, node) pairs over all remote two-qubit gates.
+
+        For a remote two-qubit gate on qubits (a, b) living on nodes (na, nb),
+        both directed views (a, nb) and (b, na) are counted; AutoComm's
+        aggregation preprocessing uses this histogram to pick the most
+        communication-heavy qubit-node pair first.
+        """
+        histogram: Counter = Counter()
+        for gate in circuit:
+            if not (gate.is_two_qubit and self.is_remote(gate)):
+                continue
+            a, b = gate.qubits
+            histogram[(a, self._assignment[b])] += 1
+            histogram[(b, self._assignment[a])] += 1
+        return histogram
+
+    def with_swapped(self, qubit_a: int, qubit_b: int) -> "QubitMapping":
+        """Return a new mapping with the node assignments of two qubits swapped."""
+        new = dict(self._assignment)
+        new[qubit_a], new[qubit_b] = new[qubit_b], new[qubit_a]
+        return QubitMapping(new, self.network)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, QubitMapping):
+            return NotImplemented
+        return self._assignment == other._assignment
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QubitMapping(qubits={self.num_qubits}, nodes={self.num_nodes})"
+
+
+def round_robin_mapping(num_qubits: int, network: QuantumNetwork) -> QubitMapping:
+    """Assign qubit ``q`` to node ``q mod k`` (a deliberately naive layout)."""
+    assignment = {q: q % network.num_nodes for q in range(num_qubits)}
+    return QubitMapping(assignment, network)
+
+
+def block_mapping(num_qubits: int, network: QuantumNetwork) -> QubitMapping:
+    """Assign consecutive qubits to the same node, filling nodes in order."""
+    assignment: Dict[int, int] = {}
+    node = 0
+    used = 0
+    for qubit in range(num_qubits):
+        while used >= network.node(node).num_data_qubits:
+            node += 1
+            used = 0
+            if node >= network.num_nodes:
+                raise ValueError("network capacity exceeded")
+        assignment[qubit] = node
+        used += 1
+    return QubitMapping(assignment, network)

@@ -1,0 +1,128 @@
+"""Unit tests for the analysis utilities (burst stats, table builders)."""
+
+import pytest
+
+from repro import compile_autocomm, compile_sparse
+from repro.analysis import (
+    geometric_mean,
+    inverse_burst_distribution,
+    mean_remote_cx_per_comm,
+    qaoa_inverse_burst_bound,
+    qft_inverse_burst_bound,
+    render_table,
+    table2_row,
+    table3_row,
+)
+from repro.circuits import qft_circuit
+from repro.comm import CommBlock, CommScheme
+from repro.hardware import uniform_network
+from repro.ir import Gate, decompose_to_cx
+from repro.partition import QubitMapping, oee_partition
+
+
+@pytest.fixture
+def mapping():
+    return QubitMapping({0: 0, 1: 0, 2: 1, 3: 1})
+
+
+def block_of(gates, scheme, mapping):
+    block = CommBlock(hub_qubit=0, hub_node=0, remote_node=1)
+    block.extend(gates)
+    block.scheme = scheme
+    return block
+
+
+class TestBurstStats:
+    def test_inverse_burst_distribution(self, mapping):
+        blocks = [
+            block_of([Gate("cx", (0, 2))], CommScheme.CAT, mapping),
+            block_of([Gate("cx", (0, 2)), Gate("cx", (0, 3)),
+                      Gate("cx", (0, 2)), Gate("cx", (0, 3))], CommScheme.CAT, mapping),
+        ]
+        dist = inverse_burst_distribution(blocks, mapping, thresholds=(2, 4, 6))
+        # 1 of 5 remote gates sits in a block smaller than 2; all 5 < 6.
+        assert dist[2] == pytest.approx(0.2)
+        assert dist[4] == pytest.approx(0.2)
+        assert dist[6] == pytest.approx(1.0)
+
+    def test_inverse_burst_empty(self, mapping):
+        assert inverse_burst_distribution([], mapping) == {2: 0.0, 4: 0.0, 6: 0.0, 8: 0.0}
+
+    def test_qft_bound_decreases_with_qubits_per_node(self):
+        loose = qft_inverse_burst_bound(20, 10, threshold=4)
+        tight = qft_inverse_burst_bound(100, 10, threshold=4)
+        assert tight < loose
+        assert 0 <= tight <= 1
+
+    def test_qft_bound_requires_even_threshold(self):
+        with pytest.raises(ValueError):
+            qft_inverse_burst_bound(20, 2, threshold=3)
+
+    def test_qaoa_bound_cases(self):
+        assert qaoa_inverse_burst_bound(5, 0) == 0.0
+        assert qaoa_inverse_burst_bound(5, 3) == 1.0            # r <= t: no guarantee
+        assert qaoa_inverse_burst_bound(3, 4) == pytest.approx((3 - 2 * 1) / 4)
+        with pytest.raises(ValueError):
+            qaoa_inverse_burst_bound(3, 7, threshold=6)
+
+    def test_measured_qft_burstiness_beats_paper_bound(self):
+        # Section 3.2: at least 1 - 1/t of QFT's remote gates live in blocks
+        # of 4+ remote CX gates.  Our measured distribution must respect it.
+        circuit = decompose_to_cx(qft_circuit(16))
+        network = uniform_network(2, 8)
+        program = compile_autocomm(circuit, network)
+        measured = inverse_burst_distribution(program.blocks, program.mapping,
+                                              thresholds=(4,))
+        bound = qft_inverse_burst_bound(16, 2, threshold=4)
+        assert measured[4] <= bound + 0.05
+
+    def test_mean_remote_cx_per_comm(self, mapping):
+        blocks = [block_of([Gate("cx", (0, 2)), Gate("cx", (0, 3))],
+                           CommScheme.CAT, mapping)]
+        assert mean_remote_cx_per_comm(blocks, mapping) == 2.0
+        assert mean_remote_cx_per_comm([], mapping) == 0.0
+
+
+class TestTables:
+    def test_table2_row(self):
+        circuit = qft_circuit(12)
+        decomposed = decompose_to_cx(circuit)
+        network = uniform_network(3, 4)
+        mapping = oee_partition(decomposed, network).mapping
+        row = table2_row("QFT-12-3", circuit, decomposed, mapping, 3)
+        assert row["num_qubits"] == 12
+        assert row["num_nodes"] == 3
+        assert row["num_cx"] == decomposed.num_cx_gates()
+        assert 0 < row["num_remote_cx"] <= row["num_cx"]
+
+    def test_table3_row(self):
+        circuit = qft_circuit(12)
+        network = uniform_network(3, 4)
+        autocomm = compile_autocomm(circuit, network)
+        sparse = compile_sparse(circuit, network)
+        row = table3_row(autocomm, sparse)
+        assert row["tot_comm"] == autocomm.metrics.total_comm
+        assert row["improv_factor"] >= 1.0
+        assert row["lat_dec_factor"] > 0
+
+    def test_render_table_alignment(self):
+        rows = [{"name": "QFT", "value": 1.2345}, {"name": "BV", "value": 10.0}]
+        text = render_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "QFT" in lines[2]
+        assert "1.23" in text
+
+    def test_render_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = render_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_render_empty_table(self):
+        assert render_table([]) == "(empty table)"
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([5.0]) == pytest.approx(5.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0.0, 4.0]) == pytest.approx(4.0)

@@ -1,0 +1,102 @@
+"""Unit tests for the fidelity / error model."""
+
+import math
+
+import pytest
+
+from repro import compile_autocomm, compile_sparse
+from repro.analysis import DEFAULT_ERROR_MODEL, ErrorModel, estimate_fidelity, fidelity_breakdown
+from repro.circuits import bv_circuit, qft_circuit
+from repro.hardware import uniform_network
+from repro.ir import Circuit
+from repro.partition import QubitMapping
+
+
+@pytest.fixture
+def compiled_pair():
+    circuit = qft_circuit(12)
+    network = uniform_network(3, 4)
+    autocomm = compile_autocomm(circuit, network)
+    sparse = compile_sparse(circuit, network, mapping=autocomm.mapping)
+    return autocomm, sparse
+
+
+class TestErrorModel:
+    def test_defaults_are_sane(self):
+        assert 0 < DEFAULT_ERROR_MODEL.epr_error < 0.1
+        assert DEFAULT_ERROR_MODEL.epr_error > DEFAULT_ERROR_MODEL.two_qubit_error
+        assert DEFAULT_ERROR_MODEL.two_qubit_error > DEFAULT_ERROR_MODEL.one_qubit_error
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorModel(epr_error=1.5)
+        with pytest.raises(ValueError):
+            ErrorModel(two_qubit_error=-0.1)
+        with pytest.raises(ValueError):
+            ErrorModel(coherence_time=0)
+
+    def test_custom_model(self):
+        model = ErrorModel(epr_error=0.1, coherence_time=1000.0)
+        assert model.epr_error == 0.1
+        assert model.two_qubit_error == DEFAULT_ERROR_MODEL.two_qubit_error
+
+
+class TestFidelityEstimation:
+    def test_breakdown_factors_multiply_to_total(self, compiled_pair):
+        autocomm, _ = compiled_pair
+        breakdown = fidelity_breakdown(autocomm)
+        product = (breakdown["communication"] * breakdown["local_two_qubit"]
+                   * breakdown["local_single_qubit"] * breakdown["decoherence"])
+        assert breakdown["total"] == pytest.approx(product)
+
+    def test_fidelity_in_unit_interval(self, compiled_pair):
+        autocomm, sparse = compiled_pair
+        for program in compiled_pair:
+            fidelity = estimate_fidelity(program)
+            assert 0.0 <= fidelity <= 1.0
+
+    def test_autocomm_fidelity_beats_baseline(self, compiled_pair):
+        autocomm, sparse = compiled_pair
+        assert estimate_fidelity(autocomm) > estimate_fidelity(sparse)
+
+    def test_fewer_comms_means_higher_comm_factor(self, compiled_pair):
+        autocomm, sparse = compiled_pair
+        assert (fidelity_breakdown(autocomm)["communication"]
+                > fidelity_breakdown(sparse)["communication"])
+
+    def test_zero_comm_program_has_unit_comm_factor(self):
+        circuit = Circuit(4).h(0).cx(0, 1).cx(2, 3)
+        network = uniform_network(2, 2)
+        mapping = QubitMapping({0: 0, 1: 0, 2: 1, 3: 1}, network)
+        program = compile_autocomm(circuit, network, mapping=mapping)
+        breakdown = fidelity_breakdown(program)
+        assert breakdown["communication"] == pytest.approx(1.0)
+        assert breakdown["total"] < 1.0  # local gates and decoherence remain
+
+    def test_noiseless_model_gives_decoherence_only(self, compiled_pair):
+        autocomm, _ = compiled_pair
+        model = ErrorModel(epr_error=0.0, two_qubit_error=0.0, one_qubit_error=0.0,
+                           coherence_time=10_000.0)
+        breakdown = fidelity_breakdown(autocomm, model)
+        assert breakdown["communication"] == 1.0
+        assert breakdown["total"] == pytest.approx(
+            math.exp(-autocomm.metrics.latency / 10_000.0))
+
+    def test_shorter_coherence_time_lowers_fidelity(self, compiled_pair):
+        autocomm, _ = compiled_pair
+        long_coh = estimate_fidelity(autocomm, ErrorModel(coherence_time=100_000.0))
+        short_coh = estimate_fidelity(autocomm, ErrorModel(coherence_time=1_000.0))
+        assert short_coh < long_coh
+
+    def test_bv_fidelity_gap_grows_with_epr_error(self):
+        circuit = bv_circuit(12)
+        network = uniform_network(3, 4)
+        autocomm = compile_autocomm(circuit, network)
+        sparse = compile_sparse(circuit, network, mapping=autocomm.mapping)
+        small = ErrorModel(epr_error=0.01)
+        large = ErrorModel(epr_error=0.05)
+        gap_small = (estimate_fidelity(autocomm, small)
+                     - estimate_fidelity(sparse, small))
+        gap_large = (estimate_fidelity(autocomm, large)
+                     - estimate_fidelity(sparse, large))
+        assert gap_large > gap_small

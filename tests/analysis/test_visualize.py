@@ -1,0 +1,76 @@
+"""Unit tests for the text visualisation helpers."""
+
+import pytest
+
+from repro import compile_autocomm
+from repro.analysis import burst_histogram, schedule_timeline
+from repro.circuits import qft_circuit
+from repro.hardware import uniform_network
+from repro.ir import Circuit
+from repro.partition import QubitMapping
+
+
+@pytest.fixture
+def compiled_qft():
+    circuit = qft_circuit(8)
+    network = uniform_network(2, 4)
+    return compile_autocomm(circuit, network)
+
+
+class TestScheduleTimeline:
+    def test_one_row_per_node(self, compiled_qft):
+        text = schedule_timeline(compiled_qft)
+        node_lines = [line for line in text.splitlines() if line.startswith("node")]
+        assert len(node_lines) == 2
+
+    def test_width_respected(self, compiled_qft):
+        text = schedule_timeline(compiled_qft, width=40)
+        for line in text.splitlines():
+            if line.startswith("node"):
+                assert len(line) == len("node 0: ") + 40
+
+    def test_symbols_are_valid(self, compiled_qft):
+        text = schedule_timeline(compiled_qft)
+        for line in text.splitlines():
+            if line.startswith("node"):
+                body = line.split(": ", 1)[1]
+                assert set(body) <= {".", "C", "T", "#"}
+
+    def test_communication_visible_on_both_endpoints(self, compiled_qft):
+        text = schedule_timeline(compiled_qft)
+        node_lines = [line.split(": ", 1)[1] for line in text.splitlines()
+                      if line.startswith("node")]
+        assert all(set(line) != {"."} for line in node_lines)
+
+    def test_local_only_program(self):
+        circuit = Circuit(4).h(0).cx(0, 1).cx(2, 3)
+        network = uniform_network(2, 2)
+        mapping = QubitMapping({0: 0, 1: 0, 2: 1, 3: 1}, network)
+        program = compile_autocomm(circuit, network, mapping=mapping)
+        text = schedule_timeline(program)
+        assert "no remote communication" in text
+
+    def test_missing_schedule_rejected(self, compiled_qft):
+        compiled_qft.schedule = None
+        with pytest.raises(ValueError):
+            schedule_timeline(compiled_qft)
+
+
+class TestBurstHistogram:
+    def test_histogram_counts_blocks(self, compiled_qft):
+        text = burst_histogram(compiled_qft)
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in text.splitlines())
+        assert total == len(compiled_qft.blocks)
+
+    def test_histogram_empty_program(self):
+        circuit = Circuit(4).h(0)
+        network = uniform_network(2, 2)
+        mapping = QubitMapping({0: 0, 1: 0, 2: 1, 3: 1}, network)
+        program = compile_autocomm(circuit, network, mapping=mapping)
+        assert burst_histogram(program) == "(no burst blocks)"
+
+    def test_bar_width_bounded(self, compiled_qft):
+        text = burst_histogram(compiled_qft, max_width=10)
+        for line in text.splitlines():
+            bar = line.split("| ", 1)[1].split(" ", 1)[0]
+            assert len(bar) <= 10

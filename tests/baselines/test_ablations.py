@@ -1,0 +1,108 @@
+"""Unit tests for the ablation compilers (Figure 17 variants)."""
+
+import pytest
+
+from repro import compile_autocomm
+from repro.baselines import compile_cat_only, compile_no_commute, compile_plain_schedule
+from repro.circuits import bv_circuit, qft_circuit, rca_circuit_for_width, mctr_circuit
+from repro.comm import CommScheme
+from repro.hardware import uniform_network
+from repro.partition import QubitMapping
+
+
+def build(num_qubits, num_nodes):
+    per = -(-num_qubits // num_nodes)
+    network = uniform_network(num_nodes, per)
+    mapping = QubitMapping({q: q // per for q in range(num_qubits)}, network)
+    return network, mapping
+
+
+class TestCatOnlyAblation:
+    def test_all_blocks_cat(self):
+        circuit = qft_circuit(8)
+        network, mapping = build(8, 2)
+        program = compile_cat_only(circuit, network, mapping=mapping)
+        assert all(block.scheme is CommScheme.CAT for block in program.blocks)
+        assert program.metrics.tp_comm == 0
+        assert program.compiler == "autocomm-catonly"
+
+    def test_cat_only_worse_or_equal_on_qft(self):
+        # Figure 17(b): the hybrid assignment beats Cat-only on QFT.
+        circuit = qft_circuit(12)
+        network, mapping = build(12, 3)
+        hybrid = compile_autocomm(circuit, network, mapping=mapping)
+        cat_only = compile_cat_only(circuit, network, mapping=mapping)
+        assert cat_only.metrics.total_comm > hybrid.metrics.total_comm
+
+    def test_cat_only_equal_on_bv(self):
+        # BV blocks are already Cat-friendly, so the ablation costs nothing.
+        circuit = bv_circuit(12)
+        network, mapping = build(12, 3)
+        hybrid = compile_autocomm(circuit, network, mapping=mapping)
+        cat_only = compile_cat_only(circuit, network, mapping=mapping)
+        assert cat_only.metrics.total_comm == hybrid.metrics.total_comm
+
+    def test_cat_only_on_rca_not_better_than_hybrid(self):
+        circuit = rca_circuit_for_width(20)
+        network, mapping = build(20, 2)
+        hybrid = compile_autocomm(circuit, network, mapping=mapping)
+        cat_only = compile_cat_only(circuit, network, mapping=mapping)
+        assert cat_only.metrics.total_comm >= hybrid.metrics.total_comm
+
+
+class TestNoCommuteAblation:
+    def test_label(self):
+        circuit = bv_circuit(8)
+        network, mapping = build(8, 2)
+        assert compile_no_commute(circuit, network, mapping=mapping).compiler \
+            == "autocomm-nocommute"
+
+    def test_no_commute_worse_on_qft(self):
+        # Figure 17(a): commutation-aware aggregation wins on QFT.
+        circuit = qft_circuit(12)
+        network, mapping = build(12, 3)
+        full = compile_autocomm(circuit, network, mapping=mapping)
+        ablated = compile_no_commute(circuit, network, mapping=mapping)
+        assert ablated.metrics.total_comm > full.metrics.total_comm
+
+    def test_no_commute_never_better(self):
+        for circuit, (nq, nn) in [(qft_circuit(10), (10, 2)),
+                                  (bv_circuit(10), (10, 2)),
+                                  (mctr_circuit(11), (11, 2))]:
+            network, mapping = build(nq, nn)
+            full = compile_autocomm(circuit, network, mapping=mapping)
+            ablated = compile_no_commute(circuit, network, mapping=mapping)
+            assert ablated.metrics.total_comm >= full.metrics.total_comm
+
+
+class TestPlainScheduleAblation:
+    def test_label(self):
+        circuit = bv_circuit(8)
+        network, mapping = build(8, 2)
+        assert compile_plain_schedule(circuit, network, mapping=mapping).compiler \
+            == "autocomm-greedy"
+
+    def test_same_comm_count_as_full_autocomm(self):
+        # Scheduling only affects latency, never the communication count.
+        circuit = qft_circuit(12)
+        network, mapping = build(12, 3)
+        full = compile_autocomm(circuit, network, mapping=mapping)
+        plain = compile_plain_schedule(circuit, network, mapping=mapping)
+        assert plain.metrics.total_comm == full.metrics.total_comm
+
+    def test_burst_greedy_latency_never_worse(self):
+        # Figure 17(c): the burst-aware schedule is at least as fast.
+        for circuit, (nq, nn) in [(qft_circuit(12), (12, 3)),
+                                  (mctr_circuit(13), (13, 2)),
+                                  (bv_circuit(12), (12, 3))]:
+            network, mapping = build(nq, nn)
+            full = compile_autocomm(circuit, network, mapping=mapping)
+            plain = compile_plain_schedule(circuit, network, mapping=mapping)
+            assert full.metrics.latency <= plain.metrics.latency + 1e-9
+
+    def test_burst_greedy_strictly_faster_on_qft(self):
+        circuit = qft_circuit(12)
+        network, mapping = build(12, 3)
+        full = compile_autocomm(circuit, network, mapping=mapping)
+        plain = compile_plain_schedule(circuit, network, mapping=mapping)
+        assert full.metrics.latency < plain.metrics.latency

@@ -1,0 +1,91 @@
+"""Unit tests for the sparse (Ferrari-style) baseline compiler."""
+
+import pytest
+
+from repro import compile_autocomm, compile_sparse
+from repro.circuits import bv_circuit, qaoa_maxcut_circuit, qft_circuit
+from repro.comm import CommScheme
+from repro.hardware import uniform_network
+from repro.ir import Circuit, decompose_to_cx
+from repro.partition import QubitMapping
+
+
+class TestSparseCompiler:
+    def test_one_comm_per_remote_cx(self):
+        circuit = qft_circuit(8)
+        network = uniform_network(2, 4)
+        program = compile_sparse(circuit, network)
+        assert program.metrics.total_comm == program.metrics.num_remote_gates
+
+    def test_all_blocks_are_singleton_cat(self):
+        circuit = qft_circuit(8)
+        network = uniform_network(2, 4)
+        program = compile_sparse(circuit, network)
+        assert all(block.scheme is CommScheme.CAT for block in program.blocks)
+        assert all(len(block.gates) == 1 for block in program.blocks)
+        assert program.metrics.tp_comm == 0
+
+    def test_peak_remote_cx_is_one(self):
+        circuit = qft_circuit(8)
+        network = uniform_network(2, 4)
+        program = compile_sparse(circuit, network)
+        assert program.metrics.peak_rem_cx == 1.0
+
+    def test_no_remote_gates_means_no_comm(self):
+        circuit = Circuit(4).h(0).cx(0, 1).cx(2, 3)
+        network = uniform_network(2, 2)
+        program = compile_sparse(circuit, network)
+        assert program.metrics.total_comm == 0
+        assert program.metrics.latency > 0
+
+    def test_compiler_label(self):
+        network = uniform_network(2, 4)
+        program = compile_sparse(bv_circuit(8), network)
+        assert program.compiler == "sparse-cat"
+
+    def test_explicit_mapping_respected(self):
+        circuit = bv_circuit(8)
+        network = uniform_network(2, 4)
+        mapping = QubitMapping({q: q // 4 for q in range(8)}, network)
+        program = compile_sparse(circuit, network, mapping=mapping)
+        assert program.mapping == mapping
+
+    def test_capacity_validation(self):
+        network = uniform_network(2, 3)
+        with pytest.raises(ValueError):
+            compile_sparse(qft_circuit(8), network)
+
+    def test_latency_accounts_for_epr_per_gate(self):
+        # With all comms serialised on a single hub qubit, the baseline pays
+        # at least (cat protocol) per remote gate on the critical path.
+        circuit = Circuit(4).cx(0, 2).cx(0, 3).cx(0, 2).cx(0, 3)
+        network = uniform_network(2, 2)
+        mapping = QubitMapping({0: 0, 1: 0, 2: 1, 3: 1}, network)
+        program = compile_sparse(circuit, network, mapping=mapping)
+        per_gate = network.latency.cat_comm_latency(1)
+        assert program.metrics.latency >= 4 * per_gate
+
+
+class TestSparseVsAutoComm:
+    @pytest.mark.parametrize("builder,num_qubits,num_nodes", [
+        (qft_circuit, 12, 3),
+        (bv_circuit, 12, 3),
+        (qaoa_maxcut_circuit, 12, 3),
+    ])
+    def test_autocomm_never_issues_more_comms(self, builder, num_qubits, num_nodes):
+        circuit = builder(num_qubits)
+        network = uniform_network(num_nodes, -(-num_qubits // num_nodes))
+        mapping = QubitMapping({q: q // (-(-num_qubits // num_nodes))
+                                for q in range(num_qubits)}, network)
+        autocomm = compile_autocomm(circuit, network, mapping=mapping)
+        sparse = compile_sparse(circuit, network, mapping=mapping)
+        assert autocomm.metrics.total_comm <= sparse.metrics.total_comm
+
+    def test_same_remote_gate_count_reported(self):
+        circuit = qft_circuit(10)
+        network = uniform_network(2, 5)
+        mapping = QubitMapping({q: q // 5 for q in range(10)}, network)
+        autocomm = compile_autocomm(circuit, network, mapping=mapping)
+        sparse = compile_sparse(circuit, network, mapping=mapping)
+        assert (autocomm.metrics.num_remote_gates
+                == sparse.metrics.num_remote_gates)

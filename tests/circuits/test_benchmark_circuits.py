@@ -1,0 +1,269 @@
+"""Unit tests for the benchmark circuit generators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    arithmetic_snippet,
+    arithmetic_snippet_layout,
+    bv_circuit,
+    mctr_circuit,
+    qaoa_circuit_for_graph,
+    qaoa_maxcut_circuit,
+    qft_circuit,
+    random_circuit,
+    random_clifford_t_circuit,
+    random_maxcut_graph,
+    random_secret,
+    ripple_carry_adder,
+    rca_circuit_for_width,
+    uccsd_circuit,
+)
+from repro.ir import Circuit, decompose_to_cx
+from repro.ir.simulator import simulate, zero_state
+
+
+class TestQFT:
+    def test_gate_count(self):
+        # n H gates plus n(n-1)/2 controlled rotations.
+        n = 10
+        circuit = qft_circuit(n)
+        ops = circuit.count_ops()
+        assert ops["h"] == n
+        assert ops["crz"] == n * (n - 1) // 2
+
+    def test_minimum_size(self):
+        assert len(qft_circuit(1)) == 1
+        with pytest.raises(ValueError):
+            qft_circuit(0)
+
+    def test_angles_follow_distance(self):
+        circuit = qft_circuit(4)
+        crz = [g for g in circuit if g.name == "crz"]
+        for gate in crz:
+            distance = gate.qubits[0] - gate.qubits[1]
+            assert gate.params[0] == pytest.approx(math.pi / 2 ** distance)
+
+    def test_optional_swaps(self):
+        with_swaps = qft_circuit(5, include_swaps=True)
+        assert with_swaps.count_ops().get("swap", 0) == 2
+
+    def test_qft_on_zero_state_gives_uniform_superposition(self):
+        state = simulate(decompose_to_cx(qft_circuit(4)))
+        assert np.allclose(np.abs(state), 0.25)
+
+    def test_custom_name(self):
+        assert qft_circuit(4, name="QFT-4").name == "QFT-4"
+
+
+class TestBV:
+    def test_structure(self):
+        secret = [1, 0, 1, 1]
+        circuit = bv_circuit(5, secret=secret)
+        ops = circuit.count_ops()
+        assert ops["cx"] == 3
+        assert ops["h"] == 2 * 4 + 1
+        assert ops["x"] == 1
+
+    def test_all_cx_target_ancilla(self):
+        circuit = bv_circuit(8, secret=[1] * 7)
+        for gate in circuit:
+            if gate.name == "cx":
+                assert gate.target == 7
+
+    def test_secret_length_checked(self):
+        with pytest.raises(ValueError):
+            bv_circuit(5, secret=[1, 0])
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            bv_circuit(1)
+
+    def test_random_secret_reproducible(self):
+        assert random_secret(10, seed=3) == random_secret(10, seed=3)
+        assert any(random_secret(10, seed=3))
+
+    def test_bv_recovers_secret(self):
+        # Measuring the input register in the computational basis after the
+        # algorithm yields the secret string.
+        secret = (1, 0, 1)
+        circuit = bv_circuit(4, secret=secret)
+        state = simulate(circuit)
+        index = int(np.argmax(np.abs(state)))
+        bits = [(index >> (4 - 1 - q)) & 1 for q in range(3)]
+        assert tuple(bits) == secret
+
+
+class TestRCA:
+    def test_qubit_count(self):
+        assert ripple_carry_adder(4).num_qubits == 10
+
+    def test_gate_mix(self):
+        ops = ripple_carry_adder(3).count_ops()
+        assert ops["ccx"] == 6          # one MAJ + one UMA per bit
+        assert ops["cx"] == 2 * 3 * 2 + 1
+
+    def test_width_padding(self):
+        circuit = rca_circuit_for_width(20)
+        assert circuit.num_qubits == 20
+        assert max(q for g in circuit for q in g.qubits) <= 19
+
+    def test_too_small_width_rejected(self):
+        with pytest.raises(ValueError):
+            rca_circuit_for_width(3)
+        with pytest.raises(ValueError):
+            ripple_carry_adder(0)
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 2), (3, 3), (2, 1)])
+    def test_addition_is_correct(self, a, b):
+        # 2-bit Cuccaro adder: result lands in the b register (qubits 1, 3)
+        # with the carry-out in the last qubit.
+        num_bits = 2
+        adder = ripple_carry_adder(num_bits)
+        n = adder.num_qubits
+        prep = Circuit(n)
+        for i in range(num_bits):
+            if (b >> i) & 1:
+                prep.x(1 + 2 * i)
+            if (a >> i) & 1:
+                prep.x(2 + 2 * i)
+        prep.extend(decompose_to_cx(adder).gates)
+        state = simulate(prep)
+        index = int(np.argmax(np.abs(state)))
+        bits = [(index >> (n - 1 - q)) & 1 for q in range(n)]
+        result = sum(bits[1 + 2 * i] << i for i in range(num_bits))
+        carry = bits[n - 1]
+        assert result + (carry << num_bits) == a + b
+
+
+class TestMCTR:
+    def test_builds_for_paper_sizes(self):
+        for n in (11, 21, 51):
+            circuit = mctr_circuit(n)
+            assert circuit.num_qubits == n
+            assert circuit.count_ops().get("ccx", 0) > 0
+
+    def test_small_sizes(self):
+        assert mctr_circuit(3).count_ops() == {"ccx": 1}
+        with pytest.raises(ValueError):
+            mctr_circuit(2)
+
+    def test_repetitions_scale_gate_count(self):
+        single = mctr_circuit(15, repetitions=1)
+        double = mctr_circuit(15, repetitions=2)
+        assert len(double) == 2 * len(single)
+
+    def test_all_qubits_within_register(self):
+        circuit = mctr_circuit(25)
+        assert max(q for g in circuit for q in g.qubits) < 25
+
+
+class TestQAOA:
+    def test_gate_structure_single_layer(self):
+        graph = random_maxcut_graph(10, degree=3, seed=1)
+        circuit = qaoa_circuit_for_graph(graph, layers=1)
+        ops = circuit.count_ops()
+        assert ops["h"] == 10
+        assert ops["rzz"] == graph.number_of_edges()
+        assert ops["rx"] == 10
+
+    def test_layers_multiply_interactions(self):
+        graph = random_maxcut_graph(8, degree=3, seed=2)
+        two_layers = qaoa_circuit_for_graph(graph, layers=2)
+        assert two_layers.count_ops()["rzz"] == 2 * graph.number_of_edges()
+
+    def test_parameter_validation(self):
+        graph = random_maxcut_graph(6, degree=3, seed=3)
+        with pytest.raises(ValueError):
+            qaoa_circuit_for_graph(graph, layers=2, gamma=[0.1], beta=[0.2, 0.3])
+
+    def test_random_graph_reproducible(self):
+        a = random_maxcut_graph(12, degree=3, seed=5)
+        b = random_maxcut_graph(12, degree=3, seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_fallback_for_impossible_regular_graph(self):
+        # 5 nodes of degree 3 has odd total degree; the generator must fall
+        # back to an Erdős–Rényi graph rather than fail.
+        graph = random_maxcut_graph(5, degree=3, seed=7)
+        assert graph.number_of_nodes() == 5
+
+    def test_top_level_builder(self):
+        circuit = qaoa_maxcut_circuit(10, layers=1, seed=2)
+        assert circuit.num_qubits == 10
+        assert circuit.count_ops()["rzz"] > 0
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            qaoa_maxcut_circuit(1)
+
+
+class TestUCCSD:
+    def test_qubit_minimum(self):
+        with pytest.raises(ValueError):
+            uccsd_circuit(3)
+
+    def test_reference_state_x_gates(self):
+        circuit = uccsd_circuit(8, include_doubles=False)
+        x_gates = [g for g in circuit if g.name == "x"]
+        assert len(x_gates) == 4
+        assert {g.qubits[0] for g in x_gates} == {0, 1, 2, 3}
+
+    def test_singles_only_smaller_than_full(self):
+        singles = uccsd_circuit(8, include_doubles=False)
+        full = uccsd_circuit(8, include_doubles=True)
+        assert len(full) > len(singles)
+
+    def test_gate_alphabet_is_cx_friendly(self):
+        circuit = uccsd_circuit(8)
+        allowed = {"x", "h", "s", "sdg", "rz", "cx"}
+        assert set(circuit.count_ops()) <= allowed
+
+    def test_occupied_count_validated(self):
+        with pytest.raises(ValueError):
+            uccsd_circuit(8, num_occupied=8)
+
+    def test_size_grows_with_register(self):
+        assert len(uccsd_circuit(12)) > len(uccsd_circuit(8))
+
+
+class TestArithmeticSnippet:
+    def test_size_and_layout(self):
+        circuit = arithmetic_snippet()
+        layout = arithmetic_snippet_layout()
+        assert circuit.num_qubits == 7
+        assert set(layout) == set(range(7))
+        assert max(layout.values()) == 2
+
+    def test_q3_dominates_remote_interaction_with_node_a(self):
+        from repro.partition import QubitMapping
+        circuit = arithmetic_snippet()
+        mapping = QubitMapping(arithmetic_snippet_layout())
+        histogram = mapping.remote_pair_histogram(circuit)
+        assert histogram[(3, 0)] >= 5
+        assert histogram[(3, 0)] == max(histogram.values())
+
+
+class TestRandomCircuits:
+    def test_reproducible(self):
+        a = random_circuit(5, 30, seed=1)
+        b = random_circuit(5, 30, seed=1)
+        assert a == b
+
+    def test_gate_count(self):
+        assert len(random_circuit(5, 30, seed=2)) == 30
+
+    def test_single_qubit_register(self):
+        circuit = random_circuit(1, 10, seed=3)
+        assert all(g.num_qubits == 1 for g in circuit)
+
+    def test_clifford_t_alphabet(self):
+        circuit = random_clifford_t_circuit(6, 50, seed=4)
+        allowed = {"x", "z", "h", "s", "sdg", "t", "tdg", "cx", "cz"}
+        assert set(circuit.count_ops()) <= allowed
+
+    def test_invalid_register_rejected(self):
+        with pytest.raises(ValueError):
+            random_circuit(0, 5)

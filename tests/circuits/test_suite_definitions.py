@@ -1,0 +1,90 @@
+"""Unit tests for the benchmark-suite definitions (Table 2 configurations)."""
+
+import pytest
+
+from repro.circuits import (
+    BENCHMARK_FAMILIES,
+    BenchmarkSpec,
+    build_benchmark,
+    paper_configurations,
+    scaled_configurations,
+)
+
+
+class TestBenchmarkSpec:
+    def test_name_format(self):
+        spec = BenchmarkSpec("QFT", 100, 10)
+        assert spec.name == "QFT-100-10"
+        assert spec.qubits_per_node == 10
+
+    def test_ceiling_division(self):
+        assert BenchmarkSpec("BV", 10, 3).qubits_per_node == 4
+
+    def test_build_returns_matching_network(self):
+        spec = BenchmarkSpec("BV", 20, 4)
+        circuit, network = spec.build()
+        assert circuit.num_qubits == 20
+        assert network.num_nodes == 4
+        assert network.total_data_qubits >= 20
+
+    def test_build_custom_comm_qubits(self):
+        spec = BenchmarkSpec("BV", 12, 3)
+        _, network = spec.build(comm_qubits_per_node=4)
+        assert network.comm_capacity(0) == 4
+
+
+class TestBuildBenchmark:
+    @pytest.mark.parametrize("family", sorted(BENCHMARK_FAMILIES))
+    def test_every_family_builds_small_instance(self, family):
+        num_qubits = 8 if family == "UCCSD" else 12
+        circuit, network = build_benchmark(family, num_qubits, 2)
+        assert circuit.num_qubits == num_qubits
+        assert len(circuit) > 0
+        assert network.num_nodes == 2
+
+    def test_family_name_case_insensitive(self):
+        circuit, _ = build_benchmark("qft", 8, 2)
+        assert circuit.num_qubits == 8
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            build_benchmark("GROVER", 8, 2)
+
+
+class TestConfigurations:
+    def test_paper_configurations_match_table2(self):
+        specs = paper_configurations()
+        assert len(specs) == 18
+        names = {spec.name for spec in specs}
+        assert "QFT-100-10" in names
+        assert "QFT-300-30" in names
+        assert "UCCSD-8-4" in names
+        assert "UCCSD-16-8" in names
+
+    def test_paper_configurations_qubits_per_node(self):
+        for spec in paper_configurations():
+            if spec.family == "UCCSD":
+                assert spec.qubits_per_node == 2
+            else:
+                assert spec.qubits_per_node == 10
+
+    def test_scaled_small(self):
+        specs = scaled_configurations("small")
+        assert all(spec.num_qubits <= 30 for spec in specs)
+        families = {spec.family for spec in specs}
+        assert families == set(BENCHMARK_FAMILIES)
+
+    def test_scaled_medium_larger_than_small(self):
+        small = max(s.num_qubits for s in scaled_configurations("small"))
+        medium = max(s.num_qubits for s in scaled_configurations("medium"))
+        assert medium > small
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_configurations("huge")
+
+    def test_scaled_instances_build(self):
+        for spec in scaled_configurations("small"):
+            circuit, network = spec.build()
+            assert circuit.num_qubits == spec.num_qubits
+            network.validate_capacity(circuit.num_qubits)

@@ -1,0 +1,128 @@
+"""Unit tests for communication cost accounting."""
+
+import pytest
+
+from repro.comm import CommBlock, CommScheme
+from repro.comm.cost import (
+    block_comm_count,
+    block_latency,
+    peak_remote_cx_per_comm,
+    total_comm_count,
+)
+from repro.hardware import DEFAULT_LATENCY
+from repro.ir import Gate
+from repro.partition import QubitMapping
+
+
+@pytest.fixture
+def mapping():
+    return QubitMapping({0: 0, 1: 0, 2: 1, 3: 1})
+
+
+def cat_block(gates, mapping):
+    block = CommBlock(hub_qubit=0, hub_node=0, remote_node=1)
+    block.extend(gates)
+    block.scheme = CommScheme.CAT
+    return block
+
+
+def tp_block(gates, mapping):
+    block = CommBlock(hub_qubit=0, hub_node=0, remote_node=1)
+    block.extend(gates)
+    block.scheme = CommScheme.TP
+    return block
+
+
+class TestCommCounts:
+    def test_cat_block_single_comm(self, mapping):
+        block = cat_block([Gate("cx", (0, 2)), Gate("cx", (0, 3))], mapping)
+        assert block_comm_count(block, mapping) == 1
+
+    def test_tp_block_two_comms(self, mapping):
+        block = tp_block([Gate("cx", (0, 2)), Gate("cx", (2, 0))], mapping)
+        assert block_comm_count(block, mapping) == 2
+
+    def test_unassigned_block_raises(self, mapping):
+        block = CommBlock(hub_qubit=0, hub_node=0, remote_node=1,
+                          gates=[Gate("cx", (0, 2))])
+        with pytest.raises(ValueError):
+            block_comm_count(block, mapping)
+
+    def test_cat_block_with_blocker_costs_segments(self, mapping):
+        block = cat_block([Gate("cx", (0, 2)), Gate("h", (0,)), Gate("cx", (0, 3))],
+                          mapping)
+        assert block_comm_count(block, mapping) == 2
+
+    def test_total_comm_count_aggregates(self, mapping):
+        blocks = [
+            cat_block([Gate("cx", (0, 2)), Gate("cx", (0, 3))], mapping),
+            tp_block([Gate("cx", (0, 2)), Gate("cx", (2, 0))], mapping),
+        ]
+        cost = total_comm_count(blocks, mapping)
+        assert cost.total_comm == 3
+        assert cost.cat_comm == 1
+        assert cost.tp_comm == 2
+        assert cost.as_dict()["total_comm"] == 3
+
+    def test_total_comm_empty(self, mapping):
+        cost = total_comm_count([], mapping)
+        assert cost.total_comm == 0
+        assert cost.peak_remote_cx == 0.0
+
+
+class TestPeakRemoteCX:
+    def test_cat_block_peak(self, mapping):
+        blocks = [cat_block([Gate("cx", (0, 2)), Gate("cx", (0, 3)),
+                             Gate("cx", (0, 2))], mapping)]
+        assert peak_remote_cx_per_comm(blocks, mapping) == 3.0
+
+    def test_tp_block_peak_averaged_over_two_comms(self, mapping):
+        blocks = [tp_block([Gate("cx", (0, 2)), Gate("cx", (2, 0)),
+                            Gate("cx", (0, 3)), Gate("cx", (3, 0))], mapping)]
+        assert peak_remote_cx_per_comm(blocks, mapping) == 2.0
+
+    def test_peak_takes_maximum(self, mapping):
+        blocks = [
+            cat_block([Gate("cx", (0, 2))], mapping),
+            cat_block([Gate("cx", (0, 2)), Gate("cx", (0, 3)),
+                       Gate("cx", (0, 2)), Gate("cx", (0, 3))], mapping),
+        ]
+        assert peak_remote_cx_per_comm(blocks, mapping) == 4.0
+
+    def test_peak_empty(self, mapping):
+        assert peak_remote_cx_per_comm([], mapping) == 0.0
+
+
+class TestBlockLatency:
+    def test_cat_latency_includes_entangler_and_body(self, mapping):
+        block = cat_block([Gate("cx", (0, 2)), Gate("cx", (0, 3))], mapping)
+        latency = block_latency(block, mapping, DEFAULT_LATENCY)
+        expected = (DEFAULT_LATENCY.t_cat_entangle + DEFAULT_LATENCY.t_cat_disentangle
+                    + 2 * DEFAULT_LATENCY.t_2q)
+        assert latency == pytest.approx(expected)
+
+    def test_tp_latency_includes_two_teleports(self, mapping):
+        block = tp_block([Gate("cx", (0, 2)), Gate("cx", (2, 0))], mapping)
+        latency = block_latency(block, mapping, DEFAULT_LATENCY)
+        expected = 2 * DEFAULT_LATENCY.t_teleport + 2 * DEFAULT_LATENCY.t_2q
+        assert latency == pytest.approx(expected)
+
+    def test_single_qubit_gates_add_latency(self, mapping):
+        bare = cat_block([Gate("cx", (0, 2))], mapping)
+        with_1q = cat_block([Gate("cx", (0, 2)), Gate("rz", (2,), (0.3,))], mapping)
+        assert (block_latency(with_1q, mapping) - block_latency(bare, mapping)
+                == pytest.approx(DEFAULT_LATENCY.t_1q))
+
+    def test_tp_latency_bigger_than_cat_for_single_gate(self, mapping):
+        gates = [Gate("cx", (0, 2))]
+        assert (block_latency(tp_block(gates, mapping), mapping)
+                > block_latency(cat_block(gates, mapping), mapping))
+
+    def test_multi_segment_cat_latency_scales_with_segments(self, mapping):
+        one = cat_block([Gate("cx", (0, 2)), Gate("cx", (0, 3))], mapping)
+        two = cat_block([Gate("cx", (0, 2)), Gate("h", (0,)), Gate("cx", (0, 3))],
+                        mapping)
+        extra = (block_latency(two, mapping) - block_latency(one, mapping))
+        expected = (DEFAULT_LATENCY.t_cat_entangle + DEFAULT_LATENCY.t_cat_disentangle
+                    + DEFAULT_LATENCY.t_1q)
+        assert extra == pytest.approx(expected)

@@ -1,0 +1,214 @@
+"""Protocol correctness tests for Cat-Comm and TP-Comm circuits.
+
+Every protocol is verified by statevector simulation: applying the protocol
+circuit to (random data state) ⊗ |0...0> on the communication qubits must
+produce the same data-qubit state as applying the logical block directly,
+with the data register left unentangled from the communication qubits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    CommBlock,
+    cat_comm_block_circuit,
+    epr_pair_circuit,
+    release_comm_qubit,
+    remote_cx_via_cat,
+    remote_cx_via_tp,
+    teleport_circuit,
+    tp_comm_block_circuit,
+)
+from repro.ir import Circuit, Gate
+from repro.ir.simulator import (
+    fidelity,
+    purity,
+    random_statevector,
+    reduced_density_matrix,
+    simulate,
+    zero_state,
+)
+from repro.partition import QubitMapping
+
+
+def embed_data_state(data_state, num_data, num_total):
+    """Tensor a data-qubit state with |0> communication qubits."""
+    comm = zero_state(num_total - num_data)
+    return np.kron(data_state, comm)
+
+
+def data_state_matches(final_state, expected_data_state, data_qubits, num_total,
+                       atol=1e-8):
+    """Check the data qubits hold ``expected_data_state`` and are unentangled."""
+    rho = reduced_density_matrix(final_state, list(data_qubits), num_total)
+    if abs(purity(rho) - 1.0) > atol:
+        return False
+    return abs(fidelity(expected_data_state, rho) - 1.0) < atol
+
+
+class TestEPRAndTeleport:
+    def test_epr_pair_state(self):
+        state = simulate(epr_pair_circuit(0, 1, 2))
+        expected = np.zeros(4, dtype=complex)
+        expected[0] = expected[3] = 1 / np.sqrt(2)
+        assert np.allclose(state, expected)
+
+    def test_teleport_moves_state(self):
+        data = random_statevector(1, seed=1)
+        # Qubit 0 = source, 1 = near EPR half, 2 = far EPR half.
+        circuit = teleport_circuit(0, 1, 2, num_qubits=3)
+        initial = np.kron(data, zero_state(2))
+        final = simulate(circuit, initial_state=initial)
+        assert data_state_matches(final, data, [2], 3)
+
+    def test_teleport_leaves_source_in_plus(self):
+        data = random_statevector(1, seed=2)
+        circuit = teleport_circuit(0, 1, 2, num_qubits=3)
+        final = simulate(circuit, initial_state=np.kron(data, zero_state(2)))
+        plus = np.array([1, 1], dtype=complex) / np.sqrt(2)
+        assert data_state_matches(final, plus, [0], 3)
+        assert data_state_matches(final, plus, [1], 3)
+
+    def test_release_comm_qubit_restores_zero(self):
+        data = random_statevector(1, seed=3)
+        circuit = teleport_circuit(0, 1, 2, num_qubits=3)
+        release_comm_qubit(circuit, 0)
+        release_comm_qubit(circuit, 1)
+        final = simulate(circuit, initial_state=np.kron(data, zero_state(2)))
+        assert data_state_matches(final, zero_state(1), [0], 3)
+        assert data_state_matches(final, zero_state(1), [1], 3)
+
+    def test_teleport_without_epr_prep(self):
+        # Caller prepares the EPR pair explicitly, then teleports.
+        data = random_statevector(1, seed=4)
+        circuit = Circuit(3)
+        circuit.compose(epr_pair_circuit(1, 2, 3))
+        circuit.compose(teleport_circuit(0, 1, 2, 3, include_epr=False))
+        final = simulate(circuit, initial_state=np.kron(data, zero_state(2)))
+        assert data_state_matches(final, data, [2], 3)
+
+
+class TestRemoteCX:
+    def test_remote_cx_via_cat_matches_direct_cx(self):
+        # Data qubits 0 (control, node A) and 1 (target, node B); comm 2, 3.
+        data = random_statevector(2, seed=5)
+        protocol = remote_cx_via_cat(0, 1, 2, 3, num_qubits=4)
+        final = simulate(protocol, initial_state=embed_data_state(data, 2, 4))
+        expected = simulate(Circuit(2).cx(0, 1), initial_state=data)
+        assert data_state_matches(final, expected, [0, 1], 4)
+
+    def test_remote_cx_via_tp_matches_direct_cx(self):
+        # Data 0,1; outbound comm 2,3; return comm 4,5.
+        data = random_statevector(2, seed=6)
+        protocol = remote_cx_via_tp(0, 1, comm_near=2, comm_far=3,
+                                    return_near=4, return_far=5, num_qubits=6)
+        final = simulate(protocol, initial_state=embed_data_state(data, 2, 6))
+        expected = simulate(Circuit(2).cx(0, 1), initial_state=data)
+        # After TP-Comm the control's state lands on return_near (qubit 4).
+        rho = reduced_density_matrix(final, [4, 1], 6)
+        assert abs(purity(rho) - 1.0) < 1e-8
+        assert abs(fidelity(expected, rho) - 1.0) < 1e-8
+
+
+@pytest.fixture
+def mapping_two_nodes():
+    # Data qubits: 0, 1 on node 0; 2, 3 on node 1 (comm qubits are separate).
+    return QubitMapping({0: 0, 1: 0, 2: 1, 3: 1})
+
+
+def build_block(gates, hub, hub_node, remote_node):
+    block = CommBlock(hub_qubit=hub, hub_node=hub_node, remote_node=remote_node)
+    block.extend(gates)
+    return block
+
+
+class TestCatCommBlock:
+    def cat_check(self, gates, hub, mapping, seed):
+        """Verify the Cat-Comm expansion of a block against direct execution."""
+        block = build_block(gates, hub=hub, hub_node=mapping.node_of(hub),
+                            remote_node=1 - mapping.node_of(hub))
+        num_data = mapping.num_qubits
+        num_total = num_data + 2
+        protocol = cat_comm_block_circuit(block, mapping, comm_near=num_data,
+                                          comm_far=num_data + 1,
+                                          num_qubits=num_total)
+        data = random_statevector(num_data, seed=seed)
+        final = simulate(protocol, initial_state=embed_data_state(data, num_data, num_total))
+        expected = simulate(Circuit(num_data, gates), initial_state=data)
+        assert data_state_matches(final, expected, list(range(num_data)), num_total)
+
+    def test_control_pattern_block(self, mapping_two_nodes):
+        gates = [Gate("cx", (0, 2)), Gate("cx", (0, 3))]
+        self.cat_check(gates, hub=0, mapping=mapping_two_nodes, seed=11)
+
+    def test_control_pattern_with_partner_side_unitaries(self, mapping_two_nodes):
+        # The Figure 3 controlled-unitary block: C-U1-U2 with local unitaries.
+        gates = [
+            Gate("cx", (0, 2)), Gate("h", (3,)), Gate("rz", (2,), (0.7,)),
+            Gate("cx", (0, 3)), Gate("cx", (2, 3)),
+        ]
+        self.cat_check(gates, hub=0, mapping=mapping_two_nodes, seed=12)
+
+    def test_control_pattern_with_diagonal_hub_gate(self, mapping_two_nodes):
+        gates = [Gate("cx", (0, 2)), Gate("t", (0,)), Gate("cx", (0, 3))]
+        self.cat_check(gates, hub=0, mapping=mapping_two_nodes, seed=13)
+
+    def test_control_pattern_with_leading_trailing_hub_gates(self, mapping_two_nodes):
+        gates = [Gate("h", (0,)), Gate("cx", (0, 2)), Gate("cx", (0, 3)),
+                 Gate("h", (0,))]
+        self.cat_check(gates, hub=0, mapping=mapping_two_nodes, seed=14)
+
+    def test_target_pattern_block(self, mapping_two_nodes):
+        gates = [Gate("cx", (2, 0)), Gate("cx", (3, 0))]
+        self.cat_check(gates, hub=0, mapping=mapping_two_nodes, seed=15)
+
+    def test_target_pattern_with_x_on_hub(self, mapping_two_nodes):
+        gates = [Gate("cx", (2, 0)), Gate("x", (0,)), Gate("cx", (3, 0))]
+        self.cat_check(gates, hub=0, mapping=mapping_two_nodes, seed=16)
+
+    def test_single_remote_cx(self, mapping_two_nodes):
+        self.cat_check([Gate("cx", (1, 3))], hub=1, mapping=mapping_two_nodes, seed=17)
+
+    def test_remote_diagonal_gate(self, mapping_two_nodes):
+        gates = [Gate("crz", (0, 2), (0.9,)), Gate("cx", (0, 3))]
+        self.cat_check(gates, hub=0, mapping=mapping_two_nodes, seed=18)
+
+    def test_multi_segment_block_rejected(self, mapping_two_nodes):
+        block = build_block([Gate("cx", (0, 2)), Gate("h", (0,)), Gate("cx", (0, 3))],
+                            hub=0, hub_node=0, remote_node=1)
+        with pytest.raises(ValueError):
+            cat_comm_block_circuit(block, mapping_two_nodes, 4, 5, 6)
+
+
+class TestTPCommBlock:
+    def tp_check(self, gates, hub, mapping, seed):
+        block = build_block(gates, hub=hub, hub_node=mapping.node_of(hub),
+                            remote_node=1 - mapping.node_of(hub))
+        num_data = mapping.num_qubits
+        num_total = num_data + 4
+        protocol = tp_comm_block_circuit(
+            block, mapping, comm_near=num_data, comm_far=num_data + 1,
+            return_near=num_data + 2, return_far=num_data + 3,
+            num_qubits=num_total)
+        data = random_statevector(num_data, seed=seed)
+        final = simulate(protocol, initial_state=embed_data_state(data, num_data, num_total))
+        expected = simulate(Circuit(num_data, gates), initial_state=data)
+        assert data_state_matches(final, expected, list(range(num_data)), num_total)
+
+    def test_bidirectional_block(self, mapping_two_nodes):
+        gates = [Gate("cx", (0, 2)), Gate("cx", (2, 0)), Gate("cx", (0, 3))]
+        self.tp_check(gates, hub=0, mapping=mapping_two_nodes, seed=21)
+
+    def test_blocked_unidirectional_block(self, mapping_two_nodes):
+        gates = [Gate("cx", (2, 0)), Gate("t", (0,)), Gate("cx", (3, 0))]
+        self.tp_check(gates, hub=0, mapping=mapping_two_nodes, seed=22)
+
+    def test_block_with_arbitrary_hub_gates(self, mapping_two_nodes):
+        gates = [Gate("cx", (0, 2)), Gate("h", (0,)), Gate("cx", (3, 0)),
+                 Gate("ry", (0,), (0.4,)), Gate("cx", (0, 3))]
+        self.tp_check(gates, hub=0, mapping=mapping_two_nodes, seed=23)
+
+    def test_block_with_partner_side_gates(self, mapping_two_nodes):
+        gates = [Gate("cx", (0, 2)), Gate("cx", (2, 3)), Gate("h", (3,)),
+                 Gate("cx", (3, 0))]
+        self.tp_check(gates, hub=0, mapping=mapping_two_nodes, seed=24)

@@ -1,0 +1,52 @@
+"""Shared pytest fixtures and an import-path fallback.
+
+The fallback lets the suite run straight from a source checkout even when
+the package has not been installed (useful in the offline environment where
+``pip install -e .`` may be unavailable).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:  # pragma: no cover - only hit without an install
+        sys.path.insert(0, _SRC)
+
+import pytest
+
+from repro.circuits import arithmetic_snippet, arithmetic_snippet_layout, qft_circuit
+from repro.hardware import uniform_network
+from repro.partition import QubitMapping
+
+
+@pytest.fixture
+def small_network():
+    """Three nodes with four data qubits and two comm qubits each."""
+    return uniform_network(num_nodes=3, qubits_per_node=4)
+
+
+@pytest.fixture
+def two_node_network():
+    """Two nodes with four data qubits each."""
+    return uniform_network(num_nodes=2, qubits_per_node=4)
+
+
+@pytest.fixture
+def snippet_circuit():
+    """The Figure 4 arithmetic walk-through circuit."""
+    return arithmetic_snippet()
+
+
+@pytest.fixture
+def snippet_mapping():
+    """The Figure 4 qubit-to-node layout (3 nodes)."""
+    return QubitMapping(arithmetic_snippet_layout())
+
+
+@pytest.fixture
+def small_qft():
+    """An eight-qubit QFT used across compiler tests."""
+    return qft_circuit(8)

@@ -1,0 +1,211 @@
+"""Unit tests for the communication aggregation pass."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import arithmetic_snippet, arithmetic_snippet_layout, bv_circuit, qft_circuit
+from repro.comm import CommBlock
+from repro.core import aggregate_communications
+from repro.hardware import uniform_network
+from repro.ir import Circuit, Gate, decompose_to_cx
+from repro.ir.simulator import (
+    random_statevector,
+    simulate,
+    states_equal_up_to_global_phase,
+)
+from repro.partition import QubitMapping, block_mapping
+
+
+def two_node_mapping(num_qubits):
+    half = num_qubits // 2
+    return QubitMapping({q: (0 if q < half else 1) for q in range(num_qubits)})
+
+
+def assert_equivalent(original, rewritten, seed=0):
+    """The rewritten circuit must implement the same unitary as the original."""
+    assert original.num_qubits == rewritten.num_qubits
+    state = random_statevector(original.num_qubits, seed=seed)
+    a = simulate(original, initial_state=state)
+    b = simulate(rewritten, initial_state=state)
+    assert states_equal_up_to_global_phase(a, b)
+
+
+class TestBasicGrouping:
+    def test_adjacent_remote_gates_grouped(self):
+        circuit = Circuit(4).cx(0, 2).cx(0, 3)
+        mapping = two_node_mapping(4)
+        result = aggregate_communications(circuit, mapping)
+        assert result.num_blocks() == 1
+        assert result.blocks[0].num_remote_gates(mapping) == 2
+
+    def test_local_gates_left_alone(self):
+        circuit = Circuit(4).h(0).cx(0, 1).cx(2, 3)
+        mapping = two_node_mapping(4)
+        result = aggregate_communications(circuit, mapping)
+        assert result.num_blocks() == 0
+        assert len(result.items) == 3
+
+    def test_every_remote_gate_lands_in_a_block(self):
+        circuit = Circuit(4).cx(0, 2).h(2).cx(1, 3).cx(3, 0).cx(2, 1)
+        mapping = two_node_mapping(4)
+        result = aggregate_communications(circuit, mapping)
+        in_blocks = result.remote_gates_in_blocks()
+        assert in_blocks == mapping.count_remote_gates(circuit)
+
+    def test_intervening_local_gate_on_remote_node_absorbed(self):
+        circuit = Circuit(4).cx(0, 2).rz(0.3, 2).cx(0, 3)
+        mapping = two_node_mapping(4)
+        result = aggregate_communications(circuit, mapping)
+        assert result.num_blocks() == 1
+        assert len(result.blocks[0].gates) == 3
+
+    def test_intervening_diagonal_hub_gate_absorbed(self):
+        circuit = Circuit(4).cx(0, 2).t(0).cx(0, 3)
+        mapping = two_node_mapping(4)
+        result = aggregate_communications(circuit, mapping)
+        assert result.num_blocks() == 1
+
+    def test_commutable_local_gate_deferred(self):
+        # The t(1) on a node-0 qubit unrelated to the block commutes past it.
+        circuit = Circuit(4).cx(0, 2).t(1).cx(0, 3)
+        mapping = two_node_mapping(4)
+        result = aggregate_communications(circuit, mapping)
+        assert result.num_blocks() == 1
+        assert result.blocks[0].num_remote_gates(mapping) == 2
+
+    def test_hub_gate_absorbed_in_place_keeps_block_together(self):
+        # h(0) on the hub is absorbed without any reordering, so all three
+        # remote gates stay in one (TP-bound) block.
+        circuit = Circuit(4).cx(2, 0).h(0).cx(0, 2).cx(2, 0)
+        mapping = two_node_mapping(4)
+        result = aggregate_communications(circuit, mapping)
+        assert result.block_sizes() == [3]
+
+    def test_noncommuting_local_gate_breaks_block(self):
+        # cx(1, 0) is local to the hub's node, cannot be absorbed into the
+        # communication window, and does not commute with the block, so the
+        # run of remote gates is split (the Algorithm 1 "break" case).
+        circuit = Circuit(4).cx(0, 2).cx(1, 0).cx(0, 2)
+        mapping = two_node_mapping(4)
+        result = aggregate_communications(circuit, mapping)
+        assert sorted(result.block_sizes()) == [1, 1]
+
+    def test_commutable_remote_gate_of_other_pair_deferred(self):
+        # CX(1,3) commutes with CX(0,2)/CX(0,3)? It shares qubit 3 with
+        # CX(0,3) (same target) so it commutes and can be deferred.
+        circuit = Circuit(4).cx(0, 2).cx(1, 3).cx(0, 3)
+        mapping = two_node_mapping(4)
+        result = aggregate_communications(circuit, mapping)
+        assert 2 in result.block_sizes()
+
+    def test_blocks_report_hub_and_nodes(self):
+        circuit = Circuit(4).cx(0, 2).cx(0, 3)
+        mapping = two_node_mapping(4)
+        block = aggregate_communications(circuit, mapping).blocks[0]
+        assert isinstance(block, CommBlock)
+        assert block.hub_qubit == 0
+        assert block.hub_node == 0
+        assert block.remote_node == 1
+
+
+class TestSemanticsPreservation:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_clifford_t_circuits_preserved(self, seed):
+        from repro.circuits import random_clifford_t_circuit
+        circuit = random_clifford_t_circuit(6, 40, seed=seed)
+        mapping = two_node_mapping(6)
+        result = aggregate_communications(circuit, mapping)
+        assert_equivalent(circuit, result.to_circuit(), seed=seed)
+
+    def test_qft_preserved(self):
+        circuit = decompose_to_cx(qft_circuit(6))
+        mapping = two_node_mapping(6)
+        result = aggregate_communications(circuit, mapping)
+        assert_equivalent(circuit, result.to_circuit(), seed=3)
+
+    def test_bv_preserved(self):
+        circuit = decompose_to_cx(bv_circuit(7))
+        mapping = QubitMapping({0: 0, 1: 0, 2: 0, 3: 1, 4: 1, 5: 1, 6: 1})
+        result = aggregate_communications(circuit, mapping)
+        assert_equivalent(circuit, result.to_circuit(), seed=4)
+
+    def test_arithmetic_snippet_preserved(self):
+        circuit = decompose_to_cx(arithmetic_snippet())
+        mapping = QubitMapping(arithmetic_snippet_layout())
+        result = aggregate_communications(circuit, mapping)
+        assert_equivalent(circuit, result.to_circuit(), seed=5)
+
+    def test_gate_multiset_is_preserved(self):
+        circuit = decompose_to_cx(qft_circuit(8))
+        mapping = two_node_mapping(8)
+        result = aggregate_communications(circuit, mapping)
+        flattened = result.to_circuit()
+        assert sorted(g.name for g in flattened) == sorted(g.name for g in circuit)
+        assert len(flattened) == len(circuit)
+
+
+class TestCommutationAblation:
+    def test_no_commutation_never_produces_more_blocks_gates(self):
+        circuit = decompose_to_cx(qft_circuit(8))
+        mapping = two_node_mapping(8)
+        with_comm = aggregate_communications(circuit, mapping, use_commutation=True)
+        without = aggregate_communications(circuit, mapping, use_commutation=False)
+        assert without.remote_gates_in_blocks() == with_comm.remote_gates_in_blocks()
+        assert without.num_blocks() >= with_comm.num_blocks()
+
+    def test_no_commutation_still_groups_truly_adjacent_gates(self):
+        circuit = Circuit(4).cx(0, 2).cx(0, 3)
+        mapping = two_node_mapping(4)
+        result = aggregate_communications(circuit, mapping, use_commutation=False)
+        assert result.num_blocks() == 1
+
+    def test_no_commutation_preserves_semantics(self):
+        circuit = decompose_to_cx(qft_circuit(6))
+        mapping = two_node_mapping(6)
+        result = aggregate_communications(circuit, mapping, use_commutation=False)
+        assert_equivalent(circuit, result.to_circuit(), seed=6)
+
+
+class TestPaperWalkthrough:
+    """Checks on the Figure 4 / Figure 8 arithmetic example."""
+
+    @pytest.fixture
+    def snippet_result(self):
+        circuit = arithmetic_snippet()
+        mapping = QubitMapping(arithmetic_snippet_layout())
+        return aggregate_communications(circuit, mapping), mapping
+
+    def test_hub_pair_is_q3_node_a(self, snippet_result):
+        result, mapping = snippet_result
+        largest = max(result.blocks, key=lambda b: b.num_remote_gates(mapping))
+        assert largest.hub_qubit == 3
+        assert largest.remote_node == 0
+
+    def test_multiple_remote_gates_per_block(self, snippet_result):
+        result, mapping = snippet_result
+        assert max(result.block_sizes()) >= 2
+
+    def test_all_remote_gates_covered(self, snippet_result):
+        result, mapping = snippet_result
+        assert result.remote_gates_in_blocks() == mapping.count_remote_gates(result.circuit)
+
+
+class TestValidation:
+    def test_mapping_mismatch_rejected(self):
+        circuit = Circuit(4).cx(0, 2)
+        mapping = QubitMapping({0: 0, 1: 1})
+        with pytest.raises(ValueError):
+            aggregate_communications(circuit, mapping)
+
+    def test_empty_circuit(self):
+        mapping = two_node_mapping(4)
+        result = aggregate_communications(Circuit(4), mapping)
+        assert result.num_blocks() == 0
+        assert len(result.items) == 0
+
+    def test_circuit_without_remote_gates(self):
+        circuit = Circuit(4).cx(0, 1).cx(2, 3).h(0)
+        mapping = two_node_mapping(4)
+        result = aggregate_communications(circuit, mapping)
+        assert result.num_blocks() == 0
+        assert result.to_circuit() == circuit

@@ -1,0 +1,116 @@
+"""Unit tests for the communication assignment pass."""
+
+import pytest
+
+from repro.circuits import arithmetic_snippet, arithmetic_snippet_layout, bv_circuit, qft_circuit
+from repro.comm import CommBlock, CommPattern, CommScheme
+from repro.core import aggregate_communications, assign_communications, choose_scheme
+from repro.ir import Circuit, Gate, decompose_to_cx
+from repro.partition import QubitMapping
+
+
+@pytest.fixture
+def mapping():
+    return QubitMapping({0: 0, 1: 0, 2: 1, 3: 1})
+
+
+def make_block(gates, hub=0):
+    block = CommBlock(hub_qubit=hub, hub_node=0, remote_node=1)
+    block.extend(gates)
+    return block
+
+
+class TestChooseScheme:
+    def test_clean_control_block_gets_cat(self, mapping):
+        block = make_block([Gate("cx", (0, 2)), Gate("cx", (0, 3))])
+        assert choose_scheme(block, mapping) is CommScheme.CAT
+
+    def test_clean_target_block_gets_cat(self, mapping):
+        block = make_block([Gate("cx", (2, 0)), Gate("cx", (3, 0))])
+        assert choose_scheme(block, mapping) is CommScheme.CAT
+
+    def test_single_remote_cx_gets_cat(self, mapping):
+        block = make_block([Gate("cx", (2, 0))])
+        assert choose_scheme(block, mapping) is CommScheme.CAT
+
+    def test_bidirectional_block_gets_tp(self, mapping):
+        block = make_block([Gate("cx", (0, 2)), Gate("cx", (2, 0)), Gate("cx", (0, 3))])
+        assert choose_scheme(block, mapping) is CommScheme.TP
+
+    def test_blocked_unidirectional_gets_tp(self, mapping):
+        # Non-diagonal hub gate between two remote CXs: Cat would need 2 EPR
+        # pairs, the tie is resolved in favour of TP (paper, block 3).
+        block = make_block([Gate("cx", (2, 0)), Gate("tdg", (0,)), Gate("cx", (3, 0))])
+        assert choose_scheme(block, mapping) is CommScheme.TP
+
+    def test_cat_only_forces_cat(self, mapping):
+        block = make_block([Gate("cx", (0, 2)), Gate("cx", (2, 0))])
+        assert choose_scheme(block, mapping, cat_only=True) is CommScheme.CAT
+
+    def test_diagonal_hub_gate_keeps_cat(self, mapping):
+        block = make_block([Gate("cx", (0, 2)), Gate("rz", (0,), (0.3,)),
+                            Gate("cx", (0, 3))])
+        assert choose_scheme(block, mapping) is CommScheme.CAT
+
+
+class TestAssignCommunications:
+    def aggregate(self, circuit, mapping):
+        return aggregate_communications(circuit, mapping)
+
+    def test_all_blocks_get_schemes(self, mapping):
+        circuit = Circuit(4).cx(0, 2).cx(0, 3).cx(2, 1).cx(1, 3)
+        result = assign_communications(self.aggregate(circuit, mapping))
+        assert all(block.scheme is not None for block in result.blocks)
+
+    def test_cost_matches_scheme_histogram(self, mapping):
+        circuit = Circuit(4).cx(0, 2).cx(0, 3).cx(2, 0).cx(3, 0)
+        result = assign_communications(self.aggregate(circuit, mapping))
+        expected = (result.num_cat_blocks() * 1 + result.num_tp_blocks() * 2)
+        # Cat blocks in this circuit are single-segment, so cost is exact.
+        assert result.cost.total_comm == expected
+
+    def test_pattern_histogram_populated(self, mapping):
+        circuit = Circuit(4).cx(0, 2).cx(0, 3)
+        result = assign_communications(self.aggregate(circuit, mapping))
+        assert sum(result.pattern_histogram.values()) == len(result.blocks)
+        assert CommPattern.UNIDIRECTIONAL_CONTROL in result.pattern_histogram
+
+    def test_bv_uses_only_cat(self):
+        # Table 3 reports zero TP-Comm for BV at every size.
+        circuit = decompose_to_cx(bv_circuit(12, secret=[1] * 11))
+        mapping = QubitMapping({q: q // 4 for q in range(12)})
+        result = assign_communications(aggregate_communications(circuit, mapping))
+        assert result.num_tp_blocks() == 0
+        assert result.cost.tp_comm == 0
+        assert result.cost.total_comm == result.num_cat_blocks()
+
+    def test_qft_uses_mostly_tp(self):
+        # Table 3 reports that most QFT communications are TP-Comm.
+        circuit = decompose_to_cx(qft_circuit(8))
+        mapping = QubitMapping({q: q // 4 for q in range(8)})
+        result = assign_communications(aggregate_communications(circuit, mapping))
+        assert result.cost.tp_comm > result.cost.total_comm / 2
+
+    def test_cat_only_never_beats_hybrid(self):
+        circuit = decompose_to_cx(qft_circuit(8))
+        mapping = QubitMapping({q: q // 4 for q in range(8)})
+        aggregation = aggregate_communications(circuit, mapping)
+        hybrid = assign_communications(aggregation)
+        # Re-aggregate because assignment mutates block schemes in place.
+        aggregation2 = aggregate_communications(circuit, mapping)
+        cat_only = assign_communications(aggregation2, cat_only=True)
+        assert cat_only.cost.total_comm >= hybrid.cost.total_comm
+
+    def test_assignment_total_never_exceeds_remote_gate_count(self):
+        # One communication per remote gate is the sparse worst case.
+        circuit = decompose_to_cx(qft_circuit(10))
+        mapping = QubitMapping({q: q // 5 for q in range(10)})
+        result = assign_communications(aggregate_communications(circuit, mapping))
+        assert result.cost.total_comm <= mapping.count_remote_gates(circuit)
+
+    def test_arithmetic_snippet_mixes_schemes(self):
+        circuit = arithmetic_snippet()
+        mapping = QubitMapping(arithmetic_snippet_layout())
+        result = assign_communications(aggregate_communications(circuit, mapping))
+        assert result.num_cat_blocks() >= 1
+        assert result.num_tp_blocks() >= 1

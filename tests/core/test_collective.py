@@ -1,0 +1,131 @@
+"""Unit tests for the node-to-node collective communication extension."""
+
+import pytest
+
+from repro.circuits import qft_circuit
+from repro.comm import CommBlock, CommScheme
+from repro.core import (
+    CollectiveBlock,
+    aggregate_communications,
+    assign_communications,
+    collective_latency,
+    form_collectives,
+)
+from repro.core.aggregation import AggregationResult
+from repro.core.assignment import AssignmentResult
+from repro.comm.cost import total_comm_count, block_latency
+from repro.hardware import uniform_network
+from repro.ir import Circuit, Gate, decompose_to_cx
+from repro.partition import QubitMapping
+
+
+def make_block(hub, partner, mapping, scheme=CommScheme.CAT, extra_gates=()):
+    block = CommBlock(hub_qubit=hub, hub_node=mapping.node_of(hub),
+                      remote_node=mapping.node_of(partner))
+    block.append(Gate("cx", (hub, partner)))
+    block.extend(extra_gates)
+    block.scheme = scheme
+    return block
+
+
+def assignment_from(items, blocks, mapping, num_qubits=6):
+    circuit = Circuit(num_qubits)
+    aggregation = AggregationResult(circuit, mapping, list(items), list(blocks))
+    return AssignmentResult(aggregation=aggregation, blocks=list(blocks),
+                            cost=total_comm_count(blocks, mapping))
+
+
+@pytest.fixture
+def mapping():
+    return QubitMapping({0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 5: 2})
+
+
+class TestFormCollectives:
+    def test_adjacent_same_link_blocks_grouped(self, mapping):
+        a = make_block(0, 2, mapping)
+        b = make_block(1, 3, mapping)
+        assignment = assignment_from([a, b], [a, b], mapping)
+        items = form_collectives(assignment)
+        assert len(items) == 1
+        assert isinstance(items[0], CollectiveBlock)
+        assert len(items[0]) == 2
+        assert items[0].nodes == (0, 1)
+
+    def test_blocks_on_different_links_not_grouped(self, mapping):
+        a = make_block(0, 2, mapping)
+        b = make_block(1, 4, mapping)
+        assignment = assignment_from([a, b], [a, b], mapping)
+        items = form_collectives(assignment)
+        assert all(isinstance(item, CommBlock) for item in items)
+
+    def test_intervening_dependent_gate_breaks_collective(self, mapping):
+        a = make_block(0, 2, mapping)
+        b = make_block(1, 3, mapping)
+        gate = Gate("h", (0,))
+        assignment = assignment_from([a, gate, b], [a, b], mapping)
+        items = form_collectives(assignment)
+        assert not any(isinstance(item, CollectiveBlock) for item in items)
+
+    def test_unrelated_gate_does_not_break_collective(self, mapping):
+        a = make_block(0, 2, mapping)
+        b = make_block(1, 3, mapping)
+        gate = Gate("h", (5,))
+        assignment = assignment_from([a, gate, b], [a, b], mapping)
+        items = form_collectives(assignment)
+        assert any(isinstance(item, CollectiveBlock) for item in items)
+
+    def test_min_members_threshold(self, mapping):
+        a = make_block(0, 2, mapping)
+        assignment = assignment_from([a], [a], mapping)
+        items = form_collectives(assignment, min_members=2)
+        assert items == [a]
+
+    def test_comm_count_unchanged(self, mapping):
+        a = make_block(0, 2, mapping)
+        b = make_block(1, 3, mapping, scheme=CommScheme.TP)
+        assignment = assignment_from([a, b], [a, b], mapping)
+        collective = form_collectives(assignment)[0]
+        assert collective.comm_count(mapping) == assignment.cost.total_comm
+
+    def test_on_real_program(self, mapping):
+        circuit = decompose_to_cx(qft_circuit(6))
+        assignment = assign_communications(aggregate_communications(circuit, mapping))
+        items = form_collectives(assignment)
+        block_total = sum(len(item) if isinstance(item, CollectiveBlock) else 1
+                          for item in items
+                          if isinstance(item, (CommBlock, CollectiveBlock)))
+        assert block_total == len(assignment.blocks)
+
+
+class TestCollectiveLatency:
+    def test_empty_collective(self, mapping):
+        network = uniform_network(3, 2)
+        collective = CollectiveBlock(node_a=0, node_b=1, blocks=[])
+        assert collective_latency(collective, mapping, network) == 0.0
+
+    def test_two_blocks_within_budget_run_in_one_wave(self, mapping):
+        network = uniform_network(3, 2, comm_qubits_per_node=2)
+        a = make_block(0, 2, mapping)
+        b = make_block(1, 3, mapping)
+        collective = CollectiveBlock(node_a=0, node_b=1, blocks=[a, b])
+        latency = collective_latency(collective, mapping, network)
+        expected = network.latency.t_epr + max(
+            block_latency(a, mapping, network.latency),
+            block_latency(b, mapping, network.latency))
+        assert latency == pytest.approx(expected)
+
+    def test_more_comm_qubits_reduce_collective_latency(self, mapping):
+        blocks = [make_block(0, 2, mapping), make_block(1, 3, mapping),
+                  make_block(0, 3, mapping), make_block(1, 2, mapping)]
+        collective = CollectiveBlock(node_a=0, node_b=1, blocks=blocks)
+        tight = uniform_network(3, 2, comm_qubits_per_node=1)
+        roomy = uniform_network(3, 2, comm_qubits_per_node=4)
+        assert (collective_latency(collective, mapping, roomy)
+                < collective_latency(collective, mapping, tight))
+
+    def test_touched_qubits_and_gates(self, mapping):
+        a = make_block(0, 2, mapping)
+        b = make_block(1, 3, mapping)
+        collective = CollectiveBlock(node_a=0, node_b=1, blocks=[a, b])
+        assert collective.touched_qubits() == (0, 1, 2, 3)
+        assert len(collective.gates) == 2

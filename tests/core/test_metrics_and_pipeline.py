@@ -1,0 +1,149 @@
+"""Unit tests for metrics and the AutoComm pipeline."""
+
+import pytest
+
+from repro import AutoCommCompiler, AutoCommConfig, compile_autocomm, compile_sparse
+from repro.circuits import arithmetic_snippet, arithmetic_snippet_layout, bv_circuit, qft_circuit
+from repro.comm import CommBlock, CommScheme
+from repro.core import burst_distribution, communication_loads, comparison_factors
+from repro.core.metrics import CompilationMetrics
+from repro.hardware import uniform_network
+from repro.ir import Gate
+from repro.partition import QubitMapping
+
+
+@pytest.fixture
+def mapping():
+    return QubitMapping({0: 0, 1: 0, 2: 1, 3: 1})
+
+
+def cat_block(gates, scheme=CommScheme.CAT):
+    block = CommBlock(hub_qubit=0, hub_node=0, remote_node=1)
+    block.extend(gates)
+    block.scheme = scheme
+    return block
+
+
+class TestMetrics:
+    def test_comparison_factors(self):
+        baseline = CompilationMetrics("x", total_comm=100, tp_comm=0, cat_comm=100,
+                                      peak_rem_cx=1, latency=500.0, num_blocks=100,
+                                      num_remote_gates=100)
+        optimized = CompilationMetrics("x", total_comm=25, tp_comm=10, cat_comm=15,
+                                       peak_rem_cx=4, latency=125.0, num_blocks=20,
+                                       num_remote_gates=100)
+        factors = comparison_factors(baseline, optimized)
+        assert factors["improv_factor"] == pytest.approx(4.0)
+        assert factors["lat_dec_factor"] == pytest.approx(4.0)
+
+    def test_comparison_factors_zero_divisor(self):
+        baseline = CompilationMetrics("x", 10, 0, 10, 1, 10.0, 10, 10)
+        optimized = CompilationMetrics("x", 0, 0, 0, 0, 0.0, 0, 0)
+        factors = comparison_factors(baseline, optimized)
+        assert factors["improv_factor"] == float("inf")
+
+    def test_communication_loads_cat(self, mapping):
+        blocks = [cat_block([Gate("cx", (0, 2)), Gate("cx", (0, 3))])]
+        assert communication_loads(blocks, mapping) == [2.0]
+
+    def test_communication_loads_tp_split_in_half(self, mapping):
+        blocks = [cat_block([Gate("cx", (0, 2)), Gate("cx", (2, 0)),
+                             Gate("cx", (0, 3)), Gate("cx", (3, 0))],
+                            scheme=CommScheme.TP)]
+        assert communication_loads(blocks, mapping) == [2.0, 2.0]
+
+    def test_burst_distribution_monotone_decreasing(self, mapping):
+        blocks = [
+            cat_block([Gate("cx", (0, 2))]),
+            cat_block([Gate("cx", (0, 2)), Gate("cx", (0, 3))]),
+            cat_block([Gate("cx", (0, 2)), Gate("cx", (0, 3)), Gate("cx", (0, 2))]),
+        ]
+        dist = burst_distribution(blocks, mapping)
+        assert dist[1] == pytest.approx(1.0)
+        values = [dist[x] for x in sorted(dist)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_burst_distribution_empty(self, mapping):
+        assert burst_distribution([], mapping) == {}
+
+    def test_metrics_as_dict(self):
+        metrics = CompilationMetrics("demo", 5, 2, 3, 2.5, 42.0, 4, 9)
+        data = metrics.as_dict()
+        assert data["name"] == "demo"
+        assert data["total_comm"] == 5
+        assert data["latency"] == 42.0
+
+
+class TestPipeline:
+    def test_compile_returns_all_stages(self):
+        circuit = qft_circuit(8)
+        network = uniform_network(2, 4)
+        program = compile_autocomm(circuit, network)
+        assert program.aggregation is not None
+        assert program.assignment is not None
+        assert program.schedule is not None
+        assert program.metrics.total_comm > 0
+        assert program.compiler == "autocomm"
+
+    def test_compile_with_explicit_mapping(self):
+        circuit = bv_circuit(8)
+        network = uniform_network(2, 4)
+        mapping = QubitMapping({q: q // 4 for q in range(8)}, network)
+        program = compile_autocomm(circuit, network, mapping=mapping)
+        assert program.mapping == mapping
+
+    def test_capacity_check(self):
+        circuit = qft_circuit(10)
+        network = uniform_network(2, 4)
+        with pytest.raises(ValueError):
+            compile_autocomm(circuit, network)
+
+    def test_config_labels(self):
+        assert AutoCommCompiler(AutoCommConfig(cat_only=True))._compiler_label() \
+            == "autocomm-catonly"
+        assert AutoCommCompiler(AutoCommConfig(use_commutation=False))._compiler_label() \
+            == "autocomm-nocommute"
+        assert AutoCommCompiler(AutoCommConfig(schedule_strategy="greedy"))._compiler_label() \
+            == "autocomm-greedy"
+
+    def test_summary_contains_compiler(self):
+        circuit = bv_circuit(8)
+        network = uniform_network(2, 4)
+        program = compile_autocomm(circuit, network)
+        summary = program.summary()
+        assert summary["compiler"] == "autocomm"
+        assert summary["total_comm"] == program.metrics.total_comm
+
+    def test_burst_distribution_accessor(self):
+        circuit = qft_circuit(8)
+        network = uniform_network(2, 4)
+        program = compile_autocomm(circuit, network)
+        dist = program.burst_distribution()
+        assert dist[1] == pytest.approx(1.0)
+
+    def test_autocomm_beats_sparse_on_qft(self):
+        circuit = qft_circuit(12)
+        network = uniform_network(3, 4)
+        autocomm = compile_autocomm(circuit, network)
+        sparse = compile_sparse(circuit, network)
+        assert autocomm.metrics.total_comm < sparse.metrics.total_comm
+        assert autocomm.metrics.latency < sparse.metrics.latency
+        assert autocomm.metrics.peak_rem_cx > sparse.metrics.peak_rem_cx
+
+    def test_decompose_flag(self):
+        circuit = qft_circuit(6)
+        network = uniform_network(2, 3)
+        program = compile_autocomm(circuit, network,
+                                   config=AutoCommConfig(decompose=False))
+        # Without decomposition the compiled circuit still contains CRZ gates.
+        assert any(g.name == "crz" for g in program.circuit)
+
+    def test_compiled_program_against_snippet_latency_claim(self):
+        # Section 4.4: the walk-through achieves > 2x latency saving over
+        # executing each remote CX independently.
+        circuit = arithmetic_snippet()
+        network = uniform_network(3, 3)
+        mapping = QubitMapping(arithmetic_snippet_layout(), network)
+        autocomm = compile_autocomm(circuit, network, mapping=mapping)
+        sparse = compile_sparse(circuit, network, mapping=mapping)
+        assert sparse.metrics.latency / autocomm.metrics.latency > 1.5

@@ -1,0 +1,217 @@
+"""Unit tests for the communication scheduling pass."""
+
+import pytest
+
+from repro.circuits import bv_circuit, qft_circuit
+from repro.comm import CommBlock, CommScheme
+from repro.core import (
+    FusedTPChain,
+    aggregate_communications,
+    assign_communications,
+    fuse_tp_chains,
+    schedule_communications,
+)
+from repro.hardware import DEFAULT_LATENCY, uniform_network
+from repro.ir import Circuit, Gate, decompose_to_cx
+from repro.partition import QubitMapping, block_mapping
+
+
+def compile_assignment(circuit, mapping):
+    return assign_communications(aggregate_communications(circuit, mapping))
+
+
+def mapping_for(num_qubits, num_nodes):
+    per = -(-num_qubits // num_nodes)
+    return QubitMapping({q: q // per for q in range(num_qubits)})
+
+
+class TestScheduleBasics:
+    def test_empty_circuit(self):
+        network = uniform_network(2, 2)
+        assignment = compile_assignment(Circuit(4), mapping_for(4, 2))
+        schedule = schedule_communications(assignment, network)
+        assert schedule.latency == 0.0
+        assert schedule.ops == []
+
+    def test_local_only_circuit_has_no_comm_ops(self):
+        network = uniform_network(2, 2)
+        circuit = Circuit(4).h(0).cx(0, 1).cx(2, 3)
+        schedule = schedule_communications(compile_assignment(circuit, mapping_for(4, 2)),
+                                           network)
+        assert schedule.num_comm_ops == 0
+        assert schedule.latency > 0
+
+    def test_unknown_strategy_rejected(self):
+        network = uniform_network(2, 2)
+        assignment = compile_assignment(Circuit(4).cx(0, 2), mapping_for(4, 2))
+        with pytest.raises(ValueError):
+            schedule_communications(assignment, network, strategy="random")
+
+    def test_single_remote_gate_latency(self):
+        network = uniform_network(2, 2)
+        circuit = Circuit(4).cx(0, 2)
+        schedule = schedule_communications(compile_assignment(circuit, mapping_for(4, 2)),
+                                           network)
+        # EPR prep + one Cat-Comm carrying a single CX.
+        expected = (DEFAULT_LATENCY.t_epr + DEFAULT_LATENCY.cat_comm_latency(1))
+        assert schedule.latency == pytest.approx(expected)
+
+    def test_ops_cover_all_items(self):
+        network = uniform_network(2, 3)
+        circuit = Circuit(6).h(0).cx(0, 3).cx(1, 4).cx(2, 5)
+        assignment = compile_assignment(circuit, mapping_for(6, 2))
+        schedule = schedule_communications(assignment, network)
+        assert len(schedule.ops) >= 4
+
+    def test_latency_is_makespan(self):
+        network = uniform_network(2, 3)
+        circuit = decompose_to_cx(qft_circuit(6))
+        schedule = schedule_communications(compile_assignment(circuit, mapping_for(6, 2)),
+                                           network)
+        assert schedule.latency == pytest.approx(max(op.end for op in schedule.ops))
+
+
+class TestDependencyCorrectness:
+    def test_dependent_ops_do_not_overlap(self):
+        network = uniform_network(2, 3)
+        circuit = decompose_to_cx(qft_circuit(6))
+        assignment = compile_assignment(circuit, mapping_for(6, 2))
+        schedule = schedule_communications(assignment, network)
+        items = list(assignment.items)
+        # Plain-gate items sharing a qubit and appearing in program order must
+        # not be scheduled out of order.
+        by_index = {op.index: op for op in schedule.ops}
+        last_seen = {}
+        for index, item in enumerate(items):
+            if not isinstance(item, Gate):
+                continue
+            op = by_index[index]
+            for qubit in item.qubits:
+                if qubit in last_seen:
+                    assert op.start >= by_index[last_seen[qubit]].start - 1e-9
+                last_seen[qubit] = index
+
+    def test_comm_qubit_capacity_respected(self):
+        network = uniform_network(3, 4)
+        circuit = decompose_to_cx(qft_circuit(12))
+        assignment = compile_assignment(circuit, mapping_for(12, 3))
+        schedule = schedule_communications(assignment, network)
+        comm = schedule.comm_ops()
+        # At any sampled time, each node hosts at most two live communications
+        # (including their EPR preparation window).
+        for t in [i * schedule.latency / 200 for i in range(200)]:
+            per_node = {0: 0, 1: 0, 2: 0}
+            for op in comm:
+                if op.start - DEFAULT_LATENCY.t_epr <= t < op.end:
+                    for node in op.nodes:
+                        per_node[node] += 1
+            assert all(count <= 2 for count in per_node.values())
+
+
+class TestFusion:
+    def make_tp_block(self, hub, partner, hub_node, remote_node):
+        block = CommBlock(hub_qubit=hub, hub_node=hub_node, remote_node=remote_node)
+        block.extend([Gate("cx", (hub, partner)), Gate("cx", (partner, hub))])
+        block.scheme = CommScheme.TP
+        return block
+
+    def test_fuse_consecutive_tp_blocks_same_hub(self):
+        a = self.make_tp_block(0, 2, 0, 1)
+        b = self.make_tp_block(0, 4, 0, 2)
+        mapping = QubitMapping({0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 5: 2})
+        fused = fuse_tp_chains([a, b], mapping)
+        assert len(fused) == 1
+        assert isinstance(fused[0], FusedTPChain)
+        assert fused[0].num_teleports() == 3  # n + 1 with n = 2 blocks
+
+    def test_no_fusion_for_different_hubs(self):
+        a = self.make_tp_block(0, 2, 0, 1)
+        b = self.make_tp_block(1, 3, 0, 1)
+        mapping = QubitMapping({0: 0, 1: 0, 2: 1, 3: 1})
+        fused = fuse_tp_chains([a, b], mapping)
+        assert all(isinstance(item, CommBlock) for item in fused)
+
+    def test_no_fusion_across_intervening_hub_gate(self):
+        a = self.make_tp_block(0, 2, 0, 1)
+        b = self.make_tp_block(0, 3, 0, 1)
+        mapping = QubitMapping({0: 0, 1: 0, 2: 1, 3: 1})
+        fused = fuse_tp_chains([a, Gate("h", (0,)), b], mapping)
+        assert not any(isinstance(item, FusedTPChain) for item in fused)
+
+    def test_fusion_ignores_unrelated_gates(self):
+        a = self.make_tp_block(0, 2, 0, 1)
+        b = self.make_tp_block(0, 3, 0, 1)
+        mapping = QubitMapping({0: 0, 1: 0, 2: 1, 3: 1})
+        fused = fuse_tp_chains([a, b, Gate("h", (1,))], mapping)
+        assert any(isinstance(item, FusedTPChain) for item in fused)
+
+    def test_cat_blocks_never_fused(self):
+        a = self.make_tp_block(0, 2, 0, 1)
+        cat = CommBlock(hub_qubit=0, hub_node=0, remote_node=1,
+                        gates=[Gate("cx", (0, 3))])
+        cat.scheme = CommScheme.CAT
+        mapping = QubitMapping({0: 0, 1: 0, 2: 1, 3: 1})
+        fused = fuse_tp_chains([a, cat], mapping)
+        assert not any(isinstance(item, FusedTPChain) for item in fused)
+
+    def test_chain_duration_less_than_sum_of_blocks(self):
+        mapping = QubitMapping({0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 5: 2})
+        a = self.make_tp_block(0, 2, 0, 1)
+        b = self.make_tp_block(0, 4, 0, 2)
+        chain = FusedTPChain(blocks=[a, b])
+        from repro.comm.cost import block_latency
+        separate = (block_latency(a, mapping) + block_latency(b, mapping))
+        assert chain.duration(mapping, DEFAULT_LATENCY) < separate
+
+
+class TestStrategies:
+    def test_burst_greedy_never_slower_than_greedy(self):
+        network = uniform_network(3, 4)
+        circuit = decompose_to_cx(qft_circuit(12))
+        mapping = mapping_for(12, 3)
+        greedy = schedule_communications(compile_assignment(circuit, mapping),
+                                         network, strategy="greedy")
+        burst = schedule_communications(compile_assignment(circuit, mapping),
+                                        network, strategy="burst-greedy")
+        assert burst.latency <= greedy.latency + 1e-9
+
+    def test_commutable_blocks_overlap_under_burst_greedy(self):
+        # Two commutable Cat blocks sharing the hub qubit can run in parallel.
+        network = uniform_network(3, 2)
+        circuit = Circuit(6).cx(0, 2).cx(0, 3).cx(0, 4).cx(0, 5)
+        mapping = QubitMapping({0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 5: 2})
+        assignment = compile_assignment(circuit, mapping)
+        schedule = schedule_communications(assignment, network, strategy="burst-greedy")
+        comm = schedule.comm_ops()
+        assert len(comm) == 2
+        overlap = min(comm[0].end, comm[1].end) - max(comm[0].start, comm[1].start)
+        assert overlap > 0
+
+    def test_greedy_serialises_blocks_sharing_a_qubit(self):
+        network = uniform_network(3, 2)
+        circuit = Circuit(6).cx(0, 2).cx(0, 3).cx(0, 4).cx(0, 5)
+        mapping = QubitMapping({0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 5: 2})
+        assignment = compile_assignment(circuit, mapping)
+        schedule = schedule_communications(assignment, network, strategy="greedy")
+        comm = sorted(schedule.comm_ops(), key=lambda op: op.start)
+        assert comm[1].start >= comm[0].end - 1e-9
+
+    def test_fused_chain_reported(self):
+        network = uniform_network(3, 2)
+        # Bidirectional blocks toward two different nodes with the same hub.
+        circuit = (Circuit(6).cx(0, 2).cx(2, 0).cx(0, 3)
+                   .cx(0, 4).cx(4, 0).cx(0, 5))
+        mapping = QubitMapping({0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 5: 2})
+        assignment = compile_assignment(circuit, mapping)
+        if assignment.num_tp_blocks() >= 2:
+            schedule = schedule_communications(assignment, network)
+            assert schedule.num_fused_chains >= 1
+
+    def test_parallelism_profile_shape(self):
+        network = uniform_network(2, 4)
+        circuit = decompose_to_cx(qft_circuit(8))
+        schedule = schedule_communications(compile_assignment(circuit, mapping_for(8, 2)),
+                                           network)
+        profile = schedule.parallelism_profile(resolution=50)
+        assert len(profile) == 50
+        assert max(profile) >= 1

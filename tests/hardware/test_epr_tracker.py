@@ -1,0 +1,105 @@
+"""Unit tests for the communication-qubit resource tracker."""
+
+import pytest
+
+from repro.hardware import CommResourceTracker, uniform_network
+
+
+@pytest.fixture
+def tracker():
+    return CommResourceTracker(uniform_network(3, 4))
+
+
+class TestReservation:
+    def test_reserve_first_free_slot(self, tracker):
+        reservation = tracker.reserve(0, 0.0, 5.0)
+        assert reservation.node == 0
+        assert reservation.slot == 0
+
+    def test_second_reservation_uses_other_slot(self, tracker):
+        tracker.reserve(0, 0.0, 5.0)
+        second = tracker.reserve(0, 0.0, 5.0)
+        assert second.slot == 1
+
+    def test_third_overlapping_reservation_fails(self, tracker):
+        tracker.reserve(0, 0.0, 5.0)
+        tracker.reserve(0, 0.0, 5.0)
+        with pytest.raises(ValueError):
+            tracker.reserve(0, 2.0, 4.0)
+
+    def test_non_overlapping_reservations_share_slot(self, tracker):
+        first = tracker.reserve(0, 0.0, 5.0)
+        second = tracker.reserve(0, 5.0, 10.0)
+        assert first.slot == second.slot == 0
+
+    def test_explicit_slot_conflict_rejected(self, tracker):
+        tracker.reserve(1, 0.0, 3.0, slot=0)
+        with pytest.raises(ValueError):
+            tracker.reserve(1, 1.0, 2.0, slot=0)
+
+    def test_reversed_interval_rejected(self, tracker):
+        with pytest.raises(ValueError):
+            tracker.reserve(0, 5.0, 1.0)
+
+    def test_labels_recorded(self, tracker):
+        tracker.reserve(0, 0.0, 1.0, label="epr-1")
+        assert tracker.reservations[0].label == "epr-1"
+        assert tracker.num_reservations() == 1
+
+
+class TestQueries:
+    def test_slot_free(self, tracker):
+        tracker.reserve(0, 2.0, 4.0, slot=0)
+        assert tracker.slot_free(0, 0, 0.0, 2.0)
+        assert tracker.slot_free(0, 0, 4.0, 6.0)
+        assert not tracker.slot_free(0, 0, 3.0, 5.0)
+        assert tracker.slot_free(0, 1, 3.0, 5.0)
+
+    def test_earliest_slot_on_empty_node(self, tracker):
+        start, slot = tracker.earliest_slot(2, duration=3.0, not_before=1.5)
+        assert start == 1.5
+        assert slot in (0, 1)
+
+    def test_earliest_slot_skips_busy_interval(self, tracker):
+        tracker.reserve(0, 0.0, 10.0, slot=0)
+        tracker.reserve(0, 0.0, 6.0, slot=1)
+        start, slot = tracker.earliest_slot(0, duration=5.0, not_before=0.0)
+        assert start == 6.0
+        assert slot == 1
+
+    def test_earliest_slot_fits_in_gap(self, tracker):
+        tracker.reserve(0, 0.0, 2.0, slot=0)
+        tracker.reserve(0, 8.0, 12.0, slot=0)
+        tracker.reserve(0, 0.0, 12.0, slot=1)
+        start, slot = tracker.earliest_slot(0, duration=4.0, not_before=0.0)
+        assert start == 2.0
+        assert slot == 0
+
+    def test_earliest_joint_respects_both_nodes(self, tracker):
+        tracker.reserve(0, 0.0, 10.0, slot=0)
+        tracker.reserve(0, 0.0, 10.0, slot=1)
+        # Node 1 is free but node 0 is saturated until t=10.
+        start, slots = tracker.earliest_joint([0, 1], duration=2.0)
+        assert start == 10.0
+        assert set(slots) == {0, 1}
+
+    def test_earliest_joint_on_free_nodes(self, tracker):
+        start, slots = tracker.earliest_joint([1, 2], duration=4.0, not_before=3.0)
+        assert start == 3.0
+
+
+class TestAccounting:
+    def test_makespan(self, tracker):
+        assert tracker.makespan() == 0.0
+        tracker.reserve(0, 0.0, 7.0)
+        tracker.reserve(1, 2.0, 11.0)
+        assert tracker.makespan() == 11.0
+
+    def test_utilisation(self, tracker):
+        tracker.reserve(0, 0.0, 10.0, slot=0)
+        # One of two slots busy for the whole horizon -> 50%.
+        assert tracker.utilisation(0, horizon=10.0) == pytest.approx(0.5)
+        assert tracker.utilisation(1, horizon=10.0) == 0.0
+
+    def test_utilisation_empty_horizon(self, tracker):
+        assert tracker.utilisation(0) == 0.0

@@ -1,0 +1,143 @@
+"""Unit tests for nodes, networks and the latency model."""
+
+import pytest
+
+from repro.hardware import (
+    DEFAULT_LATENCY,
+    LatencyModel,
+    QuantumNetwork,
+    QuantumNode,
+    uniform_network,
+)
+from repro.ir import Gate
+
+
+class TestQuantumNode:
+    def test_defaults(self):
+        node = QuantumNode(index=0, num_data_qubits=10)
+        assert node.num_comm_qubits == 2
+        assert node.name == "node0"
+        assert node.total_qubits == 12
+
+    def test_custom_name(self):
+        node = QuantumNode(index=1, num_data_qubits=5, name="alice")
+        assert node.name == "alice"
+
+    def test_can_host(self):
+        node = QuantumNode(index=0, num_data_qubits=4)
+        assert node.can_host(4)
+        assert not node.can_host(5)
+
+    def test_invalid_index_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumNode(index=-1, num_data_qubits=3)
+
+    def test_zero_data_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumNode(index=0, num_data_qubits=0)
+
+    def test_zero_comm_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumNode(index=0, num_data_qubits=3, num_comm_qubits=0)
+
+
+class TestQuantumNetwork:
+    def test_uniform_network(self):
+        network = uniform_network(3, 5)
+        assert network.num_nodes == 3
+        assert network.total_data_qubits == 15
+        assert network.comm_capacity(0) == 2
+
+    def test_uniform_network_custom_comm_qubits(self):
+        network = uniform_network(2, 4, comm_qubits_per_node=3)
+        assert network.comm_capacity(1) == 3
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ValueError):
+            uniform_network(0, 5)
+
+    def test_node_indices_must_be_consecutive(self):
+        nodes = [QuantumNode(index=1, num_data_qubits=2)]
+        with pytest.raises(ValueError):
+            QuantumNetwork(nodes)
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumNetwork([])
+
+    def test_node_accessor_and_iteration(self):
+        network = uniform_network(3, 2)
+        assert network.node(2).index == 2
+        assert len(list(network)) == 3
+        assert len(network) == 3
+
+    def test_epr_latency_default_and_override(self):
+        network = uniform_network(3, 2)
+        assert network.epr_latency(0, 1) == DEFAULT_LATENCY.t_epr
+        network.set_epr_latency(0, 1, 20.0)
+        assert network.epr_latency(0, 1) == 20.0
+        assert network.epr_latency(1, 0) == 20.0
+        assert network.epr_latency(0, 2) == DEFAULT_LATENCY.t_epr
+
+    def test_epr_latency_same_node_rejected(self):
+        network = uniform_network(2, 2)
+        with pytest.raises(ValueError):
+            network.epr_latency(1, 1)
+        with pytest.raises(ValueError):
+            network.set_epr_latency(0, 0, 5.0)
+
+    def test_node_pairs(self):
+        network = uniform_network(3, 2)
+        assert network.node_pairs() == [(0, 1), (0, 2), (1, 2)]
+
+    def test_validate_capacity(self):
+        network = uniform_network(2, 3)
+        network.validate_capacity(6)
+        with pytest.raises(ValueError):
+            network.validate_capacity(7)
+
+
+class TestLatencyModel:
+    def test_paper_defaults(self):
+        assert DEFAULT_LATENCY.t_1q == pytest.approx(0.1)
+        assert DEFAULT_LATENCY.t_2q == pytest.approx(1.0)
+        assert DEFAULT_LATENCY.t_measure == pytest.approx(5.0)
+        assert DEFAULT_LATENCY.t_epr == pytest.approx(12.0)
+        assert DEFAULT_LATENCY.t_classical_bit == pytest.approx(1.0)
+
+    def test_teleport_latency_about_eight_cx(self):
+        # Section 4.4 quotes "about 8 CX time" for one teleportation.
+        assert 6.0 <= DEFAULT_LATENCY.t_teleport <= 9.0
+
+    def test_gate_latency(self):
+        assert DEFAULT_LATENCY.gate_latency(Gate("h", (0,))) == pytest.approx(0.1)
+        assert DEFAULT_LATENCY.gate_latency(Gate("cx", (0, 1))) == pytest.approx(1.0)
+        assert DEFAULT_LATENCY.gate_latency(Gate("measure", (0,))) == pytest.approx(5.0)
+        assert DEFAULT_LATENCY.gate_latency(Gate("barrier", (0,))) == 0.0
+
+    def test_cat_comm_latency_grows_with_block(self):
+        small = DEFAULT_LATENCY.cat_comm_latency(num_local_2q=1)
+        large = DEFAULT_LATENCY.cat_comm_latency(num_local_2q=10)
+        assert large > small
+        assert large - small == pytest.approx(9 * DEFAULT_LATENCY.t_2q)
+
+    def test_tp_comm_latency_includes_two_teleports(self):
+        latency = DEFAULT_LATENCY.tp_comm_latency(num_local_2q=0)
+        assert latency == pytest.approx(2 * DEFAULT_LATENCY.t_teleport)
+
+    def test_cat_cheaper_than_tp_for_single_gate(self):
+        cat = DEFAULT_LATENCY.cat_comm_latency(1)
+        tp = DEFAULT_LATENCY.tp_comm_latency(1)
+        assert cat < tp
+
+    def test_with_overrides(self):
+        model = DEFAULT_LATENCY.with_overrides(t_epr=30.0)
+        assert model.t_epr == 30.0
+        assert model.t_2q == DEFAULT_LATENCY.t_2q
+        assert DEFAULT_LATENCY.t_epr == 12.0  # original untouched
+
+    def test_as_dict_contains_derived_values(self):
+        data = DEFAULT_LATENCY.as_dict()
+        assert "t_teleport" in data
+        assert "t_cat_entangle" in data
+        assert data["t_epr"] == 12.0

@@ -1,0 +1,120 @@
+"""Unit tests for network topologies and per-pair EPR latencies."""
+
+import networkx as nx
+import pytest
+
+from repro import compile_autocomm
+from repro.circuits import qft_circuit
+from repro.hardware import (
+    DEFAULT_LATENCY,
+    SUPPORTED_TOPOLOGIES,
+    apply_topology,
+    hop_counts,
+    topology_graph,
+    uniform_network,
+)
+
+
+class TestTopologyGraph:
+    def test_all_to_all(self):
+        graph = topology_graph("all-to-all", 5)
+        assert graph.number_of_edges() == 10
+
+    def test_line(self):
+        graph = topology_graph("line", 5)
+        assert graph.number_of_edges() == 4
+        assert nx.is_connected(graph)
+
+    def test_ring(self):
+        graph = topology_graph("ring", 5)
+        assert graph.number_of_edges() == 5
+        assert all(graph.degree[node] == 2 for node in graph)
+
+    def test_ring_of_two_has_single_link(self):
+        assert topology_graph("ring", 2).number_of_edges() == 1
+
+    def test_star(self):
+        graph = topology_graph("star", 6)
+        assert graph.degree[0] == 5
+        assert all(graph.degree[n] == 1 for n in range(1, 6))
+
+    def test_grid(self):
+        graph = topology_graph("grid", 6, grid_columns=3)
+        assert nx.is_connected(graph)
+        assert graph.number_of_edges() == 7  # 2x3 grid
+
+    def test_single_node(self):
+        assert topology_graph("line", 1).number_of_edges() == 0
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError):
+            topology_graph("torus", 4)
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ValueError):
+            topology_graph("line", 0)
+
+    def test_supported_list(self):
+        for kind in SUPPORTED_TOPOLOGIES:
+            assert topology_graph(kind, 4).number_of_nodes() == 4
+
+
+class TestHopCounts:
+    def test_line_hops(self):
+        counts = hop_counts(topology_graph("line", 4))
+        assert counts[(0, 1)] == 1
+        assert counts[(0, 3)] == 3
+        assert counts[(1, 3)] == 2
+
+    def test_all_to_all_hops_are_one(self):
+        counts = hop_counts(topology_graph("all-to-all", 4))
+        assert set(counts.values()) == {1}
+
+    def test_disconnected_rejected(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(3))
+        graph.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            hop_counts(graph)
+
+
+class TestApplyTopology:
+    def test_adjacent_pairs_keep_base_latency(self):
+        network = uniform_network(4, 3)
+        apply_topology(network, "line")
+        assert network.epr_latency(0, 1) == DEFAULT_LATENCY.t_epr
+
+    def test_distant_pairs_pay_swap_overhead(self):
+        network = uniform_network(4, 3)
+        apply_topology(network, "line", swap_overhead=1.0)
+        assert network.epr_latency(0, 3) == pytest.approx(3 * DEFAULT_LATENCY.t_epr)
+
+    def test_custom_swap_overhead(self):
+        network = uniform_network(4, 3)
+        apply_topology(network, "line", swap_overhead=0.5)
+        assert network.epr_latency(0, 2) == pytest.approx(1.5 * DEFAULT_LATENCY.t_epr)
+
+    def test_all_to_all_is_uniform(self):
+        network = uniform_network(4, 3)
+        apply_topology(network, "all-to-all")
+        for a, b in network.node_pairs():
+            assert network.epr_latency(a, b) == DEFAULT_LATENCY.t_epr
+
+    def test_negative_overhead_rejected(self):
+        network = uniform_network(3, 3)
+        with pytest.raises(ValueError):
+            apply_topology(network, "line", swap_overhead=-1.0)
+
+    def test_returns_same_network(self):
+        network = uniform_network(3, 3)
+        assert apply_topology(network, "ring") is network
+
+    def test_line_topology_increases_compiled_latency(self):
+        circuit = qft_circuit(12)
+        all_to_all = uniform_network(4, 3)
+        line = apply_topology(uniform_network(4, 3), "line", swap_overhead=2.0)
+        base = compile_autocomm(circuit, all_to_all)
+        constrained = compile_autocomm(circuit, line, mapping=base.mapping)
+        # Same communication count, higher latency under the constrained topology.
+        assert constrained.metrics.total_comm == base.metrics.total_comm
+        assert constrained.metrics.latency >= base.metrics.latency

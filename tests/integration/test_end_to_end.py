@@ -1,0 +1,116 @@
+"""End-to-end integration tests across the whole compilation stack."""
+
+import pytest
+
+from repro import (
+    AutoCommConfig,
+    compile_autocomm,
+    compile_gp_tp,
+    compile_sparse,
+    comparison_factors,
+)
+from repro.analysis import geometric_mean
+from repro.baselines import compile_cat_only, compile_no_commute, compile_plain_schedule
+from repro.circuits import build_benchmark, scaled_configurations
+from repro.hardware import uniform_network
+from repro.ir import decompose_to_cx
+from repro.partition import oee_partition
+
+
+ALL_COMPILERS = {
+    "autocomm": compile_autocomm,
+    "sparse": compile_sparse,
+    "gp-tp": compile_gp_tp,
+    "cat-only": compile_cat_only,
+    "no-commute": compile_no_commute,
+    "plain-schedule": compile_plain_schedule,
+}
+
+
+@pytest.mark.parametrize("family", ["MCTR", "RCA", "QFT", "BV", "QAOA"])
+def test_full_pipeline_on_every_family(family):
+    """Every compiler runs end to end on every benchmark family."""
+    circuit, network = build_benchmark(family, 12, 3)
+    mapping = oee_partition(decompose_to_cx(circuit), network).mapping
+    results = {}
+    for name, compiler in ALL_COMPILERS.items():
+        program = compiler(circuit, network, mapping=mapping)
+        results[name] = program
+        assert program.metrics.latency > 0
+        assert program.metrics.total_comm >= 0
+    # AutoComm never issues more communications than any baseline/ablation.
+    autocomm = results["autocomm"].metrics.total_comm
+    for name in ("sparse", "gp-tp", "cat-only", "no-commute"):
+        assert autocomm <= results[name].metrics.total_comm
+
+
+def test_uccsd_full_pipeline():
+    circuit, network = build_benchmark("UCCSD", 8, 4)
+    autocomm = compile_autocomm(circuit, network)
+    sparse = compile_sparse(circuit, network)
+    factors = comparison_factors(sparse.metrics, autocomm.metrics)
+    assert factors["improv_factor"] >= 1.0
+    assert factors["lat_dec_factor"] >= 1.0
+
+
+def test_paper_headline_ordering_of_benchmarks():
+    """QFT and BV benefit the most from AutoComm; UCCSD the least (Table 3)."""
+    improvements = {}
+    for family in ("QFT", "BV", "QAOA"):
+        circuit, network = build_benchmark(family, 20, 2)
+        mapping = oee_partition(decompose_to_cx(circuit), network).mapping
+        autocomm = compile_autocomm(circuit, network, mapping=mapping)
+        sparse = compile_sparse(circuit, network, mapping=mapping)
+        improvements[family] = (sparse.metrics.total_comm
+                                / max(1, autocomm.metrics.total_comm))
+    assert improvements["QFT"] > improvements["QAOA"]
+    assert improvements["BV"] > improvements["QAOA"]
+
+
+def test_average_improvement_factor_is_substantial():
+    """Across the scaled suite AutoComm reduces communications by >= 2x on
+    average (the paper reports 4.1x on the full-size suite)."""
+    factors = []
+    for spec in scaled_configurations("small"):
+        if spec.family in ("UCCSD",):
+            continue
+        circuit, network = spec.build()
+        mapping = oee_partition(decompose_to_cx(circuit), network).mapping
+        autocomm = compile_autocomm(circuit, network, mapping=mapping)
+        sparse = compile_sparse(circuit, network, mapping=mapping)
+        factors.append(sparse.metrics.total_comm / max(1, autocomm.metrics.total_comm))
+    assert geometric_mean(factors) >= 2.0
+
+
+def test_mapping_consistency_across_compilers():
+    """With a shared mapping every compiler sees the same remote gate count."""
+    circuit, network = build_benchmark("QAOA", 16, 4)
+    mapping = oee_partition(decompose_to_cx(circuit), network).mapping
+    counts = set()
+    for compiler in (compile_autocomm, compile_sparse, compile_gp_tp):
+        program = compiler(circuit, network, mapping=mapping)
+        counts.add(program.metrics.num_remote_gates)
+    assert len(counts) == 1
+
+
+def test_more_comm_qubits_never_hurt_latency():
+    """Scheduling with four comm qubits per node is at least as fast as two."""
+    circuit, _ = build_benchmark("QFT", 16, 4)
+    tight = uniform_network(4, 4, comm_qubits_per_node=2)
+    roomy = uniform_network(4, 4, comm_qubits_per_node=4)
+    mapping = oee_partition(decompose_to_cx(circuit), tight).mapping
+    lat_tight = compile_autocomm(circuit, tight, mapping=mapping).metrics.latency
+    lat_roomy = compile_autocomm(circuit, roomy, mapping=mapping).metrics.latency
+    assert lat_roomy <= lat_tight + 1e-9
+
+
+def test_config_combinations_all_run():
+    circuit, network = build_benchmark("RCA", 12, 3)
+    for use_commutation in (True, False):
+        for cat_only in (True, False):
+            for strategy in ("burst-greedy", "greedy"):
+                config = AutoCommConfig(use_commutation=use_commutation,
+                                        cat_only=cat_only,
+                                        schedule_strategy=strategy)
+                program = compile_autocomm(circuit, network, config=config)
+                assert program.metrics.total_comm >= 0

@@ -1,0 +1,160 @@
+"""Unit tests for the Circuit container."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ir import Circuit, Gate
+from repro.ir.simulator import circuit_unitary, unitaries_equal_up_to_global_phase
+
+
+class TestConstruction:
+    def test_empty_circuit(self):
+        circuit = Circuit(3)
+        assert circuit.num_qubits == 3
+        assert len(circuit) == 0
+        assert circuit.gates == ()
+
+    def test_negative_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit(-1)
+
+    def test_construct_from_gates(self):
+        gates = [Gate("h", (0,)), Gate("cx", (0, 1))]
+        circuit = Circuit(2, gates)
+        assert len(circuit) == 2
+        assert circuit[0].name == "h"
+
+    def test_append_validates_qubit_range(self):
+        circuit = Circuit(2)
+        with pytest.raises(ValueError):
+            circuit.append(Gate("h", (5,)))
+
+    def test_append_rejects_non_gate(self):
+        with pytest.raises(TypeError):
+            Circuit(2).append("h 0")
+
+    def test_builder_methods_chain(self):
+        circuit = Circuit(3).h(0).cx(0, 1).rz(0.5, 2).barrier().measure(1)
+        assert [g.name for g in circuit] == ["h", "cx", "rz", "barrier", "measure"]
+
+    def test_add_by_name(self):
+        circuit = Circuit(2).add("crz", [0, 1], [0.25])
+        assert circuit[0].params == (0.25,)
+
+    def test_copy_is_independent(self):
+        original = Circuit(2).h(0)
+        clone = original.copy()
+        clone.x(1)
+        assert len(original) == 1
+        assert len(clone) == 2
+
+    def test_equality(self):
+        a = Circuit(2).h(0).cx(0, 1)
+        b = Circuit(2).h(0).cx(0, 1)
+        c = Circuit(2).h(1)
+        assert a == b
+        assert a != c
+
+    def test_iteration_order(self):
+        circuit = Circuit(2).x(0).y(1).z(0)
+        assert [g.name for g in circuit] == ["x", "y", "z"]
+
+
+class TestComposition:
+    def test_compose_identity_map(self):
+        a = Circuit(2).h(0)
+        b = Circuit(2).cx(0, 1)
+        a.compose(b)
+        assert [g.name for g in a] == ["h", "cx"]
+
+    def test_compose_with_qubit_map(self):
+        a = Circuit(4)
+        b = Circuit(2).cx(0, 1)
+        a.compose(b, qubit_map={0: 2, 1: 3})
+        assert a[0].qubits == (2, 3)
+
+    def test_compose_too_large_rejected(self):
+        a = Circuit(1)
+        b = Circuit(3).h(2)
+        with pytest.raises(ValueError):
+            a.compose(b)
+
+    def test_inverse_reverses_and_inverts(self):
+        circuit = Circuit(2).h(0).s(1).cx(0, 1)
+        inverse = circuit.inverse()
+        assert [g.name for g in inverse] == ["cx", "sdg", "h"]
+
+    def test_inverse_is_actual_inverse(self):
+        circuit = Circuit(2).h(0).t(1).cx(0, 1).rz(0.3, 0)
+        total = circuit.copy().compose(circuit.inverse())
+        unitary = circuit_unitary(total)
+        assert unitaries_equal_up_to_global_phase(unitary, np.eye(4))
+
+    def test_remapped(self):
+        circuit = Circuit(2).cx(0, 1)
+        remapped = circuit.remapped({0: 3, 1: 1}, num_qubits=4)
+        assert remapped.num_qubits == 4
+        assert remapped[0].qubits == (3, 1)
+
+    def test_without_barriers(self):
+        circuit = Circuit(2).h(0).barrier().x(1)
+        stripped = circuit.without_barriers()
+        assert [g.name for g in stripped] == ["h", "x"]
+        assert len(circuit) == 3
+
+
+class TestAnalysis:
+    def test_count_ops(self):
+        circuit = Circuit(3).h(0).h(1).cx(0, 1).cx(1, 2)
+        assert circuit.count_ops() == {"h": 2, "cx": 2}
+
+    def test_num_two_qubit_and_cx(self):
+        circuit = Circuit(3).h(0).cx(0, 1).crz(0.1, 1, 2).ccx(0, 1, 2)
+        assert circuit.num_two_qubit_gates() == 3
+        assert circuit.num_cx_gates() == 1
+
+    def test_used_qubits(self):
+        circuit = Circuit(5).h(1).cx(3, 1)
+        assert circuit.used_qubits() == (1, 3)
+
+    def test_depth_serial_chain(self):
+        circuit = Circuit(1).h(0).x(0).z(0)
+        assert circuit.depth() == 3
+
+    def test_depth_parallel_gates(self):
+        circuit = Circuit(2).h(0).h(1)
+        assert circuit.depth() == 1
+
+    def test_depth_ignores_barriers(self):
+        circuit = Circuit(2).h(0).barrier().h(1)
+        assert circuit.depth() == 1
+
+    def test_two_qubit_depth(self):
+        circuit = Circuit(3).h(0).cx(0, 1).cx(1, 2).cx(0, 1)
+        assert circuit.two_qubit_depth() == 3
+
+    def test_interaction_pairs(self):
+        circuit = Circuit(3).cx(0, 1).cx(1, 0).cx(1, 2)
+        pairs = circuit.interaction_pairs()
+        assert pairs[(0, 1)] == 2
+        assert pairs[(1, 2)] == 1
+
+    def test_interaction_pairs_for_three_qubit_gate(self):
+        pairs = Circuit(3).ccx(0, 1, 2).interaction_pairs()
+        assert pairs[(0, 1)] == 1
+        assert pairs[(0, 2)] == 1
+        assert pairs[(1, 2)] == 1
+
+    def test_summary_fields(self):
+        summary = Circuit(2, name="demo").h(0).cx(0, 1).summary()
+        assert summary["name"] == "demo"
+        assert summary["num_qubits"] == 2
+        assert summary["num_gates"] == 2
+        assert summary["num_cx"] == 1
+        assert summary["depth"] == 2
+
+    def test_empty_circuit_depth_zero(self):
+        assert Circuit(4).depth() == 0
+        assert Circuit(4).two_qubit_depth() == 0

@@ -1,0 +1,96 @@
+"""Unit tests for the circuit dependency DAG."""
+
+import pytest
+
+from repro.hardware import DEFAULT_LATENCY
+from repro.ir import Circuit, CircuitDAG
+
+
+class TestConstruction:
+    def test_empty_circuit(self):
+        dag = CircuitDAG(Circuit(3))
+        assert dag.topological_order() == []
+        assert dag.front_layer() == []
+
+    def test_independent_gates_have_no_edges(self):
+        dag = CircuitDAG(Circuit(2).h(0).h(1))
+        assert dag.predecessors(0) == []
+        assert dag.predecessors(1) == []
+        assert sorted(dag.front_layer()) == [0, 1]
+
+    def test_chain_on_one_qubit(self):
+        dag = CircuitDAG(Circuit(1).h(0).x(0).z(0))
+        assert dag.predecessors(1) == [0]
+        assert dag.predecessors(2) == [1]
+        assert dag.successors(0) == [1]
+
+    def test_two_qubit_gate_joins_chains(self):
+        circuit = Circuit(2).h(0).x(1).cx(0, 1)
+        dag = CircuitDAG(circuit)
+        assert dag.predecessors(2) == [0, 1]
+
+    def test_barrier_fences_all_qubits(self):
+        circuit = Circuit(2).h(0).barrier().h(1)
+        dag = CircuitDAG(circuit)
+        assert dag.predecessors(1) == [0]
+        assert dag.predecessors(2) == [1]
+
+    def test_gate_accessor(self):
+        circuit = Circuit(2).cx(0, 1)
+        dag = CircuitDAG(circuit)
+        assert dag.gate(0).name == "cx"
+
+
+class TestLevelsAndLayers:
+    def test_asap_levels_simple(self):
+        circuit = Circuit(2).h(0).cx(0, 1).h(1)
+        dag = CircuitDAG(circuit)
+        levels = dag.asap_levels()
+        assert levels[0] == 0
+        assert levels[1] == 1
+        assert levels[2] == 2
+
+    def test_layers_grouping(self):
+        circuit = Circuit(3).h(0).h(1).h(2).cx(0, 1)
+        layers = CircuitDAG(circuit).layers()
+        assert layers[0] == [0, 1, 2]
+        assert layers[1] == [3]
+
+    def test_topological_order_is_valid(self):
+        circuit = Circuit(3).h(0).cx(0, 1).cx(1, 2).h(2)
+        dag = CircuitDAG(circuit)
+        order = dag.topological_order()
+        position = {node: i for i, node in enumerate(order)}
+        for node in order:
+            for pred in dag.predecessors(node):
+                assert position[pred] < position[node]
+
+
+class TestTiming:
+    def test_critical_path_serial(self):
+        circuit = Circuit(1).h(0).h(0).h(0)
+        dag = CircuitDAG(circuit)
+        length = dag.critical_path_length(lambda g: 2.0)
+        assert length == pytest.approx(6.0)
+
+    def test_critical_path_parallel(self):
+        circuit = Circuit(2).h(0).h(1)
+        dag = CircuitDAG(circuit)
+        assert dag.critical_path_length(lambda g: 2.0) == pytest.approx(2.0)
+
+    def test_critical_path_with_latency_model(self):
+        circuit = Circuit(2).h(0).cx(0, 1)
+        dag = CircuitDAG(circuit)
+        length = dag.critical_path_length(DEFAULT_LATENCY.gate_latency)
+        assert length == pytest.approx(DEFAULT_LATENCY.t_1q + DEFAULT_LATENCY.t_2q)
+
+    def test_asap_start_times(self):
+        circuit = Circuit(2).h(0).cx(0, 1).h(1)
+        dag = CircuitDAG(circuit)
+        starts = dag.asap_start_times(lambda g: 1.0)
+        assert starts[0] == 0.0
+        assert starts[1] == 1.0
+        assert starts[2] == 2.0
+
+    def test_empty_critical_path_is_zero(self):
+        assert CircuitDAG(Circuit(2)).critical_path_length(lambda g: 1.0) == 0.0

@@ -1,0 +1,195 @@
+"""Unit tests for the statevector simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ir import Circuit, Gate
+from repro.ir.simulator import (
+    apply_gate,
+    circuit_unitary,
+    fidelity,
+    purity,
+    random_statevector,
+    reduced_density_matrix,
+    simulate,
+    states_equal_up_to_global_phase,
+    unitaries_equal_up_to_global_phase,
+    zero_state,
+)
+
+
+class TestBasics:
+    def test_zero_state(self):
+        state = zero_state(3)
+        assert state.shape == (8,)
+        assert state[0] == 1.0
+        assert np.count_nonzero(state) == 1
+
+    def test_random_statevector_is_normalised(self):
+        state = random_statevector(4, seed=3)
+        assert abs(np.linalg.norm(state) - 1.0) < 1e-12
+
+    def test_random_statevector_reproducible(self):
+        assert np.allclose(random_statevector(3, seed=5),
+                           random_statevector(3, seed=5))
+
+    def test_h_gate_creates_superposition(self):
+        state = simulate(Circuit(1).h(0))
+        assert np.allclose(state, np.array([1, 1]) / math.sqrt(2))
+
+    def test_x_gate_flips(self):
+        state = simulate(Circuit(1).x(0))
+        assert np.allclose(state, [0, 1])
+
+    def test_bell_state(self):
+        state = simulate(Circuit(2).h(0).cx(0, 1))
+        expected = np.zeros(4, dtype=complex)
+        expected[0] = expected[3] = 1 / math.sqrt(2)
+        assert np.allclose(state, expected)
+
+    def test_qubit_ordering_msb_first(self):
+        # X on qubit 0 of two qubits should set index 2 (binary 10).
+        state = simulate(Circuit(2).x(0))
+        assert np.argmax(np.abs(state)) == 2
+
+    def test_initial_state_respected(self):
+        initial = np.array([0, 1], dtype=complex)
+        state = simulate(Circuit(1).x(0), initial_state=initial)
+        assert np.allclose(state, [1, 0])
+
+    def test_initial_state_dimension_checked(self):
+        with pytest.raises(ValueError):
+            simulate(Circuit(2), initial_state=np.array([1, 0]))
+
+    def test_too_many_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            simulate(Circuit(21))
+
+    def test_barrier_is_noop(self):
+        a = simulate(Circuit(2).h(0).barrier().cx(0, 1))
+        b = simulate(Circuit(2).h(0).cx(0, 1))
+        assert np.allclose(a, b)
+
+
+class TestMeasurement:
+    def test_measurement_requires_seed(self):
+        with pytest.raises(ValueError):
+            simulate(Circuit(1).h(0).measure(0))
+
+    def test_measurement_collapses_to_basis_state(self):
+        state = simulate(Circuit(1).h(0).measure(0), seed=11)
+        assert np.count_nonzero(np.abs(state) > 1e-9) == 1
+
+    def test_measurement_on_definite_state_is_deterministic(self):
+        state = simulate(Circuit(1).x(0).measure(0), seed=0)
+        assert np.allclose(np.abs(state), [0, 1])
+
+    def test_reset_returns_to_zero(self):
+        state = simulate(Circuit(1).x(0).reset(0), seed=1)
+        assert np.allclose(np.abs(state), [1, 0])
+
+    def test_reset_after_superposition(self):
+        state = simulate(Circuit(2).h(0).reset(0), seed=2)
+        # Qubit 0 is |0>; full state should have support only on indices 0..1.
+        assert np.allclose(np.abs(state[2:]), 0)
+
+
+class TestUnitary:
+    def test_circuit_unitary_of_cx(self):
+        unitary = circuit_unitary(Circuit(2).cx(0, 1))
+        assert np.allclose(unitary, Gate("cx", (0, 1)).unitary())
+
+    def test_circuit_unitary_respects_order(self):
+        circuit = Circuit(1).h(0).s(0)
+        unitary = circuit_unitary(circuit)
+        expected = Gate("s", (0,)).unitary() @ Gate("h", (0,)).unitary()
+        assert np.allclose(unitary, expected)
+
+    def test_circuit_unitary_rejects_measure(self):
+        with pytest.raises(ValueError):
+            circuit_unitary(Circuit(1).measure(0))
+
+    def test_circuit_unitary_rejects_large(self):
+        with pytest.raises(ValueError):
+            circuit_unitary(Circuit(11))
+
+    def test_swap_unitary_via_three_cx(self):
+        swapped = circuit_unitary(Circuit(2).cx(0, 1).cx(1, 0).cx(0, 1))
+        assert np.allclose(swapped, Gate("swap", (0, 1)).unitary())
+
+    def test_gate_on_nonadjacent_qubits(self):
+        # CX between qubits 0 and 2 of a 3-qubit register.
+        unitary = circuit_unitary(Circuit(3).cx(0, 2))
+        state = unitary @ zero_state(3)
+        assert np.allclose(state, zero_state(3))
+        flipped = unitary[:, 0b100]
+        assert abs(flipped[0b101]) == pytest.approx(1.0)
+
+
+class TestDensityMatrixHelpers:
+    def test_reduced_density_matrix_of_product_state(self):
+        state = simulate(Circuit(2).x(1))
+        rho = reduced_density_matrix(state, [0], 2)
+        assert np.allclose(rho, [[1, 0], [0, 0]])
+
+    def test_reduced_density_matrix_of_bell_state_is_mixed(self):
+        state = simulate(Circuit(2).h(0).cx(0, 1))
+        rho = reduced_density_matrix(state, [0], 2)
+        assert np.allclose(rho, np.eye(2) / 2)
+        assert purity(rho) == pytest.approx(0.5)
+
+    def test_purity_of_pure_state(self):
+        state = random_statevector(2, seed=4)
+        rho = np.outer(state, state.conj())
+        assert purity(rho) == pytest.approx(1.0)
+
+    def test_fidelity_pure_pure(self):
+        a = zero_state(1)
+        b = simulate(Circuit(1).h(0))
+        assert fidelity(a, a) == pytest.approx(1.0)
+        assert fidelity(a, b) == pytest.approx(0.5)
+
+    def test_fidelity_pure_mixed(self):
+        state = simulate(Circuit(2).h(0).cx(0, 1))
+        rho = reduced_density_matrix(state, [0], 2)
+        assert fidelity(zero_state(1), rho) == pytest.approx(0.5)
+
+
+class TestEquivalenceChecks:
+    def test_states_equal_up_to_global_phase(self):
+        state = random_statevector(3, seed=9)
+        assert states_equal_up_to_global_phase(state, np.exp(1j * 0.7) * state)
+
+    def test_states_not_equal(self):
+        assert not states_equal_up_to_global_phase(zero_state(1),
+                                                   np.array([0, 1], dtype=complex))
+
+    def test_states_different_shapes(self):
+        assert not states_equal_up_to_global_phase(zero_state(1), zero_state(2))
+
+    def test_unitaries_equal_up_to_global_phase(self):
+        theta = 0.9
+        rz = Gate("rz", (0,), (theta,)).unitary()
+        p = Gate("p", (0,), (theta,)).unitary()
+        assert unitaries_equal_up_to_global_phase(rz, p)
+
+    def test_unitaries_not_equal(self):
+        assert not unitaries_equal_up_to_global_phase(
+            Gate("x", (0,)).unitary(), Gate("z", (0,)).unitary())
+
+
+class TestApplyGate:
+    def test_apply_gate_matches_unitary(self):
+        state = random_statevector(3, seed=21)
+        gate = Gate("crz", (2, 0), (0.8,))
+        direct = apply_gate(state.copy(), gate, 3)
+        via_unitary = circuit_unitary(Circuit(3, [gate])) @ state
+        assert np.allclose(direct, via_unitary)
+
+    def test_apply_preserves_norm(self):
+        state = random_statevector(4, seed=22)
+        for gate in [Gate("h", (2,)), Gate("cx", (1, 3)), Gate("rzz", (0, 2), (0.4,))]:
+            state = apply_gate(state, gate, 4)
+        assert abs(np.linalg.norm(state) - 1.0) < 1e-10

@@ -1,0 +1,152 @@
+"""Unit tests for the local optimisation passes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import random_circuit
+from repro.ir import (
+    Circuit,
+    Gate,
+    cancel_adjacent_inverses,
+    drop_identities,
+    merge_rotations,
+    optimize_circuit,
+)
+from repro.ir.simulator import (
+    random_statevector,
+    simulate,
+    states_equal_up_to_global_phase,
+)
+
+
+def equivalent(a, b, seed=0):
+    state = random_statevector(a.num_qubits, seed=seed)
+    return states_equal_up_to_global_phase(
+        simulate(a, initial_state=state), simulate(b, initial_state=state))
+
+
+class TestCancelAdjacentInverses:
+    def test_double_h_removed(self):
+        circuit = Circuit(1).h(0).h(0)
+        assert len(cancel_adjacent_inverses(circuit)) == 0
+
+    def test_double_cx_removed(self):
+        circuit = Circuit(2).cx(0, 1).cx(0, 1)
+        assert len(cancel_adjacent_inverses(circuit)) == 0
+
+    def test_s_sdg_pair_removed(self):
+        circuit = Circuit(1).s(0).sdg(0)
+        assert len(cancel_adjacent_inverses(circuit)) == 0
+
+    def test_opposite_rotations_removed(self):
+        circuit = Circuit(1).rz(0.5, 0).rz(-0.5, 0)
+        assert len(cancel_adjacent_inverses(circuit)) == 0
+
+    def test_non_adjacent_not_removed(self):
+        circuit = Circuit(1).h(0).t(0).h(0)
+        assert len(cancel_adjacent_inverses(circuit)) == 3
+
+    def test_intervening_gate_on_other_qubit_does_not_matter(self):
+        circuit = Circuit(2).h(0).x(1).h(0)
+        out = cancel_adjacent_inverses(circuit)
+        assert [g.name for g in out] == ["x"]
+
+    def test_cx_pair_different_direction_not_removed(self):
+        circuit = Circuit(2).cx(0, 1).cx(1, 0)
+        assert len(cancel_adjacent_inverses(circuit)) == 2
+
+    def test_barrier_blocks_cancellation(self):
+        circuit = Circuit(1).h(0).barrier().h(0)
+        assert len(cancel_adjacent_inverses(circuit)) == 3
+
+    def test_partial_overlap_two_qubit_not_cancelled(self):
+        circuit = Circuit(3).cx(0, 1).cx(0, 2).cx(0, 1)
+        assert len(cancel_adjacent_inverses(circuit)) == 3
+
+    def test_preserves_semantics(self):
+        circuit = Circuit(3).h(0).h(0).cx(0, 1).t(2).cx(0, 1).s(1).sdg(1).x(2)
+        out = cancel_adjacent_inverses(circuit)
+        assert equivalent(circuit, out)
+        assert len(out) < len(circuit)
+
+
+class TestMergeRotations:
+    def test_adjacent_rz_merged(self):
+        circuit = Circuit(1).rz(0.3, 0).rz(0.4, 0)
+        out = merge_rotations(circuit)
+        assert len(out) == 1
+        assert out[0].params[0] == pytest.approx(0.7)
+
+    def test_adjacent_rzz_merged(self):
+        circuit = Circuit(2).rzz(0.3, 0, 1).rzz(0.2, 0, 1)
+        out = merge_rotations(circuit)
+        assert len(out) == 1
+        assert out[0].params[0] == pytest.approx(0.5)
+
+    def test_different_axes_not_merged(self):
+        circuit = Circuit(1).rz(0.3, 0).rx(0.4, 0)
+        assert len(merge_rotations(circuit)) == 2
+
+    def test_different_qubit_order_not_merged(self):
+        circuit = Circuit(2).crz(0.3, 0, 1).crz(0.2, 1, 0)
+        assert len(merge_rotations(circuit)) == 2
+
+    def test_interleaved_gate_prevents_merge(self):
+        circuit = Circuit(1).rz(0.3, 0).h(0).rz(0.4, 0)
+        assert len(merge_rotations(circuit)) == 3
+
+    def test_triple_merge(self):
+        circuit = Circuit(1).rz(0.1, 0).rz(0.2, 0).rz(0.3, 0)
+        out = merge_rotations(circuit)
+        assert len(out) == 1
+        assert out[0].params[0] == pytest.approx(0.6)
+
+    def test_preserves_semantics(self):
+        circuit = Circuit(2).rz(0.2, 0).rz(0.5, 0).rzz(0.4, 0, 1).rzz(-0.1, 0, 1).h(1)
+        assert equivalent(circuit, merge_rotations(circuit))
+
+
+class TestDropIdentities:
+    def test_id_gate_removed(self):
+        circuit = Circuit(1).add("id", [0]).h(0)
+        assert [g.name for g in drop_identities(circuit)] == ["h"]
+
+    def test_zero_rotation_removed(self):
+        circuit = Circuit(1).rz(0.0, 0).x(0)
+        assert [g.name for g in drop_identities(circuit)] == ["x"]
+
+    def test_two_pi_rotation_removed(self):
+        circuit = Circuit(1).rz(2 * math.pi, 0).x(0)
+        assert [g.name for g in drop_identities(circuit)] == ["x"]
+
+    def test_nonzero_rotation_kept(self):
+        circuit = Circuit(1).rz(0.1, 0)
+        assert len(drop_identities(circuit)) == 1
+
+
+class TestOptimizeCircuit:
+    def test_fixed_point_combines_passes(self):
+        # H X X H collapses to nothing over two iterations.
+        circuit = Circuit(1).h(0).x(0).x(0).h(0)
+        assert len(optimize_circuit(circuit)) == 0
+
+    def test_rotation_chain_cancels_to_nothing(self):
+        circuit = Circuit(1).rz(0.4, 0).rz(-0.1, 0).rz(-0.3, 0)
+        assert len(optimize_circuit(circuit)) == 0
+
+    def test_already_optimal_unchanged(self):
+        circuit = Circuit(2).h(0).cx(0, 1).t(1)
+        assert optimize_circuit(circuit) == circuit
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_circuits_preserved(self, seed):
+        circuit = random_circuit(5, 40, seed=seed)
+        optimized = optimize_circuit(circuit)
+        assert len(optimized) <= len(circuit)
+        assert equivalent(circuit, optimized, seed=seed)
+
+    def test_never_increases_gate_count(self):
+        circuit = random_circuit(4, 60, seed=9, two_qubit_prob=0.3)
+        assert len(optimize_circuit(circuit)) <= len(circuit)

@@ -1,0 +1,109 @@
+"""Unit tests for qubit-to-node mappings."""
+
+import pytest
+
+from repro.hardware import uniform_network
+from repro.ir import Circuit, Gate
+from repro.partition import QubitMapping, block_mapping, round_robin_mapping
+
+
+class TestConstruction:
+    def test_basic(self):
+        mapping = QubitMapping({0: 0, 1: 0, 2: 1, 3: 1})
+        assert mapping.num_qubits == 4
+        assert mapping.num_nodes == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            QubitMapping({})
+
+    def test_gap_in_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            QubitMapping({0: 0, 2: 1})
+
+    def test_capacity_validated_against_network(self):
+        network = uniform_network(2, 2)
+        QubitMapping({0: 0, 1: 0, 2: 1, 3: 1}, network)  # fits
+        with pytest.raises(ValueError):
+            QubitMapping({0: 0, 1: 0, 2: 0, 3: 1}, network)  # node 0 over capacity
+
+    def test_unknown_node_rejected(self):
+        network = uniform_network(2, 4)
+        with pytest.raises(ValueError):
+            QubitMapping({0: 0, 1: 5}, network)
+
+    def test_equality(self):
+        a = QubitMapping({0: 0, 1: 1})
+        b = QubitMapping({0: 0, 1: 1})
+        c = QubitMapping({0: 1, 1: 0})
+        assert a == b
+        assert a != c
+
+
+class TestQueries:
+    @pytest.fixture
+    def mapping(self):
+        return QubitMapping({0: 0, 1: 0, 2: 1, 3: 1, 4: 2})
+
+    def test_node_of(self, mapping):
+        assert mapping.node_of(0) == 0
+        assert mapping.node_of(4) == 2
+
+    def test_qubits_on(self, mapping):
+        assert mapping.qubits_on(0) == (0, 1)
+        assert mapping.qubits_on(2) == (4,)
+
+    def test_as_dict_is_copy(self, mapping):
+        data = mapping.as_dict()
+        data[0] = 99
+        assert mapping.node_of(0) == 0
+
+    def test_is_remote(self, mapping):
+        assert mapping.is_remote(Gate("cx", (0, 2)))
+        assert not mapping.is_remote(Gate("cx", (0, 1)))
+        assert not mapping.is_remote(Gate("h", (0,)))
+
+    def test_nodes_of(self, mapping):
+        assert mapping.nodes_of(Gate("cx", (1, 4))) == (0, 2)
+        assert mapping.nodes_of(Gate("ccx", (0, 2, 4))) == (0, 1, 2)
+
+    def test_remote_gates_and_count(self, mapping):
+        circuit = Circuit(5).cx(0, 1).cx(0, 2).cx(2, 3).cx(3, 4).h(0)
+        remote = mapping.remote_gates(circuit)
+        assert [i for i, _ in remote] == [1, 3]
+        assert mapping.count_remote_gates(circuit) == 2
+
+    def test_remote_pair_histogram(self, mapping):
+        circuit = Circuit(5).cx(0, 2).cx(1, 2).cx(0, 3)
+        histogram = mapping.remote_pair_histogram(circuit)
+        assert histogram[(2, 0)] == 2      # q2 interacts twice with node 0
+        assert histogram[(0, 1)] == 2      # q0 interacts twice with node 1
+        assert histogram[(3, 0)] == 1
+
+    def test_with_swapped(self, mapping):
+        swapped = mapping.with_swapped(0, 4)
+        assert swapped.node_of(0) == 2
+        assert swapped.node_of(4) == 0
+        assert mapping.node_of(0) == 0  # original untouched
+
+
+class TestFactories:
+    def test_round_robin(self):
+        network = uniform_network(3, 4)
+        mapping = round_robin_mapping(9, network)
+        assert mapping.node_of(0) == 0
+        assert mapping.node_of(1) == 1
+        assert mapping.node_of(3) == 0
+        assert mapping.node_of(8) == 2
+
+    def test_block_mapping(self):
+        network = uniform_network(3, 4)
+        mapping = block_mapping(10, network)
+        assert mapping.qubits_on(0) == (0, 1, 2, 3)
+        assert mapping.qubits_on(1) == (4, 5, 6, 7)
+        assert mapping.qubits_on(2) == (8, 9)
+
+    def test_block_mapping_capacity_exceeded(self):
+        network = uniform_network(2, 3)
+        with pytest.raises(ValueError):
+            block_mapping(7, network)

@@ -1,0 +1,161 @@
+"""Property-based tests for the AutoComm compiler passes (hypothesis).
+
+The central invariants:
+
+* aggregation is a commutation-justified permutation of the input, so the
+  flattened result must implement the same unitary;
+* every remote gate ends up in exactly one block;
+* the assigned communication count is bounded above by the sparse baseline
+  (one per remote gate) and below by the number of blocks;
+* scheduling respects the two-communication-qubits-per-node constraint and
+  never reorders dependent operations.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    aggregate_communications,
+    assign_communications,
+    schedule_communications,
+)
+from repro.hardware import DEFAULT_LATENCY, uniform_network
+from repro.ir import Circuit, Gate
+from repro.ir.simulator import (
+    random_statevector,
+    simulate,
+    states_equal_up_to_global_phase,
+)
+from repro.partition import QubitMapping
+
+NUM_QUBITS = 6
+NETWORK = uniform_network(3, 2)
+MAPPING = QubitMapping({q: q // 2 for q in range(NUM_QUBITS)}, NETWORK)
+
+_1Q = ["x", "z", "h", "s", "t", "tdg", "rz", "rx"]
+_2Q = ["cx", "cz", "rzz"]
+
+
+@st.composite
+def cx_basis_gates(draw):
+    if draw(st.booleans()):
+        name = draw(st.sampled_from(_1Q))
+        qubit = draw(st.integers(0, NUM_QUBITS - 1))
+        params = ((draw(st.floats(-3.0, 3.0, allow_nan=False)),)
+                  if name in ("rz", "rx") else ())
+        return Gate(name, (qubit,), params)
+    name = draw(st.sampled_from(_2Q))
+    a = draw(st.integers(0, NUM_QUBITS - 1))
+    b = draw(st.integers(0, NUM_QUBITS - 1).filter(lambda x: x != a))
+    params = ((draw(st.floats(-3.0, 3.0, allow_nan=False)),) if name == "rzz" else ())
+    return Gate(name, (a, b), params)
+
+
+@st.composite
+def distributed_circuits(draw, max_gates=30):
+    gates = draw(st.lists(cx_basis_gates(), min_size=1, max_size=max_gates))
+    return Circuit(NUM_QUBITS, gates)
+
+
+class TestAggregationProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(distributed_circuits())
+    def test_aggregation_preserves_semantics(self, circuit):
+        result = aggregate_communications(circuit, MAPPING)
+        state = random_statevector(NUM_QUBITS, seed=7)
+        original = simulate(circuit, initial_state=state)
+        rewritten = simulate(result.to_circuit(), initial_state=state)
+        assert states_equal_up_to_global_phase(original, rewritten)
+
+    @settings(max_examples=40, deadline=None)
+    @given(distributed_circuits())
+    def test_every_remote_gate_in_exactly_one_block(self, circuit):
+        result = aggregate_communications(circuit, MAPPING)
+        assert result.remote_gates_in_blocks() == MAPPING.count_remote_gates(circuit)
+
+    @settings(max_examples=40, deadline=None)
+    @given(distributed_circuits())
+    def test_gate_multiset_preserved(self, circuit):
+        result = aggregate_communications(circuit, MAPPING)
+        flattened = result.to_circuit()
+        assert sorted((g.name, g.qubits, g.params) for g in flattened) \
+            == sorted((g.name, g.qubits, g.params) for g in circuit)
+
+    @settings(max_examples=30, deadline=None)
+    @given(distributed_circuits())
+    def test_no_commutation_variant_also_preserves_semantics(self, circuit):
+        result = aggregate_communications(circuit, MAPPING, use_commutation=False)
+        state = random_statevector(NUM_QUBITS, seed=9)
+        assert states_equal_up_to_global_phase(
+            simulate(circuit, initial_state=state),
+            simulate(result.to_circuit(), initial_state=state))
+
+    @settings(max_examples=30, deadline=None)
+    @given(distributed_circuits())
+    def test_blocks_are_single_pair(self, circuit):
+        """Every block's remote gates connect its hub to its remote node only."""
+        result = aggregate_communications(circuit, MAPPING)
+        for block in result.blocks:
+            for gate in block.remote_gates(MAPPING):
+                assert block.hub_qubit in gate.qubits
+                other = [q for q in gate.qubits if q != block.hub_qubit][0]
+                assert MAPPING.node_of(other) == block.remote_node
+                assert MAPPING.node_of(block.hub_qubit) == block.hub_node
+
+
+class TestAssignmentProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(distributed_circuits())
+    def test_comm_count_bounds(self, circuit):
+        result = assign_communications(aggregate_communications(circuit, MAPPING))
+        num_remote = MAPPING.count_remote_gates(circuit)
+        assert result.cost.total_comm <= max(num_remote, 2 * len(result.blocks))
+        if num_remote:
+            assert result.cost.total_comm >= 1
+            assert result.cost.total_comm >= len(result.blocks)
+        # Hybrid assignment never pays more than 2 EPR pairs per block.
+        assert result.cost.total_comm <= 2 * max(1, len(result.blocks))
+
+    @settings(max_examples=40, deadline=None)
+    @given(distributed_circuits())
+    def test_every_block_assigned(self, circuit):
+        result = assign_communications(aggregate_communications(circuit, MAPPING))
+        assert all(block.scheme is not None for block in result.blocks)
+        assert sum(result.scheme_histogram.values()) == len(result.blocks)
+
+
+class TestSchedulingProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(distributed_circuits(max_gates=20))
+    def test_schedule_is_complete_and_positive(self, circuit):
+        assignment = assign_communications(aggregate_communications(circuit, MAPPING))
+        schedule = schedule_communications(assignment, NETWORK)
+        assert len(schedule.ops) == len(assignment.items)
+        assert all(op.end >= op.start for op in schedule.ops)
+        assert schedule.latency >= max((op.end for op in schedule.ops), default=0.0) - 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(distributed_circuits(max_gates=20))
+    def test_comm_capacity_never_exceeded(self, circuit):
+        assignment = assign_communications(aggregate_communications(circuit, MAPPING))
+        schedule = schedule_communications(assignment, NETWORK)
+        comm = schedule.comm_ops()
+        events = sorted({op.start for op in comm} | {op.end - 1e-9 for op in comm})
+        for t in events:
+            per_node = {n: 0 for n in range(NETWORK.num_nodes)}
+            for op in comm:
+                if op.start - DEFAULT_LATENCY.t_epr <= t < op.end:
+                    for node in op.nodes:
+                        per_node[node] += 1
+            assert all(count <= NETWORK.comm_capacity(n) for n, count in per_node.items())
+
+    @settings(max_examples=20, deadline=None)
+    @given(distributed_circuits(max_gates=20))
+    def test_burst_greedy_not_slower_than_plain_greedy(self, circuit):
+        fast = schedule_communications(
+            assign_communications(aggregate_communications(circuit, MAPPING)),
+            NETWORK, strategy="burst-greedy")
+        slow = schedule_communications(
+            assign_communications(aggregate_communications(circuit, MAPPING)),
+            NETWORK, strategy="greedy")
+        assert fast.latency <= slow.latency + 1e-6

@@ -1,0 +1,122 @@
+"""Property-based tests for the circuit IR (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import Circuit, Gate, decompose_to_cx
+from repro.ir.commutation import commutes
+from repro.ir.decompose import CX_BASIS
+from repro.ir.qasm import from_qasm, to_qasm
+from repro.ir.simulator import (
+    circuit_unitary,
+    random_statevector,
+    simulate,
+    states_equal_up_to_global_phase,
+    unitaries_equal_up_to_global_phase,
+)
+
+MAX_QUBITS = 5
+
+_1Q = ["x", "y", "z", "h", "s", "sdg", "t", "tdg"]
+_1Q_PARAM = ["rx", "ry", "rz", "p"]
+_2Q = ["cx", "cz", "swap"]
+_2Q_PARAM = ["crz", "cp", "rzz", "rxx"]
+
+
+@st.composite
+def gates(draw, num_qubits=MAX_QUBITS):
+    kind = draw(st.sampled_from(["1q", "1qp", "2q", "2qp"]))
+    if kind in ("1q", "1qp"):
+        qubit = draw(st.integers(0, num_qubits - 1))
+        if kind == "1q":
+            return Gate(draw(st.sampled_from(_1Q)), (qubit,))
+        angle = draw(st.floats(-3.0, 3.0, allow_nan=False))
+        return Gate(draw(st.sampled_from(_1Q_PARAM)), (qubit,), (angle,))
+    a = draw(st.integers(0, num_qubits - 1))
+    b = draw(st.integers(0, num_qubits - 1).filter(lambda x: x != a))
+    if kind == "2q":
+        return Gate(draw(st.sampled_from(_2Q)), (a, b))
+    angle = draw(st.floats(-3.0, 3.0, allow_nan=False))
+    return Gate(draw(st.sampled_from(_2Q_PARAM)), (a, b), (angle,))
+
+
+@st.composite
+def circuits(draw, max_gates=25):
+    gate_list = draw(st.lists(gates(), min_size=0, max_size=max_gates))
+    return Circuit(MAX_QUBITS, gate_list)
+
+
+class TestCommutationProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(gates(), gates())
+    def test_commutation_is_symmetric(self, a, b):
+        assert commutes(a, b) == commutes(b, a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(gates())
+    def test_every_gate_commutes_with_itself(self, gate):
+        assert commutes(gate, gate)
+
+    @settings(max_examples=40, deadline=None)
+    @given(gates(), gates())
+    def test_commutes_implies_equal_unitaries(self, a, b):
+        """If the engine says two gates commute, swapping them is exact."""
+        if not commutes(a, b):
+            return
+        forward = circuit_unitary(Circuit(MAX_QUBITS, [a, b]))
+        backward = circuit_unitary(Circuit(MAX_QUBITS, [b, a]))
+        assert np.allclose(forward, backward, atol=1e-8)
+
+
+class TestDecompositionProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(circuits(max_gates=12))
+    def test_decompose_preserves_unitary(self, circuit):
+        decomposed = decompose_to_cx(circuit)
+        assert all(g.name in CX_BASIS for g in decomposed)
+        state = random_statevector(MAX_QUBITS, seed=17)
+        assert states_equal_up_to_global_phase(
+            simulate(circuit, initial_state=state),
+            simulate(decomposed, initial_state=state))
+
+    @settings(max_examples=30, deadline=None)
+    @given(circuits(max_gates=15))
+    def test_decompose_never_shrinks_cx_count(self, circuit):
+        decomposed = decompose_to_cx(circuit)
+        assert decomposed.num_cx_gates() >= circuit.num_cx_gates()
+
+
+class TestCircuitProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(circuits())
+    def test_inverse_composes_to_identity(self, circuit):
+        total = circuit.copy().compose(circuit.inverse())
+        state = random_statevector(MAX_QUBITS, seed=23)
+        final = simulate(total, initial_state=state)
+        assert states_equal_up_to_global_phase(final, state)
+
+    @settings(max_examples=40, deadline=None)
+    @given(circuits())
+    def test_depth_bounds(self, circuit):
+        depth = circuit.depth()
+        assert depth <= len(circuit)
+        if len(circuit):
+            assert depth >= 1
+        assert circuit.two_qubit_depth() <= depth
+
+    @settings(max_examples=40, deadline=None)
+    @given(circuits())
+    def test_simulation_preserves_norm(self, circuit):
+        state = simulate(circuit)
+        assert abs(np.linalg.norm(state) - 1.0) < 1e-8
+
+    @settings(max_examples=30, deadline=None)
+    @given(circuits())
+    def test_qasm_roundtrip(self, circuit):
+        parsed = from_qasm(to_qasm(circuit))
+        assert parsed.num_qubits == circuit.num_qubits
+        assert len(parsed) == len(circuit)
+        assert [g.name for g in parsed] == [g.name for g in circuit]
+        for original, reparsed in zip(circuit, parsed):
+            assert original.qubits == reparsed.qubits
+            assert np.allclose(original.params, reparsed.params, atol=1e-12)

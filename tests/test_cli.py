@@ -1,0 +1,101 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import COMPILERS, build_parser, main
+from repro.circuits import qft_circuit
+from repro.ir import from_qasm, to_qasm
+
+
+@pytest.fixture
+def qasm_file(tmp_path):
+    path = tmp_path / "qft.qasm"
+    path.write_text(to_qasm(qft_circuit(8)))
+    return path
+
+
+class TestParser:
+    def test_compile_arguments(self):
+        args = build_parser().parse_args(["compile", "prog.qasm", "--nodes", "4"])
+        assert args.command == "compile"
+        assert args.nodes == 4
+        assert args.compiler == "autocomm"
+
+    def test_compiler_choices_cover_registry(self):
+        parser = build_parser()
+        for name in COMPILERS:
+            args = parser.parse_args(["compile", "p.qasm", "--nodes", "2",
+                                      "--compiler", name])
+            assert args.compiler == name
+
+    def test_missing_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_compiler_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compile", "p.qasm", "--nodes", "2",
+                                       "--compiler", "magic"])
+
+
+class TestCompileCommand:
+    def test_basic_report(self, qasm_file, capsys):
+        exit_code = main(["compile", str(qasm_file), "--nodes", "2"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "communications" in captured
+        assert "latency" in captured
+
+    def test_fidelity_flag(self, qasm_file, capsys):
+        main(["compile", str(qasm_file), "--nodes", "2", "--fidelity"])
+        assert "estimated fidelity" in capsys.readouterr().out
+
+    def test_alternative_compiler(self, qasm_file, capsys):
+        main(["compile", str(qasm_file), "--nodes", "2", "--compiler", "sparse"])
+        assert "sparse-cat" in capsys.readouterr().out
+
+    def test_missing_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["compile", str(tmp_path / "nope.qasm"), "--nodes", "2"])
+
+    def test_explicit_qubits_per_node(self, qasm_file, capsys):
+        exit_code = main(["compile", str(qasm_file), "--nodes", "2",
+                          "--qubits-per-node", "6"])
+        assert exit_code == 0
+
+
+class TestCompareCommand:
+    def test_all_compilers_listed(self, qasm_file, capsys):
+        exit_code = main(["compare", str(qasm_file), "--nodes", "2"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        for name in COMPILERS:
+            assert name in out
+
+
+class TestGenerateCommand:
+    def test_generate_to_stdout(self, capsys):
+        exit_code = main(["generate", "bv", "--qubits", "10"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "OPENQASM 2.0" in out
+        circuit = from_qasm(out)
+        assert circuit.num_qubits == 10
+
+    def test_generate_to_file(self, tmp_path, capsys):
+        target = tmp_path / "qaoa.qasm"
+        exit_code = main(["generate", "qaoa", "--qubits", "12",
+                          "--output", str(target)])
+        assert exit_code == 0
+        assert target.exists()
+        assert from_qasm(target.read_text()).num_qubits == 12
+
+    def test_generated_qft_roundtrips_through_compile(self, tmp_path, capsys):
+        target = tmp_path / "qft.qasm"
+        main(["generate", "qft", "--qubits", "8", "--output", str(target)])
+        exit_code = main(["compile", str(target), "--nodes", "2"])
+        assert exit_code == 0
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "grover", "--qubits", "8"])
