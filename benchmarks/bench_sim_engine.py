@@ -1,0 +1,65 @@
+"""Performance benchmark of the discrete-event execution engine.
+
+Times deterministic replay and stochastic Monte-Carlo execution of the
+benchmark suite so simulator-speed regressions are visible, and records the
+event/op counts that drive the cost.  Uses wall-clock timing over the whole
+suite (one run per configuration, like the table harnesses) plus a
+pytest-benchmark microbenchmark of the hot path.
+"""
+
+import time
+
+import pytest
+
+from _harness import emit, suite_specs
+from repro.core import compile_autocomm
+from repro.sim import SimulationConfig, run_monte_carlo, simulate_program
+
+MC_TRIALS = 10
+
+
+def test_bench_sim_engine():
+    rows = []
+    for spec in suite_specs():
+        circuit, network = spec.build()
+        program = compile_autocomm(circuit, network)
+
+        begin = time.perf_counter()
+        deterministic = simulate_program(program)
+        det_ms = (time.perf_counter() - begin) * 1e3
+
+        begin = time.perf_counter()
+        run_monte_carlo(program, SimulationConfig(
+            p_epr=0.5, trials=MC_TRIALS, seed=17, record_trace=False))
+        mc_ms = (time.perf_counter() - begin) * 1e3
+
+        rows.append({
+            "name": spec.name,
+            "ops": len(deterministic.ops),
+            "comm_ops": len(deterministic.comm_ops()),
+            "trace_events": deterministic.trace.num_events(),
+            "det_ms": det_ms,
+            "mc_ms_per_trial": mc_ms / MC_TRIALS,
+            "trials_per_s": MC_TRIALS / (mc_ms / 1e3) if mc_ms else 0.0,
+        })
+    emit("sim_engine", rows,
+         columns=["name", "ops", "comm_ops", "trace_events", "det_ms",
+                  "mc_ms_per_trial", "trials_per_s"],
+         note=f"deterministic replay + {MC_TRIALS}-trial Monte-Carlo (p_epr=0.5)")
+
+
+@pytest.fixture(scope="module")
+def qft_program():
+    spec = next(s for s in suite_specs() if s.family == "QFT")
+    circuit, network = spec.build()
+    return compile_autocomm(circuit, network)
+
+
+def test_perf_deterministic_replay(benchmark, qft_program):
+    benchmark(simulate_program, qft_program,
+              SimulationConfig(record_trace=False))
+
+
+def test_perf_stochastic_trial(benchmark, qft_program):
+    config = SimulationConfig(p_epr=0.5, seed=5, record_trace=False)
+    benchmark(simulate_program, qft_program, config)

@@ -10,7 +10,10 @@ The package is organised in layers:
   scheduling) and the compilation pipeline;
 * :mod:`repro.baselines` — the compilers AutoComm is compared against;
 * :mod:`repro.circuits` — benchmark circuit generators (Table 2 suite);
-* :mod:`repro.analysis` — burst statistics and result-table builders.
+* :mod:`repro.analysis` — burst statistics and result-table builders;
+* :mod:`repro.sim` — discrete-event execution simulation of compiled
+  programs (stochastic EPR generation, link contention, Monte-Carlo latency
+  distributions, analytical-schedule validation).
 
 Quick start::
 
@@ -36,6 +39,12 @@ from .baselines import compile_sparse, compile_gp_tp
 from .hardware import uniform_network, QuantumNetwork, LatencyModel, DEFAULT_LATENCY
 from .partition import QubitMapping, oee_partition
 from .ir import Circuit, Gate
+from .sim import (
+    SimulationConfig,
+    run_monte_carlo,
+    simulate_program,
+    validate_schedule,
+)
 
 __version__ = "1.0.0"
 
@@ -55,5 +64,9 @@ __all__ = [
     "oee_partition",
     "Circuit",
     "Gate",
+    "SimulationConfig",
+    "simulate_program",
+    "run_monte_carlo",
+    "validate_schedule",
     "__version__",
 ]

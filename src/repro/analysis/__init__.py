@@ -8,9 +8,10 @@ from .burst_stats import (
     qaoa_inverse_burst_bound,
     mean_remote_cx_per_comm,
 )
-from .tables import table2_row, table3_row, render_table, geometric_mean
+from .tables import (table2_row, table3_row, simulation_row, render_table,
+                     geometric_mean)
 from .fidelity import ErrorModel, DEFAULT_ERROR_MODEL, estimate_fidelity, fidelity_breakdown
-from .visualize import schedule_timeline, burst_histogram
+from .visualize import schedule_timeline, simulation_timeline, burst_histogram
 
 __all__ = [
     "burst_distribution",
@@ -21,6 +22,7 @@ __all__ = [
     "mean_remote_cx_per_comm",
     "table2_row",
     "table3_row",
+    "simulation_row",
     "render_table",
     "geometric_mean",
     "ErrorModel",
@@ -28,5 +30,6 @@ __all__ = [
     "estimate_fidelity",
     "fidelity_breakdown",
     "schedule_timeline",
+    "simulation_timeline",
     "burst_histogram",
 ]

@@ -8,14 +8,19 @@ same rows the paper reports.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, TYPE_CHECKING
 
 from ..core.metrics import CompilationMetrics, comparison_factors
 from ..core.pipeline import CompiledProgram
 from ..ir.circuit import Circuit
 from ..partition.mapping import QubitMapping
 
-__all__ = ["table2_row", "table3_row", "render_table", "geometric_mean"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.engine import MonteCarloResult
+    from ..sim.validate import ValidationReport
+
+__all__ = ["table2_row", "table3_row", "simulation_row", "render_table",
+           "geometric_mean"]
 
 
 def table2_row(name: str, circuit: Circuit, decomposed: Circuit,
@@ -31,10 +36,16 @@ def table2_row(name: str, circuit: Circuit, decomposed: Circuit,
     }
 
 
-def table3_row(autocomm: CompiledProgram, baseline: CompiledProgram) -> Dict[str, object]:
-    """One row of Table 3: AutoComm results relative to the sparse baseline."""
+def table3_row(autocomm: CompiledProgram, baseline: CompiledProgram,
+               simulated_latency: Optional[float] = None) -> Dict[str, object]:
+    """One row of Table 3: AutoComm results relative to the sparse baseline.
+
+    When ``simulated_latency`` (a discrete-event execution measurement from
+    :mod:`repro.sim`) is given, the row carries it next to the analytical
+    latency as an execution-grounded second opinion.
+    """
     factors = comparison_factors(baseline.metrics, autocomm.metrics)
-    return {
+    row = {
         "name": autocomm.name,
         "tot_comm": autocomm.metrics.total_comm,
         "tp_comm": autocomm.metrics.tp_comm,
@@ -43,6 +54,35 @@ def table3_row(autocomm: CompiledProgram, baseline: CompiledProgram) -> Dict[str
         "improv_factor": factors["improv_factor"],
         "lat_dec_factor": factors["lat_dec_factor"],
     }
+    if simulated_latency is not None:
+        row["simulated_latency"] = simulated_latency
+    return row
+
+
+def simulation_row(report: "ValidationReport",
+                   monte_carlo: Optional["MonteCarloResult"] = None) -> Dict[str, object]:
+    """One row comparing analytical latency with simulated execution.
+
+    ``report`` comes from :func:`repro.sim.validate.validate_schedule`; an
+    optional Monte-Carlo result appends the stochastic latency distribution.
+    """
+    row: Dict[str, object] = {
+        "name": report.name,
+        "latency": report.analytical_latency,
+        "simulated_latency": report.simulated_latency,
+        "validated": "yes" if report.matches else "NO",
+    }
+    if monte_carlo is not None:
+        summary = monte_carlo.summary()
+        row.update({
+            "p_epr": monte_carlo.config.p_epr,
+            "trials": int(summary["trials"]),
+            "sim_mean": summary["mean"],
+            "sim_std": summary["std"],
+            "sim_p95": summary["p95"],
+            "slowdown": summary.get("slowdown", 1.0),
+        })
+    return row
 
 
 def render_table(rows: Sequence[Mapping[str, object]],

@@ -5,6 +5,17 @@
 ``python -m repro.cli generate qft --qubits 16`` writes a benchmark circuit
 as QASM; ``python -m repro.cli compare program.qasm --nodes 4`` runs every
 compiler on the same program.
+
+``python -m repro.cli simulate program.qasm --nodes 4`` executes the
+compiled program on the modelled hardware with the discrete-event engine of
+:mod:`repro.sim`: it first replays the schedule deterministically
+(``p_epr = 1.0``) and cross-checks the analytical latency, then — when
+``--p-epr`` is below 1 or ``--trials`` exceeds 1 — runs a seeded
+Monte-Carlo study of stochastic EPR generation and prints the latency
+distribution.  ``--seed`` and ``--trials`` make stochastic runs reproducible
+from the command line; ``--retry-latency`` prices failed EPR attempts,
+``--link-capacity`` bounds concurrent EPR generations per link, and
+``--timeline`` renders the executed schedule as an ASCII per-node timeline.
 """
 
 from __future__ import annotations
@@ -14,7 +25,7 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
-from .analysis import render_table
+from .analysis import render_table, simulation_row, simulation_timeline
 from .analysis.fidelity import DEFAULT_ERROR_MODEL, estimate_fidelity
 from .baselines import (
     compile_cat_only,
@@ -27,6 +38,8 @@ from .circuits import BENCHMARK_FAMILIES, build_benchmark
 from .core import compile_autocomm
 from .hardware import uniform_network
 from .ir import Circuit, from_qasm, to_qasm
+from .sim import (SimulationConfig, run_monte_carlo, simulate_program,
+                  validate_schedule)
 
 __all__ = ["main", "build_parser"]
 
@@ -67,6 +80,37 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--nodes", type=int, required=True)
     compare_parser.add_argument("--qubits-per-node", type=int, default=None)
     compare_parser.add_argument("--comm-qubits", type=int, default=2)
+
+    simulate_parser = subparsers.add_parser(
+        "simulate", help="execute a compiled program with the discrete-event "
+                         "simulator (deterministic check + optional "
+                         "Monte-Carlo EPR study)")
+    simulate_parser.add_argument("qasm", type=Path)
+    simulate_parser.add_argument("--nodes", type=int, required=True)
+    simulate_parser.add_argument("--qubits-per-node", type=int, default=None)
+    simulate_parser.add_argument("--comm-qubits", type=int, default=2)
+    simulate_parser.add_argument("--compiler", choices=sorted(COMPILERS),
+                                 default="autocomm")
+    simulate_parser.add_argument("--p-epr", type=float, default=1.0,
+                                 help="EPR attempt success probability "
+                                      "(default 1.0 = deterministic)")
+    simulate_parser.add_argument("--retry-latency", type=float, default=None,
+                                 help="latency of one failed EPR attempt "
+                                      "(default: the link's EPR latency)")
+    simulate_parser.add_argument("--trials", type=int, default=1,
+                                 help="Monte-Carlo trials (default 1)")
+    simulate_parser.add_argument("--seed", type=int, default=0,
+                                 help="master seed for stochastic runs "
+                                      "(default 0)")
+    simulate_parser.add_argument("--link-capacity", type=int, default=None,
+                                 help="concurrent EPR generations per link "
+                                      "(default: unlimited)")
+    simulate_parser.add_argument("--timeline", action="store_true",
+                                 help="render the executed schedule as an "
+                                      "ASCII per-node timeline")
+    simulate_parser.add_argument("--trace", type=int, default=None,
+                                 metavar="N",
+                                 help="print the first N simulation events")
 
     generate_parser = subparsers.add_parser(
         "generate", help="write a benchmark circuit as OpenQASM 2.0")
@@ -139,6 +183,50 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_simulate(args) -> int:
+    if not 0.0 < args.p_epr <= 1.0:
+        raise SystemExit(f"error: --p-epr must be in (0, 1], got {args.p_epr}")
+    if args.trials < 1:
+        raise SystemExit(f"error: --trials must be >= 1, got {args.trials}")
+    if args.retry_latency is not None and args.retry_latency <= 0:
+        raise SystemExit("error: --retry-latency must be positive")
+    if args.link_capacity is not None and args.link_capacity < 1:
+        raise SystemExit("error: --link-capacity must be >= 1")
+    circuit = _load_circuit(args.qasm)
+    network = _make_network(circuit, args.nodes, args.qubits_per_node,
+                            args.comm_qubits)
+    program = COMPILERS[args.compiler](circuit, network)
+
+    # Deterministic replay first: the simulated execution must reproduce the
+    # analytical schedule latency exactly.
+    deterministic = simulate_program(program)
+    report = validate_schedule(program, result=deterministic)
+    monte_carlo = None
+    # A capacity-limited link is a study of its own even at p_epr = 1.0: the
+    # validation replay above stays unconstrained (it checks the analytical
+    # model), while the study branch reflects every flag the user passed.
+    if args.p_epr < 1.0 or args.trials > 1 or args.link_capacity is not None:
+        config = SimulationConfig(p_epr=args.p_epr,
+                                  retry_latency=args.retry_latency,
+                                  seed=args.seed, trials=args.trials,
+                                  link_capacity=args.link_capacity)
+        monte_carlo = run_monte_carlo(program, config)
+
+    print(render_table([simulation_row(report, monte_carlo)]))
+    if not report.matches:
+        print(f"warning: {report.describe()}", file=sys.stderr)
+
+    shown = (monte_carlo.sample_trial if monte_carlo is not None
+             and monte_carlo.sample_trial is not None else deterministic)
+    if args.timeline:
+        print()
+        print(simulation_timeline(shown, network.num_nodes))
+    if args.trace is not None:
+        print()
+        print(shown.trace.render(limit=args.trace))
+    return 0 if report.matches else 1
+
+
 def _cmd_generate(args) -> int:
     circuit, _ = build_benchmark(args.family.upper(), args.qubits, num_nodes=1)
     text = to_qasm(circuit)
@@ -154,7 +242,7 @@ def _cmd_generate(args) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"compile": _cmd_compile, "compare": _cmd_compare,
-                "generate": _cmd_generate}
+                "simulate": _cmd_simulate, "generate": _cmd_generate}
     return handlers[args.command](args)
 
 

@@ -5,8 +5,10 @@ from .assignment import AssignmentResult, assign_communications, choose_scheme
 from .scheduling import (
     ScheduleResult,
     ScheduledOp,
+    SchedulePlan,
     FusedTPChain,
     schedule_communications,
+    plan_schedule,
     fuse_tp_chains,
 )
 from .metrics import (
@@ -27,8 +29,10 @@ __all__ = [
     "choose_scheme",
     "ScheduleResult",
     "ScheduledOp",
+    "SchedulePlan",
     "FusedTPChain",
     "schedule_communications",
+    "plan_schedule",
     "fuse_tp_chains",
     "CompilationMetrics",
     "comparison_factors",

@@ -37,8 +37,8 @@ from ..partition.mapping import QubitMapping
 from .aggregation import ScheduleItem
 from .assignment import AssignmentResult
 
-__all__ = ["ScheduledOp", "ScheduleResult", "schedule_communications",
-           "FusedTPChain"]
+__all__ = ["ScheduledOp", "ScheduleResult", "SchedulePlan", "plan_schedule",
+           "schedule_communications", "FusedTPChain"]
 
 
 @dataclass
@@ -77,13 +77,7 @@ class FusedTPChain:
         return len(self.blocks) + 1
 
     def duration(self, mapping: QubitMapping, latency: LatencyModel) -> float:
-        body = 0.0
-        for block in self.blocks:
-            for gate in block.gates:
-                if gate.is_multi_qubit:
-                    body += latency.t_2q
-                elif gate.is_single_qubit:
-                    body += latency.t_1q
+        body = sum(latency.body_latency(block.gates) for block in self.blocks)
         return self.num_teleports() * latency.t_teleport + body
 
 
@@ -101,6 +95,8 @@ class ScheduledOp:
     end: float
     nodes: Tuple[int, ...] = ()
     num_remote_gates: int = 0
+    #: Assignment items covered by this op (> 1 for fused TP chains).
+    num_items: int = 1
 
     @property
     def duration(self) -> float:
@@ -116,9 +112,17 @@ class ScheduleResult:
     resources: CommResourceTracker
     num_comm_ops: int
     num_fused_chains: int
+    #: Which schedule variant produced this result: "burst" (commutation-aware
+    #: dependencies + TP fusion) or "plain" (strict program order).  The
+    #: execution simulator replays the same variant.
+    mode: str = "plain"
 
     def comm_ops(self) -> List[ScheduledOp]:
         return [op for op in self.ops if op.kind != "gate"]
+
+    def num_scheduled_items(self) -> int:
+        """Assignment items covered by the schedule (fused chains count all)."""
+        return sum(op.num_items for op in self.ops)
 
     def parallelism_profile(self, resolution: int = 200) -> List[int]:
         """Sampled count of concurrently running communications over time."""
@@ -140,9 +144,12 @@ def fuse_tp_chains(items: Sequence[ScheduleItem],
                    mapping: QubitMapping) -> List[SchedulableItem]:
     """Fuse runs of TP blocks sharing a hub qubit into :class:`FusedTPChain` units.
 
-    Two TP blocks are fused when they teleport the same hub qubit and no
-    intervening item touches that hub qubit (so the state can hop directly
-    from one remote node to the next).
+    Two TP blocks are fused when they teleport the same hub qubit and every
+    intervening item either avoids the chain's qubits entirely or commutes
+    with all of its blocks (so hopping the state directly from one remote
+    node to the next is a commutation-justified reordering).  An intervening
+    item that touches the hub always closes the chain: the hub is away from
+    its home node mid-chain, so nothing else may act on it.
     """
     out: List[SchedulableItem] = []
     open_chain: List[CommBlock] = []
@@ -161,10 +168,21 @@ def fuse_tp_chains(items: Sequence[ScheduleItem],
                 close()
             open_chain.append(item)
             continue
+        if isinstance(item, Gate) and item.is_barrier:
+            close()
+            out.append(item)
+            continue
         touched = (set(item.touched_qubits()) if isinstance(item, CommBlock)
                    else set(item.qubits))
-        if open_chain and open_chain[-1].hub_qubit in touched:
-            close()
+        if open_chain:
+            chain_qubits: Set[int] = set()
+            for block in open_chain:
+                chain_qubits.update(block.touched_qubits())
+            if (open_chain[-1].hub_qubit in touched
+                    or (touched & chain_qubits
+                        and not all(_items_commute(item, block)
+                                    for block in open_chain))):
+                close()
         out.append(item)
     close()
     return out
@@ -243,6 +261,57 @@ def _build_dependencies(items: Sequence[SchedulableItem], num_qubits: int,
 
 
 # ---------------------------------------------------------------------------
+# Schedule planning (shared with the execution simulator)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SchedulePlan:
+    """Schedulable items plus their dependency graph.
+
+    Both the analytical list scheduler below and the discrete-event execution
+    engine in :mod:`repro.sim` consume the same plan, so deterministic
+    simulation replays exactly the units and ordering constraints the
+    analytical latency was computed from.
+    """
+
+    items: List[SchedulableItem]
+    preds: List[List[int]]
+    num_fused_chains: int
+    burst: bool
+
+    @property
+    def mode(self) -> str:
+        return "burst" if self.burst else "plain"
+
+    def successors(self) -> List[List[int]]:
+        succs: List[List[int]] = [[] for _ in self.items]
+        for index, plist in enumerate(self.preds):
+            for p in plist:
+                succs[p].append(index)
+        return succs
+
+    def item_count(self, index: int) -> int:
+        """Assignment items covered by plan unit ``index``."""
+        item = self.items[index]
+        return len(item.blocks) if isinstance(item, FusedTPChain) else 1
+
+
+def plan_schedule(assignment: AssignmentResult, burst: bool) -> SchedulePlan:
+    """Build the schedulable units and dependency graph for one program."""
+    mapping = assignment.mapping
+    num_qubits = assignment.aggregation.circuit.num_qubits
+    items: List[SchedulableItem] = list(assignment.items)
+    num_fused = 0
+    if burst:
+        fused = fuse_tp_chains(items, mapping)
+        num_fused = sum(isinstance(i, FusedTPChain) for i in fused)
+        items = fused
+    preds = _build_dependencies(items, num_qubits, commutation_aware=burst)
+    return SchedulePlan(items=items, preds=preds, num_fused_chains=num_fused,
+                        burst=burst)
+
+
+# ---------------------------------------------------------------------------
 # Resource-constrained list scheduling
 # ---------------------------------------------------------------------------
 
@@ -277,22 +346,11 @@ def _run_schedule(assignment: AssignmentResult, network: QuantumNetwork,
                   burst: bool) -> ScheduleResult:
     latency = network.latency
     mapping = assignment.mapping
-    num_qubits = assignment.aggregation.circuit.num_qubits
 
-    items: List[SchedulableItem] = list(assignment.items)
-    num_fused = 0
-    if burst:
-        fused = fuse_tp_chains(items, mapping)
-        num_fused = sum(isinstance(i, FusedTPChain) for i in fused)
-        items = fused
-
-    preds = _build_dependencies(items, num_qubits, commutation_aware=burst)
-    succs: List[List[int]] = [[] for _ in items]
-    indegree = [0] * len(items)
-    for index, plist in enumerate(preds):
-        indegree[index] = len(plist)
-        for p in plist:
-            succs[p].append(index)
+    plan = plan_schedule(assignment, burst=burst)
+    items = plan.items
+    succs = plan.successors()
+    indegree = [len(plist) for plist in plan.preds]
 
     resources = CommResourceTracker(network)
     ready_time = [0.0] * len(items)
@@ -326,7 +384,9 @@ def _run_schedule(assignment: AssignmentResult, network: QuantumNetwork,
     makespan = max((op.end for op in ops), default=0.0)
     num_comm = sum(1 for op in ops if op.kind != "gate")
     return ScheduleResult(ops=ops, latency=makespan, resources=resources,
-                          num_comm_ops=num_comm, num_fused_chains=num_fused)
+                          num_comm_ops=num_comm,
+                          num_fused_chains=plan.num_fused_chains,
+                          mode=plan.mode)
 
 
 def _schedule_item(item: SchedulableItem, index: int, ready: float,
@@ -347,7 +407,8 @@ def _schedule_item(item: SchedulableItem, index: int, ready: float,
         return ScheduledOp(index=index, kind="tp-chain", start=start,
                            end=start + duration, nodes=nodes,
                            num_remote_gates=sum(
-                               b.num_remote_gates(mapping) for b in item.blocks))
+                               b.num_remote_gates(mapping) for b in item.blocks),
+                           num_items=len(item.blocks))
 
     # Single communication block.
     duration = block_latency(item, mapping, latency)

@@ -3,7 +3,7 @@
 from .node import QuantumNode
 from .network import QuantumNetwork, uniform_network
 from .timing import LatencyModel, DEFAULT_LATENCY
-from .epr import CommResourceTracker, Reservation
+from .epr import CommResourceTracker, Reservation, SlotSchedule
 from .topology import apply_topology, topology_graph, hop_counts, SUPPORTED_TOPOLOGIES
 
 __all__ = [
@@ -14,6 +14,7 @@ __all__ = [
     "DEFAULT_LATENCY",
     "CommResourceTracker",
     "Reservation",
+    "SlotSchedule",
     "apply_topology",
     "topology_graph",
     "hop_counts",

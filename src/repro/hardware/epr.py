@@ -22,7 +22,82 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .network import QuantumNetwork
 
-__all__ = ["CommResourceTracker", "Reservation"]
+__all__ = ["CommResourceTracker", "Reservation", "SlotSchedule"]
+
+
+class SlotSchedule:
+    """Busy-interval bookkeeping across ``num_slots`` identical slots.
+
+    The generic core of :class:`CommResourceTracker` (one instance per node's
+    communication qubits); the execution simulator reuses it for per-link
+    EPR-generation contention queues.
+    """
+
+    def __init__(self, num_slots: int) -> None:
+        if num_slots <= 0:
+            raise ValueError("a slot schedule needs at least one slot")
+        # intervals[slot] = sorted list of (start, end) busy windows.
+        self.intervals: List[List[Tuple[float, float]]] = [
+            [] for _ in range(num_slots)]
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.intervals)
+
+    def slot_free(self, slot: int, start: float, end: float) -> bool:
+        """True when ``slot`` is idle over ``[start, end)``."""
+        for (s, e) in self.intervals[slot]:
+            if s < end and start < e:
+                return False
+        return True
+
+    def earliest_on_slot(self, slot: int, duration: float,
+                         not_before: float) -> float:
+        intervals = self.intervals[slot]
+        start = not_before
+        for (s, e) in intervals:
+            if start + duration <= s:
+                return start
+            if e > start:
+                start = e
+        return start
+
+    def earliest(self, duration: float,
+                 not_before: float = 0.0) -> Tuple[float, int]:
+        """Earliest (start, slot) at or after ``not_before`` with room for ``duration``."""
+        best_start: Optional[float] = None
+        best_slot = 0
+        for slot in range(self.num_slots):
+            start = self.earliest_on_slot(slot, duration, not_before)
+            if best_start is None or start < best_start:
+                best_start, best_slot = start, slot
+        assert best_start is not None
+        return best_start, best_slot
+
+    def book(self, start: float, end: float,
+             slot: Optional[int] = None) -> int:
+        """Mark ``[start, end)`` busy on ``slot`` (or the first free slot)."""
+        if end < start:
+            raise ValueError("reservation end precedes start")
+        if slot is None:
+            for candidate in range(self.num_slots):
+                if self.slot_free(candidate, start, end):
+                    slot = candidate
+                    break
+            else:
+                raise ValueError(f"no free slot in [{start}, {end})")
+        elif not self.slot_free(slot, start, end):
+            raise ValueError(f"slot {slot} is busy in [{start}, {end})")
+        insort(self.intervals[slot], (start, end))
+        return slot
+
+    def busy_time(self) -> float:
+        """Total busy time summed over all slots."""
+        return sum(e - s for slot in self.intervals for (s, e) in slot)
+
+    def makespan(self) -> float:
+        return max((e for slot in self.intervals for (_, e) in slot),
+                   default=0.0)
 
 
 @dataclass(frozen=True)
@@ -41,10 +116,8 @@ class CommResourceTracker:
 
     def __init__(self, network: QuantumNetwork) -> None:
         self.network = network
-        # busy[node][slot] = sorted list of (start, end) intervals
-        self._busy: Dict[int, List[List[Tuple[float, float]]]] = {
-            node.index: [[] for _ in range(node.num_comm_qubits)]
-            for node in network
+        self._schedules: Dict[int, SlotSchedule] = {
+            node.index: SlotSchedule(node.num_comm_qubits) for node in network
         }
         self.reservations: List[Reservation] = []
 
@@ -52,22 +125,12 @@ class CommResourceTracker:
 
     def slot_free(self, node: int, slot: int, start: float, end: float) -> bool:
         """True when ``slot`` of ``node`` is idle over ``[start, end)``."""
-        for (s, e) in self._busy[node][slot]:
-            if s < end and start < e:
-                return False
-        return True
+        return self._schedules[node].slot_free(slot, start, end)
 
     def earliest_slot(self, node: int, duration: float,
                       not_before: float = 0.0) -> Tuple[float, int]:
         """Earliest (start, slot) at or after ``not_before`` with ``duration`` free."""
-        best_start: Optional[float] = None
-        best_slot = 0
-        for slot in range(len(self._busy[node])):
-            start = self._earliest_on_slot(node, slot, duration, not_before)
-            if best_start is None or start < best_start:
-                best_start, best_slot = start, slot
-        assert best_start is not None
-        return best_start, best_slot
+        return self._schedules[node].earliest(duration, not_before)
 
     def earliest_joint(self, nodes: Sequence[int], duration: float,
                        not_before: float = 0.0) -> Tuple[float, Dict[int, int]]:
@@ -90,17 +153,6 @@ class CommResourceTracker:
             time = proposal
         raise RuntimeError("resource search did not converge")  # pragma: no cover
 
-    def _earliest_on_slot(self, node: int, slot: int, duration: float,
-                          not_before: float) -> float:
-        intervals = self._busy[node][slot]
-        start = not_before
-        for (s, e) in intervals:
-            if start + duration <= s:
-                return start
-            if e > start:
-                start = e
-        return start
-
     # ------------------------------------------------------------------ booking
 
     def reserve(self, node: int, start: float, end: float,
@@ -110,22 +162,11 @@ class CommResourceTracker:
         When ``slot`` is omitted the first free slot is used.  Raises
         ``ValueError`` if no slot is free for the whole interval.
         """
-        if end < start:
-            raise ValueError("reservation end precedes start")
-        if slot is None:
-            for candidate in range(len(self._busy[node])):
-                if self.slot_free(node, candidate, start, end):
-                    slot = candidate
-                    break
-            else:
-                raise ValueError(
-                    f"node {node} has no free communication qubit in "
-                    f"[{start}, {end})")
-        elif not self.slot_free(node, slot, start, end):
-            raise ValueError(
-                f"slot {slot} of node {node} is busy in [{start}, {end})")
-        insort(self._busy[node][slot], (start, end))
-        reservation = Reservation(node=node, slot=slot, start=start, end=end,
+        try:
+            booked = self._schedules[node].book(start, end, slot=slot)
+        except ValueError as exc:
+            raise ValueError(f"node {node}: {exc}") from None
+        reservation = Reservation(node=node, slot=booked, start=start, end=end,
                                   label=label)
         self.reservations.append(reservation)
         return reservation
@@ -138,13 +179,13 @@ class CommResourceTracker:
             horizon = self.makespan()
         if horizon <= 0:
             return 0.0
-        busy = sum(e - s for slot in self._busy[node] for (s, e) in slot)
-        return busy / (horizon * len(self._busy[node]))
+        schedule = self._schedules[node]
+        return schedule.busy_time() / (horizon * schedule.num_slots)
 
     def makespan(self) -> float:
         """Latest reservation end time across the whole network."""
-        ends = [e for node in self._busy.values() for slot in node for (_, e) in slot]
-        return max(ends, default=0.0)
+        return max((schedule.makespan()
+                    for schedule in self._schedules.values()), default=0.0)
 
     def num_reservations(self) -> int:
         return len(self.reservations)

@@ -25,7 +25,7 @@ Derived quantities used throughout the scheduler:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Iterable
 
 from ..ir.gates import Gate
 
@@ -79,6 +79,21 @@ class LatencyModel:
         # Local multi-qubit gates count as CX-equivalents per constituent CX;
         # callers normally decompose first, so this is a conservative default.
         return self.t_2q
+
+    def body_latency(self, gates: Iterable[Gate]) -> float:
+        """Latency of executing a gate sequence locally (2q + 1q costs).
+
+        The shared accounting for the body of a communication block: used by
+        the TP-chain duration in the scheduler and by the execution
+        simulator's hop timestamps, so the two can never drift apart.
+        """
+        total = 0.0
+        for gate in gates:
+            if gate.is_multi_qubit:
+                total += self.t_2q
+            elif gate.is_single_qubit:
+                total += self.t_1q
+        return total
 
     def cat_comm_latency(self, num_local_2q: int, num_local_1q: int = 0) -> float:
         """Latency of one Cat-Comm invocation executing a block locally.

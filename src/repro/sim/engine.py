@@ -1,0 +1,393 @@
+"""Discrete-event execution engine for compiled distributed programs.
+
+The engine *executes* a compiled program's schedule plan on the modelled
+hardware instead of estimating its latency analytically: an event queue
+advances gate, EPR-generation, teleportation and classical-message events;
+communication qubits are occupied through the same
+:class:`~repro.hardware.epr.CommResourceTracker` the analytical scheduler
+uses, and EPR pairs are produced by a (possibly stochastic)
+:class:`~repro.sim.epr_process.EPRProcess`.
+
+Two properties anchor the design:
+
+* **Deterministic equivalence** — with ``p_epr = 1.0`` the engine replays
+  the exact plan (:func:`repro.core.scheduling.plan_schedule`) the
+  analytical scheduler used, makes placement decisions in the same
+  ``(ready time, item index)`` order and books identical resource windows,
+  so the simulated program latency equals the analytical
+  :class:`~repro.core.scheduling.ScheduleResult` latency bit-for-bit.  The
+  validator in :mod:`repro.sim.validate` asserts this.
+* **Seeded stochasticity** — with ``p_epr < 1`` every EPR preparation is a
+  sampled retry process; a Monte-Carlo run over ``trials`` seeded trials
+  yields a reproducible latency distribution.
+
+EPR preparation is requested ahead of an item's data-readiness whenever a
+communication qubit is free early (the analytical scheduler's pipelining
+assumption); each trial therefore realises one feasible timed execution of
+the program under the sampled EPR durations.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..comm.blocks import CommScheme
+from ..comm.cost import block_latency
+from ..core.pipeline import CompiledProgram
+from ..core.scheduling import FusedTPChain, SchedulePlan, plan_schedule
+from ..hardware.epr import CommResourceTracker, SlotSchedule
+from ..hardware.network import QuantumNetwork
+from ..ir.gates import Gate
+from .epr_process import EPRProcess
+from .trace import LatencyDistribution, TraceRecorder
+
+__all__ = ["SimulationConfig", "SimulatedOp", "SimulationResult",
+           "MonteCarloResult", "ExecutionEngine", "simulate_program",
+           "run_monte_carlo"]
+
+#: Event-queue ordering: finishing operations release dependencies before
+#: ready items placed at the same instant make resource decisions.
+_FINISH, _READY = 0, 1
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs of one simulation run."""
+
+    #: Success probability of one EPR generation attempt (1.0 = deterministic).
+    p_epr: float = 1.0
+    #: Latency of one failed attempt; defaults to the pair's EPR latency.
+    retry_latency: Optional[float] = None
+    #: Master seed for stochastic runs.
+    seed: Optional[int] = None
+    #: Monte-Carlo trials for :func:`run_monte_carlo`.
+    trials: int = 1
+    #: Concurrent EPR generations allowed per link (None = unlimited, the
+    #: analytical model's assumption; node comm qubits still constrain).
+    link_capacity: Optional[int] = None
+    #: Record the fine-grained event trace (disable for large sweeps).
+    record_trace: bool = True
+
+
+@dataclass(frozen=True)
+class SimulatedOp:
+    """One executed operation with its simulated time windows."""
+
+    index: int
+    kind: str                    # "gate", "cat", "tp", "tp-chain"
+    start: float                 # protocol start (EPR ready, data ready)
+    end: float
+    nodes: Tuple[int, ...] = ()
+    prep_start: float = 0.0      # EPR generation start (= start for gates)
+    epr_attempts: int = 0
+    num_items: int = 1
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of executing one program once."""
+
+    ops: List[SimulatedOp]
+    latency: float
+    trace: TraceRecorder
+    resources: CommResourceTracker
+    mode: str
+    seed: Optional[int] = None
+    total_epr_attempts: int = 0
+
+    def comm_ops(self) -> List[SimulatedOp]:
+        return [op for op in self.ops if op.kind != "gate"]
+
+    def num_scheduled_items(self) -> int:
+        return sum(op.num_items for op in self.ops)
+
+    def node_utilisation(self) -> Dict[int, float]:
+        """Busy fraction of each node's communication qubits."""
+        return {node.index: self.resources.utilisation(node.index,
+                                                       horizon=self.latency)
+                for node in self.resources.network}
+
+    def link_utilisation(self) -> Dict[Tuple[int, int], float]:
+        """Fraction of time each link spent generating EPR pairs."""
+        return self.trace.link_utilisation(self.latency)
+
+
+@dataclass
+class MonteCarloResult:
+    """Seeded latency distribution over repeated stochastic executions."""
+
+    config: SimulationConfig
+    latencies: List[float]
+    trial_seeds: List[int]
+    epr_attempts: List[int]
+    analytical_latency: Optional[float] = None
+    #: Full result of the first trial (with trace) for inspection/rendering.
+    sample_trial: Optional[SimulationResult] = None
+
+    @property
+    def distribution(self) -> LatencyDistribution:
+        return LatencyDistribution(self.latencies)
+
+    def summary(self) -> Dict[str, float]:
+        data = self.distribution.summary()
+        data["mean_epr_attempts"] = (sum(self.epr_attempts)
+                                     / max(1, len(self.epr_attempts)))
+        if self.analytical_latency is not None:
+            data["analytical"] = self.analytical_latency
+            data["slowdown"] = (data["mean"] / self.analytical_latency
+                                if self.analytical_latency > 0 else 1.0)
+        return data
+
+
+class ExecutionEngine:
+    """Executes one schedule plan on the modelled hardware."""
+
+    def __init__(self, plan: SchedulePlan, network: QuantumNetwork,
+                 mapping, config: Optional[SimulationConfig] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        self.plan = plan
+        self.network = network
+        self.mapping = mapping
+        self.config = config or SimulationConfig()
+        self.rng = rng if rng is not None else random.Random(self.config.seed)
+        self.latency = network.latency
+        self.epr = EPRProcess(network, p_success=self.config.p_epr,
+                              retry_latency=self.config.retry_latency)
+        self.resources = CommResourceTracker(network)
+        self.trace = TraceRecorder(enabled=self.config.record_trace)
+        self._links: Dict[Tuple[int, int], SlotSchedule] = {}
+
+    # ------------------------------------------------------------- event loop
+
+    def run(self) -> SimulationResult:
+        """Advance the event queue until every item has executed."""
+        items = self.plan.items
+        succs = self.plan.successors()
+        indegree = [len(p) for p in self.plan.preds]
+        ready_time = [0.0] * len(items)
+        executed: List[Optional[SimulatedOp]] = [None] * len(items)
+
+        queue: List[Tuple[float, int, int]] = []
+        for index, degree in enumerate(indegree):
+            if degree == 0:
+                heapq.heappush(queue, (0.0, _READY, index))
+
+        completed = 0
+        while queue:
+            time, phase, index = heapq.heappop(queue)
+            if phase == _READY:
+                op = self._execute_item(index, time)
+                executed[index] = op
+                completed += 1
+                heapq.heappush(queue, (op.end, _FINISH, index))
+            else:  # _FINISH: release successors of the completed item
+                end = executed[index].end
+                for succ in succs[index]:
+                    ready_time[succ] = max(ready_time[succ], end)
+                    indegree[succ] -= 1
+                    if indegree[succ] == 0:
+                        heapq.heappush(queue,
+                                       (ready_time[succ], _READY, succ))
+
+        if completed != len(items):  # pragma: no cover - defensive
+            raise RuntimeError("dependency cycle in simulated program")
+
+        ops = [op for op in executed if op is not None]
+        makespan = max((op.end for op in ops), default=0.0)
+        return SimulationResult(
+            ops=ops, latency=makespan, trace=self.trace,
+            resources=self.resources, mode=self.plan.mode,
+            seed=self.config.seed,
+            total_epr_attempts=sum(op.epr_attempts for op in ops))
+
+    # ------------------------------------------------------------- execution
+
+    def _execute_item(self, index: int, ready: float) -> SimulatedOp:
+        item = self.plan.items[index]
+        if isinstance(item, Gate):
+            end = ready + self.latency.gate_latency(item)
+            return SimulatedOp(index=index, kind="gate", start=ready, end=end,
+                               prep_start=ready)
+        if isinstance(item, FusedTPChain):
+            duration = item.duration(self.mapping, self.latency)
+            return self._execute_comm(index, item, ready, duration,
+                                      item.nodes(), kind="tp-chain")
+        duration = block_latency(item, self.mapping, self.latency)
+        kind = "tp" if item.scheme is CommScheme.TP else "cat"
+        return self._execute_comm(index, item, ready, duration, item.nodes,
+                                  kind=kind)
+
+    def _execute_comm(self, index, item, ready: float, duration: float,
+                      nodes: Sequence[int], kind: str) -> SimulatedOp:
+        nodes = tuple(nodes)
+        sample = self.epr.sample(self.rng, nodes)
+        prep = sample.duration
+        total = prep + duration
+
+        # EPR generation is data-independent, so its request is back-dated to
+        # pipeline with predecessor computation whenever comm qubits (and,
+        # if constrained, the links) were free early.
+        not_before = max(0.0, ready - prep)
+        prep_start = self._find_window(nodes, total, prep, not_before)
+        start = prep_start + prep
+        end = start + duration
+
+        label = f"{kind}-{index}"
+        for node in nodes:
+            self.resources.reserve(node, prep_start, end, label=label)
+        for a, b in self._pairs(nodes):
+            self.trace.record_link(a, b, prep_start, start)
+            if self.config.link_capacity is not None:
+                self._link_schedule(a, b).book(prep_start, start)
+
+        self._record_comm_trace(index, item, kind, nodes, prep_start, start,
+                                end, sample.attempts)
+        return SimulatedOp(index=index, kind=kind, start=start, end=end,
+                           nodes=nodes, prep_start=prep_start,
+                           epr_attempts=sample.attempts,
+                           num_items=self.plan.item_count(index))
+
+    def _find_window(self, nodes: Sequence[int], total: float, prep: float,
+                     not_before: float) -> float:
+        """Earliest start honouring node comm qubits and link capacity."""
+        time = not_before
+        for _ in range(1000):
+            proposal, _ = self.resources.earliest_joint(list(nodes), total,
+                                                        not_before=time)
+            if self.config.link_capacity is not None and prep > 0:
+                for a, b in self._pairs(nodes):
+                    start, _ = self._link_schedule(a, b).earliest(
+                        prep, not_before=proposal)
+                    proposal = max(proposal, start)
+            if proposal == time:
+                return time
+            time = proposal
+        raise RuntimeError("resource search did not converge")  # pragma: no cover
+
+    def _link_schedule(self, node_a: int, node_b: int) -> SlotSchedule:
+        key = (node_a, node_b) if node_a < node_b else (node_b, node_a)
+        if key not in self._links:
+            self._links[key] = SlotSchedule(self.config.link_capacity)
+        return self._links[key]
+
+    @staticmethod
+    def _pairs(nodes: Sequence[int]) -> List[Tuple[int, int]]:
+        nodes = list(nodes)
+        return [(a, b) for i, a in enumerate(nodes) for b in nodes[i + 1:]]
+
+    # ---------------------------------------------------------------- tracing
+
+    def _record_comm_trace(self, index: int, item, kind: str,
+                           nodes: Sequence[int], prep_start: float,
+                           start: float, end: float, attempts: int) -> None:
+        if not self.trace.enabled:
+            return
+        lat = self.latency
+        self.trace.record(prep_start, "epr-start", index, nodes,
+                          detail=f"attempts={attempts}")
+        self.trace.record(start, "epr-ready", index, nodes)
+        self.trace.record(start, "op-start", index, nodes, detail=kind)
+        if kind == "cat":
+            self.trace.record(start + lat.t_cat_entangle, "classical-msg",
+                              index, nodes, detail="cat-entangle outcome")
+            self.trace.record(end, "classical-msg", index, nodes,
+                              detail="cat-disentangle outcome")
+        elif kind == "tp":
+            self.trace.record(start + lat.t_teleport, "teleport", index,
+                              nodes, detail="hub to remote node")
+            self.trace.record(end, "teleport", index, nodes,
+                              detail="hub returned home")
+        else:  # tp-chain: hops interleaved with the block bodies
+            t = start
+            for hop, block in enumerate(item.blocks):
+                t += lat.t_teleport
+                self.trace.record(t, "teleport", index, nodes,
+                                  detail=f"chain hop {hop + 1}")
+                t += lat.body_latency(block.gates)
+            self.trace.record(end, "teleport", index, nodes,
+                              detail="hub returned home")
+        self.trace.record(end, "op-end", index, nodes, detail=kind)
+
+
+# ---------------------------------------------------------------------------
+# Program-level entry points
+# ---------------------------------------------------------------------------
+
+def _require_assignment(program: CompiledProgram):
+    if program.assignment is None:
+        raise ValueError(
+            f"program {program.name!r} carries no assignment result; "
+            "compile it with a pipeline that keeps intermediate passes")
+    return program.assignment
+
+
+def _program_burst(program: CompiledProgram) -> bool:
+    return program.schedule is not None and program.schedule.mode == "burst"
+
+
+def _plan_for(program: CompiledProgram) -> SchedulePlan:
+    assignment = _require_assignment(program)
+    return plan_schedule(assignment, burst=_program_burst(program))
+
+
+def simulate_program(program: CompiledProgram,
+                     config: Optional[SimulationConfig] = None) -> SimulationResult:
+    """Execute one compiled program once on the modelled hardware.
+
+    The schedule variant ("burst" or "plain") recorded by the analytical
+    scheduler is replayed, so with the default deterministic config the
+    result reproduces ``program.schedule.latency`` exactly.
+    """
+    config = config or SimulationConfig()
+    engine = ExecutionEngine(_plan_for(program), program.network,
+                             program.assignment.mapping, config=config)
+    return engine.run()
+
+
+def run_monte_carlo(program: CompiledProgram,
+                    config: SimulationConfig) -> MonteCarloResult:
+    """Run ``config.trials`` seeded stochastic executions of one program.
+
+    Trial seeds are derived from ``config.seed`` through a master generator,
+    so the whole distribution is reproducible from one integer.
+    """
+    if config.trials < 1:
+        raise ValueError("trials must be >= 1")
+    master = random.Random(config.seed)
+    trial_seeds = [master.getrandbits(63) for _ in range(config.trials)]
+
+    # The plan (items + dependency graph) is identical across trials and its
+    # commutation analysis dominates planning cost, so build it once.
+    plan = _plan_for(program)
+    mapping = program.assignment.mapping
+
+    latencies: List[float] = []
+    attempts: List[int] = []
+    sample_trial: Optional[SimulationResult] = None
+    for trial, trial_seed in enumerate(trial_seeds):
+        # The trial's config carries its own derived seed, so the recorded
+        # SimulationResult.seed reproduces that exact execution through
+        # simulate_program.
+        trial_config = replace(config, seed=trial_seed,
+                               record_trace=config.record_trace and trial == 0)
+        engine = ExecutionEngine(plan, program.network, mapping,
+                                 config=trial_config)
+        result = engine.run()
+        latencies.append(result.latency)
+        attempts.append(result.total_epr_attempts)
+        if trial == 0:
+            sample_trial = result
+
+    analytical = (program.schedule.latency if program.schedule is not None
+                  else None)
+    return MonteCarloResult(config=config, latencies=latencies,
+                            trial_seeds=trial_seeds, epr_attempts=attempts,
+                            analytical_latency=analytical,
+                            sample_trial=sample_trial)

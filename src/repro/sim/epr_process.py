@@ -1,0 +1,123 @@
+"""Stochastic EPR-pair generation.
+
+Real remote-entanglement hardware is heralded: each generation attempt
+succeeds only with some probability ``p`` and is retried until it succeeds,
+so the preparation time of one EPR pair is a geometrically distributed
+number of attempts.  The analytical scheduler abstracts this into the fixed
+``t_epr`` of :class:`~repro.hardware.timing.LatencyModel`; the execution
+simulator samples the attempt process explicitly:
+
+* the *success attempt* always costs the deterministic pair latency
+  (``QuantumNetwork.epr_latency``, which reflects topology overrides);
+* each *failed attempt* costs ``retry_latency`` (defaulting to the same pair
+  latency), modelling heralding + reset before the next try.
+
+With ``p_success = 1.0`` the process degenerates to exactly the analytical
+preparation latency, consuming no randomness — the deterministic mode the
+schedule validator relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..hardware.network import QuantumNetwork
+
+__all__ = ["EPRSample", "EPRProcess"]
+
+
+@dataclass(frozen=True)
+class EPRSample:
+    """Outcome of generating the EPR pair(s) for one communication."""
+
+    attempts: int
+    duration: float
+
+
+class EPRProcess:
+    """Samples EPR-pair generation times on a network's links."""
+
+    def __init__(self, network: QuantumNetwork, p_success: float = 1.0,
+                 retry_latency: Optional[float] = None,
+                 max_attempts: int = 100_000) -> None:
+        if not 0.0 < p_success <= 1.0:
+            raise ValueError(f"p_success must be in (0, 1], got {p_success}")
+        if retry_latency is not None and retry_latency <= 0:
+            raise ValueError("retry_latency must be positive")
+        self.network = network
+        self.p_success = p_success
+        self.retry_latency = retry_latency
+        self.max_attempts = max_attempts
+
+    @property
+    def deterministic(self) -> bool:
+        return self.p_success >= 1.0
+
+    # ---------------------------------------------------------------- queries
+
+    def pair_latency(self, node_a: int, node_b: int) -> float:
+        """Deterministic generation latency of one successful attempt."""
+        return self.network.epr_latency(node_a, node_b)
+
+    def attempt_latency(self, node_a: int, node_b: int) -> float:
+        """Cost of one failed attempt on the pair's link."""
+        if self.retry_latency is not None:
+            return self.retry_latency
+        return self.pair_latency(node_a, node_b)
+
+    def mean_generation_time(self, node_a: int, node_b: int) -> float:
+        """Expected preparation time: success cost plus expected retries."""
+        p = self.p_success
+        return (self.pair_latency(node_a, node_b)
+                + self.attempt_latency(node_a, node_b) * (1.0 - p) / p)
+
+    def expected_prep(self, nodes: Sequence[int]) -> float:
+        """The deterministic preparation the analytical scheduler charges.
+
+        A communication spanning several nodes (a fused TP chain) is charged
+        its slowest pair, mirroring the scheduler's accounting.
+        """
+        nodes = list(nodes)
+        if len(nodes) < 2:
+            return self.network.latency.t_epr
+        return max(self.pair_latency(a, b)
+                   for i, a in enumerate(nodes) for b in nodes[i + 1:])
+
+    # --------------------------------------------------------------- sampling
+
+    def sample_pair(self, rng: random.Random, node_a: int,
+                    node_b: int) -> EPRSample:
+        """Sample the generation of one EPR pair between two nodes."""
+        success = self.pair_latency(node_a, node_b)
+        if self.deterministic:
+            return EPRSample(attempts=1, duration=success)
+        attempts = 1
+        while rng.random() >= self.p_success:
+            attempts += 1
+            if attempts > self.max_attempts:  # pragma: no cover - defensive
+                raise RuntimeError(
+                    f"EPR generation exceeded {self.max_attempts} attempts "
+                    f"(p_success={self.p_success})")
+        retries = (attempts - 1) * self.attempt_latency(node_a, node_b)
+        return EPRSample(attempts=attempts, duration=retries + success)
+
+    def sample(self, rng: random.Random, nodes: Sequence[int]) -> EPRSample:
+        """Sample the preparation for a communication spanning ``nodes``.
+
+        All pairs generate concurrently, so the communication waits for the
+        slowest pair; with ``p_success = 1`` this equals
+        :meth:`expected_prep` exactly.
+        """
+        nodes = list(nodes)
+        if len(nodes) < 2:
+            return EPRSample(attempts=1, duration=self.network.latency.t_epr)
+        attempts = 0
+        duration = 0.0
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                pair = self.sample_pair(rng, a, b)
+                attempts += pair.attempts
+                duration = max(duration, pair.duration)
+        return EPRSample(attempts=attempts, duration=duration)

@@ -139,11 +139,15 @@ class TestPipeline:
         assert any(g.name == "crz" for g in program.circuit)
 
     def test_compiled_program_against_snippet_latency_claim(self):
-        # Section 4.4: the walk-through achieves > 2x latency saving over
-        # executing each remote CX independently.
+        # Section 4.4: the walk-through achieves a sizeable latency saving
+        # over executing each remote CX independently.  The margin here is
+        # below the paper's 2x because the fusion pass may only defer a
+        # pending TP block past intervening items that commute with it; the
+        # earlier 1.5x calibration relied on an unsound deferral that
+        # reordered non-commuting blocks (caught by the execution simulator).
         circuit = arithmetic_snippet()
         network = uniform_network(3, 3)
         mapping = QubitMapping(arithmetic_snippet_layout(), network)
         autocomm = compile_autocomm(circuit, network, mapping=mapping)
         sparse = compile_sparse(circuit, network, mapping=mapping)
-        assert sparse.metrics.latency / autocomm.metrics.latency > 1.5
+        assert sparse.metrics.latency / autocomm.metrics.latency > 1.3

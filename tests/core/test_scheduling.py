@@ -154,6 +154,36 @@ class TestFusion:
         fused = fuse_tp_chains([a, cat], mapping)
         assert not any(isinstance(item, FusedTPChain) for item in fused)
 
+    def test_non_commuting_intervening_gate_closes_chain(self):
+        # h(2) touches a chain qubit (not the hub) and does not commute with
+        # the chain's gates, so deferring the pending TP block past it would
+        # reorder non-commuting operations.
+        a = self.make_tp_block(0, 2, 0, 1)
+        b = self.make_tp_block(0, 3, 0, 1)
+        mapping = QubitMapping({0: 0, 1: 0, 2: 1, 3: 1})
+        fused = fuse_tp_chains([a, Gate("h", (2,)), b], mapping)
+        assert not any(isinstance(item, FusedTPChain) for item in fused)
+        # Program order is preserved: the first TP block stays before h(2).
+        assert fused[0] is a
+
+    def test_commuting_intervening_gate_keeps_chain_open(self):
+        # rz on a chain qubit commutes with every CX control, so the chain
+        # may legally absorb both TP blocks around it.
+        a = CommBlock(hub_qubit=0, hub_node=0, remote_node=1,
+                      gates=[Gate("cx", (2, 0))], scheme=CommScheme.TP)
+        b = CommBlock(hub_qubit=0, hub_node=0, remote_node=1,
+                      gates=[Gate("cx", (3, 0))], scheme=CommScheme.TP)
+        mapping = QubitMapping({0: 0, 1: 0, 2: 1, 3: 1})
+        fused = fuse_tp_chains([a, Gate("rz", (2,), (0.3,)), b], mapping)
+        assert any(isinstance(item, FusedTPChain) for item in fused)
+
+    def test_barrier_closes_chain(self):
+        a = self.make_tp_block(0, 2, 0, 1)
+        b = self.make_tp_block(0, 3, 0, 1)
+        mapping = QubitMapping({0: 0, 1: 0, 2: 1, 3: 1})
+        fused = fuse_tp_chains([a, Gate("barrier", (1,)), b], mapping)
+        assert not any(isinstance(item, FusedTPChain) for item in fused)
+
     def test_chain_duration_less_than_sum_of_blocks(self):
         mapping = QubitMapping({0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 5: 2})
         a = self.make_tp_block(0, 2, 0, 1)
@@ -206,6 +236,26 @@ class TestStrategies:
         if assignment.num_tp_blocks() >= 2:
             schedule = schedule_communications(assignment, network)
             assert schedule.num_fused_chains >= 1
+
+    def test_ops_cover_every_assignment_item(self):
+        network = uniform_network(3, 2)
+        circuit = (Circuit(6).cx(0, 2).cx(2, 0).cx(0, 3)
+                   .cx(0, 4).cx(4, 0).cx(0, 5))
+        mapping = QubitMapping({0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 5: 2})
+        assignment = compile_assignment(circuit, mapping)
+        schedule = schedule_communications(assignment, network)
+        assert schedule.num_scheduled_items() == len(assignment.items)
+
+    def test_mode_recorded(self):
+        network = uniform_network(2, 3)
+        circuit = decompose_to_cx(qft_circuit(6))
+        assignment = compile_assignment(circuit, mapping_for(6, 2))
+        burst = schedule_communications(assignment, network,
+                                        strategy="burst-greedy")
+        plain = schedule_communications(assignment, network,
+                                        strategy="greedy")
+        assert burst.mode in ("burst", "plain")
+        assert plain.mode == "plain"
 
     def test_parallelism_profile_shape(self):
         network = uniform_network(2, 4)

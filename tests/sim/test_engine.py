@@ -1,0 +1,184 @@
+"""Unit tests for the discrete-event execution engine."""
+
+import pytest
+
+from repro import compile_autocomm
+from repro.circuits import qft_circuit
+from repro.hardware import DEFAULT_LATENCY, uniform_network
+from repro.ir import Circuit, decompose_to_cx
+from repro.partition import QubitMapping
+from repro.sim import (
+    MonteCarloResult,
+    SimulationConfig,
+    run_monte_carlo,
+    simulate_program,
+)
+
+
+def block_mapping_for(num_qubits, num_nodes):
+    per = -(-num_qubits // num_nodes)
+    return QubitMapping({q: q // per for q in range(num_qubits)})
+
+
+@pytest.fixture
+def qft_program():
+    network = uniform_network(2, 4)
+    return compile_autocomm(qft_circuit(8), network)
+
+
+class TestDeterministicExecution:
+    def test_empty_program(self):
+        network = uniform_network(2, 2)
+        program = compile_autocomm(Circuit(4), network,
+                                   mapping=block_mapping_for(4, 2))
+        result = simulate_program(program)
+        assert result.latency == 0.0
+        assert result.ops == []
+
+    def test_single_remote_gate_latency(self):
+        network = uniform_network(2, 2)
+        program = compile_autocomm(Circuit(4).cx(0, 2), network,
+                                   mapping=block_mapping_for(4, 2))
+        result = simulate_program(program)
+        expected = DEFAULT_LATENCY.t_epr + DEFAULT_LATENCY.cat_comm_latency(1)
+        assert result.latency == pytest.approx(expected)
+        (op,) = result.comm_ops()
+        assert op.prep_start == 0.0
+        assert op.start == pytest.approx(DEFAULT_LATENCY.t_epr)
+
+    def test_matches_analytical_latency(self, qft_program):
+        result = simulate_program(qft_program)
+        assert result.latency == pytest.approx(qft_program.schedule.latency)
+        assert result.mode == qft_program.schedule.mode
+
+    def test_all_items_covered(self, qft_program):
+        result = simulate_program(qft_program)
+        assert result.num_scheduled_items() \
+            == len(qft_program.assignment.items)
+
+    def test_comm_qubit_capacity_respected(self):
+        network = uniform_network(3, 4)
+        program = compile_autocomm(decompose_to_cx(qft_circuit(12)), network,
+                                   mapping=block_mapping_for(12, 3))
+        result = simulate_program(program)
+        comm = result.comm_ops()
+        for t in [i * result.latency / 200 for i in range(200)]:
+            per_node = {n: 0 for n in range(3)}
+            for op in comm:
+                if op.prep_start <= t < op.end:
+                    for node in op.nodes:
+                        per_node[node] += 1
+            assert all(count <= 2 for count in per_node.values())
+
+    def test_node_utilisation_bounded(self, qft_program):
+        result = simulate_program(qft_program)
+        for value in result.node_utilisation().values():
+            assert 0.0 <= value <= 1.0
+
+    def test_assignment_required(self, qft_program):
+        qft_program.assignment = None
+        with pytest.raises(ValueError):
+            simulate_program(qft_program)
+
+
+class TestTrace:
+    def test_comm_ops_traced(self, qft_program):
+        result = simulate_program(qft_program)
+        starts = result.trace.events_of("op-start")
+        assert len(starts) == len(result.comm_ops())
+        assert result.trace.events_of("epr-start")
+        # Every protocol emits at least one classical message or teleport.
+        assert (result.trace.events_of("classical-msg")
+                or result.trace.events_of("teleport"))
+
+    def test_trace_timeline_sorted(self, qft_program):
+        result = simulate_program(qft_program)
+        times = [event.time for event in result.trace.timeline()]
+        assert times == sorted(times)
+
+    def test_trace_can_be_disabled(self, qft_program):
+        result = simulate_program(qft_program,
+                                  SimulationConfig(record_trace=False))
+        assert result.trace.num_events() == 0
+        assert result.latency > 0
+
+    def test_link_utilisation_recorded(self, qft_program):
+        result = simulate_program(qft_program)
+        utilisation = result.link_utilisation()
+        assert (0, 1) in utilisation
+        assert 0.0 < utilisation[(0, 1)] <= 1.0
+
+
+class TestStochasticExecution:
+    def test_latency_never_below_deterministic(self, qft_program):
+        deterministic = simulate_program(qft_program)
+        for seed in range(5):
+            noisy = simulate_program(
+                qft_program, SimulationConfig(p_epr=0.5, seed=seed))
+            assert noisy.latency >= deterministic.latency - 1e-9
+
+    def test_same_seed_same_execution(self, qft_program):
+        config = SimulationConfig(p_epr=0.4, seed=99)
+        a = simulate_program(qft_program, config)
+        b = simulate_program(qft_program, config)
+        assert a.latency == b.latency
+        assert a.ops == b.ops
+
+    def test_different_seeds_differ(self, qft_program):
+        latencies = {simulate_program(
+            qft_program, SimulationConfig(p_epr=0.3, seed=seed)).latency
+            for seed in range(8)}
+        assert len(latencies) > 1
+
+    def test_epr_attempts_accumulate(self, qft_program):
+        noisy = simulate_program(qft_program,
+                                 SimulationConfig(p_epr=0.3, seed=1))
+        assert noisy.total_epr_attempts > len(noisy.comm_ops())
+
+
+class TestLinkContention:
+    def test_capacity_one_serialises_parallel_preps(self):
+        network = uniform_network(2, 4)
+        circuit = Circuit(8).cx(0, 4).cx(1, 5)
+        mapping = QubitMapping({q: q // 4 for q in range(8)})
+        program = compile_autocomm(circuit, network, mapping=mapping)
+        base = simulate_program(program)
+        capped = simulate_program(program,
+                                  SimulationConfig(link_capacity=1))
+        assert capped.latency > base.latency
+        preps = sorted((op.prep_start, op.start) for op in capped.comm_ops())
+        # Second prep may only begin once the first has finished.
+        assert preps[1][0] >= preps[0][1] - 1e-9
+
+
+class TestMonteCarlo:
+    def test_summary_and_reproducibility(self, qft_program):
+        config = SimulationConfig(p_epr=0.5, trials=12, seed=21)
+        first = run_monte_carlo(qft_program, config)
+        second = run_monte_carlo(qft_program, config)
+        assert isinstance(first, MonteCarloResult)
+        assert first.latencies == second.latencies
+        summary = first.summary()
+        assert summary["trials"] == 12
+        assert summary["min"] <= summary["p50"] <= summary["p95"] <= summary["max"]
+        assert summary["analytical"] == pytest.approx(
+            qft_program.schedule.latency)
+        assert summary["slowdown"] >= 1.0 - 1e-9
+
+    def test_deterministic_trials_collapse(self, qft_program):
+        result = run_monte_carlo(qft_program,
+                                 SimulationConfig(p_epr=1.0, trials=3, seed=0))
+        assert len(set(result.latencies)) == 1
+        assert result.latencies[0] == pytest.approx(
+            qft_program.schedule.latency)
+
+    def test_sample_trial_carries_trace(self, qft_program):
+        result = run_monte_carlo(qft_program,
+                                 SimulationConfig(p_epr=0.5, trials=4, seed=3))
+        assert result.sample_trial is not None
+        assert result.sample_trial.trace.num_events() > 0
+
+    def test_invalid_trials_rejected(self, qft_program):
+        with pytest.raises(ValueError):
+            run_monte_carlo(qft_program,
+                            SimulationConfig(trials=0))

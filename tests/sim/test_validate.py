@@ -1,0 +1,87 @@
+"""Cross-checks: deterministic execution must reproduce analytical schedules.
+
+This is the load-bearing guarantee of the simulation subsystem — for every
+benchmark family and every compiler, replaying the compiled program through
+the discrete-event engine with ``p_epr = 1.0`` yields exactly the latency
+the analytical scheduler reported.
+"""
+
+import pytest
+
+from repro import compile_autocomm
+from repro.circuits import BENCHMARK_FAMILIES, build_benchmark
+from repro.cli import COMPILERS
+from repro.core import AutoCommConfig
+from repro.hardware import uniform_network
+from repro.ir import Circuit
+from repro.sim import validate_schedule
+
+# Small instances: (qubits, nodes) per family, seconds for the whole module.
+FAMILY_SIZES = {
+    "MCTR": (20, 2),
+    "RCA": (20, 2),
+    "QFT": (16, 2),
+    "BV": (20, 2),
+    "QAOA": (16, 2),
+    "UCCSD": (6, 3),
+}
+
+
+class TestEveryBenchmarkFamily:
+    @pytest.mark.parametrize("family", sorted(BENCHMARK_FAMILIES))
+    def test_deterministic_simulation_matches_analytical(self, family):
+        num_qubits, num_nodes = FAMILY_SIZES[family]
+        circuit, network = build_benchmark(family, num_qubits, num_nodes)
+        program = compile_autocomm(circuit, network)
+        report = validate_schedule(program)
+        assert report.matches, report.describe()
+        assert report.max_op_end_delta == 0.0
+
+    @pytest.mark.parametrize("family", sorted(BENCHMARK_FAMILIES))
+    def test_three_node_machines_also_match(self, family):
+        num_qubits, _ = FAMILY_SIZES[family]
+        circuit, network = build_benchmark(family, num_qubits, 3)
+        program = compile_autocomm(circuit, network)
+        report = validate_schedule(program)
+        assert report.matches, report.describe()
+
+
+class TestEveryCompiler:
+    @pytest.mark.parametrize("compiler", sorted(COMPILERS))
+    def test_deterministic_simulation_matches_analytical(self, compiler):
+        circuit, network = build_benchmark("QFT", 16, 2)
+        program = COMPILERS[compiler](circuit, network)
+        report = validate_schedule(program)
+        assert report.matches, report.describe()
+
+
+class TestScheduleVariants:
+    def test_plain_strategy_replayed(self):
+        circuit, network = build_benchmark("QFT", 16, 2)
+        program = compile_autocomm(
+            circuit, network,
+            config=AutoCommConfig(schedule_strategy="greedy"))
+        assert program.schedule.mode == "plain"
+        report = validate_schedule(program)
+        assert report.matches, report.describe()
+
+    def test_report_requires_schedule(self):
+        circuit, network = build_benchmark("BV", 10, 2)
+        program = compile_autocomm(circuit, network)
+        program.schedule = None
+        with pytest.raises(ValueError):
+            validate_schedule(program)
+
+    def test_report_describe_mentions_status(self):
+        circuit, network = build_benchmark("BV", 10, 2)
+        program = compile_autocomm(circuit, network)
+        report = validate_schedule(program)
+        assert report.describe().startswith("OK")
+        assert f"{report.simulated_latency:.2f}" in report.describe()
+
+    def test_local_only_program_matches(self):
+        network = uniform_network(2, 3)
+        circuit = Circuit(6).h(0).cx(0, 1).cx(4, 5)
+        program = compile_autocomm(circuit, network)
+        report = validate_schedule(program)
+        assert report.matches

@@ -73,6 +73,64 @@ class TestCompareCommand:
             assert name in out
 
 
+class TestSimulateCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["simulate", "p.qasm", "--nodes", "2"])
+        assert args.command == "simulate"
+        assert args.p_epr == 1.0
+        assert args.trials == 1
+        assert args.seed == 0
+
+    def test_deterministic_run_validates(self, qasm_file, capsys):
+        exit_code = main(["simulate", str(qasm_file), "--nodes", "2"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "simulated_latency" in out
+        assert "yes" in out
+
+    def test_stochastic_run_prints_distribution(self, qasm_file, capsys):
+        exit_code = main(["simulate", str(qasm_file), "--nodes", "2",
+                          "--p-epr", "0.5", "--trials", "5", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "sim_mean" in out
+        assert "slowdown" in out
+
+    def test_seed_makes_runs_reproducible(self, qasm_file, capsys):
+        argv = ["simulate", str(qasm_file), "--nodes", "2",
+                "--p-epr", "0.4", "--trials", "4", "--seed", "11"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_timeline_and_trace_flags(self, qasm_file, capsys):
+        exit_code = main(["simulate", str(qasm_file), "--nodes", "2",
+                          "--timeline", "--trace", "5"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "node 0:" in out
+        assert "legend:" in out
+        assert "epr-start" in out
+
+    def test_alternative_compiler(self, qasm_file, capsys):
+        exit_code = main(["simulate", str(qasm_file), "--nodes", "2",
+                          "--compiler", "sparse"])
+        assert exit_code == 0
+
+    @pytest.mark.parametrize("flags", [
+        ["--p-epr", "0"],
+        ["--p-epr", "1.5"],
+        ["--trials", "0"],
+        ["--retry-latency", "-1", "--p-epr", "0.5"],
+        ["--link-capacity", "0"],
+    ])
+    def test_invalid_simulation_arguments_rejected(self, qasm_file, flags):
+        with pytest.raises(SystemExit):
+            main(["simulate", str(qasm_file), "--nodes", "2", *flags])
+
+
 class TestGenerateCommand:
     def test_generate_to_stdout(self, capsys):
         exit_code = main(["generate", "bv", "--qubits", "10"])
