@@ -26,9 +26,17 @@ from repro.partition import QubitMapping, oee_partition
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Valid values of the ``REPRO_BENCH_SCALE`` environment variable.
+BENCH_SCALES = ("small", "medium", "paper")
+
 
 def bench_scale() -> str:
-    return os.environ.get("REPRO_BENCH_SCALE", "small")
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if scale not in BENCH_SCALES:
+        raise ValueError(
+            f"invalid REPRO_BENCH_SCALE={scale!r}; "
+            f"choose one of: {', '.join(BENCH_SCALES)}")
+    return scale
 
 
 def suite_specs() -> List[BenchmarkSpec]:

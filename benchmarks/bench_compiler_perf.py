@@ -1,0 +1,274 @@
+"""Compiler perf-regression benchmark (the ``BENCH_compiler.json`` trajectory).
+
+Times the optimized AutoComm passes (indexed aggregation + cached
+commutation + memoised plan construction) against the preserved
+pre-optimization reference pipeline (``repro.core.*_reference``) on the
+benchmark suite, asserts that both produce identical results, and emits a
+machine-readable report.  The committed ``BENCH_compiler.json`` at the
+repository root is the perf trajectory: CI re-runs this benchmark at
+``small`` scale and fails when a config's speedup regresses by more than
+2x against that baseline.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_compiler_perf.py \
+        --scale medium --families QFT,BV --output BENCH_compiler.json
+
+or through pytest (``pytest benchmarks/bench_compiler_perf.py``), which
+writes ``benchmarks/results/compiler_perf.txt`` as the other harnesses do.
+
+Timing protocol: per configuration the three passes (aggregation,
+assignment, scheduling) run ``--repeat`` times per implementation with cold
+commutation caches (cleared before every run) on a shared decomposed
+circuit and OEE mapping; the median wall time is reported.  Scope
+deliberately excludes decomposition and partitioning, which are identical
+byte-for-byte in both paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if __name__ == "__main__":  # allow standalone runs without PYTHONPATH=src
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        try:
+            import repro  # noqa: F401
+        except ImportError:
+            sys.path.insert(0, src)
+
+from _harness import BENCH_SCALES, emit, family_specs
+from repro.circuits import BenchmarkSpec, paper_configurations, scaled_configurations
+from repro.core import (
+    aggregate_communications,
+    aggregate_communications_reference,
+    assign_communications,
+    assign_communications_reference,
+    schedule_communications,
+    schedule_communications_reference,
+)
+from repro.ir import Gate, clear_commutation_cache, decompose_to_cx
+from repro.partition import oee_partition
+
+DEFAULT_FAMILIES = ("QFT", "BV")
+DEFAULT_REPEAT = 5
+#: CI fails when a config's measured speedup drops below baseline / this.
+REGRESSION_FACTOR = 2.0
+
+
+def _compile_optimized(circuit, mapping, network):
+    aggregation = aggregate_communications(circuit, mapping)
+    assignment = assign_communications(aggregation)
+    schedule = schedule_communications(assignment, network)
+    return assignment, schedule
+
+
+def _compile_reference(circuit, mapping, network):
+    aggregation = aggregate_communications_reference(circuit, mapping)
+    assignment = assign_communications_reference(aggregation)
+    schedule = schedule_communications_reference(assignment, network)
+    return assignment, schedule
+
+
+def _result_fingerprint(assignment, schedule) -> tuple:
+    return (assignment.cost, len(assignment.blocks),
+            tuple(sorted((s.value, n) for s, n
+                         in assignment.scheme_histogram.items())),
+            round(schedule.latency, 9), schedule.mode,
+            schedule.num_comm_ops, schedule.num_fused_chains)
+
+
+def _bench_config(spec: BenchmarkSpec, repeat: int) -> Dict[str, object]:
+    circuit, network = spec.build()
+    decomposed = decompose_to_cx(circuit)
+    mapping = oee_partition(decomposed, network).mapping
+
+    timings: Dict[str, List[float]] = {"optimized": [], "reference": []}
+    fingerprints = {}
+    for label, runner in (("optimized", _compile_optimized),
+                          ("reference", _compile_reference)):
+        for _ in range(repeat):
+            clear_commutation_cache()
+            begin = time.perf_counter()
+            assignment, schedule = runner(decomposed, mapping, network)
+            timings[label].append(time.perf_counter() - begin)
+        fingerprints[label] = _result_fingerprint(assignment, schedule)
+
+    optimized_s = statistics.median(timings["optimized"])
+    reference_s = statistics.median(timings["reference"])
+    return {
+        "name": spec.name,
+        "family": spec.family,
+        "gates": len(decomposed),
+        "optimized_ms": round(optimized_s * 1e3, 3),
+        "reference_ms": round(reference_s * 1e3, 3),
+        "speedup": round(reference_s / optimized_s, 2),
+        "results_equal": fingerprints["optimized"] == fingerprints["reference"],
+    }
+
+
+def _microbench_gate_qubit_set() -> Dict[str, float]:
+    """Satellite micro-benchmark: cached ``Gate.qubit_set`` vs re-building."""
+    gate = Gate("cx", (3, 17))
+    iterations = 200_000
+    begin = time.perf_counter()
+    for _ in range(iterations):
+        gate.qubit_set
+    cached_ns = (time.perf_counter() - begin) / iterations * 1e9
+    begin = time.perf_counter()
+    for _ in range(iterations):
+        set(gate.qubits)
+    rebuild_ns = (time.perf_counter() - begin) / iterations * 1e9
+    return {"qubit_set_ns": round(cached_ns, 1),
+            "set_qubits_ns": round(rebuild_ns, 1),
+            "speedup": round(rebuild_ns / cached_ns, 2)}
+
+
+def run_bench(scale: str, families: Sequence[str] = DEFAULT_FAMILIES,
+              repeat: int = DEFAULT_REPEAT) -> Dict[str, object]:
+    if scale == "paper":
+        specs = paper_configurations()
+    else:
+        specs = scaled_configurations(scale)
+    wanted = {family.upper() for family in families}
+    specs = [spec for spec in specs if spec.family in wanted]
+    if not specs:
+        raise ValueError(f"no benchmark configurations for families {families}")
+
+    configs = [_bench_config(spec, repeat) for spec in specs]
+    speedups = sorted(config["speedup"] for config in configs)
+    per_family = {
+        family: round(statistics.median(
+            [c["speedup"] for c in configs if c["family"] == family]), 2)
+        for family in sorted({c["family"] for c in configs})
+    }
+    return {
+        "bench": "compiler_perf",
+        "schema": 1,
+        "scale": scale,
+        "repeat": repeat,
+        "configs": configs,
+        "median_speedup": round(statistics.median(speedups), 2),
+        "median_speedup_by_family": per_family,
+        "all_results_equal": all(c["results_equal"] for c in configs),
+        "micro": {"gate_qubit_set": _microbench_gate_qubit_set()},
+    }
+
+
+def check_regression(report: Dict[str, object],
+                     baseline: Dict[str, object]) -> List[str]:
+    """Compare a fresh report against the committed baseline.
+
+    Speedups (reference time / optimized time) are machine-independent, so
+    they are the regression signal: a config fails when its speedup fell
+    below ``baseline_speedup / REGRESSION_FACTOR``.
+    """
+    failures = []
+    baseline_configs = {c["name"]: c for c in baseline.get("configs", [])}
+    for config in report["configs"]:
+        if not config["results_equal"]:
+            failures.append(f"{config['name']}: optimized and reference "
+                            "pipelines disagree")
+        base = baseline_configs.get(config["name"])
+        if base is None:
+            continue
+        floor = base["speedup"] / REGRESSION_FACTOR
+        if config["speedup"] < floor:
+            failures.append(
+                f"{config['name']}: speedup {config['speedup']}x fell below "
+                f"{floor:.1f}x (baseline {base['speedup']}x / "
+                f"{REGRESSION_FACTOR})")
+    return failures
+
+
+def _emit_report(report: Dict[str, object]) -> None:
+    rows = [dict(config) for config in report["configs"]]
+    note = (f"median speedup {report['median_speedup']}x over "
+            f"{len(rows)} configs; by family: "
+            f"{report['median_speedup_by_family']}; "
+            f"gate.qubit_set micro: {report['micro']['gate_qubit_set']}")
+    emit("compiler_perf", rows,
+         columns=["name", "gates", "optimized_ms", "reference_ms",
+                  "speedup", "results_equal"],
+         note=note)
+
+
+def test_bench_compiler_perf():
+    """Pytest entry point (uses the REPRO_BENCH_SCALE protocol)."""
+    from _harness import bench_scale
+
+    report = run_bench(bench_scale())
+    _emit_report(report)
+    assert report["all_results_equal"], \
+        "optimized and reference compile pipelines disagree"
+
+
+def test_bench_scale_is_validated(monkeypatch):
+    """Unknown REPRO_BENCH_SCALE values fail loudly with the allowed set."""
+    import pytest
+
+    from _harness import bench_scale
+
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "enormous")
+    with pytest.raises(ValueError, match="small, medium, paper"):
+        bench_scale()
+    for scale in BENCH_SCALES:
+        monkeypatch.setenv("REPRO_BENCH_SCALE", scale)
+        assert bench_scale() == scale
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compiler perf-regression benchmark")
+    parser.add_argument("--scale", choices=BENCH_SCALES, default="small")
+    parser.add_argument("--families", default=",".join(DEFAULT_FAMILIES),
+                        help="comma-separated benchmark families "
+                             f"(default {','.join(DEFAULT_FAMILIES)})")
+    parser.add_argument("--repeat", type=int, default=DEFAULT_REPEAT)
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the JSON report here "
+                             "(e.g. BENCH_compiler.json)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="committed BENCH_compiler.json to check for "
+                             ">2x speedup regressions (exit 1 on failure)")
+    args = parser.parse_args(argv)
+
+    families = [f for f in args.families.split(",") if f]
+    report = run_bench(args.scale, families=families, repeat=args.repeat)
+    _emit_report(report)
+
+    if args.output is not None:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+
+    if not report["all_results_equal"]:
+        print("FAIL: optimized and reference pipelines disagree",
+              file=sys.stderr)
+        return 1
+    if args.baseline is not None:
+        if not args.baseline.exists():
+            print(f"FAIL: baseline {args.baseline} not found", file=sys.stderr)
+            return 1
+        baseline = json.loads(args.baseline.read_text())
+        if baseline.get("scale") != report["scale"]:
+            print(f"note: baseline scale {baseline.get('scale')!r} differs "
+                  f"from run scale {report['scale']!r}; comparing by config "
+                  "name only")
+        failures = check_regression(report, baseline)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("regression check against baseline: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

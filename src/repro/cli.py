@@ -112,6 +112,35 @@ def build_parser() -> argparse.ArgumentParser:
                                  metavar="N",
                                  help="print the first N simulation events")
 
+    profile_parser = subparsers.add_parser(
+        "profile", help="profile the compiler (and optionally the simulator) "
+                        "on a program: timed repeats plus cProfile hotspots")
+    profile_parser.add_argument("qasm", type=Path)
+    profile_parser.add_argument("--nodes", type=int, required=True)
+    profile_parser.add_argument("--qubits-per-node", type=int, default=None)
+    profile_parser.add_argument("--comm-qubits", type=int, default=2)
+    profile_parser.add_argument("--compiler", choices=sorted(COMPILERS),
+                                default="autocomm")
+    profile_parser.add_argument("--repeat", type=int, default=3,
+                                help="timed compile repetitions (default 3; "
+                                     "the median is reported)")
+    profile_parser.add_argument("--top", type=int, default=15,
+                                help="number of cProfile hotspots to print "
+                                     "(default 15)")
+    profile_parser.add_argument("--simulate-trials", type=int, default=0,
+                                metavar="N",
+                                help="also profile N Monte-Carlo simulation "
+                                     "trials (default 0 = compile only)")
+    profile_parser.add_argument("--p-epr", type=float, default=0.5,
+                                help="EPR success probability for the "
+                                     "simulation trials (default 0.5)")
+    profile_parser.add_argument("--seed", type=int, default=0)
+    profile_parser.add_argument("--json", type=Path, default=None,
+                                metavar="PATH",
+                                help="write machine-readable timings and "
+                                     "hotspots to PATH (e.g. "
+                                     "BENCH_compiler.json)")
+
     generate_parser = subparsers.add_parser(
         "generate", help="write a benchmark circuit as OpenQASM 2.0")
     generate_parser.add_argument("family", choices=sorted(f.lower() for f in BENCHMARK_FAMILIES))
@@ -227,6 +256,110 @@ def _cmd_simulate(args) -> int:
     return 0 if report.matches else 1
 
 
+def _cmd_profile(args) -> int:
+    import cProfile
+    import json
+    import pstats
+    import statistics
+    import time
+
+    if args.repeat < 1:
+        raise SystemExit(f"error: --repeat must be >= 1, got {args.repeat}")
+    if not 0.0 < args.p_epr <= 1.0:
+        raise SystemExit(f"error: --p-epr must be in (0, 1], got {args.p_epr}")
+    from .ir.commutation import clear_commutation_cache, commutation_cache_stats
+    from .sim import run_monte_carlo as _run_mc
+
+    circuit = _load_circuit(args.qasm)
+    network = _make_network(circuit, args.nodes, args.qubits_per_node,
+                            args.comm_qubits)
+    compiler = COMPILERS[args.compiler]
+
+    compile_times = []
+    for _ in range(args.repeat):
+        clear_commutation_cache()
+        begin = time.perf_counter()
+        program = compiler(circuit, network)
+        compile_times.append(time.perf_counter() - begin)
+    cache_stats = commutation_cache_stats()
+
+    simulate_times = []
+    sim_config = None
+    if args.simulate_trials > 0:
+        from .sim import SimulationConfig
+        sim_config = SimulationConfig(p_epr=args.p_epr, seed=args.seed,
+                                      trials=args.simulate_trials,
+                                      record_trace=False)
+        for _ in range(args.repeat):
+            begin = time.perf_counter()
+            _run_mc(program, sim_config)
+            simulate_times.append(time.perf_counter() - begin)
+
+    # One profiled pass over the same workload for the hotspot table.
+    clear_commutation_cache()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    program = compiler(circuit, network)
+    if sim_config is not None:
+        _run_mc(program, sim_config)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    hotspots = []
+    for func, (cc, ncalls, tottime, cumtime, _) in sorted(
+            stats.stats.items(), key=lambda kv: -kv[1][3]):
+        filename, line, name = func
+        if "cProfile" in name or filename.startswith("<"):
+            continue
+        hotspots.append({
+            "function": f"{Path(filename).name}:{line}({name})",
+            "ncalls": ncalls,
+            "tottime_s": round(tottime, 6),
+            "cumtime_s": round(cumtime, 6),
+        })
+        if len(hotspots) >= args.top:
+            break
+
+    rows = [{"metric": "compiler", "value": args.compiler},
+            {"metric": "gates (CX basis)", "value": len(program.circuit)},
+            {"metric": "compile median [ms]",
+             "value": round(statistics.median(compile_times) * 1e3, 2)},
+            {"metric": "compile runs [ms]",
+             "value": " ".join(f"{t * 1e3:.2f}" for t in compile_times)},
+            {"metric": "commutation cache hits/misses",
+             "value": f"{cache_stats['hits']}/{cache_stats['misses']}"}]
+    if simulate_times:
+        rows.append({"metric": f"simulate {args.simulate_trials} trials "
+                               f"median [ms]",
+                     "value": round(statistics.median(simulate_times) * 1e3, 2)})
+    print(render_table(rows, columns=["metric", "value"]))
+    print()
+    print(f"top {len(hotspots)} hotspots by cumulative time:")
+    print(render_table(hotspots,
+                       columns=["function", "ncalls", "tottime_s", "cumtime_s"]))
+
+    if args.json is not None:
+        payload = {
+            "command": "profile",
+            "qasm": str(args.qasm),
+            "compiler": args.compiler,
+            "nodes": args.nodes,
+            "gates": len(program.circuit),
+            "compile_s": {"median": statistics.median(compile_times),
+                          "runs": compile_times},
+            "commutation_cache": cache_stats,
+            "hotspots": hotspots,
+        }
+        if simulate_times:
+            payload["simulate_s"] = {"median": statistics.median(simulate_times),
+                                     "runs": simulate_times,
+                                     "trials": args.simulate_trials,
+                                     "p_epr": args.p_epr}
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {args.json}")
+    return 0
+
+
 def _cmd_generate(args) -> int:
     circuit, _ = build_benchmark(args.family.upper(), args.qubits, num_nodes=1)
     text = to_qasm(circuit)
@@ -242,7 +375,8 @@ def _cmd_generate(args) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"compile": _cmd_compile, "compare": _cmd_compare,
-                "simulate": _cmd_simulate, "generate": _cmd_generate}
+                "simulate": _cmd_simulate, "generate": _cmd_generate,
+                "profile": _cmd_profile}
     return handlers[args.command](args)
 
 

@@ -72,6 +72,30 @@ class CommBlock:
     gates: List[Gate] = field(default_factory=list)
     scheme: Optional[CommScheme] = None
 
+    def __post_init__(self) -> None:
+        # Incrementally maintained union of the gates' qubits; the
+        # aggregation and scheduling hot paths query it per candidate gate,
+        # so it must not be recomputed by scanning ``gates`` every time.
+        touched: Set[int] = set()
+        for gate in self.gates:
+            touched.update(gate.qubits)
+        self._touched = touched
+        # Mapping-derived analyses (remote-gate list, Cat-Comm segments) are
+        # asked for repeatedly by assignment, cost accounting, scheduling and
+        # simulation; they only change when the gate list does, so they are
+        # cached per mapping object and dropped on mutation.  Each slot holds
+        # (mapping, value) and is validated by identity, so a different
+        # mapping never sees stale data.
+        self._analysis_cache: Dict[str, Tuple[QubitMapping, object]] = {}
+
+    def _cached_analysis(self, key: str, mapping: QubitMapping, compute):
+        slot = self._analysis_cache.get(key)
+        if slot is not None and slot[0] is mapping:
+            return slot[1]
+        value = compute()
+        self._analysis_cache[key] = (mapping, value)
+        return value
+
     # ---------------------------------------------------------------- content
 
     def __len__(self) -> int:
@@ -79,14 +103,24 @@ class CommBlock:
 
     def append(self, gate: Gate) -> None:
         self.gates.append(gate)
+        self._touched.update(gate.qubits)
+        if self._analysis_cache:
+            self._analysis_cache.clear()
 
     def extend(self, gates: Iterable[Gate]) -> None:
-        self.gates.extend(gates)
+        for gate in gates:
+            self.gates.append(gate)
+            self._touched.update(gate.qubits)
+        if self._analysis_cache:
+            self._analysis_cache.clear()
 
     def remote_gates(self, mapping: QubitMapping) -> List[Gate]:
         """The remote two-qubit gates of the block (hub <-> remote node)."""
-        return [g for g in self.gates
-                if g.is_two_qubit and mapping.is_remote(g) and self.hub_qubit in g.qubits]
+        return self._cached_analysis(
+            "remote", mapping,
+            lambda: [g for g in self.gates
+                     if g.is_two_qubit and mapping.is_remote(g)
+                     and self.hub_qubit in g._qubit_set])
 
     def num_remote_gates(self, mapping: QubitMapping) -> int:
         return len(self.remote_gates(mapping))
@@ -100,12 +134,30 @@ class CommBlock:
                     partners.add(q)
         return tuple(sorted(partners))
 
+    def gate_counts(self) -> Tuple[int, int]:
+        """(multi-qubit, single-qubit) gate counts, cached per gate list."""
+        slot = self._analysis_cache.get("counts")
+        if slot is not None:
+            return slot[1]
+        num_multi = 0
+        num_single = 0
+        for gate in self.gates:
+            if gate._is_multi:
+                num_multi += 1
+            elif gate._is_single:
+                num_single += 1
+        counts = (num_multi, num_single)
+        self._analysis_cache["counts"] = (None, counts)
+        return counts
+
     def touched_qubits(self) -> Tuple[int, ...]:
         """All program qubits appearing in the block."""
-        qubits: Set[int] = set()
-        for gate in self.gates:
-            qubits.update(gate.qubits)
-        return tuple(sorted(qubits))
+        return tuple(sorted(self._touched))
+
+    @property
+    def touched_set(self) -> Set[int]:
+        """Cached set of all program qubits in the block (do not mutate)."""
+        return self._touched
 
     @property
     def nodes(self) -> Tuple[int, int]:
@@ -188,7 +240,15 @@ def cat_comm_segments(block: CommBlock, mapping: QubitMapping) -> List[List[Gate
     appears between two remote gates of the run.  Local partner-side gates
     never end a run (they execute on the remote node while the cat state is
     live, cf. Figure 3).
+
+    The segmentation is cached on the block (assignment, cost accounting and
+    the scheduler all ask for it); the cache drops when the block mutates.
     """
+    return block._cached_analysis(
+        "segments", mapping, lambda: _cat_comm_segments(block, mapping))
+
+
+def _cat_comm_segments(block: CommBlock, mapping: QubitMapping) -> List[List[Gate]]:
     segments: List[List[Gate]] = []
     current: List[Gate] = []
     current_role: Optional[str] = None

@@ -91,13 +91,7 @@ def block_latency(block: CommBlock, mapping: QubitMapping,
     The scheduler adds EPR preparation separately so it can pipeline it with
     earlier computation.
     """
-    num_2q = 0
-    num_1q = 0
-    for gate in block.gates:
-        if gate.is_multi_qubit:
-            num_2q += 1
-        elif gate.is_single_qubit:
-            num_1q += 1
+    num_2q, num_1q = block.gate_counts()
     if block.scheme is CommScheme.TP:
         return latency.tp_comm_latency(num_2q, num_1q)
     segments = max(1, block.cat_comm_cost(mapping))

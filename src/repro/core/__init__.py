@@ -1,7 +1,15 @@
 """AutoComm core passes: aggregation, assignment, scheduling and the pipeline."""
 
 from .aggregation import AggregationResult, aggregate_communications, CommAggregator
+from .aggregation_reference import (
+    ReferenceCommAggregator,
+    aggregate_communications_reference,
+)
 from .assignment import AssignmentResult, assign_communications, choose_scheme
+from .assignment_reference import (
+    assign_communications_reference,
+    block_latency_reference,
+)
 from .scheduling import (
     ScheduleResult,
     ScheduledOp,
@@ -10,6 +18,10 @@ from .scheduling import (
     schedule_communications,
     plan_schedule,
     fuse_tp_chains,
+)
+from .scheduling_reference import (
+    plan_schedule_reference,
+    schedule_communications_reference,
 )
 from .metrics import (
     CompilationMetrics,
@@ -24,9 +36,13 @@ __all__ = [
     "AggregationResult",
     "aggregate_communications",
     "CommAggregator",
+    "ReferenceCommAggregator",
+    "aggregate_communications_reference",
     "AssignmentResult",
     "assign_communications",
     "choose_scheme",
+    "assign_communications_reference",
+    "block_latency_reference",
     "ScheduleResult",
     "ScheduledOp",
     "SchedulePlan",
@@ -34,6 +50,8 @@ __all__ = [
     "schedule_communications",
     "plan_schedule",
     "fuse_tp_chains",
+    "plan_schedule_reference",
+    "schedule_communications_reference",
     "CompilationMetrics",
     "comparison_factors",
     "burst_distribution",

@@ -39,6 +39,9 @@ __all__ = ["AggregationResult", "aggregate_communications", "CommAggregator"]
 #: Items of the rewritten program: plain gates or burst blocks.
 ScheduleItem = Union[Gate, CommBlock]
 
+#: Operations that can never live in, commute past, or defer around a block.
+_BLOCKING_NAMES = frozenset({"barrier", "measure", "reset"})
+
 
 @dataclass
 class AggregationResult:
@@ -76,7 +79,18 @@ class AggregationResult:
 
 
 class CommAggregator:
-    """Implements the aggregation pass over one circuit and mapping."""
+    """Implements the aggregation pass over one circuit and mapping.
+
+    The pass is *indexed*: remote-pair eligibility is precomputed per gate
+    once, the per-pair raw-gate histogram that drives both the processing
+    order and the "anything left for this pair?" check is maintained
+    incrementally as gates are absorbed into blocks, and per-item qubit sets
+    come from caches (:attr:`Gate.qubit_set`, :attr:`CommBlock.touched_set`)
+    instead of per-query allocations.  The output is identical to the
+    original scanning implementation, which is preserved in
+    :mod:`repro.core.aggregation_reference` and diffed against this one by
+    the equivalence tests and the perf-regression benchmark.
+    """
 
     def __init__(self, circuit: Circuit, mapping: QubitMapping,
                  use_commutation: bool = True, max_sweeps: int = 3) -> None:
@@ -86,26 +100,70 @@ class CommAggregator:
         self.mapping = mapping
         self.use_commutation = use_commutation
         self.max_sweeps = max_sweeps
+        #: node index per program qubit (dense list; mapping covers 0..n-1).
+        self._node: List[int] = [mapping.node_of(q)
+                                 for q in range(circuit.num_qubits)]
+        # Filled by run(): id(gate) -> its two (hub, remote-node) pairs, the
+        # live pair histogram, and the count of raw remote gates left.
+        self._gate_pairs: Dict[int, Tuple[Tuple[int, int], Tuple[int, int]]] = {}
+        self._histogram: Counter = Counter()
+        self._raw_remaining = 0
 
     # ------------------------------------------------------------------ public
 
     def run(self) -> AggregationResult:
         items: List[ScheduleItem] = list(self.circuit.gates)
+        self._build_index(items)
         previous_block_count = -1
         for _ in range(self.max_sweeps):
-            for pair in self._pairs_by_weight(items):
-                if self._raw_remote_count(items, pair) == 0:
+            for pair in self._pairs_by_weight_indexed():
+                if self._histogram[pair] == 0:
                     continue
                 items = self._aggregate_pair(items, pair)
             blocks_now = sum(isinstance(i, CommBlock) for i in items)
-            raw_left = sum(1 for i in items
-                           if isinstance(i, Gate) and self._is_remote_2q(i))
-            if raw_left == 0 or blocks_now == previous_block_count:
+            if self._raw_remaining == 0 or blocks_now == previous_block_count:
                 break
             previous_block_count = blocks_now
         items = self._blockify_leftovers(items)
         blocks = [item for item in items if isinstance(item, CommBlock)]
         return AggregationResult(self.circuit, self.mapping, items, blocks)
+
+    # -------------------------------------------------------------- the index
+
+    def _build_index(self, items: Sequence[ScheduleItem]) -> None:
+        """Precompute per-gate remote-pair eligibility and the pair histogram.
+
+        A remote two-qubit gate on qubits ``(a, b)`` is eligible for exactly
+        the two directed pairs ``(a, node(b))`` and ``(b, node(a))``; both
+        are recorded so eligibility during a pair sweep is one dict lookup.
+        """
+        node = self._node
+        gate_pairs = self._gate_pairs = {}
+        histogram = self._histogram = Counter()
+        for item in items:
+            if isinstance(item, Gate) and self._is_remote_2q(item):
+                a, b = item.qubits
+                pair_a = (a, node[b])
+                pair_b = (b, node[a])
+                gate_pairs[id(item)] = (pair_a, pair_b)
+                histogram[pair_a] += 1
+                histogram[pair_b] += 1
+        self._raw_remaining = sum(1 for item in items
+                                  if id(item) in gate_pairs)
+
+    def _pairs_by_weight_indexed(self) -> List[Tuple[int, int]]:
+        """Snapshot of the live histogram, ordered like ``_pairs_by_weight``."""
+        ordered = sorted(((pair, count) for pair, count
+                          in self._histogram.items() if count > 0),
+                         key=lambda kv: (-kv[1], kv[0]))
+        return [pair for pair, _ in ordered]
+
+    def _absorb_into_block(self, gate: Gate) -> None:
+        """Account for a raw remote gate moving into a block."""
+        pair_a, pair_b = self._gate_pairs[id(gate)]
+        self._histogram[pair_a] -= 1
+        self._histogram[pair_b] -= 1
+        self._raw_remaining -= 1
 
     # ------------------------------------------------------------- pair order
 
@@ -146,62 +204,165 @@ class CommAggregator:
     def _aggregate_pair(self, items: List[ScheduleItem],
                         pair: Tuple[int, int]) -> List[ScheduleItem]:
         hub, remote_node = pair
-        hub_node = self.mapping.node_of(hub)
+        hub_node = self._node[hub]
         if hub_node == remote_node:
             return items
-        remote_qubits = set(self.mapping.qubits_on(remote_node))
+        remote_qubits = frozenset(self.mapping.qubits_on(remote_node))
+        gate_pairs = self._gate_pairs
 
         out: List[ScheduleItem] = []
         block: Optional[CommBlock] = None
         block_qubits: Set[int] = set()
+        block_by_qubit: Dict[int, List[Gate]] = defaultdict(list)
         deferred: List[ScheduleItem] = []
         deferred_by_qubit: Dict[int, List[int]] = defaultdict(list)
+        # Incremental conjunction memo for commutes_with_deferred: two
+        # single-gate candidates with the same name/params whose
+        # deferred-touching qubits are identical (position and value) face
+        # exactly the same pairwise patterns, because a candidate qubit
+        # absent from deferred_by_qubit cannot overlap any deferred gate.
+        # Each entry records how many deferred items its verdict covers, so
+        # a later candidate with the same signature only checks the newly
+        # deferred suffix instead of the whole list.
+        conjunction_memo: Dict[tuple, Tuple[int, bool]] = {}
+        # Same incremental-signature scheme against the open block's gates
+        # (the block also only grows until it closes).
+        block_memo: Dict[tuple, Tuple[int, bool]] = {}
 
         def close_block() -> None:
-            nonlocal block, deferred, deferred_by_qubit, block_qubits
+            nonlocal block, deferred, deferred_by_qubit, block_qubits, \
+                block_by_qubit
             block = None
             block_qubits = set()
+            block_by_qubit = defaultdict(list)
             out.extend(deferred)
             deferred = []
             deferred_by_qubit = defaultdict(list)
+            conjunction_memo.clear()
+            block_memo.clear()
+
+        def check_against_deferred(gate: Gate, checked: Set[int]) -> bool:
+            # ``checked`` is shared across a multi-gate candidate: each
+            # deferred item is tested against the first candidate gate that
+            # reaches it, exactly as the original implementation did.
+            for qubit in gate.qubits:
+                for index in deferred_by_qubit.get(qubit, ()):
+                    if index in checked:
+                        continue
+                    checked.add(index)
+                    other = deferred[index]
+                    other_gates = (other.gates if isinstance(other, CommBlock)
+                                   else (other,))
+                    for other_gate in other_gates:
+                        if not commutes(gate, other_gate):
+                            return False
+            return True
 
         def commutes_with_deferred(candidate: ScheduleItem) -> bool:
-            if not deferred:
+            count = len(deferred)
+            if not count:
                 return True
-            candidate_gates = (candidate.gates if isinstance(candidate, CommBlock)
-                               else [candidate])
-            checked: Set[int] = set()
-            for gate in candidate_gates:
-                for qubit in gate.qubits:
-                    for index in deferred_by_qubit.get(qubit, ()):
-                        if index in checked:
-                            continue
-                        checked.add(index)
-                        other = deferred[index]
-                        other_gates = (other.gates if isinstance(other, CommBlock)
-                                       else [other])
-                        for other_gate in other_gates:
-                            if not commutes(gate, other_gate):
-                                return False
+            if isinstance(candidate, CommBlock):
+                checked: Set[int] = set()
+                for gate in candidate.gates:
+                    if not check_against_deferred(gate, checked):
+                        return False
+                return True
+            signature = (candidate.name, candidate.params,
+                         tuple((pos, q)
+                               for pos, q in enumerate(candidate.qubits)
+                               if q in deferred_by_qubit))
+            entry = conjunction_memo.get(signature)
+            if entry is None:
+                verdict = check_against_deferred(candidate, set())
+            else:
+                covered, verdict = entry
+                if not verdict:
+                    # A failed conjunction stays failed as deferred grows.
+                    return False
+                if covered == count:
+                    return True
+                # Only the items deferred since the cached verdict need
+                # checking; disjoint ones resolve instantly inside commutes.
+                for index in range(covered, count):
+                    other = deferred[index]
+                    other_gates = (other.gates if isinstance(other, CommBlock)
+                                   else (other,))
+                    for other_gate in other_gates:
+                        if not commutes(candidate, other_gate):
+                            verdict = False
+                            break
+                    if not verdict:
+                        break
+            conjunction_memo[signature] = (count, verdict)
+            return verdict
+
+        def check_against_block(gate: Gate) -> bool:
+            seen: Set[int] = set()
+            for qubit in gate.qubits:
+                for block_gate in block_by_qubit.get(qubit, ()):
+                    marker = id(block_gate)
+                    if marker in seen:
+                        continue
+                    seen.add(marker)
+                    if not commutes(gate, block_gate):
+                        return False
             return True
+
+        def commutes_with_block(candidate: ScheduleItem) -> bool:
+            if isinstance(candidate, CommBlock):
+                for gate in candidate.gates:
+                    if gate.name in _BLOCKING_NAMES:
+                        return False
+                    if not check_against_block(gate):
+                        return False
+                return True
+            if candidate.name in _BLOCKING_NAMES:
+                return False
+            count = len(block.gates)
+            signature = (candidate.name, candidate.params,
+                         tuple((pos, q)
+                               for pos, q in enumerate(candidate.qubits)
+                               if q in block_qubits))
+            entry = block_memo.get(signature)
+            if entry is None:
+                verdict = check_against_block(candidate)
+            else:
+                covered, verdict = entry
+                if not verdict:
+                    return False
+                if covered == count:
+                    return True
+                for block_gate in block.gates[covered:]:
+                    if not commutes(candidate, block_gate):
+                        verdict = False
+                        break
+            block_memo[signature] = (count, verdict)
+            return verdict
+
+        def absorb(gate: Gate) -> None:
+            block.append(gate)
+            block_qubits.update(gate.qubits)
+            for qubit in gate.qubits:
+                block_by_qubit[qubit].append(gate)
 
         def defer(item: ScheduleItem) -> None:
             index = len(deferred)
             deferred.append(item)
-            qubits: Set[int] = set()
-            gates = item.gates if isinstance(item, CommBlock) else [item]
-            for gate in gates:
-                qubits.update(gate.qubits)
-            for qubit in qubits:
+            for qubit in item_qubits(item):
                 deferred_by_qubit[qubit].append(index)
 
-        def item_qubits(candidate: ScheduleItem) -> Set[int]:
+        def item_qubits(candidate: ScheduleItem):
             if isinstance(candidate, CommBlock):
-                return set(candidate.touched_qubits())
-            return set(candidate.qubits)
+                return candidate.touched_set
+            return candidate.qubit_set
 
         for item in items:
-            if isinstance(item, Gate) and self._eligible(item, hub, remote_node):
+            # Eligibility (a raw remote 2q gate of this exact pair) is one
+            # precomputed lookup; gates already inside blocks are not items.
+            eligible_pairs = gate_pairs.get(id(item))
+            if eligible_pairs is not None and (pair == eligible_pairs[0]
+                                               or pair == eligible_pairs[1]):
                 # Pulling this gate into the open block hops it over every
                 # deferred item, so that move must be commutation-justified.
                 if block is not None and deferred and not (
@@ -211,8 +372,8 @@ class CommAggregator:
                     block = CommBlock(hub_qubit=hub, hub_node=hub_node,
                                       remote_node=remote_node)
                     out.append(block)
-                block.append(item)
-                block_qubits.update(item.qubits)
+                absorb(item)
+                self._absorb_into_block(item)
                 continue
 
             if block is None:
@@ -224,8 +385,7 @@ class CommAggregator:
                 # to the block; it only reorders against deferred items.
                 if not deferred or (self.use_commutation
                                     and commutes_with_deferred(item)):
-                    block.append(item)
-                    block_qubits.update(item.qubits)
+                    absorb(item)
                 elif self.use_commutation:
                     defer(item)
                 else:
@@ -238,9 +398,8 @@ class CommAggregator:
                 out.append(item)
                 continue
 
-            qubits = item_qubits(item)
-            disjoint_from_block = not (qubits & block_qubits)
-            if (disjoint_from_block or self._commutes_with_block(item, block)) \
+            disjoint_from_block = block_qubits.isdisjoint(item_qubits(item))
+            if (disjoint_from_block or commutes_with_block(item)) \
                     and commutes_with_deferred(item):
                 defer(item)
             else:
@@ -265,21 +424,11 @@ class CommAggregator:
         """
         if not isinstance(item, Gate):
             return False
-        if item.is_barrier or item.is_measurement or item.name == "reset":
+        if item.name in _BLOCKING_NAMES:
             return False
-        if item.is_single_qubit and item.qubits[0] == hub:
+        if item._is_single and item.qubits[0] == hub:
             return self.use_commutation
-        return bool(item.qubits) and set(item.qubits) <= remote_qubits
-
-    def _commutes_with_block(self, item: ScheduleItem, block: CommBlock) -> bool:
-        gates = item.gates if isinstance(item, CommBlock) else [item]
-        for gate in gates:
-            if gate.is_barrier or gate.is_measurement or gate.name == "reset":
-                return False
-            for block_gate in block.gates:
-                if not commutes(gate, block_gate):
-                    return False
-        return True
+        return bool(item.qubits) and item._qubit_set <= remote_qubits
 
     # ------------------------------------------------------------- leftovers
 

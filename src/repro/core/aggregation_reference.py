@@ -1,0 +1,282 @@
+"""Reference (pre-optimization) implementation of the aggregation pass.
+
+This module preserves the original scan-per-pair implementation of
+:class:`repro.core.aggregation.CommAggregator` exactly as it behaved before
+the indexed rewrite: every qubit-node pair re-counts its raw remote gates by
+scanning the full item list, the pair ordering histogram is rebuilt from
+scratch each sweep, and per-item qubit sets are recomputed on demand.
+
+It exists for two reasons:
+
+* **Equivalence testing** — the optimized pass must produce byte-identical
+  results (same items, same blocks, same metrics); the tests in
+  ``tests/core/test_aggregation_indexed.py`` diff the two implementations
+  over the benchmark families.
+* **Perf trajectory** — ``benchmarks/bench_compiler_perf.py`` times this
+  path (with the pair-level commutation cache disabled) against the indexed
+  pass and records the speedup in ``BENCH_compiler.json``; CI fails when the
+  speedup regresses.
+
+Do not "optimize" this module: its slowness is the baseline being measured.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..comm.blocks import CommBlock
+from ..ir.circuit import Circuit
+from ..ir.commutation_reference import commutes_reference as commutes
+from ..ir.gates import Gate, gate_spec
+from ..partition.mapping import QubitMapping
+from .aggregation import AggregationResult, ScheduleItem
+
+
+def _is_two_qubit(gate: Gate) -> bool:
+    """Registry-walking replica of the pre-optimization ``is_two_qubit``."""
+    return gate_spec(gate.name).unitary is not None and len(gate.qubits) == 2
+
+
+def _is_single_qubit(gate: Gate) -> bool:
+    """Registry-walking replica of the pre-optimization ``is_single_qubit``."""
+    return gate_spec(gate.name).unitary is not None and len(gate.qubits) == 1
+
+
+def _is_remote(mapping: QubitMapping, gate: Gate) -> bool:
+    """Set-building replica of the pre-optimization ``is_remote``."""
+    if not (gate_spec(gate.name).unitary is not None and len(gate.qubits) >= 2):
+        return False
+    return len({mapping._assignment[q] for q in gate.qubits}) > 1
+
+
+def _touched_qubits_scan(block: CommBlock) -> Tuple[int, ...]:
+    """Gate-scanning replica of the pre-optimization ``touched_qubits``."""
+    qubits: Set[int] = set()
+    for gate in block.gates:
+        qubits.update(gate.qubits)
+    return tuple(sorted(qubits))
+
+__all__ = ["ReferenceCommAggregator", "aggregate_communications_reference"]
+
+
+class ReferenceCommAggregator:
+    """The original scanning implementation of the aggregation pass."""
+
+    def __init__(self, circuit: Circuit, mapping: QubitMapping,
+                 use_commutation: bool = True, max_sweeps: int = 3) -> None:
+        if circuit.num_qubits != mapping.num_qubits:
+            raise ValueError("circuit and mapping disagree on qubit count")
+        self.circuit = circuit
+        self.mapping = mapping
+        self.use_commutation = use_commutation
+        self.max_sweeps = max_sweeps
+
+    # ------------------------------------------------------------------ public
+
+    def run(self) -> AggregationResult:
+        items: List[ScheduleItem] = list(self.circuit.gates)
+        previous_block_count = -1
+        for _ in range(self.max_sweeps):
+            for pair in self._pairs_by_weight(items):
+                if self._raw_remote_count(items, pair) == 0:
+                    continue
+                items = self._aggregate_pair(items, pair)
+            blocks_now = sum(isinstance(i, CommBlock) for i in items)
+            raw_left = sum(1 for i in items
+                           if isinstance(i, Gate) and self._is_remote_2q(i))
+            if raw_left == 0 or blocks_now == previous_block_count:
+                break
+            previous_block_count = blocks_now
+        items = self._blockify_leftovers(items)
+        blocks = [item for item in items if isinstance(item, CommBlock)]
+        return AggregationResult(self.circuit, self.mapping, items, blocks)
+
+    # ------------------------------------------------------------- pair order
+
+    def _is_remote_2q(self, gate: Gate) -> bool:
+        return _is_two_qubit(gate) and _is_remote(self.mapping, gate)
+
+    def _pairs_by_weight(self, items: Sequence[ScheduleItem]) -> List[Tuple[int, int]]:
+        """Qubit-node pairs ordered by descending raw remote-gate count."""
+        histogram: Counter = Counter()
+        for item in items:
+            if isinstance(item, Gate) and self._is_remote_2q(item):
+                a, b = item.qubits
+                histogram[(a, self.mapping.node_of(b))] += 1
+                histogram[(b, self.mapping.node_of(a))] += 1
+        ordered = sorted(histogram.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [pair for pair, _ in ordered]
+
+    def _raw_remote_count(self, items: Sequence[ScheduleItem],
+                          pair: Tuple[int, int]) -> int:
+        qubit, node = pair
+        count = 0
+        for item in items:
+            if isinstance(item, Gate) and self._eligible(item, qubit, node):
+                count += 1
+        return count
+
+    def _eligible(self, gate: Gate, hub: int, remote_node: int) -> bool:
+        """Is ``gate`` a remote two-qubit gate between ``hub`` and ``remote_node``?"""
+        if not self._is_remote_2q(gate):
+            return False
+        if hub not in gate.qubits:
+            return False
+        other = gate.qubits[0] if gate.qubits[1] == hub else gate.qubits[1]
+        return self.mapping.node_of(other) == remote_node
+
+    # --------------------------------------------------------- per-pair sweep
+
+    def _aggregate_pair(self, items: List[ScheduleItem],
+                        pair: Tuple[int, int]) -> List[ScheduleItem]:
+        hub, remote_node = pair
+        hub_node = self.mapping.node_of(hub)
+        if hub_node == remote_node:
+            return items
+        remote_qubits = set(self.mapping.qubits_on(remote_node))
+
+        out: List[ScheduleItem] = []
+        block: Optional[CommBlock] = None
+        block_qubits: Set[int] = set()
+        deferred: List[ScheduleItem] = []
+        deferred_by_qubit: Dict[int, List[int]] = defaultdict(list)
+
+        def close_block() -> None:
+            nonlocal block, deferred, deferred_by_qubit, block_qubits
+            block = None
+            block_qubits = set()
+            out.extend(deferred)
+            deferred = []
+            deferred_by_qubit = defaultdict(list)
+
+        def commutes_with_deferred(candidate: ScheduleItem) -> bool:
+            if not deferred:
+                return True
+            candidate_gates = (candidate.gates if isinstance(candidate, CommBlock)
+                               else [candidate])
+            checked: Set[int] = set()
+            for gate in candidate_gates:
+                for qubit in gate.qubits:
+                    for index in deferred_by_qubit.get(qubit, ()):
+                        if index in checked:
+                            continue
+                        checked.add(index)
+                        other = deferred[index]
+                        other_gates = (other.gates if isinstance(other, CommBlock)
+                                       else [other])
+                        for other_gate in other_gates:
+                            if not commutes(gate, other_gate):
+                                return False
+            return True
+
+        def defer(item: ScheduleItem) -> None:
+            index = len(deferred)
+            deferred.append(item)
+            qubits: Set[int] = set()
+            gates = item.gates if isinstance(item, CommBlock) else [item]
+            for gate in gates:
+                qubits.update(gate.qubits)
+            for qubit in qubits:
+                deferred_by_qubit[qubit].append(index)
+
+        def item_qubits(candidate: ScheduleItem) -> Set[int]:
+            if isinstance(candidate, CommBlock):
+                return set(_touched_qubits_scan(candidate))
+            return set(candidate.qubits)
+
+        for item in items:
+            if isinstance(item, Gate) and self._eligible(item, hub, remote_node):
+                # Pulling this gate into the open block hops it over every
+                # deferred item, so that move must be commutation-justified.
+                if block is not None and deferred and not (
+                        self.use_commutation and commutes_with_deferred(item)):
+                    close_block()
+                if block is None:
+                    block = CommBlock(hub_qubit=hub, hub_node=hub_node,
+                                      remote_node=remote_node)
+                    out.append(block)
+                block.append(item)
+                block_qubits.update(item.qubits)
+                continue
+
+            if block is None:
+                out.append(item)
+                continue
+
+            if self._allowed_in_block(item, hub, remote_qubits):
+                # Absorbing keeps the gate at its original position relative
+                # to the block; it only reorders against deferred items.
+                if not deferred or (self.use_commutation
+                                    and commutes_with_deferred(item)):
+                    block.append(item)
+                    block_qubits.update(item.qubits)
+                elif self.use_commutation:
+                    defer(item)
+                else:
+                    close_block()
+                    out.append(item)
+                continue
+
+            if not self.use_commutation:
+                close_block()
+                out.append(item)
+                continue
+
+            qubits = item_qubits(item)
+            disjoint_from_block = not (qubits & block_qubits)
+            if (disjoint_from_block or self._commutes_with_block(item, block)) \
+                    and commutes_with_deferred(item):
+                defer(item)
+            else:
+                close_block()
+                out.append(item)
+
+        close_block()
+        return out
+
+    def _allowed_in_block(self, item: ScheduleItem, hub: int,
+                          remote_qubits: Set[int]) -> bool:
+        if not isinstance(item, Gate):
+            return False
+        if item.is_barrier or item.is_measurement or item.name == "reset":
+            return False
+        if _is_single_qubit(item) and item.qubits[0] == hub:
+            return self.use_commutation
+        return bool(item.qubits) and set(item.qubits) <= remote_qubits
+
+    def _commutes_with_block(self, item: ScheduleItem, block: CommBlock) -> bool:
+        gates = item.gates if isinstance(item, CommBlock) else [item]
+        for gate in gates:
+            if gate.is_barrier or gate.is_measurement or gate.name == "reset":
+                return False
+            for block_gate in block.gates:
+                if not commutes(gate, block_gate):
+                    return False
+        return True
+
+    # ------------------------------------------------------------- leftovers
+
+    def _blockify_leftovers(self, items: List[ScheduleItem]) -> List[ScheduleItem]:
+        """Wrap every remaining raw remote two-qubit gate in a singleton block."""
+        out: List[ScheduleItem] = []
+        for item in items:
+            if isinstance(item, Gate) and self._is_remote_2q(item):
+                a, b = item.qubits
+                block = CommBlock(hub_qubit=a,
+                                  hub_node=self.mapping.node_of(a),
+                                  remote_node=self.mapping.node_of(b))
+                block.append(item)
+                out.append(block)
+            else:
+                out.append(item)
+        return out
+
+
+def aggregate_communications_reference(circuit: Circuit, mapping: QubitMapping,
+                                       use_commutation: bool = True,
+                                       max_sweeps: int = 3) -> AggregationResult:
+    """Run the reference (unindexed) aggregation pass."""
+    return ReferenceCommAggregator(circuit, mapping,
+                                   use_commutation=use_commutation,
+                                   max_sweeps=max_sweeps).run()

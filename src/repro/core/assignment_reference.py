@@ -1,0 +1,213 @@
+"""Reference (pre-optimization) assignment and cost accounting.
+
+Preserves the pre-overhaul cost profile of the assignment pass and the
+block analyses it leans on: remote-gate lists, communication patterns and
+Cat-Comm segmentations are recomputed by scanning the block's gates on
+every query (no per-block caches), structural gate properties walk the gate
+registry (as the original ``Gate`` properties did) and remoteness rebuilds
+the node set per gate (as the original ``QubitMapping.is_remote`` did).
+
+Together with ``aggregation_reference`` and ``scheduling_reference`` this
+completes the preserved pre-optimization compile pipeline used by the
+equivalence tests and by ``benchmarks/bench_compiler_perf.py``.
+
+Do not "optimize" this module: its slowness is the baseline being measured.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..comm.blocks import (_CONTROL_TRANSPARENT, _TARGET_TRANSPARENT,
+                           CommBlock, CommPattern, CommScheme)
+from ..comm.cost import CommCost
+from ..hardware.timing import DEFAULT_LATENCY, LatencyModel
+from ..ir.gates import Gate, gate_spec
+from ..partition.mapping import QubitMapping
+from .aggregation import AggregationResult
+from .assignment import AssignmentResult
+
+__all__ = ["assign_communications_reference", "block_latency_reference"]
+
+
+# Registry-walking property replicas (see commutation_reference).
+
+def _is_unitary(gate: Gate) -> bool:
+    return gate_spec(gate.name).unitary is not None
+
+
+def _is_single_qubit(gate: Gate) -> bool:
+    return _is_unitary(gate) and len(gate.qubits) == 1
+
+
+def _is_two_qubit(gate: Gate) -> bool:
+    return _is_unitary(gate) and len(gate.qubits) == 2
+
+
+def _is_multi_qubit(gate: Gate) -> bool:
+    return _is_unitary(gate) and len(gate.qubits) >= 2
+
+
+def _is_remote(mapping: QubitMapping, gate: Gate) -> bool:
+    """Set-building replica of the pre-optimization ``is_remote``."""
+    if not _is_multi_qubit(gate):
+        return False
+    return len({mapping._assignment[q] for q in gate.qubits}) > 1
+
+
+# Scanning replicas of the CommBlock analyses (no caching).
+
+def _remote_gates(block: CommBlock, mapping: QubitMapping) -> List[Gate]:
+    return [g for g in block.gates
+            if _is_two_qubit(g) and _is_remote(mapping, g)
+            and block.hub_qubit in g.qubits]
+
+
+def _pattern(block: CommBlock, mapping: QubitMapping) -> CommPattern:
+    roles = set()
+    for gate in _remote_gates(block, mapping):
+        if gate.control == block.hub_qubit:
+            roles.add("control")
+        elif gate.target == block.hub_qubit:
+            roles.add("target")
+        else:
+            roles.add("control")
+    if roles == {"control"}:
+        return CommPattern.UNIDIRECTIONAL_CONTROL
+    if roles == {"target"}:
+        return CommPattern.UNIDIRECTIONAL_TARGET
+    return CommPattern.BIDIRECTIONAL
+
+
+def _cat_comm_segments(block: CommBlock,
+                       mapping: QubitMapping) -> List[List[Gate]]:
+    segments: List[List[Gate]] = []
+    current: List[Gate] = []
+    current_role: Optional[str] = None
+    pending_hub_blocker = False
+
+    def close() -> None:
+        nonlocal current, current_role, pending_hub_blocker
+        if current:
+            segments.append(current)
+        current = []
+        current_role = None
+        pending_hub_blocker = False
+
+    for gate in block.gates:
+        is_remote = (_is_two_qubit(gate) and _is_remote(mapping, gate)
+                     and block.hub_qubit in gate.qubits)
+        if is_remote:
+            if gate.control == block.hub_qubit:
+                role = "control"
+            elif gate.target == block.hub_qubit:
+                role = "target"
+            else:
+                role = "control"
+            if current_role is None:
+                current_role = role
+            elif role != current_role or pending_hub_blocker:
+                close()
+                current_role = role
+            current.append(gate)
+            pending_hub_blocker = False
+        elif _is_single_qubit(gate) and gate.qubits[0] == block.hub_qubit:
+            transparent = (_CONTROL_TRANSPARENT if current_role in (None, "control")
+                           else _TARGET_TRANSPARENT)
+            if gate.name not in transparent and current:
+                pending_hub_blocker = True
+            current.append(gate)
+        else:
+            current.append(gate)
+    close()
+    return [seg for seg in segments if any(
+        _is_two_qubit(g) and _is_remote(mapping, g) for g in seg)] or (
+            [block.gates] if block.gates else [])
+
+
+def _cat_comm_cost(block: CommBlock, mapping: QubitMapping) -> int:
+    return len(_cat_comm_segments(block, mapping))
+
+
+def _choose_scheme(block: CommBlock, mapping: QubitMapping,
+                   cat_only: bool = False) -> CommScheme:
+    if cat_only:
+        return CommScheme.CAT
+    if _cat_comm_cost(block, mapping) <= 1:
+        return CommScheme.CAT
+    return CommScheme.TP
+
+
+def _block_comm_count(block: CommBlock, mapping: QubitMapping) -> int:
+    if block.scheme is CommScheme.TP:
+        return block.tp_comm_cost()
+    if block.scheme is CommScheme.CAT:
+        return _cat_comm_cost(block, mapping)
+    raise ValueError("block has no communication scheme assigned")
+
+
+def _block_remote_cx_per_comm(block: CommBlock,
+                              mapping: QubitMapping) -> float:
+    remote = len(_remote_gates(block, mapping))
+    comms = _block_comm_count(block, mapping)
+    if comms == 0:
+        return 0.0
+    return remote / comms
+
+
+def _total_comm_count(blocks: List[CommBlock],
+                      mapping: QubitMapping) -> CommCost:
+    total = 0
+    tp = 0
+    cat = 0
+    peak = 0.0
+    for block in blocks:
+        count = _block_comm_count(block, mapping)
+        total += count
+        if block.scheme is CommScheme.TP:
+            tp += count
+        else:
+            cat += count
+        peak = max(peak, _block_remote_cx_per_comm(block, mapping))
+    return CommCost(total_comm=total, tp_comm=tp, cat_comm=cat,
+                    peak_remote_cx=peak)
+
+
+def block_latency_reference(block: CommBlock, mapping: QubitMapping,
+                            latency: LatencyModel = DEFAULT_LATENCY) -> float:
+    """Scanning replica of :func:`repro.comm.cost.block_latency`."""
+    num_2q = 0
+    num_1q = 0
+    for gate in block.gates:
+        if _is_multi_qubit(gate):
+            num_2q += 1
+        elif _is_single_qubit(gate):
+            num_1q += 1
+    if block.scheme is CommScheme.TP:
+        return latency.tp_comm_latency(num_2q, num_1q)
+    segments = max(1, _cat_comm_cost(block, mapping))
+    body = num_2q * latency.t_2q + num_1q * latency.t_1q
+    return segments * (latency.t_cat_entangle + latency.t_cat_disentangle) + body
+
+
+def assign_communications_reference(aggregation: AggregationResult,
+                                    cat_only: bool = False
+                                    ) -> AssignmentResult:
+    """Assign communication schemes through the reference analyses."""
+    mapping = aggregation.mapping
+    pattern_histogram: Dict[CommPattern, int] = {}
+    scheme_histogram: Dict[CommScheme, int] = {}
+    for block in aggregation.blocks:
+        pattern = _pattern(block, mapping)
+        pattern_histogram[pattern] = pattern_histogram.get(pattern, 0) + 1
+        scheme = _choose_scheme(block, mapping, cat_only=cat_only)
+        block.scheme = scheme
+        scheme_histogram[scheme] = scheme_histogram.get(scheme, 0) + 1
+    cost = _total_comm_count(aggregation.blocks, mapping)
+    return AssignmentResult(
+        aggregation=aggregation,
+        blocks=list(aggregation.blocks),
+        cost=cost,
+        pattern_histogram=pattern_histogram,
+        scheme_histogram=scheme_histogram,
+    )

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
@@ -37,8 +38,8 @@ from ..partition.mapping import QubitMapping
 from .aggregation import ScheduleItem
 from .assignment import AssignmentResult
 
-__all__ = ["ScheduledOp", "ScheduleResult", "SchedulePlan", "plan_schedule",
-           "schedule_communications", "FusedTPChain"]
+__all__ = ["ScheduledOp", "ScheduleResult", "SchedulePlan", "OpProfile",
+           "plan_schedule", "schedule_communications", "FusedTPChain"]
 
 
 @dataclass
@@ -56,11 +57,19 @@ class FusedTPChain:
     def hub_qubit(self) -> int:
         return self.blocks[0].hub_qubit
 
+    @property
+    def touched_set(self) -> Set[int]:
+        """Cached union of the chain's block qubit sets (do not mutate)."""
+        cached = getattr(self, "_touched", None)
+        if cached is None:
+            cached = set()
+            for block in self.blocks:
+                cached |= block.touched_set
+            self._touched = cached
+        return cached
+
     def touched_qubits(self) -> Tuple[int, ...]:
-        qubits: Set[int] = set()
-        for block in self.blocks:
-            qubits.update(block.touched_qubits())
-        return tuple(sorted(qubits))
+        return tuple(sorted(self.touched_set))
 
     def nodes(self) -> Tuple[int, ...]:
         involved: Set[int] = set()
@@ -140,8 +149,80 @@ class ScheduleResult:
 # Fusion of sequential TP-Comm blocks
 # ---------------------------------------------------------------------------
 
+def _touched_set(item: SchedulableItem) -> frozenset:
+    """Cached qubit set of a schedulable item (no per-call allocation)."""
+    if isinstance(item, (CommBlock, FusedTPChain)):
+        return item.touched_set
+    return item.qubit_set
+
+
+class _PairwiseCommutation:
+    """Memoised item-pair commutation checks within one plan build.
+
+    ``_items_commute`` asks "does every gate of A commute with every gate of
+    B?" — naively |A| x |B| gate-pair queries.  Two facts make that cheap:
+    gate pairs on disjoint qubits always commute (so only B-gates sharing a
+    qubit with the A-gate need checking, found through a per-item
+    qubit-to-gates index), and the scheduler asks about the same item pairs
+    repeatedly across the lookback window, so the verdict is memoised per
+    ordered-id pair.  Memoisation is only valid while the item objects stay
+    alive and unchanged, which holds for the duration of one
+    :func:`plan_schedule` call.
+    """
+
+    def __init__(self) -> None:
+        self._memo: Dict[Tuple[int, int], bool] = {}
+        self._index: Dict[int, Dict[int, List[Gate]]] = {}
+
+    def items_commute(self, a: SchedulableItem, b: SchedulableItem) -> bool:
+        ia, ib = id(a), id(b)
+        key = (ia, ib) if ia <= ib else (ib, ia)
+        verdict = self._memo.get(key)
+        if verdict is None:
+            verdict = self._compute(a, b)
+            self._memo[key] = verdict
+        return verdict
+
+    def _gates_by_qubit(self, item: SchedulableItem) -> Dict[int, List[Gate]]:
+        index = self._index.get(id(item))
+        if index is None:
+            index = defaultdict(list)
+            gates = (item.gates if isinstance(item, (CommBlock, FusedTPChain))
+                     else (item,))
+            for gate in gates:
+                for qubit in gate.qubits:
+                    index[qubit].append(gate)
+            self._index[id(item)] = index
+        return index
+
+    def _compute(self, a: SchedulableItem, b: SchedulableItem) -> bool:
+        shared = _touched_set(a) & _touched_set(b)
+        if not shared:
+            return True
+        # A gate pair can only fail to commute when it overlaps, and any
+        # overlap lies inside the items' shared qubits — so only the gates
+        # touching those qubits (found through both items' indices) need
+        # pairwise checks; every skipped pair is disjoint and commutes.
+        index_a = self._gates_by_qubit(a)
+        index_b = self._gates_by_qubit(b)
+        checked: Set[Tuple[int, int]] = set()
+        for qubit in shared:
+            for ga in index_a.get(qubit, ()):
+                ga_id = id(ga)
+                for gb in index_b.get(qubit, ()):
+                    key = (ga_id, id(gb))
+                    if key in checked:
+                        continue
+                    checked.add(key)
+                    if not commutes(ga, gb):
+                        return False
+        return True
+
+
 def fuse_tp_chains(items: Sequence[ScheduleItem],
-                   mapping: QubitMapping) -> List[SchedulableItem]:
+                   mapping: QubitMapping,
+                   oracle: Optional[_PairwiseCommutation] = None
+                   ) -> List[SchedulableItem]:
     """Fuse runs of TP blocks sharing a hub qubit into :class:`FusedTPChain` units.
 
     Two TP blocks are fused when they teleport the same hub qubit and every
@@ -151,36 +232,37 @@ def fuse_tp_chains(items: Sequence[ScheduleItem],
     item that touches the hub always closes the chain: the hub is away from
     its home node mid-chain, so nothing else may act on it.
     """
+    if oracle is None:
+        oracle = _PairwiseCommutation()
     out: List[SchedulableItem] = []
     open_chain: List[CommBlock] = []
+    chain_qubits: Set[int] = set()
 
     def close() -> None:
-        nonlocal open_chain
+        nonlocal open_chain, chain_qubits
         if len(open_chain) >= 2:
             out.append(FusedTPChain(blocks=open_chain))
         elif open_chain:
             out.append(open_chain[0])
         open_chain = []
+        chain_qubits = set()
 
     for item in items:
         if isinstance(item, CommBlock) and item.scheme is CommScheme.TP:
             if open_chain and open_chain[-1].hub_qubit != item.hub_qubit:
                 close()
             open_chain.append(item)
+            chain_qubits |= item.touched_set
             continue
         if isinstance(item, Gate) and item.is_barrier:
             close()
             out.append(item)
             continue
-        touched = (set(item.touched_qubits()) if isinstance(item, CommBlock)
-                   else set(item.qubits))
         if open_chain:
-            chain_qubits: Set[int] = set()
-            for block in open_chain:
-                chain_qubits.update(block.touched_qubits())
+            touched = _touched_set(item)
             if (open_chain[-1].hub_qubit in touched
-                    or (touched & chain_qubits
-                        and not all(_items_commute(item, block)
+                    or (not touched.isdisjoint(chain_qubits)
+                        and not all(oracle.items_commute(item, block)
                                     for block in open_chain))):
                 close()
         out.append(item)
@@ -201,18 +283,20 @@ def _item_qubits(item: SchedulableItem, num_qubits: int) -> Tuple[int, ...]:
 
 
 def _items_commute(a: SchedulableItem, b: SchedulableItem) -> bool:
-    gates_a = a.gates if isinstance(a, (CommBlock, FusedTPChain)) else [a]
-    gates_b = b.gates if isinstance(b, (CommBlock, FusedTPChain)) else [b]
-    for ga in gates_a:
-        for gb in gates_b:
-            if not commutes(ga, gb):
-                return False
-    return True
+    """Does every gate of ``a`` commute with every gate of ``b``?
+
+    Standalone (unmemoised) helper; the plan builder routes the same check
+    through :class:`_PairwiseCommutation` so the verdict is computed once
+    per item pair.
+    """
+    return _PairwiseCommutation().items_commute(a, b)
 
 
 def _build_dependencies(items: Sequence[SchedulableItem], num_qubits: int,
                         commutation_aware: bool,
-                        lookback: int = 12) -> List[List[int]]:
+                        lookback: int = 12,
+                        oracle: Optional[_PairwiseCommutation] = None
+                        ) -> List[List[int]]:
     """Return predecessor lists per item index.
 
     With ``commutation_aware`` enabled, an item may skip the dependency on
@@ -220,19 +304,41 @@ def _build_dependencies(items: Sequence[SchedulableItem], num_qubits: int,
     bounded lookback), which is what allows two commutable blocks with a
     shared qubit or node to run in parallel.
     """
+    if not commutation_aware:
+        # Plain program order: each item depends on the latest earlier item
+        # per qubit, so only that latest index needs tracking.
+        preds = []
+        last_on_qubit: Dict[int, int] = {}
+        for index, item in enumerate(items):
+            if isinstance(item, Gate) and item.is_barrier:
+                qubits = range(num_qubits)
+            else:
+                qubits = _touched_set(item)
+            chosen = {last_on_qubit[q] for q in qubits if q in last_on_qubit}
+            preds.append(sorted(chosen))
+            for qubit in qubits:
+                last_on_qubit[qubit] = index
+        return preds
+
+    if oracle is None:
+        oracle = _PairwiseCommutation()
     preds: List[List[int]] = [[] for _ in items]
     history: Dict[int, List[int]] = {q: [] for q in range(num_qubits)}
     for index, item in enumerate(items):
-        qubits = _item_qubits(item, num_qubits)
+        # Iterate the cached qubit set directly: the iteration order does
+        # not influence the chosen predecessor set (each qubit's history
+        # chain is scanned independently and ``chosen``/``preds`` are
+        # order-insensitive).
+        if isinstance(item, Gate) and item.is_barrier:
+            qubits = range(num_qubits)
+        else:
+            qubits = _touched_set(item)
         chosen: Set[int] = set()
+        both_blocks_possible = isinstance(item, (CommBlock, FusedTPChain))
         for qubit in qubits:
             chain = history[qubit]
             if not chain:
                 continue
-            if not commutation_aware:
-                chosen.add(chain[-1])
-                continue
-            both_blocks_possible = isinstance(item, (CommBlock, FusedTPChain))
             depends_on_someone = False
             for offset, prev_index in enumerate(reversed(chain)):
                 if offset >= lookback:
@@ -242,7 +348,7 @@ def _build_dependencies(items: Sequence[SchedulableItem], num_qubits: int,
                 prev_item = items[prev_index]
                 if (both_blocks_possible
                         and isinstance(prev_item, (CommBlock, FusedTPChain))
-                        and _items_commute(item, prev_item)):
+                        and oracle.items_commute(item, prev_item)):
                     # Commutable block pair: no ordering needed; keep looking
                     # further back for the real dependency.
                     continue
@@ -278,37 +384,121 @@ class SchedulePlan:
     preds: List[List[int]]
     num_fused_chains: int
     burst: bool
+    #: Lazily built caches shared by every consumer of the plan (the
+    #: analytical scheduler and all Monte-Carlo trial engines).
+    _succs: Optional[List[List[int]]] = field(
+        default=None, repr=False, compare=False)
+    _profiles: Optional[Dict[Tuple[int, int],
+                             Tuple[QubitMapping, LatencyModel,
+                                   List["OpProfile"]]]] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def mode(self) -> str:
         return "burst" if self.burst else "plain"
 
     def successors(self) -> List[List[int]]:
-        succs: List[List[int]] = [[] for _ in self.items]
-        for index, plist in enumerate(self.preds):
-            for p in plist:
-                succs[p].append(index)
-        return succs
+        if self._succs is None:
+            succs: List[List[int]] = [[] for _ in self.items]
+            for index, plist in enumerate(self.preds):
+                for p in plist:
+                    succs[p].append(index)
+            self._succs = succs
+        return self._succs
 
     def item_count(self, index: int) -> int:
         """Assignment items covered by plan unit ``index``."""
         item = self.items[index]
         return len(item.blocks) if isinstance(item, FusedTPChain) else 1
 
+    def op_profiles(self, mapping: QubitMapping,
+                    latency: LatencyModel) -> List["OpProfile"]:
+        """Trial-invariant (kind, duration, nodes, item-count) per plan unit.
+
+        Gate and block durations depend only on the plan, the mapping and
+        the latency model, so Monte-Carlo execution computes them once here
+        instead of once per trial per event.
+        """
+        if self._profiles is None:
+            self._profiles = {}
+        key = (id(mapping), id(latency))
+        entry = self._profiles.get(key)
+        # The cached entry keeps references to the keyed objects (so their
+        # ids cannot be reused while the entry lives) and is validated by
+        # identity before use.
+        if entry is not None and entry[0] is mapping and entry[1] is latency:
+            return entry[2]
+        profiles: List[OpProfile] = []
+        for item in self.items:
+            if isinstance(item, Gate):
+                profiles.append(OpProfile(
+                    kind="gate", duration=latency.gate_latency(item),
+                    nodes=(), num_items=1))
+            elif isinstance(item, FusedTPChain):
+                profiles.append(OpProfile(
+                    kind="tp-chain",
+                    duration=item.duration(mapping, latency),
+                    nodes=tuple(item.nodes()),
+                    num_items=len(item.blocks)))
+            else:
+                profiles.append(OpProfile(
+                    kind="tp" if item.scheme is CommScheme.TP else "cat",
+                    duration=block_latency(item, mapping, latency),
+                    nodes=tuple(item.nodes), num_items=1))
+        self._profiles[key] = (mapping, latency, profiles)
+        return profiles
+
+
+@dataclass(frozen=True)
+class OpProfile:
+    """Static execution profile of one plan unit (see ``op_profiles``)."""
+
+    kind: str
+    duration: float
+    nodes: Tuple[int, ...]
+    num_items: int
+
 
 def plan_schedule(assignment: AssignmentResult, burst: bool) -> SchedulePlan:
-    """Build the schedulable units and dependency graph for one program."""
+    """Build the schedulable units and dependency graph for one program.
+
+    Plans are memoised on the assignment object: the burst-greedy scheduler,
+    the plain fallback and the execution simulator all ask for the same two
+    plans, and the commutation-aware dependency build dominates planning
+    cost.  The plan depends only on the assignment's items (which do not
+    change after assignment), so the memo is sound.
+    """
+    cache: Dict[bool, SchedulePlan] = getattr(assignment, "_plan_cache", None)
+    if cache is None:
+        cache = {}
+        assignment._plan_cache = cache
+    plan = cache.get(burst)
+    if plan is not None:
+        return plan
+
     mapping = assignment.mapping
     num_qubits = assignment.aggregation.circuit.num_qubits
     items: List[SchedulableItem] = list(assignment.items)
     num_fused = 0
+    oracle = _PairwiseCommutation()
     if burst:
-        fused = fuse_tp_chains(items, mapping)
+        fused = fuse_tp_chains(items, mapping, oracle=oracle)
         num_fused = sum(isinstance(i, FusedTPChain) for i in fused)
         items = fused
-    preds = _build_dependencies(items, num_qubits, commutation_aware=burst)
-    return SchedulePlan(items=items, preds=preds, num_fused_chains=num_fused,
+    preds = _build_dependencies(items, num_qubits, commutation_aware=burst,
+                                oracle=oracle)
+    plan = SchedulePlan(items=items, preds=preds, num_fused_chains=num_fused,
                         burst=burst)
+    # When fusion changed nothing, the burst and plain plans schedule the
+    # same units — share one profile cache so durations are computed once.
+    other = cache.get(not burst)
+    if (other is not None and len(other.items) == len(plan.items)
+            and all(a is b for a, b in zip(other.items, plan.items))):
+        if other._profiles is None:
+            other._profiles = {}
+        plan._profiles = other._profiles
+    cache[burst] = plan
+    return plan
 
 
 # ---------------------------------------------------------------------------
@@ -343,19 +533,26 @@ def schedule_communications(assignment: AssignmentResult,
 
 
 def _run_schedule(assignment: AssignmentResult, network: QuantumNetwork,
-                  burst: bool) -> ScheduleResult:
+                  burst: bool, plan: Optional[SchedulePlan] = None
+                  ) -> ScheduleResult:
     latency = network.latency
     mapping = assignment.mapping
 
-    plan = plan_schedule(assignment, burst=burst)
+    if plan is None:
+        plan = plan_schedule(assignment, burst=burst)
     items = plan.items
     succs = plan.successors()
     indegree = [len(plist) for plist in plan.preds]
+    # Per-item kinds/durations/nodes are trial-invariant; computing them
+    # through the plan's profile cache shares the work between the burst and
+    # plain schedule runs and with the execution simulator.
+    profiles = plan.op_profiles(mapping, latency)
 
     resources = CommResourceTracker(network)
     ready_time = [0.0] * len(items)
     finish_time = [0.0] * len(items)
     scheduled: List[Optional[ScheduledOp]] = [None] * len(items)
+    prep_latencies: Dict[Tuple[int, ...], float] = {}
 
     heap: List[Tuple[float, int]] = []
     for index, degree in enumerate(indegree):
@@ -365,9 +562,29 @@ def _run_schedule(assignment: AssignmentResult, network: QuantumNetwork,
     completed = 0
     while heap:
         ready, index = heapq.heappop(heap)
-        item = items[index]
-        op = _schedule_item(item, index, ready, mapping, network, latency,
-                            resources)
+        profile = profiles[index]
+        kind = profile.kind
+        if kind == "gate":
+            op = ScheduledOp(index=index, kind="gate", start=ready,
+                             end=ready + profile.duration)
+        else:
+            nodes = profile.nodes
+            prep = prep_latencies.get(nodes)
+            if prep is None:
+                prep = _epr_prep_latency(network, nodes)
+                prep_latencies[nodes] = prep
+            start = _reserve_comm(resources, nodes, ready, profile.duration,
+                                  prep, label=f"{kind}-{index}")
+            item = items[index]
+            if kind == "tp-chain":
+                num_remote = sum(b.num_remote_gates(mapping)
+                                 for b in item.blocks)
+            else:
+                num_remote = item.num_remote_gates(mapping)
+            op = ScheduledOp(index=index, kind=kind, start=start,
+                             end=start + profile.duration, nodes=nodes,
+                             num_remote_gates=num_remote,
+                             num_items=profile.num_items)
         scheduled[index] = op
         finish_time[index] = op.end
         completed += 1
@@ -387,39 +604,6 @@ def _run_schedule(assignment: AssignmentResult, network: QuantumNetwork,
                           num_comm_ops=num_comm,
                           num_fused_chains=plan.num_fused_chains,
                           mode=plan.mode)
-
-
-def _schedule_item(item: SchedulableItem, index: int, ready: float,
-                   mapping: QubitMapping, network: QuantumNetwork,
-                   latency: LatencyModel,
-                   resources: CommResourceTracker) -> ScheduledOp:
-    if isinstance(item, Gate):
-        duration = latency.gate_latency(item)
-        return ScheduledOp(index=index, kind="gate", start=ready,
-                           end=ready + duration)
-
-    if isinstance(item, FusedTPChain):
-        duration = item.duration(mapping, latency)
-        nodes = item.nodes()
-        start = _reserve_comm(resources, nodes, ready, duration,
-                              _epr_prep_latency(network, nodes),
-                              label=f"tp-chain-{index}")
-        return ScheduledOp(index=index, kind="tp-chain", start=start,
-                           end=start + duration, nodes=nodes,
-                           num_remote_gates=sum(
-                               b.num_remote_gates(mapping) for b in item.blocks),
-                           num_items=len(item.blocks))
-
-    # Single communication block.
-    duration = block_latency(item, mapping, latency)
-    nodes = item.nodes
-    kind = "tp" if item.scheme is CommScheme.TP else "cat"
-    start = _reserve_comm(resources, nodes, ready, duration,
-                          _epr_prep_latency(network, nodes),
-                          label=f"{kind}-{index}")
-    return ScheduledOp(index=index, kind=kind, start=start,
-                       end=start + duration, nodes=nodes,
-                       num_remote_gates=item.num_remote_gates(mapping))
 
 
 def _epr_prep_latency(network: QuantumNetwork, nodes: Sequence[int]) -> float:

@@ -10,7 +10,14 @@ from .gates import Gate, GateSpec, gate_spec, standard_gate_names
 from .circuit import Circuit
 from .dag import CircuitDAG
 from .decompose import decompose_to_cx, decompose_gate, mct_v_chain
-from .commutation import commutes, commutes_with_all, commutes_through
+from .commutation import (
+    clear_commutation_cache,
+    commutation_cache_stats,
+    commutes,
+    commutes_with_all,
+    commutes_through,
+    set_commutation_cache_enabled,
+)
 from .qasm import to_qasm, from_qasm
 from .transpile import (
     cancel_adjacent_inverses,
@@ -33,6 +40,9 @@ __all__ = [
     "commutes",
     "commutes_with_all",
     "commutes_through",
+    "clear_commutation_cache",
+    "commutation_cache_stats",
+    "set_commutation_cache_enabled",
     "to_qasm",
     "from_qasm",
     "cancel_adjacent_inverses",

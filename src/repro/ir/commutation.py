@@ -5,11 +5,15 @@ it needs a reliable answer to "do these two gates commute?".  We combine
 
 * fast structural rules (the X-rotation-centred rules of Figure 7 in the
   paper plus the standard diagonal/control/target rules), and
-* an exact matrix check on the joint unitary as a fallback, memoised on the
-  gate names, parameters and relative qubit overlap.
+* an exact matrix check on the joint unitary as a fallback.
 
-The matrix fallback keeps the engine *sound* for every registered gate pair;
-the rules only make the common cases fast.
+Every decided pair — rule-based *and* matrix-based — is memoised on a
+canonical ``(name, params, overlap-pattern)`` key, so repeated queries over
+large circuits (the aggregation and scheduling passes ask the same
+structural question for thousands of concrete gate pairs) collapse to one
+dict lookup.  The matrix fallback keeps the engine *sound* for every
+registered gate pair; the rules only make the first occurrence of each
+pattern fast.
 """
 
 from __future__ import annotations
@@ -26,9 +30,19 @@ __all__ = [
     "commutes_with_all",
     "commutes_through",
     "clear_commutation_cache",
+    "commutation_cache_stats",
+    "set_commutation_cache_enabled",
 ]
 
 _ATOL = 1e-9
+
+# Pair-level memo: canonical (names, params, relative qubit overlap) -> bool.
+# Bounded defensively; a full clear on overflow is simpler than LRU eviction
+# and the bound is far above what any benchmark circuit generates.
+_PAIR_CACHE: Dict[tuple, bool] = {}
+_PAIR_CACHE_MAX = 1 << 20
+_pair_cache_enabled = True
+_STATS = {"hits": 0, "misses": 0, "rule_decided": 0, "matrix_decided": 0}
 
 # Single-qubit gates that commute with being the *control* of a CX/CZ/CRZ/CP
 # (i.e. diagonal gates) and with being the *target* of a CX (X-axis gates).
@@ -43,8 +57,48 @@ _DIAGONAL_2Q = frozenset({"cz", "crz", "cp", "rzz"})
 
 
 def clear_commutation_cache() -> None:
-    """Clear the memoised matrix-based commutation results."""
+    """Clear the memoised commutation results (pair-level and matrix-level)."""
+    _PAIR_CACHE.clear()
     _matrix_commutes_cached.cache_clear()
+    for key in _STATS:
+        _STATS[key] = 0
+
+
+def commutation_cache_stats() -> Dict[str, int]:
+    """Hit/miss statistics of the pair-level commutation cache.
+
+    ``hits``/``misses`` count lookups of the pair-level cache;
+    ``rule_decided``/``matrix_decided`` split the misses by which engine
+    settled them.  ``size`` is the number of memoised pair patterns and
+    ``matrix_cache_size`` the entries of the underlying matrix memo.
+    """
+    info = _matrix_commutes_cached.cache_info()
+    return {**_STATS, "size": len(_PAIR_CACHE),
+            "matrix_cache_size": info.currsize}
+
+
+def set_commutation_cache_enabled(enabled: bool) -> bool:
+    """Toggle the pair-level cache (the matrix memo is always on).
+
+    Returns the previous setting.  Used by the perf-regression benchmarks to
+    time the uncached reference path; results are identical either way.
+    """
+    global _pair_cache_enabled
+    previous = _pair_cache_enabled
+    _pair_cache_enabled = bool(enabled)
+    return previous
+
+
+def _pair_key(a: Gate, b: Gate) -> tuple:
+    """Canonical (name, params, relative-overlap) key of an ordered gate pair.
+
+    Qubits are renumbered by their rank within the pair's qubit union, so
+    every concrete pair with the same structural overlap shares one entry.
+    """
+    union = sorted(a._qubit_set | b._qubit_set)
+    index = {q: i for i, q in enumerate(union)}
+    return (a.name, a.params, tuple(index[q] for q in a.qubits),
+            b.name, b.params, tuple(index[q] for q in b.qubits))
 
 
 def commutes(gate_a: Gate, gate_b: Gate) -> bool:
@@ -52,17 +106,62 @@ def commutes(gate_a: Gate, gate_b: Gate) -> bool:
 
     Barriers, measurements and resets are treated as commuting with nothing
     that shares a qubit with them (conservative).
+
+    Decision tiers, cheapest first: disjoint qubits; zero-allocation
+    structural rules (identity, diagonal pairs, axis-aligned single-qubit
+    gates, control/target rules, CX-CX); then the pair-level cache over the
+    overlap-pattern rules and the exact matrix check.  The fast rules are
+    *not* routed through the cache because a single dict probe on the
+    canonical key costs more than they do.
     """
-    shared = set(gate_a.qubits) & set(gate_b.qubits)
-    if not shared:
+    if gate_a._qubit_set.isdisjoint(gate_b._qubit_set):
         return True
-    if not gate_a.is_unitary or not gate_b.is_unitary:
+    if not gate_a._is_unitary or not gate_b._is_unitary:
         return False
 
-    rule = _rule_based(gate_a, gate_b, shared)
+    # The commonest fast rules are inlined: one extra function call per
+    # query is measurable at the aggregation pass's call volume.
+    name_a = gate_a.name
+    name_b = gate_b.name
+    if name_a == "cx" and name_b == "cx":
+        qa = gate_a.qubits
+        qb = gate_b.qubits
+        # Same control or same target -> commute; control/target collision -> not.
+        if qa == qb:
+            return True
+        if qa[0] == qb[0] and qa[1] != qb[1]:
+            return True
+        return qa[1] == qb[1] and qa[0] != qb[0]
+    if gate_a._diagonal and gate_b._diagonal:
+        return True
+
+    rule = _fast_rules(gate_a, gate_b)
     if rule is not None:
         return rule
-    return _matrix_commutes(gate_a, gate_b)
+
+    if not _pair_cache_enabled:
+        rule = _overlap_rules(gate_a, gate_b)
+        if rule is not None:
+            return rule
+        return _matrix_commutes(gate_a, gate_b)
+
+    key = _pair_key(gate_a, gate_b)
+    cached = _PAIR_CACHE.get(key)
+    if cached is not None:
+        _STATS["hits"] += 1
+        return cached
+    _STATS["misses"] += 1
+    rule = _overlap_rules(gate_a, gate_b)
+    if rule is not None:
+        _STATS["rule_decided"] += 1
+        result = rule
+    else:
+        _STATS["matrix_decided"] += 1
+        result = _matrix_commutes(gate_a, gate_b)
+    if len(_PAIR_CACHE) >= _PAIR_CACHE_MAX:  # pragma: no cover - defensive
+        _PAIR_CACHE.clear()
+    _PAIR_CACHE[key] = result
+    return result
 
 
 def commutes_with_all(gate: Gate, gates: Iterable[Gate]) -> bool:
@@ -84,34 +183,45 @@ def commutes_through(gate: Gate, gates: Sequence[Gate]) -> bool:
 # Rule-based fast paths
 # ---------------------------------------------------------------------------
 
-def _rule_based(a: Gate, b: Gate, shared: set) -> Optional[bool]:
-    """Try to decide commutation structurally. Returns None when undecided."""
+def _fast_rules(a: Gate, b: Gate) -> Optional[bool]:
+    """Structural rules that never inspect the overlap pattern.
+
+    These are cheaper than one cache probe, so :func:`commutes` runs them
+    before touching the pair-level cache.  The CX-CX and diagonal-pair
+    rules are inlined in :func:`commutes` itself and therefore absent here.
+    Returns None when undecided.
+    """
     # Identity commutes with everything.
     if a.name == "id" or b.name == "id":
         return True
 
-    # Two diagonal gates always commute.
-    if a.is_diagonal and b.is_diagonal:
-        return True
-
-    if a.is_single_qubit and b.is_single_qubit:
-        return _single_single(a, b)
-
-    if a.is_single_qubit and b.is_multi_qubit:
-        return _single_multi(a, b)
-    if b.is_single_qubit and a.is_multi_qubit:
-        return _single_multi(b, a)
-
-    if a.is_two_qubit and b.is_two_qubit:
-        return _two_two(a, b, shared)
+    if a._is_single:
+        if b._is_single:
+            axis_a = a._axis
+            if axis_a is not None and axis_a == b._axis:
+                return True
+            return None
+        if b._is_multi:
+            return _single_multi(a, b)
+        return None
+    if b._is_single:
+        if a._is_multi:
+            return _single_multi(b, a)
+        return None
 
     return None
 
 
-def _single_single(a: Gate, b: Gate) -> Optional[bool]:
-    axis_a, axis_b = a.axis, b.axis
-    if axis_a is not None and axis_a == axis_b:
-        return True
+def _overlap_rules(a: Gate, b: Gate) -> Optional[bool]:
+    """Rules that depend on which qubits the two gates share.
+
+    Only reached when the inlined fast rules and :func:`_fast_rules` are
+    undecided; the verdict (or the matrix fallback's) is memoised by
+    :func:`commutes` on the canonical overlap-pattern key.  Returns None
+    when undecided.
+    """
+    if a._is_two and b._is_two:
+        return _two_two(a, b, a._qubit_set & b._qubit_set)
     return None
 
 
@@ -149,17 +259,8 @@ def _controls_targets(gate: Gate) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
 
 
 def _two_two(a: Gate, b: Gate, shared: set) -> Optional[bool]:
-    if a.name in _DIAGONAL_2Q and b.name in _DIAGONAL_2Q:
-        return True
-    if a.name == "cx" and b.name == "cx":
-        # Same control or same target -> commute; control/target collision -> not.
-        if a.qubits == b.qubits:
-            return True
-        if a.qubits[0] == b.qubits[0] and a.qubits[1] != b.qubits[1]:
-            return True
-        if a.qubits[1] == b.qubits[1] and a.qubits[0] != b.qubits[0]:
-            return True
-        return False
+    # CX-CX and diagonal-diagonal pairs are decided by the rules inlined in
+    # commutes() and never reach this function.
     if {a.name, b.name} <= (_CONTROLLED_2Q | {"rzz"}):
         # A diagonal 2q gate commutes with a controlled gate when every shared
         # qubit sits on the controlled gate's control and the diagonal gate is

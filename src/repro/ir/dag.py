@@ -5,14 +5,19 @@ Nodes are instruction indices; a directed edge ``i -> j`` means instruction
 appears earlier.  Only *immediate* per-qubit dependencies are materialised,
 which is sufficient for ASAP scheduling and critical-path analysis.
 Barriers create dependencies across every qubit they span.
+
+Adjacency is stored as plain lists indexed by instruction position: edges
+always point forward in program order, so index order *is* a topological
+order and every analysis below is a single linear scan.  A ``networkx``
+view of the same graph is still available through :attr:`CircuitDAG.graph`
+for callers that want graph-library algorithms; it is built lazily on first
+access so the hot analyses never pay for it.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
-
-import networkx as nx
 
 from .circuit import Circuit
 from .gates import Gate
@@ -25,48 +30,74 @@ class CircuitDAG:
 
     def __init__(self, circuit: Circuit) -> None:
         self.circuit = circuit
-        self.graph = nx.DiGraph()
+        self._gates: List[Gate] = list(circuit)
+        self._preds: List[List[int]] = []
+        self._succs: List[List[int]] = []
+        self._nx_graph = None
         self._build()
 
     def _build(self) -> None:
         last_on_qubit: Dict[int, int] = {}
-        for index, gate in enumerate(self.circuit):
-            self.graph.add_node(index, gate=gate)
-            qubits = gate.qubits if not gate.is_barrier else tuple(range(self.circuit.num_qubits))
-            preds = set()
+        num_qubits = self.circuit.num_qubits
+        preds = self._preds
+        succs = self._succs
+        for index, gate in enumerate(self._gates):
+            qubits = gate.qubits if not gate.is_barrier else range(num_qubits)
+            incoming = set()
             for q in qubits:
                 if q in last_on_qubit:
-                    preds.add(last_on_qubit[q])
-            for p in preds:
-                self.graph.add_edge(p, index)
+                    incoming.add(last_on_qubit[q])
+            preds.append(sorted(incoming))
+            succs.append([])
+            for p in incoming:
+                succs[p].append(index)
             for q in qubits:
                 last_on_qubit[q] = index
 
     # ------------------------------------------------------------------ views
 
+    @property
+    def graph(self):
+        """The same DAG as a :class:`networkx.DiGraph` (built on demand)."""
+        if self._nx_graph is None:
+            import networkx as nx
+
+            graph = nx.DiGraph()
+            for index, gate in enumerate(self._gates):
+                graph.add_node(index, gate=gate)
+            for index, preds in enumerate(self._preds):
+                for p in preds:
+                    graph.add_edge(p, index)
+            self._nx_graph = graph
+        return self._nx_graph
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
     def gate(self, index: int) -> Gate:
-        return self.graph.nodes[index]["gate"]
+        return self._gates[index]
 
     def predecessors(self, index: int) -> List[int]:
-        return sorted(self.graph.predecessors(index))
+        return list(self._preds[index])
 
     def successors(self, index: int) -> List[int]:
-        return sorted(self.graph.successors(index))
+        return sorted(self._succs[index])
 
     def topological_order(self) -> List[int]:
-        return list(nx.topological_sort(self.graph))
+        # Edges only point forward in program order, so the instruction
+        # order itself is topological.
+        return list(range(len(self._gates)))
 
     def front_layer(self) -> List[int]:
         """Instruction indices with no predecessors."""
-        return sorted(n for n in self.graph.nodes if self.graph.in_degree(n) == 0)
+        return [i for i, preds in enumerate(self._preds) if not preds]
 
     # -------------------------------------------------------------- scheduling
 
     def asap_levels(self) -> Dict[int, int]:
         """Assign each instruction the earliest integer layer it can occupy."""
         levels: Dict[int, int] = {}
-        for node in nx.topological_sort(self.graph):
-            preds = list(self.graph.predecessors(node))
+        for node, preds in enumerate(self._preds):
             levels[node] = 0 if not preds else max(levels[p] for p in preds) + 1
         return levels
 
@@ -80,30 +111,32 @@ class CircuitDAG:
         communications get a resource-constrained schedule on top of this, see
         :mod:`repro.core.scheduling`).
         """
-        finish: Dict[int, float] = {}
+        finish: List[float] = [0.0] * len(self._gates)
         best = 0.0
-        for node in nx.topological_sort(self.graph):
-            gate = self.gate(node)
+        for node, preds in enumerate(self._preds):
             start = 0.0
-            for pred in self.graph.predecessors(node):
-                start = max(start, finish[pred])
-            finish[node] = start + duration(gate)
-            best = max(best, finish[node])
+            for pred in preds:
+                if finish[pred] > start:
+                    start = finish[pred]
+            end = start + duration(self._gates[node])
+            finish[node] = end
+            if end > best:
+                best = end
         return best
 
     def asap_start_times(
         self, duration: Callable[[Gate], float]
     ) -> Dict[int, float]:
         """ASAP start time per instruction under unlimited parallelism."""
-        finish: Dict[int, float] = {}
+        finish: List[float] = [0.0] * len(self._gates)
         start_times: Dict[int, float] = {}
-        for node in nx.topological_sort(self.graph):
-            gate = self.gate(node)
+        for node, preds in enumerate(self._preds):
             start = 0.0
-            for pred in self.graph.predecessors(node):
-                start = max(start, finish[pred])
+            for pred in preds:
+                if finish[pred] > start:
+                    start = finish[pred]
             start_times[node] = start
-            finish[node] = start + duration(gate)
+            finish[node] = start + duration(self._gates[node])
         return start_times
 
     def layers(self) -> List[List[int]]:

@@ -346,6 +346,20 @@ class Gate:
             )
         if any(q < 0 for q in self.qubits):
             raise ValueError(f"negative qubit index in {self.qubits}")
+        # The compiler's hot paths (commutation checks, aggregation scans)
+        # query these structural facts millions of times per compile; each is
+        # immutable once the gate is validated, so compute them once here
+        # instead of chasing the registry on every property access.  Only
+        # plain picklable values are cached.
+        unitary = spec.unitary is not None
+        n = len(self.qubits)
+        object.__setattr__(self, "_qubit_set", frozenset(self.qubits))
+        object.__setattr__(self, "_is_unitary", unitary)
+        object.__setattr__(self, "_is_single", unitary and n == 1)
+        object.__setattr__(self, "_is_two", unitary and n == 2)
+        object.__setattr__(self, "_is_multi", unitary and n >= 2)
+        object.__setattr__(self, "_diagonal", spec.diagonal)
+        object.__setattr__(self, "_axis", spec.axis)
 
     # -- structural properties -------------------------------------------------
 
@@ -358,24 +372,29 @@ class Gate:
         return len(self.qubits)
 
     @property
+    def qubit_set(self) -> frozenset:
+        """The gate's qubits as a cached frozenset (no per-call allocation)."""
+        return self._qubit_set
+
+    @property
     def is_unitary(self) -> bool:
-        return self.spec.unitary is not None
+        return self._is_unitary
 
     @property
     def is_single_qubit(self) -> bool:
-        return self.is_unitary and len(self.qubits) == 1
+        return self._is_single
 
     @property
     def is_two_qubit(self) -> bool:
-        return self.is_unitary and len(self.qubits) == 2
+        return self._is_two
 
     @property
     def is_multi_qubit(self) -> bool:
-        return self.is_unitary and len(self.qubits) >= 2
+        return self._is_multi
 
     @property
     def is_diagonal(self) -> bool:
-        return self.spec.diagonal
+        return self._diagonal
 
     @property
     def is_measurement(self) -> bool:
@@ -401,7 +420,7 @@ class Gate:
 
     @property
     def axis(self) -> Optional[str]:
-        return self.spec.axis
+        return self._axis
 
     # -- algebra ----------------------------------------------------------------
 
@@ -434,7 +453,7 @@ class Gate:
 
     def overlaps(self, other: "Gate") -> bool:
         """Return True when this gate shares at least one qubit with ``other``."""
-        return bool(set(self.qubits) & set(other.qubits))
+        return not self._qubit_set.isdisjoint(other._qubit_set)
 
     def acts_on(self, qubit: int) -> bool:
         return qubit in self.qubits

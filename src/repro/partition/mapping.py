@@ -73,7 +73,13 @@ class QubitMapping:
         """True when a multi-qubit gate spans more than one node."""
         if not gate.is_multi_qubit:
             return False
-        return len({self._assignment[q] for q in gate.qubits}) > 1
+        assignment = self._assignment
+        qubits = gate.qubits
+        first = assignment[qubits[0]]
+        for q in qubits[1:]:
+            if assignment[q] != first:
+                return True
+        return False
 
     def remote_gates(self, circuit: Circuit) -> List[Tuple[int, Gate]]:
         """All (index, gate) pairs of remote multi-qubit gates in order."""

@@ -34,13 +34,10 @@ import random
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..comm.blocks import CommScheme
-from ..comm.cost import block_latency
 from ..core.pipeline import CompiledProgram
-from ..core.scheduling import FusedTPChain, SchedulePlan, plan_schedule
+from ..core.scheduling import SchedulePlan, plan_schedule
 from ..hardware.epr import CommResourceTracker, SlotSchedule
 from ..hardware.network import QuantumNetwork
-from ..ir.gates import Gate
 from .epr_process import EPRProcess
 from .trace import LatencyDistribution, TraceRecorder
 
@@ -70,6 +67,9 @@ class SimulationConfig:
     link_capacity: Optional[int] = None
     #: Record the fine-grained event trace (disable for large sweeps).
     record_trace: bool = True
+    #: Pre-sample EPR attempt counts in vectorised batches (bitwise-identical
+    #: to the per-attempt loop on the same seed; disable to A/B-test).
+    batch_epr: bool = True
 
 
 @dataclass(frozen=True)
@@ -156,10 +156,30 @@ class ExecutionEngine:
         self.network = network
         self.mapping = mapping
         self.config = config or SimulationConfig()
+        engine_owns_rng = rng is None
         self.rng = rng if rng is not None else random.Random(self.config.seed)
         self.latency = network.latency
+        #: Trial-invariant (kind, duration, nodes, item-count) per plan unit,
+        #: cached on the plan and therefore shared across Monte-Carlo trials.
+        self._profiles = plan.op_profiles(mapping, network.latency)
         self.epr = EPRProcess(network, p_success=self.config.p_epr,
                               retry_latency=self.config.retry_latency)
+        # Batched pre-sampling serves the draws from a numpy clone of the
+        # generator without advancing the Python object, so it is only
+        # enabled for the engine's own private generator — a caller-supplied
+        # rng must observe the usual stream consumption.  It also pays a
+        # fixed setup cost (~tens of us), so below a few hundred expected
+        # draws the C-backed rejection loop is kept instead.
+        if (self.config.batch_epr and self.config.p_epr < 1.0
+                and engine_owns_rng):
+            pair_draws = sum(
+                len(profile.nodes) * (len(profile.nodes) - 1) // 2
+                for profile in self._profiles if profile.kind != "gate")
+            expected_draws = int(pair_draws / self.config.p_epr)
+            if expected_draws >= 512:
+                self.epr.use_batched_sampling(self.rng,
+                                              expected_draws=expected_draws,
+                                              seed=self.config.seed)
         self.resources = CommResourceTracker(network)
         self.trace = TraceRecorder(enabled=self.config.record_trace)
         self._links: Dict[Tuple[int, int], SlotSchedule] = {}
@@ -210,19 +230,14 @@ class ExecutionEngine:
     # ------------------------------------------------------------- execution
 
     def _execute_item(self, index: int, ready: float) -> SimulatedOp:
-        item = self.plan.items[index]
-        if isinstance(item, Gate):
-            end = ready + self.latency.gate_latency(item)
+        profile = self._profiles[index]
+        if profile.kind == "gate":
+            end = ready + profile.duration
             return SimulatedOp(index=index, kind="gate", start=ready, end=end,
                                prep_start=ready)
-        if isinstance(item, FusedTPChain):
-            duration = item.duration(self.mapping, self.latency)
-            return self._execute_comm(index, item, ready, duration,
-                                      item.nodes(), kind="tp-chain")
-        duration = block_latency(item, self.mapping, self.latency)
-        kind = "tp" if item.scheme is CommScheme.TP else "cat"
-        return self._execute_comm(index, item, ready, duration, item.nodes,
-                                  kind=kind)
+        return self._execute_comm(index, self.plan.items[index], ready,
+                                  profile.duration, profile.nodes,
+                                  kind=profile.kind)
 
     def _execute_comm(self, index, item, ready: float, duration: float,
                       nodes: Sequence[int], kind: str) -> SimulatedOp:

@@ -6,9 +6,14 @@ a wrong fast path cannot silently corrupt the aggregation pass.
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.ir import Circuit, Gate, commutes, commutes_through, commutes_with_all
-from repro.ir.commutation import _matrix_commutes, clear_commutation_cache
+from repro.ir.commutation import (_matrix_commutes, clear_commutation_cache,
+                                  commutation_cache_stats,
+                                  set_commutation_cache_enabled)
+from repro.ir.commutation_reference import commutes_reference
 from repro.ir.simulator import circuit_unitary
 
 
@@ -178,3 +183,105 @@ class TestHelpers:
     def test_matrix_fallback_direct(self):
         assert _matrix_commutes(Gate("t", (0,)), Gate("rz", (0,), (0.1,)))
         assert not _matrix_commutes(Gate("h", (0,)), Gate("t", (0,)))
+
+
+# ---------------------------------------------------------------------------
+# Property test: rule paths agree with the exact matrix criterion
+# ---------------------------------------------------------------------------
+
+_PARAM_POOL = (0.3, 0.7, np.pi / 4, np.pi, -1.1)
+_GATE_POOL = ("id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx",
+              "rx", "ry", "rz", "p", "u3",
+              "cx", "cz", "cy", "ch", "crz", "crx", "cry", "cp", "swap",
+              "rzz", "rxx", "ccx", "ccz", "cswap")
+
+
+@st.composite
+def _random_gate(draw):
+    from repro.ir import gate_spec
+
+    name = draw(st.sampled_from(_GATE_POOL))
+    spec = gate_spec(name)
+    qubits = tuple(draw(st.permutations(range(4)))[:spec.num_qubits])
+    params = tuple(draw(st.sampled_from(_PARAM_POOL))
+                   for _ in range(spec.num_params))
+    return Gate(name, qubits, params)
+
+
+class TestRuleMatrixAgreement:
+    """The rule-based fast paths must agree with the matrix ground truth."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(_random_gate(), _random_gate())
+    def test_commutes_matches_matrix(self, a, b):
+        assert commutes(a, b) is matrix_says(a, b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_random_gate(), _random_gate())
+    def test_optimized_matches_reference(self, a, b):
+        assert commutes(a, b) is commutes_reference(a, b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_random_gate(), _random_gate())
+    def test_cache_disabled_matches_enabled(self, a, b):
+        enabled = commutes(a, b)
+        previous = set_commutation_cache_enabled(False)
+        try:
+            assert commutes(a, b) is enabled
+        finally:
+            set_commutation_cache_enabled(previous)
+
+
+class TestCacheStatistics:
+    def setup_method(self):
+        clear_commutation_cache()
+
+    def teardown_method(self):
+        clear_commutation_cache()
+
+    def test_stats_track_hits_and_misses(self):
+        # cy/ch has no structural rule, so it exercises the cached tier.
+        a, b = Gate("cy", (0, 1)), Gate("ch", (0, 1))
+        baseline = commutation_cache_stats()
+        assert baseline["hits"] == baseline["misses"] == 0
+
+        commutes(a, b)
+        after_first = commutation_cache_stats()
+        assert after_first["misses"] == 1
+        assert after_first["matrix_decided"] == 1
+        assert after_first["size"] == 1
+
+        commutes(a, b)
+        after_second = commutation_cache_stats()
+        assert after_second["hits"] == 1
+        assert after_second["misses"] == 1
+
+    def test_same_pattern_shares_one_entry(self):
+        commutes(Gate("cy", (0, 1)), Gate("ch", (0, 1)))
+        # Same structural overlap on different concrete qubits: cache hit.
+        commutes(Gate("cy", (5, 9)), Gate("ch", (5, 9)))
+        stats = commutation_cache_stats()
+        assert stats["hits"] == 1
+        assert stats["size"] == 1
+
+    def test_fast_rules_bypass_cache(self):
+        commutes(Gate("cx", (0, 1)), Gate("cx", (0, 2)))
+        commutes(Gate("rz", (0,), (0.2,)), Gate("rz", (0,), (0.4,)))
+        stats = commutation_cache_stats()
+        assert stats["hits"] == stats["misses"] == 0
+
+    def test_clear_resets_everything(self):
+        commutes(Gate("cy", (0, 1)), Gate("ch", (0, 1)))
+        clear_commutation_cache()
+        stats = commutation_cache_stats()
+        assert stats == {"hits": 0, "misses": 0, "rule_decided": 0,
+                         "matrix_decided": 0, "size": 0,
+                         "matrix_cache_size": 0}
+
+    def test_disabling_cache_stops_population(self):
+        previous = set_commutation_cache_enabled(False)
+        try:
+            commutes(Gate("cy", (0, 1)), Gate("ch", (0, 1)))
+            assert commutation_cache_stats()["size"] == 0
+        finally:
+            set_commutation_cache_enabled(previous)

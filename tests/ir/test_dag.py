@@ -94,3 +94,31 @@ class TestTiming:
 
     def test_empty_critical_path_is_zero(self):
         assert CircuitDAG(Circuit(2)).critical_path_length(lambda g: 1.0) == 0.0
+
+
+class TestNetworkxView:
+    """The lazily built networkx graph mirrors the list-based adjacency."""
+
+    def test_graph_matches_adjacency(self):
+        circuit = Circuit(3).h(0).cx(0, 1).cx(1, 2).h(2).barrier().h(0)
+        dag = CircuitDAG(circuit)
+        graph = dag.graph
+        assert sorted(graph.nodes) == list(range(len(circuit)))
+        for node in graph.nodes:
+            assert sorted(graph.predecessors(node)) == dag.predecessors(node)
+            assert sorted(graph.successors(node)) == dag.successors(node)
+            assert graph.nodes[node]["gate"] == dag.gate(node)
+
+    def test_graph_is_cached(self):
+        dag = CircuitDAG(Circuit(2).h(0).cx(0, 1))
+        assert dag.graph is dag.graph
+
+    def test_len_counts_instructions(self):
+        assert len(CircuitDAG(Circuit(2).h(0).cx(0, 1))) == 2
+
+    def test_graph_not_built_for_plain_analyses(self):
+        dag = CircuitDAG(Circuit(2).h(0).cx(0, 1).h(1))
+        dag.asap_levels()
+        dag.critical_path_length(lambda g: 1.0)
+        dag.layers()
+        assert dag._nx_graph is None

@@ -131,6 +131,56 @@ class TestSimulateCommand:
             main(["simulate", str(qasm_file), "--nodes", "2", *flags])
 
 
+class TestProfileCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["profile", "p.qasm", "--nodes", "2"])
+        assert args.command == "profile"
+        assert args.repeat == 3
+        assert args.top == 15
+        assert args.simulate_trials == 0
+
+    def test_compile_profile_report(self, qasm_file, capsys):
+        exit_code = main(["profile", str(qasm_file), "--nodes", "2",
+                          "--repeat", "2", "--top", "5"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "compile median [ms]" in out
+        assert "hotspots by cumulative time" in out
+        assert "commutation cache hits/misses" in out
+
+    def test_simulation_trials_included(self, qasm_file, capsys):
+        exit_code = main(["profile", str(qasm_file), "--nodes", "2",
+                          "--repeat", "1", "--simulate-trials", "3",
+                          "--p-epr", "0.5"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "simulate 3 trials median [ms]" in out
+
+    def test_json_output(self, qasm_file, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "BENCH_compiler.json"
+        exit_code = main(["profile", str(qasm_file), "--nodes", "2",
+                          "--repeat", "2", "--json", str(target)])
+        assert exit_code == 0
+        payload = json.loads(target.read_text())
+        assert payload["command"] == "profile"
+        assert payload["compile_s"]["median"] > 0
+        assert len(payload["compile_s"]["runs"]) == 2
+        assert payload["hotspots"]
+        assert {"function", "ncalls", "tottime_s", "cumtime_s"} <= \
+            set(payload["hotspots"][0])
+
+    @pytest.mark.parametrize("flags", [
+        ["--repeat", "0"],
+        ["--p-epr", "0"],
+        ["--p-epr", "1.5"],
+    ])
+    def test_invalid_arguments_rejected(self, qasm_file, flags):
+        with pytest.raises(SystemExit):
+            main(["profile", str(qasm_file), "--nodes", "2", *flags])
+
+
 class TestGenerateCommand:
     def test_generate_to_stdout(self, capsys):
         exit_code = main(["generate", "bv", "--qubits", "10"])
