@@ -1,0 +1,189 @@
+"""Topology-sensitivity benchmark (the ``BENCH_topology.json`` trajectory).
+
+Compiles each benchmark configuration for every supported network topology
+through the full topology-aware pipeline (hop-weighted OEE partitioning,
+routed assignment, itinerary-charged scheduling) and measures what
+constrained connectivity costs relative to the paper's all-to-all
+assumption:
+
+* ``total_epr_pairs`` — physical EPR pairs consumed, entanglement swaps
+  included (equals ``total_comm`` on all-to-all);
+* analytical schedule latency, plus its deterministic discrete-event
+  replay (``p_epr = 1.0``), which must reproduce it exactly for every
+  topology — the benchmark doubles as a routed-simulation validation;
+* the all-to-all run must be byte-identical to a compile on an unrouted
+  network, guarding the "topology-aware changes nothing when the topology
+  is unconstrained" invariant.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_topology.py \
+        --scale small --output BENCH_topology.json
+
+or through pytest (``pytest benchmarks/bench_topology.py``), which writes
+``benchmarks/results/topology_sensitivity.txt`` as the other harnesses do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if __name__ == "__main__":  # allow standalone runs without PYTHONPATH=src
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        try:
+            import repro  # noqa: F401
+        except ImportError:
+            sys.path.insert(0, src)
+
+from _harness import BENCH_SCALES, emit, family_specs
+from repro.analysis import topology_row
+from repro.circuits import BenchmarkSpec, paper_configurations, scaled_configurations
+from repro.core import compile_autocomm
+from repro.hardware import SUPPORTED_TOPOLOGIES, apply_topology
+from repro.sim import validate_schedule
+
+DEFAULT_FAMILIES = ("QFT", "BV", "QAOA")
+DEFAULT_SWAP_OVERHEAD = 1.0
+
+
+def _compile_for_topology(spec: BenchmarkSpec, kind: str,
+                          swap_overhead: float):
+    circuit, network = spec.build()
+    if kind != "unrouted":
+        apply_topology(network, kind, swap_overhead=swap_overhead)
+    return compile_autocomm(circuit, network)
+
+
+def _bench_spec(spec: BenchmarkSpec,
+                swap_overhead: float) -> List[Dict[str, object]]:
+    # The unrouted compile is the pre-topology-support behaviour; the routed
+    # all-to-all run must reproduce it byte-for-byte.
+    unrouted = _compile_for_topology(spec, "unrouted", swap_overhead)
+    baseline = _compile_for_topology(spec, "all-to-all", swap_overhead)
+    matches_unrouted = (
+        baseline.metrics.as_dict() == unrouted.metrics.as_dict()
+        and [b.scheme for b in baseline.blocks]
+        == [b.scheme for b in unrouted.blocks]
+        and baseline.mapping.as_dict() == unrouted.mapping.as_dict())
+
+    rows = []
+    for kind in SUPPORTED_TOPOLOGIES:
+        program = (baseline if kind == "all-to-all"
+                   else _compile_for_topology(spec, kind, swap_overhead))
+        report = validate_schedule(program)
+        row = topology_row(program, baseline=baseline,
+                           simulated_latency=report.simulated_latency)
+        row["replay_validated"] = report.matches
+        if kind == "all-to-all":
+            row["matches_unrouted"] = matches_unrouted
+        rows.append(row)
+    return rows
+
+
+def run_bench(scale: str, families: Sequence[str] = DEFAULT_FAMILIES,
+              swap_overhead: float = DEFAULT_SWAP_OVERHEAD) -> Dict[str, object]:
+    if scale == "paper":
+        specs = paper_configurations()
+    else:
+        specs = scaled_configurations(scale)
+    wanted = {family.upper() for family in families}
+    specs = [spec for spec in specs if spec.family in wanted]
+    if not specs:
+        raise ValueError(f"no benchmark configurations for families {families}")
+
+    configs: List[Dict[str, object]] = []
+    for spec in specs:
+        configs.extend(_bench_spec(spec, swap_overhead))
+    constrained = [c for c in configs if c["topology"] != "all-to-all"]
+    return {
+        "bench": "topology_sensitivity",
+        "schema": 1,
+        "scale": scale,
+        "swap_overhead": swap_overhead,
+        "configs": configs,
+        "all_replays_validated": all(c["replay_validated"] for c in configs),
+        "all_to_all_matches_unrouted": all(
+            c["matches_unrouted"] for c in configs
+            if c["topology"] == "all-to-all"),
+        "epr_pairs_never_below_logical": all(
+            c["total_epr_pairs"] >= c["total_comm"] for c in configs),
+        "max_epr_pair_inflation": max(
+            (c["epr_pairs_vs_all_to_all"] for c in constrained), default=1.0),
+        "max_latency_inflation": max(
+            (c["latency_vs_all_to_all"] for c in constrained), default=1.0),
+    }
+
+
+def _check(report: Dict[str, object]) -> List[str]:
+    failures = []
+    if not report["all_replays_validated"]:
+        failures.append("deterministic replay diverged from the analytical "
+                        "schedule on some topology")
+    if not report["all_to_all_matches_unrouted"]:
+        failures.append("routed all-to-all compile differs from the "
+                        "unrouted baseline")
+    if not report["epr_pairs_never_below_logical"]:
+        failures.append("physical EPR-pair count fell below the logical "
+                        "communication count")
+    return failures
+
+
+def _emit_report(report: Dict[str, object]) -> None:
+    note = (f"swap_overhead={report['swap_overhead']}; max inflation vs "
+            f"all-to-all: EPR pairs {report['max_epr_pair_inflation']:.2f}x, "
+            f"latency {report['max_latency_inflation']:.2f}x")
+    emit("topology_sensitivity", report["configs"],
+         columns=["name", "topology", "max_hops", "total_comm",
+                  "total_epr_pairs", "latency", "simulated_latency",
+                  "latency_vs_all_to_all", "epr_pairs_vs_all_to_all",
+                  "replay_validated"],
+         note=note)
+
+
+def test_bench_topology():
+    """Pytest entry point (uses the REPRO_BENCH_SCALE protocol)."""
+    from _harness import bench_scale
+
+    report = run_bench(bench_scale())
+    _emit_report(report)
+    failures = _check(report)
+    assert not failures, "; ".join(failures)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="topology-sensitivity benchmark")
+    parser.add_argument("--scale", choices=BENCH_SCALES, default="small")
+    parser.add_argument("--families", default=",".join(DEFAULT_FAMILIES),
+                        help="comma-separated benchmark families "
+                             f"(default {','.join(DEFAULT_FAMILIES)})")
+    parser.add_argument("--swap-overhead", type=float,
+                        default=DEFAULT_SWAP_OVERHEAD)
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the JSON report here "
+                             "(e.g. BENCH_topology.json)")
+    args = parser.parse_args(argv)
+
+    families = [f for f in args.families.split(",") if f]
+    report = run_bench(args.scale, families=families,
+                       swap_overhead=args.swap_overhead)
+    _emit_report(report)
+
+    if args.output is not None:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+
+    failures = _check(report)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

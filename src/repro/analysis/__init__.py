@@ -8,7 +8,8 @@ from .burst_stats import (
     qaoa_inverse_burst_bound,
     mean_remote_cx_per_comm,
 )
-from .tables import (table2_row, table3_row, simulation_row, render_table,
+from .tables import (table2_row, table3_row, simulation_row, topology_row,
+                     render_table,
                      geometric_mean)
 from .fidelity import ErrorModel, DEFAULT_ERROR_MODEL, estimate_fidelity, fidelity_breakdown
 from .visualize import schedule_timeline, simulation_timeline, burst_histogram
@@ -23,6 +24,7 @@ __all__ = [
     "table2_row",
     "table3_row",
     "simulation_row",
+    "topology_row",
     "render_table",
     "geometric_mean",
     "ErrorModel",

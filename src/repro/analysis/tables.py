@@ -19,8 +19,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.engine import MonteCarloResult
     from ..sim.validate import ValidationReport
 
-__all__ = ["table2_row", "table3_row", "simulation_row", "render_table",
-           "geometric_mean"]
+__all__ = ["table2_row", "table3_row", "simulation_row", "topology_row",
+           "render_table", "geometric_mean"]
 
 
 def table2_row(name: str, circuit: Circuit, decomposed: Circuit,
@@ -82,6 +82,39 @@ def simulation_row(report: "ValidationReport",
             "sim_p95": summary["p95"],
             "slowdown": summary.get("slowdown", 1.0),
         })
+    return row
+
+
+def topology_row(program: CompiledProgram,
+                 baseline: Optional[CompiledProgram] = None,
+                 simulated_latency: Optional[float] = None) -> Dict[str, object]:
+    """One row of the topology-sensitivity study for a compiled program.
+
+    ``baseline`` is the same program compiled for all-to-all connectivity;
+    the row then carries the latency and physical-EPR-pair inflation the
+    constrained topology causes.  ``simulated_latency`` is the
+    deterministic discrete-event replay of the routed schedule.
+    """
+    network = program.network
+    metrics = program.metrics
+    row: Dict[str, object] = {
+        "name": program.name,
+        "topology": network.topology_kind,
+        "max_hops": (network.routing.max_hops()
+                     if network.routing is not None else 1),
+        "total_comm": metrics.total_comm,
+        "total_epr_pairs": metrics.total_epr_pairs,
+        "latency": metrics.latency,
+    }
+    if simulated_latency is not None:
+        row["simulated_latency"] = simulated_latency
+    if baseline is not None:
+        row["latency_vs_all_to_all"] = (
+            metrics.latency / baseline.metrics.latency
+            if baseline.metrics.latency else float("inf"))
+        row["epr_pairs_vs_all_to_all"] = (
+            metrics.total_epr_pairs / baseline.metrics.total_epr_pairs
+            if baseline.metrics.total_epr_pairs else float("inf"))
     return row
 
 

@@ -74,7 +74,7 @@ class GPTPCompiler:
             items.append(gate)
 
         aggregation = AggregationResult(working, mapping, items, blocks)
-        cost = total_comm_count(blocks, mapping)
+        cost = total_comm_count(blocks, mapping, network=network)
         assignment = AssignmentResult(aggregation=aggregation, blocks=blocks,
                                       cost=cost)
         schedule = schedule_communications(assignment, network, strategy="greedy")
@@ -89,6 +89,7 @@ class GPTPCompiler:
             latency=schedule.latency,
             num_blocks=len(blocks),
             num_remote_gates=mapping.count_remote_gates(working),
+            total_epr_pairs=cost.total_epr_pairs,
         )
         return CompiledProgram(
             name=circuit.name,

@@ -16,6 +16,14 @@ distribution.  ``--seed`` and ``--trials`` make stochastic runs reproducible
 from the command line; ``--retry-latency`` prices failed EPR attempts,
 ``--link-capacity`` bounds concurrent EPR generations per link, and
 ``--timeline`` renders the executed schedule as an ASCII per-node timeline.
+
+``--topology`` (with ``--swap-overhead`` and ``--grid-columns``) constrains
+the EPR link graph of the machine for ``compile``, ``compare``,
+``simulate`` and ``profile``: non-adjacent node pairs route through
+entanglement swapping, the whole pipeline compiles topology-aware
+(hop-weighted partitioning, per-pair EPR latencies, swap-inclusive
+``total_epr_pairs`` accounting) and the simulator books contention on the
+physical links of each route.
 """
 
 from __future__ import annotations
@@ -36,7 +44,7 @@ from .baselines import (
 )
 from .circuits import BENCHMARK_FAMILIES, build_benchmark
 from .core import compile_autocomm
-from .hardware import uniform_network
+from .hardware import SUPPORTED_TOPOLOGIES, apply_topology, uniform_network
 from .ir import Circuit, from_qasm, to_qasm
 from .sim import (SimulationConfig, run_monte_carlo, simulate_program,
                   validate_schedule)
@@ -51,6 +59,21 @@ COMPILERS: Dict[str, Callable] = {
     "no-commute": compile_no_commute,
     "plain-schedule": compile_plain_schedule,
 }
+
+
+def _add_topology_arguments(parser: argparse.ArgumentParser) -> None:
+    """Network-topology options shared by compile/compare/simulate/profile."""
+    parser.add_argument("--topology", choices=SUPPORTED_TOPOLOGIES,
+                        default="all-to-all",
+                        help="EPR link topology of the network; non-adjacent "
+                             "pairs route through entanglement swapping "
+                             "(default all-to-all)")
+    parser.add_argument("--swap-overhead", type=float, default=1.0,
+                        help="extra EPR latency per entanglement-swapping "
+                             "hop, as a multiple of t_epr (default 1.0)")
+    parser.add_argument("--grid-columns", type=int, default=None,
+                        help="columns of the grid topology "
+                             "(default: near-square)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 default="autocomm")
     compile_parser.add_argument("--fidelity", action="store_true",
                                 help="also print an estimated program fidelity")
+    _add_topology_arguments(compile_parser)
 
     compare_parser = subparsers.add_parser(
         "compare", help="run every compiler on the same program")
@@ -80,6 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--nodes", type=int, required=True)
     compare_parser.add_argument("--qubits-per-node", type=int, default=None)
     compare_parser.add_argument("--comm-qubits", type=int, default=2)
+    _add_topology_arguments(compare_parser)
 
     simulate_parser = subparsers.add_parser(
         "simulate", help="execute a compiled program with the discrete-event "
@@ -111,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--trace", type=int, default=None,
                                  metavar="N",
                                  help="print the first N simulation events")
+    _add_topology_arguments(simulate_parser)
 
     profile_parser = subparsers.add_parser(
         "profile", help="profile the compiler (and optionally the simulator) "
@@ -140,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="write machine-readable timings and "
                                      "hotspots to PATH (e.g. "
                                      "BENCH_compiler.json)")
+    _add_topology_arguments(profile_parser)
 
     generate_parser = subparsers.add_parser(
         "generate", help="write a benchmark circuit as OpenQASM 2.0")
@@ -157,14 +184,32 @@ def _load_circuit(path: Path) -> Circuit:
 
 
 def _make_network(circuit: Circuit, nodes: int, qubits_per_node: Optional[int],
-                  comm_qubits: int):
+                  comm_qubits: int, topology: str = "all-to-all",
+                  swap_overhead: float = 1.0,
+                  grid_columns: Optional[int] = None):
     per_node = qubits_per_node or -(-circuit.num_qubits // nodes)
-    return uniform_network(nodes, per_node, comm_qubits_per_node=comm_qubits)
+    network = uniform_network(nodes, per_node, comm_qubits_per_node=comm_qubits)
+    if topology != "all-to-all" or swap_overhead != 1.0 or grid_columns is not None:
+        apply_topology(network, topology, swap_overhead=swap_overhead,
+                       grid_columns=grid_columns)
+    return network
+
+
+def _network_from_args(circuit: Circuit, args):
+    topology = getattr(args, "topology", "all-to-all")
+    grid_columns = getattr(args, "grid_columns", None)
+    if grid_columns is not None and topology != "grid":
+        raise SystemExit("error: --grid-columns only applies to "
+                         "--topology grid")
+    return _make_network(circuit, args.nodes, args.qubits_per_node,
+                         args.comm_qubits, topology=topology,
+                         swap_overhead=getattr(args, "swap_overhead", 1.0),
+                         grid_columns=grid_columns)
 
 
 def _report_rows(program) -> List[dict]:
     metrics = program.metrics
-    return [
+    rows = [
         {"metric": "compiler", "value": program.compiler},
         {"metric": "qubits", "value": program.circuit.num_qubits},
         {"metric": "gates (CX basis)", "value": len(program.circuit)},
@@ -176,12 +221,17 @@ def _report_rows(program) -> List[dict]:
         {"metric": "peak REM CX / comm", "value": metrics.peak_rem_cx},
         {"metric": "latency [CX units]", "value": round(metrics.latency, 1)},
     ]
+    network = program.network
+    if network.topology_kind != "all-to-all":
+        rows.insert(2, {"metric": "topology", "value": network.topology_kind})
+        rows.append({"metric": "physical EPR pairs (swaps incl.)",
+                     "value": metrics.total_epr_pairs})
+    return rows
 
 
 def _cmd_compile(args) -> int:
     circuit = _load_circuit(args.qasm)
-    network = _make_network(circuit, args.nodes, args.qubits_per_node,
-                            args.comm_qubits)
+    network = _network_from_args(circuit, args)
     program = COMPILERS[args.compiler](circuit, network)
     rows = _report_rows(program)
     if args.fidelity:
@@ -193,8 +243,7 @@ def _cmd_compile(args) -> int:
 
 def _cmd_compare(args) -> int:
     circuit = _load_circuit(args.qasm)
-    network = _make_network(circuit, args.nodes, args.qubits_per_node,
-                            args.comm_qubits)
+    network = _network_from_args(circuit, args)
     autocomm = compile_autocomm(circuit, network)
     rows = []
     for name, compiler in sorted(COMPILERS.items()):
@@ -222,8 +271,7 @@ def _cmd_simulate(args) -> int:
     if args.link_capacity is not None and args.link_capacity < 1:
         raise SystemExit("error: --link-capacity must be >= 1")
     circuit = _load_circuit(args.qasm)
-    network = _make_network(circuit, args.nodes, args.qubits_per_node,
-                            args.comm_qubits)
+    network = _network_from_args(circuit, args)
     program = COMPILERS[args.compiler](circuit, network)
 
     # Deterministic replay first: the simulated execution must reproduce the
@@ -241,7 +289,15 @@ def _cmd_simulate(args) -> int:
                                   link_capacity=args.link_capacity)
         monte_carlo = run_monte_carlo(program, config)
 
-    print(render_table([simulation_row(report, monte_carlo)]))
+    row = simulation_row(report, monte_carlo)
+    if network.topology_kind != "all-to-all":
+        row["topology"] = network.topology_kind
+        row["total_comm"] = program.metrics.total_comm
+        # Compiler-side per-block accounting vs pairs the replayed
+        # execution actually generated (fusion savings included).
+        row["total_epr_pairs"] = program.metrics.total_epr_pairs
+        row["sim_epr_pairs"] = deterministic.total_epr_pairs
+    print(render_table([row]))
     if not report.matches:
         print(f"warning: {report.describe()}", file=sys.stderr)
 
@@ -271,8 +327,7 @@ def _cmd_profile(args) -> int:
     from .sim import run_monte_carlo as _run_mc
 
     circuit = _load_circuit(args.qasm)
-    network = _make_network(circuit, args.nodes, args.qubits_per_node,
-                            args.comm_qubits)
+    network = _network_from_args(circuit, args)
     compiler = COMPILERS[args.compiler]
 
     compile_times = []
@@ -344,6 +399,7 @@ def _cmd_profile(args) -> int:
             "qasm": str(args.qasm),
             "compiler": args.compiler,
             "nodes": args.nodes,
+            "topology": args.topology,
             "gates": len(program.circuit),
             "compile_s": {"median": statistics.median(compile_times),
                           "runs": compile_times},

@@ -13,6 +13,7 @@ from .primitives import (
 from .cost import (
     CommCost,
     block_comm_count,
+    block_epr_pairs,
     total_comm_count,
     block_latency,
     peak_remote_cx_per_comm,
@@ -32,6 +33,7 @@ __all__ = [
     "tp_comm_block_circuit",
     "CommCost",
     "block_comm_count",
+    "block_epr_pairs",
     "total_comm_count",
     "block_latency",
     "peak_remote_cx_per_comm",

@@ -1,24 +1,33 @@
 """Communication cost accounting.
 
 The paper's first metric is the number of issued remote communications (one
-EPR pair each).  Cat-Comm executes a whole block with one communication;
-TP-Comm always charges two (one teleport out, one to release the occupied
-communication qubit), which is exactly how Section 5.1 defines the metric.
-This module turns a list of assigned blocks into those counts and also
-provides per-block latency estimates used by the scheduler.
+*logical* EPR pair each).  Cat-Comm executes a whole block with one
+communication; TP-Comm always charges two (one teleport out, one to release
+the occupied communication qubit), which is exactly how Section 5.1 defines
+the metric.  This module turns a list of assigned blocks into those counts
+and also provides per-block latency estimates used by the scheduler.
+
+On a routed topology (see :mod:`repro.hardware.routing`) one logical
+end-to-end EPR pair between non-adjacent nodes is built by entanglement
+swapping, consuming one *physical* EPR pair per link of the route.
+``total_epr_pairs`` reports that swap-inclusive physical count alongside
+``total_comm``; on all-to-all connectivity the two coincide.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from ..hardware.timing import DEFAULT_LATENCY, LatencyModel
 from ..partition.mapping import QubitMapping
 from .blocks import CommBlock, CommScheme
 
-__all__ = ["CommCost", "block_comm_count", "total_comm_count",
-           "block_latency", "peak_remote_cx_per_comm"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hardware.network import QuantumNetwork
+
+__all__ = ["CommCost", "block_comm_count", "block_epr_pairs",
+           "total_comm_count", "block_latency", "peak_remote_cx_per_comm"]
 
 
 @dataclass(frozen=True)
@@ -29,6 +38,13 @@ class CommCost:
     tp_comm: int
     cat_comm: int
     peak_remote_cx: float
+    #: Physical EPR pairs consumed, entanglement swaps included.  Defaults
+    #: to ``total_comm`` (direct links everywhere — the paper's assumption).
+    total_epr_pairs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.total_epr_pairs is None:
+            object.__setattr__(self, "total_epr_pairs", self.total_comm)
 
     def as_dict(self) -> dict:
         return {
@@ -36,6 +52,7 @@ class CommCost:
             "tp_comm": self.tp_comm,
             "cat_comm": self.cat_comm,
             "peak_remote_cx": self.peak_remote_cx,
+            "total_epr_pairs": self.total_epr_pairs,
         }
 
 
@@ -48,12 +65,33 @@ def block_comm_count(block: CommBlock, mapping: QubitMapping) -> int:
     raise ValueError("block has no communication scheme assigned")
 
 
-def total_comm_count(blocks: Sequence[CommBlock], mapping: QubitMapping) -> CommCost:
-    """Aggregate communication cost over all blocks of a compiled program."""
+def block_epr_pairs(block: CommBlock, mapping: QubitMapping,
+                    network: Optional["QuantumNetwork"] = None) -> int:
+    """Physical EPR pairs consumed by one block, swaps included.
+
+    Every logical communication of the block spans the same node pair
+    (hub node <-> remote node); on a routed network each one consumes one
+    physical pair per link of that pair's route.
+    """
+    logical = block_comm_count(block, mapping)
+    if network is None:
+        return logical
+    return logical * network.epr_hops(block.hub_node, block.remote_node)
+
+
+def total_comm_count(blocks: Sequence[CommBlock], mapping: QubitMapping,
+                     network: Optional["QuantumNetwork"] = None) -> CommCost:
+    """Aggregate communication cost over all blocks of a compiled program.
+
+    When ``network`` is given, ``total_epr_pairs`` counts the physical EPR
+    pairs its entanglement routes consume; otherwise direct links are
+    assumed and the physical count equals ``total_comm``.
+    """
     total = 0
     tp = 0
     cat = 0
     peak = 0.0
+    physical = 0
     for block in blocks:
         count = block_comm_count(block, mapping)
         total += count
@@ -62,7 +100,9 @@ def total_comm_count(blocks: Sequence[CommBlock], mapping: QubitMapping) -> Comm
         else:
             cat += count
         peak = max(peak, block_remote_cx_per_comm(block, mapping))
-    return CommCost(total_comm=total, tp_comm=tp, cat_comm=cat, peak_remote_cx=peak)
+        physical += block_epr_pairs(block, mapping, network)
+    return CommCost(total_comm=total, tp_comm=tp, cat_comm=cat,
+                    peak_remote_cx=peak, total_epr_pairs=physical)
 
 
 def block_remote_cx_per_comm(block: CommBlock, mapping: QubitMapping) -> float:

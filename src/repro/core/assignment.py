@@ -12,6 +12,15 @@ remote communication schemes for each block:
 The paper's rule (end of Section 4.3): use Cat-Comm when a single invocation
 suffices, otherwise default to TP-Comm (the tie case of two Cat invocations
 vs. one TP round trip is resolved in favour of TP-Comm).
+
+On a routed network (per-pair EPR latencies from
+:mod:`repro.hardware.topology`) the pass instead compares the two schemes'
+estimated wall-clock protocol times, charging every invocation the pair's
+EPR preparation latency (:func:`choose_scheme_routed`).  With the paper's
+latency structure this provably coincides with the counting rule for every
+pair latency — both schemes ride the same hub<->remote link, so the EPR
+term scales both sides identically — but it keeps the pass honest for
+latency models where the fixed per-invocation overheads differ.
 """
 
 from __future__ import annotations
@@ -21,10 +30,12 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..comm.blocks import CommBlock, CommPattern, CommScheme
 from ..comm.cost import CommCost, total_comm_count
+from ..hardware.network import QuantumNetwork
 from ..partition.mapping import QubitMapping
 from .aggregation import AggregationResult
 
-__all__ = ["AssignmentResult", "assign_communications", "choose_scheme"]
+__all__ = ["AssignmentResult", "assign_communications", "choose_scheme",
+           "choose_scheme_routed"]
 
 
 @dataclass
@@ -73,19 +84,50 @@ def choose_scheme(block: CommBlock, mapping: QubitMapping,
     return CommScheme.TP
 
 
+def choose_scheme_routed(block: CommBlock, mapping: QubitMapping,
+                         network: QuantumNetwork) -> CommScheme:
+    """Pick the cheaper scheme by estimated protocol time on ``network``.
+
+    Each Cat-Comm invocation is charged the pair's EPR preparation latency
+    plus the cat entangle/disentangle halves; a TP-Comm round trip is
+    charged two preparations plus two teleports.  The block body executes
+    under either scheme, so it cancels and is omitted.  Ties resolve to
+    TP-Comm, matching the paper's convention.
+    """
+    latency = network.latency
+    pair_epr = network.epr_latency(block.hub_node, block.remote_node)
+    cat_cost = block.cat_comm_cost(mapping)
+    cat_time = cat_cost * (pair_epr + latency.t_cat_entangle
+                           + latency.t_cat_disentangle)
+    tp_time = block.tp_comm_cost() * (pair_epr + latency.t_teleport)
+    return CommScheme.CAT if cat_time < tp_time else CommScheme.TP
+
+
 def assign_communications(aggregation: AggregationResult,
-                          cat_only: bool = False) -> AssignmentResult:
-    """Assign Cat-Comm or TP-Comm to every block of an aggregated program."""
+                          cat_only: bool = False,
+                          network: Optional[QuantumNetwork] = None
+                          ) -> AssignmentResult:
+    """Assign Cat-Comm or TP-Comm to every block of an aggregated program.
+
+    When ``network`` is given the scheme choice weighs the per-pair EPR
+    latency (:func:`choose_scheme_routed`) and the reported cost carries the
+    swap-inclusive physical EPR-pair count of the network's routes.
+    """
     mapping = aggregation.mapping
     pattern_histogram: Dict[CommPattern, int] = {}
     scheme_histogram: Dict[CommScheme, int] = {}
     for block in aggregation.blocks:
         pattern = block.pattern(mapping)
         pattern_histogram[pattern] = pattern_histogram.get(pattern, 0) + 1
-        scheme = choose_scheme(block, mapping, cat_only=cat_only)
+        if cat_only:
+            scheme = CommScheme.CAT
+        elif network is not None:
+            scheme = choose_scheme_routed(block, mapping, network)
+        else:
+            scheme = choose_scheme(block, mapping)
         block.scheme = scheme
         scheme_histogram[scheme] = scheme_histogram.get(scheme, 0) + 1
-    cost = total_comm_count(aggregation.blocks, mapping)
+    cost = total_comm_count(aggregation.blocks, mapping, network=network)
     return AssignmentResult(
         aggregation=aggregation,
         blocks=list(aggregation.blocks),

@@ -39,6 +39,17 @@ class CompilationMetrics:
     latency: float
     num_blocks: int
     num_remote_gates: int
+    #: Physical EPR pairs behind the issued communications, entanglement
+    #: swaps included: ``total_comm`` scaled per block by its route's hop
+    #: count (equals ``total_comm`` on all-to-all connectivity).  Like
+    #: ``total_comm`` this follows the paper's per-block Section 5.1
+    #: convention — TP-chain fusion savings are a schedule-level effect and
+    #: show up in ``SimulationResult.total_epr_pairs`` instead.
+    total_epr_pairs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.total_epr_pairs is None:
+            object.__setattr__(self, "total_epr_pairs", self.total_comm)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -50,6 +61,7 @@ class CompilationMetrics:
             "latency": self.latency,
             "num_blocks": self.num_blocks,
             "num_remote_gates": self.num_remote_gates,
+            "total_epr_pairs": self.total_epr_pairs,
         }
 
 

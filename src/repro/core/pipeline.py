@@ -91,7 +91,8 @@ class AutoCommCompiler:
             use_commutation=self.config.use_commutation,
             max_sweeps=self.config.max_sweeps)
         assignment = assign_communications(aggregation,
-                                           cat_only=self.config.cat_only)
+                                           cat_only=self.config.cat_only,
+                                           network=network)
         schedule = schedule_communications(assignment, network,
                                            strategy=self.config.schedule_strategy)
 
@@ -104,6 +105,7 @@ class AutoCommCompiler:
             latency=schedule.latency,
             num_blocks=len(assignment.blocks),
             num_remote_gates=mapping.count_remote_gates(working),
+            total_epr_pairs=assignment.cost.total_epr_pairs,
         )
         return CompiledProgram(
             name=circuit.name,

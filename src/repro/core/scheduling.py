@@ -39,7 +39,8 @@ from .aggregation import ScheduleItem
 from .assignment import AssignmentResult
 
 __all__ = ["ScheduledOp", "ScheduleResult", "SchedulePlan", "OpProfile",
-           "plan_schedule", "schedule_communications", "FusedTPChain"]
+           "plan_schedule", "schedule_communications", "FusedTPChain",
+           "prep_latency_for_pairs"]
 
 
 @dataclass
@@ -76,6 +77,23 @@ class FusedTPChain:
         for block in self.blocks:
             involved.update(block.nodes)
         return tuple(sorted(involved))
+
+    def itinerary(self) -> Tuple[int, ...]:
+        """Nodes visited by the hub in teleport order: home -> remotes -> home."""
+        home = self.blocks[0].hub_node
+        return (home, *(block.remote_node for block in self.blocks), home)
+
+    def hop_pairs(self) -> Tuple[Tuple[int, int], ...]:
+        """The node pair of every teleport hop of the itinerary, in order.
+
+        One EPR pair is consumed per hop; hops between co-located stops
+        (consecutive blocks on the same remote node) need none and are
+        skipped.  Unlike the all-pairs closure of :meth:`nodes`, these are
+        the links the chain actually uses.
+        """
+        itinerary = self.itinerary()
+        return tuple((a, b) for a, b in zip(itinerary, itinerary[1:])
+                     if a != b)
 
     @property
     def gates(self) -> List[Gate]:
@@ -439,12 +457,14 @@ class SchedulePlan:
                     kind="tp-chain",
                     duration=item.duration(mapping, latency),
                     nodes=tuple(item.nodes()),
-                    num_items=len(item.blocks)))
+                    num_items=len(item.blocks),
+                    prep_pairs=item.hop_pairs()))
             else:
                 profiles.append(OpProfile(
                     kind="tp" if item.scheme is CommScheme.TP else "cat",
                     duration=block_latency(item, mapping, latency),
-                    nodes=tuple(item.nodes), num_items=1))
+                    nodes=tuple(item.nodes), num_items=1,
+                    prep_pairs=(tuple(item.nodes),)))
         self._profiles[key] = (mapping, latency, profiles)
         return profiles
 
@@ -457,6 +477,12 @@ class OpProfile:
     duration: float
     nodes: Tuple[int, ...]
     num_items: int
+    #: Node pairs whose EPR preparations this op consumes — the single
+    #: hub<->remote pair for a block, the consecutive teleport hops of the
+    #: itinerary for a fused chain (NOT the all-pairs closure of ``nodes``),
+    #: empty for local gates.  Pairs may repeat: a chain revisiting a link
+    #: generates one EPR pair per visit.
+    prep_pairs: Tuple[Tuple[int, int], ...] = ()
 
 
 def plan_schedule(assignment: AssignmentResult, burst: bool) -> SchedulePlan:
@@ -552,7 +578,7 @@ def _run_schedule(assignment: AssignmentResult, network: QuantumNetwork,
     ready_time = [0.0] * len(items)
     finish_time = [0.0] * len(items)
     scheduled: List[Optional[ScheduledOp]] = [None] * len(items)
-    prep_latencies: Dict[Tuple[int, ...], float] = {}
+    prep_latencies: Dict[Tuple[Tuple[int, int], ...], float] = {}
 
     heap: List[Tuple[float, int]] = []
     for index, degree in enumerate(indegree):
@@ -569,10 +595,10 @@ def _run_schedule(assignment: AssignmentResult, network: QuantumNetwork,
                              end=ready + profile.duration)
         else:
             nodes = profile.nodes
-            prep = prep_latencies.get(nodes)
+            prep = prep_latencies.get(profile.prep_pairs)
             if prep is None:
-                prep = _epr_prep_latency(network, nodes)
-                prep_latencies[nodes] = prep
+                prep = prep_latency_for_pairs(network, profile.prep_pairs)
+                prep_latencies[profile.prep_pairs] = prep
             start = _reserve_comm(resources, nodes, ready, profile.duration,
                                   prep, label=f"{kind}-{index}")
             item = items[index]
@@ -606,12 +632,30 @@ def _run_schedule(assignment: AssignmentResult, network: QuantumNetwork,
                           mode=plan.mode)
 
 
-def _epr_prep_latency(network: QuantumNetwork, nodes: Sequence[int]) -> float:
-    """EPR preparation latency for a communication spanning ``nodes``.
+def prep_latency_for_pairs(network: QuantumNetwork,
+                           pairs: Sequence[Tuple[int, int]]) -> float:
+    """EPR preparation latency for the pairs one op actually consumes.
 
-    With non-uniform topologies (see :mod:`repro.hardware.topology`) the
-    per-pair latency varies; a fused chain spanning several nodes is charged
-    the slowest pair it uses.
+    All preparations run concurrently, so the op waits for the slowest
+    pair.  For a fused TP chain ``pairs`` are the consecutive hops of the
+    teleport itinerary (home -> remote_1 -> ... -> home), *not* the
+    all-pairs closure of the chain's node set — the itinerary never links
+    most of those pairs, and on a non-uniform topology charging the
+    slowest unused pair overstates the chain's critical path.
+    """
+    if not pairs:
+        return network.latency.t_epr
+    return max(network.epr_latency(a, b) for a, b in pairs)
+
+
+def _epr_prep_latency(network: QuantumNetwork, nodes: Sequence[int]) -> float:
+    """Pre-PR prep-latency accounting over a node set's all-pairs closure.
+
+    Kept verbatim for :mod:`repro.core.scheduling_reference`: it charges a
+    fused chain the slowest pair of its *node set*, including pairs the
+    teleport itinerary never links — the fused-chain latency bug fixed by
+    :func:`prep_latency_for_pairs`.  On uniform (all-to-all) latencies the
+    two agree, which is what the reference-equivalence tests exercise.
     """
     nodes = list(nodes)
     if len(nodes) < 2:

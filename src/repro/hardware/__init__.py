@@ -4,9 +4,12 @@ from .node import QuantumNode
 from .network import QuantumNetwork, uniform_network
 from .timing import LatencyModel, DEFAULT_LATENCY
 from .epr import CommResourceTracker, Reservation, SlotSchedule
+from .routing import EPRRoute, RoutingTable
 from .topology import apply_topology, topology_graph, hop_counts, SUPPORTED_TOPOLOGIES
 
 __all__ = [
+    "EPRRoute",
+    "RoutingTable",
     "QuantumNode",
     "QuantumNetwork",
     "uniform_network",

@@ -74,6 +74,31 @@ class SlotSchedule:
         assert best_start is not None
         return best_start, best_slot
 
+    def earliest_multi(self, duration: float, count: int,
+                       not_before: float = 0.0) -> float:
+        """Earliest start with ``count`` slots simultaneously free for ``duration``.
+
+        Needed by the execution simulator when several EPR generations of
+        one operation ride the same physical link (a fused chain revisiting
+        a link, or two routed pairs sharing one).  Candidate starts are
+        ``not_before`` and the ends of busy intervals after it — the only
+        instants where a slot becomes free.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if count > self.num_slots:
+            raise ValueError(
+                f"need {count} concurrent slots but only {self.num_slots} exist")
+        candidates = {not_before}
+        candidates.update(e for slot in self.intervals for (_, e) in slot
+                          if e > not_before)
+        for start in sorted(candidates):
+            free = sum(1 for slot in range(self.num_slots)
+                       if self.slot_free(slot, start, start + duration))
+            if free >= count:
+                return start
+        raise RuntimeError("no feasible start found")  # pragma: no cover
+
     def book(self, start: float, end: float,
              slot: Optional[int] = None) -> int:
         """Mark ``[start, end)`` busy on ``slot`` (or the first free slot)."""

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .node import QuantumNode
+from .routing import EPRRoute, RoutingTable
 from .timing import DEFAULT_LATENCY, LatencyModel
 
 __all__ = ["QuantumNetwork", "uniform_network"]
@@ -31,6 +32,14 @@ class QuantumNetwork:
             raise ValueError("node indices must be 0..k-1 in order")
         self.latency = latency
         self._epr_latency_overrides: Dict[Tuple[int, int], float] = {}
+        #: Entanglement-routing table for constrained topologies; ``None``
+        #: means direct all-to-all links (the paper's assumption).  Set by
+        #: :func:`repro.hardware.topology.apply_topology`.
+        self.routing: Optional[RoutingTable] = None
+        #: Name of the applied topology ("all-to-all" when unconstrained).
+        self.topology_kind: str = "all-to-all"
+        #: Swap-overhead factor the topology's latencies were derived with.
+        self.swap_overhead: float = 1.0
 
     # ---------------------------------------------------------------- basics
 
@@ -77,6 +86,32 @@ class QuantumNetwork:
     @staticmethod
     def _key(a: int, b: int) -> Tuple[int, int]:
         return (a, b) if a < b else (b, a)
+
+    # ---------------------------------------------------------------- routing
+
+    def epr_route(self, node_a: int, node_b: int) -> EPRRoute:
+        """The entanglement route between two nodes (direct when unrouted)."""
+        if self.routing is not None:
+            return self.routing.route(node_a, node_b)
+        if node_a == node_b:
+            raise ValueError("EPR routes connect distinct nodes")
+        return EPRRoute(path=(node_a, node_b))
+
+    def epr_hops(self, node_a: int, node_b: int) -> int:
+        """Physical EPR pairs (swaps included) behind one end-to-end pair."""
+        if self.routing is None:
+            if node_a == node_b:
+                raise ValueError("EPR routes connect distinct nodes")
+            return 1
+        return self.routing.hops(node_a, node_b)
+
+    def route_links(self, node_a: int, node_b: int) -> Tuple[Tuple[int, int], ...]:
+        """Physical links engaged while the end-to-end pair is generated."""
+        if self.routing is None:
+            if node_a == node_b:
+                raise ValueError("EPR routes connect distinct nodes")
+            return (self._key(node_a, node_b),)
+        return self.routing.links(node_a, node_b)
 
     def node_pairs(self) -> List[Tuple[int, int]]:
         """All unordered node pairs."""

@@ -1,0 +1,173 @@
+"""Entanglement routing over constrained network topologies.
+
+When the link graph is not all-to-all, a remote EPR pair between two
+non-adjacent nodes is built by *entanglement swapping*: one physical EPR
+pair is generated on every link of a path between the nodes, and Bell
+measurements at the intermediate nodes splice them into one end-to-end
+pair.  This module precomputes a shortest-path :class:`EPRRoute` for every
+node pair of a topology and answers the questions the compiler and the
+execution simulator ask about it:
+
+* how many *physical* EPR pairs one end-to-end pair consumes
+  (``num_hops`` — swaps included, one per link of the route);
+* which physical links are engaged while the pair is being distilled
+  (``links`` — the simulator books contention on these, not on the
+  end-to-end pair);
+* how far apart two nodes are (``hop_matrix`` — the OEE partitioner can
+  weight interaction-graph edges by it).
+
+Routes are deterministic: ties between equal-length shortest paths are
+broken lexicographically by node index, so every build of the same
+topology yields the same routing table.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+__all__ = ["EPRRoute", "RoutingTable"]
+
+
+@dataclass(frozen=True)
+class EPRRoute:
+    """Shortest entanglement-swapping path between two nodes.
+
+    ``path`` lists the nodes visited in order, endpoints included; a direct
+    link has ``path = (a, b)`` and zero swaps.
+    """
+
+    path: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.path) < 2:
+            raise ValueError("a route needs at least two nodes")
+
+    @property
+    def source(self) -> int:
+        return self.path[0]
+
+    @property
+    def target(self) -> int:
+        return self.path[-1]
+
+    @property
+    def num_hops(self) -> int:
+        """Physical links traversed — also the physical EPR pairs consumed."""
+        return len(self.path) - 1
+
+    @property
+    def num_swaps(self) -> int:
+        """Entanglement swaps performed at intermediate nodes."""
+        return len(self.path) - 2
+
+    @property
+    def links(self) -> Tuple[Tuple[int, int], ...]:
+        """The physical links of the route as normalised (low, high) pairs."""
+        return tuple((a, b) if a < b else (b, a)
+                     for a, b in zip(self.path, self.path[1:]))
+
+    def reversed(self) -> "EPRRoute":
+        return EPRRoute(path=tuple(reversed(self.path)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "EPRRoute(" + "-".join(str(n) for n in self.path) + ")"
+
+
+class RoutingTable:
+    """Shortest-path EPR routes for every node pair of a link graph.
+
+    Built once per :class:`~repro.hardware.network.QuantumNetwork` by
+    :func:`~repro.hardware.topology.apply_topology`; the compiler passes and
+    the execution simulator share it through the network object.
+    """
+
+    def __init__(self, graph: nx.Graph) -> None:
+        nodes = sorted(graph.nodes)
+        if nodes != list(range(len(nodes))):
+            raise ValueError("routing expects nodes labelled 0..k-1")
+        if any(a == b for a, b in graph.edges):
+            raise ValueError("link graph must not contain self-loops")
+        if len(nodes) > 1 and not nx.is_connected(graph):
+            raise ValueError("topology graph must be connected")
+        self.num_nodes = len(nodes)
+        self._routes: Dict[Tuple[int, int], EPRRoute] = {}
+        for source in nodes:
+            for path in _lexicographic_shortest_paths(graph, source):
+                target = path[-1]
+                if source < target:
+                    self._routes[(source, target)] = EPRRoute(path=tuple(path))
+
+    # ------------------------------------------------------------------ lookup
+
+    def route(self, node_a: int, node_b: int) -> EPRRoute:
+        """The route from ``node_a`` to ``node_b`` (oriented that way)."""
+        if node_a == node_b:
+            raise ValueError("EPR routes connect distinct nodes")
+        if node_a < node_b:
+            return self._routes[(node_a, node_b)]
+        return self._routes[(node_b, node_a)].reversed()
+
+    def hops(self, node_a: int, node_b: int) -> int:
+        """Physical EPR pairs consumed by one end-to-end pair (1 = direct)."""
+        return self.route(node_a, node_b).num_hops
+
+    def links(self, node_a: int, node_b: int) -> Tuple[Tuple[int, int], ...]:
+        """Physical links engaged while the end-to-end pair is generated."""
+        return self.route(node_a, node_b).links
+
+    # --------------------------------------------------------------- summaries
+
+    @property
+    def uniform(self) -> bool:
+        """True when every pair is one hop apart (all-to-all connectivity)."""
+        return all(route.num_hops == 1 for route in self._routes.values())
+
+    def hop_matrix(self) -> List[List[int]]:
+        """Dense node-by-node hop-count matrix (zeros on the diagonal)."""
+        matrix = [[0] * self.num_nodes for _ in range(self.num_nodes)]
+        for (a, b), route in self._routes.items():
+            matrix[a][b] = matrix[b][a] = route.num_hops
+        return matrix
+
+    def max_hops(self) -> int:
+        """Network diameter in hops (0 for a single-node network)."""
+        return max((route.num_hops for route in self._routes.values()),
+                   default=0)
+
+    def all_routes(self) -> List[EPRRoute]:
+        """Every stored route, one per unordered pair, sorted by endpoints."""
+        return [self._routes[pair] for pair in sorted(self._routes)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"RoutingTable(nodes={self.num_nodes}, "
+                f"max_hops={self.max_hops()})")
+
+
+def _lexicographic_shortest_paths(graph: nx.Graph,
+                                  source: int) -> List[List[int]]:
+    """Shortest paths from ``source``, ties broken by smallest node sequence.
+
+    A Dijkstra-style search over (distance, path) keys: among equal-length
+    paths the lexicographically smallest node sequence wins, making the
+    routing table independent of edge insertion order.
+    """
+    best: Dict[int, Tuple[int, Tuple[int, ...]]] = {source: (0, (source,))}
+    heap: List[Tuple[int, Tuple[int, ...]]] = [(0, (source,))]
+    while heap:
+        dist, path = heapq.heappop(heap)
+        node = path[-1]
+        if best.get(node) != (dist, path):
+            continue
+        for neighbour in graph.neighbors(node):
+            candidate = (dist + 1, path + (neighbour,))
+            known = best.get(neighbour)
+            if known is None or candidate < known:
+                best[neighbour] = candidate
+                heapq.heappush(heap, candidate)
+    return [list(path) for _, path in
+            sorted(best.values(), key=lambda entry: entry[1][-1])
+            if len(path) > 1]

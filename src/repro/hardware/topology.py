@@ -7,10 +7,14 @@ entanglement swapping along the shortest path, which multiplies the
 preparation latency by (roughly) the hop count.
 
 :func:`apply_topology` configures a :class:`~repro.hardware.network.QuantumNetwork`
-with per-pair EPR latencies derived from a chosen topology, so the effect of
-constrained connectivity on AutoComm's schedules can be studied without
-touching the compiler.  (The communication *count* metrics are unaffected:
-one logical remote communication still consumes one end-to-end EPR pair.)
+for a chosen topology: it derives per-pair EPR latencies from the hop
+counts *and* attaches a :class:`~repro.hardware.routing.RoutingTable` so the
+whole pipeline becomes topology-aware — the OEE partitioner can weight
+interaction edges by hop distance, the cost pass reports physical EPR pairs
+(swaps included), and the execution simulator books the intermediate links
+of each route instead of an abstract end-to-end pair.  Logical
+communication counts (``total_comm``) are unaffected: one remote
+communication still consumes one end-to-end EPR pair.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 import networkx as nx
 
 from .network import QuantumNetwork
+from .routing import RoutingTable
 
 __all__ = [
     "topology_graph",
@@ -38,6 +43,9 @@ def topology_graph(kind: str, num_nodes: int,
     if num_nodes <= 0:
         raise ValueError("num_nodes must be positive")
     kind = kind.lower()
+    if grid_columns is not None and kind != "grid":
+        raise ValueError(
+            f"grid_columns only applies to the grid topology, not {kind!r}")
     graph = nx.Graph()
     graph.add_nodes_from(range(num_nodes))
     if kind == "all-to-all":
@@ -46,14 +54,19 @@ def topology_graph(kind: str, num_nodes: int,
     elif kind == "line":
         graph.add_edges_from((i, i + 1) for i in range(num_nodes - 1))
     elif kind == "ring":
-        graph.add_edges_from((i, (i + 1) % num_nodes) for i in range(num_nodes))
-        if num_nodes == 2:
-            graph = nx.Graph()
-            graph.add_nodes_from(range(2))
+        # A ring degenerates to a single link for two nodes and to an
+        # isolated node for one (the modular wrap-around would otherwise
+        # emit a duplicate edge resp. a (0, 0) self-loop).
+        if num_nodes >= 3:
+            graph.add_edges_from((i, (i + 1) % num_nodes)
+                                 for i in range(num_nodes))
+        elif num_nodes == 2:
             graph.add_edge(0, 1)
     elif kind == "star":
         graph.add_edges_from((0, i) for i in range(1, num_nodes))
     elif kind == "grid":
+        if grid_columns is not None and grid_columns < 1:
+            raise ValueError(f"grid_columns must be >= 1, got {grid_columns}")
         columns = grid_columns or max(1, int(math.isqrt(num_nodes)))
         for node in range(num_nodes):
             row, col = divmod(node, columns)
@@ -85,20 +98,27 @@ def hop_counts(graph: nx.Graph) -> Dict[Tuple[int, int], int]:
 def apply_topology(network: QuantumNetwork, kind: str,
                    swap_overhead: float = 1.0,
                    grid_columns: Optional[int] = None) -> QuantumNetwork:
-    """Set per-pair EPR latencies on ``network`` according to a topology.
+    """Configure ``network`` for a topology: latencies plus routing table.
 
     The EPR preparation latency between two nodes becomes
     ``t_epr * (1 + swap_overhead * (hops - 1))``: adjacent nodes keep the
     base latency, and each additional entanglement-swapping hop adds
-    ``swap_overhead`` times the base latency.
+    ``swap_overhead`` times the base latency.  The attached
+    :class:`~repro.hardware.routing.RoutingTable` makes the compiler passes
+    and the execution simulator route-aware (physical EPR-pair accounting,
+    per-link contention, hop-weighted partitioning).
 
     Returns the same network object (mutated) for chaining.
     """
     if swap_overhead < 0:
         raise ValueError("swap_overhead must be non-negative")
     graph = topology_graph(kind, network.num_nodes, grid_columns=grid_columns)
+    routing = RoutingTable(graph)
     base = network.latency.t_epr
     for (a, b), hops in hop_counts(graph).items():
         latency = base * (1.0 + swap_overhead * (hops - 1))
         network.set_epr_latency(a, b, latency)
+    network.routing = routing
+    network.topology_kind = kind.lower()
+    network.swap_overhead = swap_overhead
     return network

@@ -10,7 +10,7 @@ gates under a static mapping.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -44,10 +44,25 @@ def interaction_matrix(circuit: Circuit):
     return matrix
 
 
-def cut_weight(graph: nx.Graph, assignment: Dict[int, int]) -> float:
-    """Total weight of edges whose endpoints live on different nodes."""
+def cut_weight(graph: nx.Graph, assignment: Dict[int, int],
+               node_distances: Optional[Sequence[Sequence[float]]] = None
+               ) -> float:
+    """Total weight of edges whose endpoints live on different nodes.
+
+    With ``node_distances`` (a dense node-by-node hop matrix, e.g.
+    ``RoutingTable.hop_matrix()``) every cut edge is scaled by the hop
+    distance between its endpoints' nodes, so the objective counts the
+    physical EPR pairs a static mapping would consume on a routed topology
+    rather than the bare remote-gate count.
+    """
     total = 0.0
+    if node_distances is None:
+        for a, b, data in graph.edges(data=True):
+            if assignment[a] != assignment[b]:
+                total += data.get("weight", 1.0)
+        return total
     for a, b, data in graph.edges(data=True):
-        if assignment[a] != assignment[b]:
-            total += data.get("weight", 1.0)
+        node_a, node_b = assignment[a], assignment[b]
+        if node_a != node_b:
+            total += data.get("weight", 1.0) * node_distances[node_a][node_b]
     return total

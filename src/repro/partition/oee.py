@@ -43,26 +43,45 @@ class OEEResult:
 
 
 def exchange_gain(weights: Dict[int, Dict[int, float]], assignment: Dict[int, int],
-                  qubit_a: int, qubit_b: int) -> float:
+                  qubit_a: int, qubit_b: int,
+                  node_distances: Optional[List[List[float]]] = None) -> float:
     """Cut-weight reduction from swapping the nodes of ``qubit_a`` and ``qubit_b``.
 
-    Positive gain means the swap reduces the number of remote gates.
+    Positive gain means the swap reduces the number of remote gates — or,
+    with ``node_distances`` (hop counts of a routed topology), the number
+    of physical EPR pairs those remote gates would consume.  The edge
+    between the two exchanged qubits never contributes: its endpoints swap
+    nodes, so its (symmetric) distance is unchanged.
     """
     node_a = assignment[qubit_a]
     node_b = assignment[qubit_b]
     if node_a == node_b:
         return 0.0
     gain = 0.0
+    if node_distances is None:
+        for neighbour, weight in weights[qubit_a].items():
+            if neighbour == qubit_b:
+                continue
+            node_n = assignment[neighbour]
+            gain += weight * ((node_n != node_a) - (node_n != node_b))
+        for neighbour, weight in weights[qubit_b].items():
+            if neighbour == qubit_a:
+                continue
+            node_n = assignment[neighbour]
+            gain += weight * ((node_n != node_b) - (node_n != node_a))
+        return gain
+    dist_a = node_distances[node_a]
+    dist_b = node_distances[node_b]
     for neighbour, weight in weights[qubit_a].items():
         if neighbour == qubit_b:
             continue
         node_n = assignment[neighbour]
-        gain += weight * ((node_n != node_a) - (node_n != node_b))
+        gain += weight * (dist_a[node_n] - dist_b[node_n])
     for neighbour, weight in weights[qubit_b].items():
         if neighbour == qubit_a:
             continue
         node_n = assignment[neighbour]
-        gain += weight * ((node_n != node_b) - (node_n != node_a))
+        gain += weight * (dist_b[node_n] - dist_a[node_n])
     return gain
 
 
@@ -75,9 +94,31 @@ def _neighbour_weights(graph: nx.Graph) -> Dict[int, Dict[int, float]]:
     return weights
 
 
+def _topology_distances(network: QuantumNetwork,
+                        use_link_distances: Optional[bool]
+                        ) -> Optional[List[List[float]]]:
+    """Resolve the hop matrix the partitioner should weight cuts by.
+
+    ``None`` (auto) engages distance weighting only when the network
+    carries a routing table with non-uniform hop counts; an all-to-all
+    table (all hops 1) takes the unweighted path, whose arithmetic — and
+    therefore whose mapping — is bit-identical to the pre-routing code.
+    """
+    routing = getattr(network, "routing", None)
+    if use_link_distances is None:
+        use_link_distances = routing is not None and not routing.uniform
+    if not use_link_distances:
+        return None
+    if routing is None:
+        raise ValueError("use_link_distances requires a routed network "
+                         "(see repro.hardware.apply_topology)")
+    return routing.hop_matrix()
+
+
 def oee_partition(circuit: Circuit, network: QuantumNetwork,
                   initial: Optional[QubitMapping] = None,
-                  max_rounds: int = 50) -> OEEResult:
+                  max_rounds: int = 50,
+                  use_link_distances: Optional[bool] = None) -> OEEResult:
     """Partition ``circuit``'s qubits across ``network`` by extreme exchange.
 
     Args:
@@ -89,17 +130,24 @@ def oee_partition(circuit: Circuit, network: QuantumNetwork,
         initial: optional starting mapping; defaults to the balanced block
             mapping.
         max_rounds: safety bound on improvement passes.
+        use_link_distances: weight each cut edge by the hop distance between
+            its endpoints' nodes, so the objective counts physical EPR pairs
+            on a routed topology instead of remote gates.  Default ``None``
+            auto-enables this exactly when the network carries non-uniform
+            entanglement routes.
 
     Returns:
         An :class:`OEEResult` whose ``mapping`` minimises (locally) the number
-        of remote multi-qubit gates.
+        of remote multi-qubit gates — hop-weighted when distance weighting
+        is engaged.
     """
     network.validate_capacity(circuit.num_qubits)
+    distances = _topology_distances(network, use_link_distances)
     graph = interaction_graph(circuit)
     weights = _neighbour_weights(graph)
     mapping = initial if initial is not None else block_mapping(circuit.num_qubits, network)
     assignment = mapping.as_dict()
-    initial_cut = cut_weight(graph, assignment)
+    initial_cut = cut_weight(graph, assignment, node_distances=distances)
 
     # Only qubits with at least one interaction can change the cut.
     active = sorted(weights.keys())
@@ -114,7 +162,8 @@ def oee_partition(circuit: Circuit, network: QuantumNetwork,
             for qubit_b in active[i + 1:]:
                 if assignment[qubit_a] == assignment[qubit_b]:
                     continue
-                gain = exchange_gain(weights, assignment, qubit_a, qubit_b)
+                gain = exchange_gain(weights, assignment, qubit_a, qubit_b,
+                                     node_distances=distances)
                 if gain > best_gain + 1e-12:
                     best_gain = gain
                     best_partner = qubit_b
@@ -126,6 +175,6 @@ def oee_partition(circuit: Circuit, network: QuantumNetwork,
         if not improved:
             break
 
-    final_cut = cut_weight(graph, assignment)
+    final_cut = cut_weight(graph, assignment, node_distances=distances)
     result_mapping = QubitMapping(assignment, network)
     return OEEResult(result_mapping, initial_cut, final_cut, num_exchanges, rounds)

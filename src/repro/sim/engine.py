@@ -84,6 +84,8 @@ class SimulatedOp:
     prep_start: float = 0.0      # EPR generation start (= start for gates)
     epr_attempts: int = 0
     num_items: int = 1
+    #: Physical EPR pairs consumed (swaps included on routed topologies).
+    epr_pairs: int = 0
 
     @property
     def duration(self) -> float:
@@ -101,6 +103,12 @@ class SimulationResult:
     mode: str
     seed: Optional[int] = None
     total_epr_attempts: int = 0
+    #: Physical EPR pairs the execution actually generated, entanglement
+    #: swaps included.  Lower than the compiler's per-block
+    #: ``CompilationMetrics.total_epr_pairs`` when TP chains were fused
+    #: (k+1 teleports instead of 2k) — this counts the itinerary really
+    #: flown, the metric counts the paper's per-block convention.
+    total_epr_pairs: int = 0
 
     def comm_ops(self) -> List[SimulatedOp]:
         return [op for op in self.ops if op.kind != "gate"]
@@ -172,9 +180,8 @@ class ExecutionEngine:
         # draws the C-backed rejection loop is kept instead.
         if (self.config.batch_epr and self.config.p_epr < 1.0
                 and engine_owns_rng):
-            pair_draws = sum(
-                len(profile.nodes) * (len(profile.nodes) - 1) // 2
-                for profile in self._profiles if profile.kind != "gate")
+            pair_draws = sum(len(profile.prep_pairs)
+                             for profile in self._profiles)
             expected_draws = int(pair_draws / self.config.p_epr)
             if expected_draws >= 512:
                 self.epr.use_batched_sampling(self.rng,
@@ -183,6 +190,10 @@ class ExecutionEngine:
         self.resources = CommResourceTracker(network)
         self.trace = TraceRecorder(enabled=self.config.record_trace)
         self._links: Dict[Tuple[int, int], SlotSchedule] = {}
+        #: Memoised physical-link expansion per op pair-list (plan units
+        #: repeat pair lists across Monte-Carlo events).
+        self._route_cache: Dict[Tuple[Tuple[int, int], ...],
+                                Tuple[Tuple[Tuple[int, int], ...], int]] = {}
 
     # ------------------------------------------------------------- event loop
 
@@ -225,7 +236,8 @@ class ExecutionEngine:
             ops=ops, latency=makespan, trace=self.trace,
             resources=self.resources, mode=self.plan.mode,
             seed=self.config.seed,
-            total_epr_attempts=sum(op.epr_attempts for op in ops))
+            total_epr_attempts=sum(op.epr_attempts for op in ops),
+            total_epr_pairs=sum(op.epr_pairs for op in ops))
 
     # ------------------------------------------------------------- execution
 
@@ -236,50 +248,87 @@ class ExecutionEngine:
             return SimulatedOp(index=index, kind="gate", start=ready, end=end,
                                prep_start=ready)
         return self._execute_comm(index, self.plan.items[index], ready,
-                                  profile.duration, profile.nodes,
-                                  kind=profile.kind)
+                                  profile, kind=profile.kind)
 
-    def _execute_comm(self, index, item, ready: float, duration: float,
-                      nodes: Sequence[int], kind: str) -> SimulatedOp:
-        nodes = tuple(nodes)
-        sample = self.epr.sample(self.rng, nodes)
-        prep = sample.duration
+    def _execute_comm(self, index, item, ready: float, profile,
+                      kind: str) -> SimulatedOp:
+        nodes = tuple(profile.nodes)
+        duration = profile.duration
+        # One EPR generation per consumed pair: the block's hub<->remote
+        # link, or the consecutive hops of a fused chain's teleport
+        # itinerary — NOT the all-pairs closure of the chain's node set,
+        # which would sample (and book) links the itinerary never uses.
+        sample = self.epr.sample_pairs(self.rng, profile.prep_pairs)
+        links, num_physical = self._physical_links(profile.prep_pairs)
+        capacity = self.config.link_capacity
+        # When one physical link must host more concurrent generations than
+        # it has capacity slots (a fused chain whose routed hops revisit a
+        # link), the excess generations serialise into batches, stretching
+        # the preparation window accordingly.
+        batches = 1
+        if capacity is not None and links:
+            batches = max(-(-count // capacity) for _, count in links)
+        prep = sample.duration * batches
         total = prep + duration
 
         # EPR generation is data-independent, so its request is back-dated to
         # pipeline with predecessor computation whenever comm qubits (and,
         # if constrained, the links) were free early.
         not_before = max(0.0, ready - prep)
-        prep_start = self._find_window(nodes, total, prep, not_before)
+        prep_start = self._find_window(nodes, links, total, prep, not_before)
         start = prep_start + prep
         end = start + duration
 
         label = f"{kind}-{index}"
         for node in nodes:
             self.resources.reserve(node, prep_start, end, label=label)
-        for a, b in self._pairs(nodes):
+        for (a, b), count in links:
             self.trace.record_link(a, b, prep_start, start)
-            if self.config.link_capacity is not None:
-                self._link_schedule(a, b).book(prep_start, start)
+            if capacity is not None:
+                schedule = self._link_schedule(a, b)
+                for _ in range(min(count, capacity)):
+                    schedule.book(prep_start, start)
 
         self._record_comm_trace(index, item, kind, nodes, prep_start, start,
                                 end, sample.attempts)
         return SimulatedOp(index=index, kind=kind, start=start, end=end,
                            nodes=nodes, prep_start=prep_start,
                            epr_attempts=sample.attempts,
-                           num_items=self.plan.item_count(index))
+                           num_items=self.plan.item_count(index),
+                           epr_pairs=num_physical)
 
-    def _find_window(self, nodes: Sequence[int], total: float, prep: float,
-                     not_before: float) -> float:
+    def _physical_links(self, prep_pairs: Sequence[Tuple[int, int]]
+                        ) -> Tuple[Tuple[Tuple[Tuple[int, int], int], ...], int]:
+        """Expand consumed pairs into ((link, multiplicity), ...) plus a total.
+
+        Each end-to-end pair occupies every physical link of its
+        entanglement route during generation (swapping splices the per-link
+        pairs); two pairs riding the same link need two capacity slots.
+        """
+        cached = self._route_cache.get(prep_pairs)
+        if cached is None:
+            multiplicity: Dict[Tuple[int, int], int] = {}
+            for a, b in prep_pairs:
+                for link in self.network.route_links(a, b):
+                    multiplicity[link] = multiplicity.get(link, 0) + 1
+            cached = (tuple(sorted(multiplicity.items())),
+                      sum(multiplicity.values()))
+            self._route_cache[prep_pairs] = cached
+        return cached
+
+    def _find_window(self, nodes: Sequence[int],
+                     links: Sequence[Tuple[Tuple[int, int], int]],
+                     total: float, prep: float, not_before: float) -> float:
         """Earliest start honouring node comm qubits and link capacity."""
         time = not_before
         for _ in range(1000):
             proposal, _ = self.resources.earliest_joint(list(nodes), total,
                                                         not_before=time)
             if self.config.link_capacity is not None and prep > 0:
-                for a, b in self._pairs(nodes):
-                    start, _ = self._link_schedule(a, b).earliest(
-                        prep, not_before=proposal)
+                for (a, b), count in links:
+                    start = self._link_schedule(a, b).earliest_multi(
+                        prep, min(count, self.config.link_capacity),
+                        not_before=proposal)
                     proposal = max(proposal, start)
             if proposal == time:
                 return time
@@ -291,11 +340,6 @@ class ExecutionEngine:
         if key not in self._links:
             self._links[key] = SlotSchedule(self.config.link_capacity)
         return self._links[key]
-
-    @staticmethod
-    def _pairs(nodes: Sequence[int]) -> List[Tuple[int, int]]:
-        nodes = list(nodes)
-        return [(a, b) for i, a in enumerate(nodes) for b in nodes[i + 1:]]
 
     # ---------------------------------------------------------------- tracing
 

@@ -126,3 +126,46 @@ class TestBlockLatency:
         expected = (DEFAULT_LATENCY.t_cat_entangle + DEFAULT_LATENCY.t_cat_disentangle
                     + DEFAULT_LATENCY.t_1q)
         assert extra == pytest.approx(expected)
+
+
+class TestPhysicalEPRPairs:
+    def test_cost_defaults_physical_to_logical(self, mapping):
+        from repro.comm.cost import CommCost
+
+        cost = CommCost(total_comm=7, tp_comm=4, cat_comm=3,
+                        peak_remote_cx=2.0)
+        assert cost.total_epr_pairs == 7
+        assert cost.as_dict()["total_epr_pairs"] == 7
+
+    def test_block_epr_pairs_without_network(self, mapping):
+        from repro.comm import block_epr_pairs
+
+        block = tp_block([Gate("cx", (0, 2))], mapping)
+        assert block_epr_pairs(block, mapping) == 2
+
+    def test_block_epr_pairs_scale_with_route_hops(self):
+        from repro.comm import block_epr_pairs
+        from repro.hardware import apply_topology, uniform_network
+
+        network = apply_topology(uniform_network(4, 1), "line")
+        mapping = QubitMapping({0: 0, 1: 3})
+        block = CommBlock(hub_qubit=0, hub_node=0, remote_node=3,
+                          gates=[Gate("cx", (0, 1))])
+        block.scheme = CommScheme.TP
+        # 2 logical communications x 3 hops on the 0-1-2-3 route.
+        assert block_epr_pairs(block, mapping, network=network) == 6
+
+    def test_total_comm_count_with_network(self):
+        from repro.hardware import apply_topology, uniform_network
+
+        network = apply_topology(uniform_network(3, 2), "line")
+        mapping = QubitMapping({0: 0, 1: 2, 2: 1})
+        far = CommBlock(hub_qubit=0, hub_node=0, remote_node=2,
+                        gates=[Gate("cx", (0, 1))])
+        far.scheme = CommScheme.CAT
+        near = CommBlock(hub_qubit=0, hub_node=0, remote_node=1,
+                         gates=[Gate("cx", (0, 2))])
+        near.scheme = CommScheme.TP
+        cost = total_comm_count([far, near], mapping, network=network)
+        assert cost.total_comm == 3        # 1 Cat + 2 TP
+        assert cost.total_epr_pairs == 4   # Cat spans 2 hops, TP is adjacent

@@ -265,3 +265,75 @@ class TestStrategies:
         profile = schedule.parallelism_profile(resolution=50)
         assert len(profile) == 50
         assert max(profile) >= 1
+
+
+class TestFusedChainItinerary:
+    """The fused-chain EPR accounting follows the teleport itinerary.
+
+    Pre-fix, a chain was charged (and, in the simulator, booked) the
+    all-pairs closure of its node set — including pairs the hub's
+    home -> remote_1 -> ... -> home itinerary never links.
+    """
+
+    @staticmethod
+    def _chain(remote_nodes, hub_node=0):
+        blocks = []
+        for remote in remote_nodes:
+            block = CommBlock(hub_qubit=0, hub_node=hub_node,
+                              remote_node=remote)
+            block.scheme = CommScheme.TP
+            blocks.append(block)
+        return FusedTPChain(blocks=blocks)
+
+    def test_itinerary_orders_stops(self):
+        chain = self._chain([1, 3, 2])
+        assert chain.itinerary() == (0, 1, 3, 2, 0)
+        assert chain.hop_pairs() == ((0, 1), (1, 3), (3, 2), (2, 0))
+
+    def test_colocated_stops_need_no_hop_pair(self):
+        chain = self._chain([1, 1, 2])
+        assert chain.itinerary() == (0, 1, 1, 2, 0)
+        assert chain.hop_pairs() == ((0, 1), (1, 2), (2, 0))
+
+    def test_line_topology_charges_itinerary_not_diameter(self):
+        from repro.core.scheduling import (_epr_prep_latency,
+                                           prep_latency_for_pairs)
+        from repro.hardware import apply_topology
+
+        network = apply_topology(uniform_network(4, 2), "line",
+                                 swap_overhead=1.0)
+        # Itinerary 0 -> 1 -> 3 -> 2 -> 0 never links the diameter pair
+        # (0, 3): its slowest hop spans 2 hops, not 3.
+        chain = self._chain([1, 3, 2])
+        t_epr = DEFAULT_LATENCY.t_epr
+        fixed = prep_latency_for_pairs(network, chain.hop_pairs())
+        assert fixed == pytest.approx(2 * t_epr)
+        # The preserved pre-fix accounting overcharges via the unused pair.
+        legacy = _epr_prep_latency(network, chain.nodes())
+        assert legacy == pytest.approx(3 * t_epr)
+        assert fixed < legacy
+
+    def test_uniform_latency_unchanged_by_fix(self):
+        from repro.core.scheduling import (_epr_prep_latency,
+                                           prep_latency_for_pairs)
+
+        network = uniform_network(4, 2)
+        chain = self._chain([1, 3, 2])
+        assert prep_latency_for_pairs(network, chain.hop_pairs()) \
+            == _epr_prep_latency(network, chain.nodes())
+
+    def test_plan_profiles_carry_prep_pairs(self):
+        from repro.core import plan_schedule
+
+        circuit = decompose_to_cx(qft_circuit(12))
+        mapping = mapping_for(12, 3)
+        assignment = compile_assignment(circuit, mapping)
+        plan = plan_schedule(assignment, burst=True)
+        profiles = plan.op_profiles(mapping, DEFAULT_LATENCY)
+        for item, profile in zip(plan.items, profiles):
+            if profile.kind == "gate":
+                assert profile.prep_pairs == ()
+            elif profile.kind == "tp-chain":
+                assert profile.prep_pairs == item.hop_pairs()
+            else:
+                assert profile.prep_pairs == (tuple(item.nodes),)

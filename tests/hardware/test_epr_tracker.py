@@ -103,3 +103,41 @@ class TestAccounting:
 
     def test_utilisation_empty_horizon(self, tracker):
         assert tracker.utilisation(0) == 0.0
+
+
+class TestEarliestMulti:
+    def test_empty_schedule_starts_immediately(self):
+        from repro.hardware import SlotSchedule
+
+        schedule = SlotSchedule(2)
+        assert schedule.earliest_multi(5.0, 2, not_before=3.0) == 3.0
+
+    def test_waits_for_enough_concurrent_slots(self):
+        from repro.hardware import SlotSchedule
+
+        schedule = SlotSchedule(2)
+        schedule.book(0.0, 10.0)
+        # One slot is free now, but two are only free from t=10.
+        assert schedule.earliest_multi(4.0, 1) == 0.0
+        assert schedule.earliest_multi(4.0, 2) == 10.0
+
+    def test_finds_gap_between_bookings(self):
+        from repro.hardware import SlotSchedule
+
+        schedule = SlotSchedule(2)
+        schedule.book(0.0, 2.0, slot=0)
+        schedule.book(6.0, 9.0, slot=0)
+        schedule.book(0.0, 3.0, slot=1)
+        # Both slots are free on [3, 6): a 3-unit window fits there.
+        assert schedule.earliest_multi(3.0, 2) == 3.0
+        # A 4-unit window for two slots only fits after the last booking.
+        assert schedule.earliest_multi(4.0, 2) == 9.0
+
+    def test_count_validation(self):
+        from repro.hardware import SlotSchedule
+
+        schedule = SlotSchedule(2)
+        with pytest.raises(ValueError):
+            schedule.earliest_multi(1.0, 0)
+        with pytest.raises(ValueError):
+            schedule.earliest_multi(1.0, 3)

@@ -1,0 +1,155 @@
+"""Unit tests for entanglement routing (EPRRoute / RoutingTable)."""
+
+import networkx as nx
+import pytest
+
+from repro.hardware import (
+    DEFAULT_LATENCY,
+    EPRRoute,
+    RoutingTable,
+    apply_topology,
+    hop_counts,
+    topology_graph,
+    uniform_network,
+)
+
+
+class TestEPRRoute:
+    def test_direct_route(self):
+        route = EPRRoute(path=(2, 5))
+        assert route.source == 2
+        assert route.target == 5
+        assert route.num_hops == 1
+        assert route.num_swaps == 0
+        assert route.links == ((2, 5),)
+
+    def test_multi_hop_route(self):
+        route = EPRRoute(path=(0, 1, 2, 3))
+        assert route.num_hops == 3
+        assert route.num_swaps == 2
+        assert route.links == ((0, 1), (1, 2), (2, 3))
+
+    def test_links_are_normalised(self):
+        route = EPRRoute(path=(3, 2, 0))
+        assert route.links == ((2, 3), (0, 2))
+
+    def test_reversed(self):
+        route = EPRRoute(path=(0, 1, 3))
+        back = route.reversed()
+        assert back.path == (3, 1, 0)
+        assert back.links == ((1, 3), (0, 1))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            EPRRoute(path=(4,))
+
+
+class TestRoutingTable:
+    def test_line_routes(self):
+        table = RoutingTable(topology_graph("line", 4))
+        assert table.route(0, 3).path == (0, 1, 2, 3)
+        assert table.route(3, 0).path == (3, 2, 1, 0)
+        assert table.hops(1, 3) == 2
+        assert table.links(0, 2) == ((0, 1), (1, 2))
+
+    def test_hops_match_hop_counts(self):
+        for kind in ("line", "ring", "star", "grid"):
+            graph = topology_graph(kind, 6)
+            table = RoutingTable(graph)
+            for (a, b), hops in hop_counts(graph).items():
+                assert table.hops(a, b) == hops, (kind, a, b)
+
+    def test_all_to_all_is_uniform(self):
+        table = RoutingTable(topology_graph("all-to-all", 5))
+        assert table.uniform
+        assert table.max_hops() == 1
+
+    def test_line_not_uniform(self):
+        assert not RoutingTable(topology_graph("line", 3)).uniform
+
+    def test_hop_matrix(self):
+        table = RoutingTable(topology_graph("line", 4))
+        matrix = table.hop_matrix()
+        assert matrix[0][0] == 0
+        assert matrix[0][3] == matrix[3][0] == 3
+        assert matrix[1][2] == 1
+
+    def test_single_node(self):
+        table = RoutingTable(topology_graph("line", 1))
+        assert table.max_hops() == 0
+        assert table.all_routes() == []
+
+    def test_same_node_rejected(self):
+        table = RoutingTable(topology_graph("ring", 4))
+        with pytest.raises(ValueError):
+            table.route(2, 2)
+
+    def test_disconnected_rejected(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(3))
+        graph.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            RoutingTable(graph)
+
+    def test_self_loop_rejected(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(2))
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 0)
+        with pytest.raises(ValueError):
+            RoutingTable(graph)
+
+    def test_deterministic_tie_breaking(self):
+        # A 4-cycle has two shortest paths between opposite corners; the
+        # lexicographically smaller node sequence must win, every build.
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (1, 2), (2, 3), (3, 0)])
+        for _ in range(3):
+            table = RoutingTable(graph)
+            assert table.route(0, 2).path == (0, 1, 2)
+            assert table.route(1, 3).path == (1, 0, 3)
+
+    def test_routes_independent_of_edge_insertion_order(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)]
+        forward = nx.Graph()
+        forward.add_edges_from(edges)
+        backward = nx.Graph()
+        backward.add_nodes_from(range(4))
+        backward.add_edges_from(reversed(edges))
+        paths_f = [r.path for r in RoutingTable(forward).all_routes()]
+        paths_b = [r.path for r in RoutingTable(backward).all_routes()]
+        assert paths_f == paths_b
+
+
+class TestNetworkRouting:
+    def test_unrouted_network_defaults(self):
+        network = uniform_network(4, 2)
+        assert network.routing is None
+        assert network.topology_kind == "all-to-all"
+        assert network.epr_route(1, 3).path == (1, 3)
+        assert network.epr_hops(1, 3) == 1
+        assert network.route_links(3, 1) == ((1, 3),)
+
+    def test_apply_topology_attaches_routing(self):
+        network = apply_topology(uniform_network(4, 2), "line",
+                                 swap_overhead=0.5)
+        assert network.routing is not None
+        assert network.topology_kind == "line"
+        assert network.swap_overhead == 0.5
+        assert network.epr_hops(0, 3) == 3
+        assert network.route_links(0, 2) == ((0, 1), (1, 2))
+
+    def test_latency_consistent_with_hops(self):
+        network = apply_topology(uniform_network(5, 2), "star",
+                                 swap_overhead=1.0)
+        base = DEFAULT_LATENCY.t_epr
+        for a, b in network.node_pairs():
+            hops = network.epr_hops(a, b)
+            assert network.epr_latency(a, b) == pytest.approx(base * hops)
+
+    def test_same_node_route_rejected(self):
+        network = uniform_network(3, 2)
+        with pytest.raises(ValueError):
+            network.epr_route(1, 1)
+        with pytest.raises(ValueError):
+            network.epr_hops(2, 2)

@@ -33,6 +33,28 @@ class TestTopologyGraph:
     def test_ring_of_two_has_single_link(self):
         assert topology_graph("ring", 2).number_of_edges() == 1
 
+    def test_ring_of_one_has_no_self_loop(self):
+        graph = topology_graph("ring", 1)
+        assert graph.number_of_nodes() == 1
+        assert graph.number_of_edges() == 0
+        assert not list(nx.selfloop_edges(graph))
+
+    def test_no_topology_emits_self_loops(self):
+        for kind in SUPPORTED_TOPOLOGIES:
+            for num_nodes in (1, 2, 3, 4, 7):
+                graph = topology_graph(kind, num_nodes)
+                assert not list(nx.selfloop_edges(graph)), (kind, num_nodes)
+
+    def test_invalid_grid_columns_rejected(self):
+        for bad in (0, -1):
+            with pytest.raises(ValueError):
+                topology_graph("grid", 6, grid_columns=bad)
+
+    def test_grid_single_column_is_line(self):
+        graph = topology_graph("grid", 4, grid_columns=1)
+        line = topology_graph("line", 4)
+        assert sorted(graph.edges) == sorted(line.edges)
+
     def test_star(self):
         graph = topology_graph("star", 6)
         assert graph.degree[0] == 5
@@ -118,3 +140,10 @@ class TestApplyTopology:
         # Same communication count, higher latency under the constrained topology.
         assert constrained.metrics.total_comm == base.metrics.total_comm
         assert constrained.metrics.latency >= base.metrics.latency
+
+
+class TestGridColumnsScope:
+    def test_grid_columns_rejected_for_other_topologies(self):
+        for kind in ("line", "ring", "star", "all-to-all"):
+            with pytest.raises(ValueError, match="grid_columns"):
+                topology_graph(kind, 6, grid_columns=2)

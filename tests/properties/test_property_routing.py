@@ -1,0 +1,108 @@
+"""Property-based tests for entanglement routing and EPR-pair accounting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import random_circuit
+from repro.comm import block_epr_pairs
+from repro.core import aggregate_communications, assign_communications
+from repro.hardware import (
+    RoutingTable,
+    SUPPORTED_TOPOLOGIES,
+    apply_topology,
+    hop_counts,
+    topology_graph,
+    uniform_network,
+)
+from repro.ir import decompose_to_cx
+from repro.partition import QubitMapping
+
+
+def _mapping_for(num_qubits, num_nodes):
+    per = -(-num_qubits // num_nodes)
+    return QubitMapping({q: q // per for q in range(num_qubits)})
+
+
+def _assigned(seed, num_qubits, network, mapping):
+    circuit = decompose_to_cx(random_circuit(num_qubits, 60, seed=seed))
+    return assign_communications(
+        aggregate_communications(circuit, mapping), network=network)
+
+
+class TestRoutingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.sampled_from(SUPPORTED_TOPOLOGIES), st.integers(2, 10))
+    def test_routes_are_simple_shortest_paths(self, kind, num_nodes):
+        graph = topology_graph(kind, num_nodes)
+        table = RoutingTable(graph)
+        counts = hop_counts(graph)
+        for route in table.all_routes():
+            # Simple path over existing links...
+            assert len(set(route.path)) == len(route.path)
+            assert all(graph.has_edge(a, b) for a, b in route.links)
+            # ... of minimum length.
+            assert route.num_hops == counts[(route.source, route.target)]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.sampled_from(SUPPORTED_TOPOLOGIES), st.integers(2, 10))
+    def test_physical_pairs_bounded_by_diameter(self, kind, num_nodes):
+        network = apply_topology(uniform_network(num_nodes, 2), kind)
+        diameter = network.routing.max_hops()
+        for a, b in network.node_pairs():
+            assert 1 <= network.epr_hops(a, b) <= diameter
+            assert len(network.route_links(a, b)) == network.epr_hops(a, b)
+
+
+class TestEPRPairCountProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000),
+           st.sampled_from([k for k in SUPPORTED_TOPOLOGIES
+                            if k != "all-to-all"]),
+           st.integers(3, 5))
+    def test_routed_counts_at_least_all_to_all(self, seed, kind, num_nodes):
+        num_qubits = 3 * num_nodes
+        mapping = _mapping_for(num_qubits, num_nodes)
+        routed_net = apply_topology(uniform_network(num_nodes, 3), kind)
+        flat_net = uniform_network(num_nodes, 3)
+        routed = _assigned(seed, num_qubits, routed_net, mapping)
+        flat = _assigned(seed, num_qubits, flat_net, mapping)
+        # Same blocks, same logical communications; swapping can only add
+        # physical pairs.
+        assert routed.cost.total_comm == flat.cost.total_comm
+        assert routed.cost.total_epr_pairs >= flat.cost.total_epr_pairs
+        assert flat.cost.total_epr_pairs == flat.cost.total_comm
+        # Per block as well, hop counts bound the inflation.
+        diameter = routed_net.routing.max_hops()
+        for block in routed.blocks:
+            logical = block_epr_pairs(block, mapping)
+            physical = block_epr_pairs(block, mapping, network=routed_net)
+            assert logical <= physical <= logical * max(1, diameter)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 5))
+    def test_all_to_all_counts_exactly_equal(self, seed, num_nodes):
+        num_qubits = 3 * num_nodes
+        mapping = _mapping_for(num_qubits, num_nodes)
+        routed_net = apply_topology(uniform_network(num_nodes, 3),
+                                    "all-to-all")
+        flat_net = uniform_network(num_nodes, 3)
+        routed = _assigned(seed, num_qubits, routed_net, mapping)
+        flat = _assigned(seed, num_qubits, flat_net, mapping)
+        assert routed.cost == flat.cost
+        assert routed.cost.total_epr_pairs == routed.cost.total_comm
+        assert [b.scheme for b in routed.blocks] \
+            == [b.scheme for b in flat.blocks]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000),
+           st.sampled_from(SUPPORTED_TOPOLOGIES), st.integers(2, 5))
+    def test_routed_scheme_choice_matches_counting_rule(self, seed, kind,
+                                                        num_nodes):
+        num_qubits = 3 * num_nodes
+        mapping = _mapping_for(num_qubits, num_nodes)
+        network = apply_topology(uniform_network(num_nodes, 3), kind,
+                                 swap_overhead=2.0)
+        routed = _assigned(seed, num_qubits, network, mapping)
+        counted = _assigned(seed, num_qubits, None, mapping)
+        assert [b.scheme for b in routed.blocks] \
+            == [b.scheme for b in counted.blocks]

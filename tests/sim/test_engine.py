@@ -182,3 +182,78 @@ class TestMonteCarlo:
         with pytest.raises(ValueError):
             run_monte_carlo(qft_program,
                             SimulationConfig(trials=0))
+
+
+class TestChainLinkBooking:
+    """tp-chain ops book and trace only the itinerary's (routed) links."""
+
+    @staticmethod
+    def _chain_plan(remote_nodes, hub_node=0):
+        from repro.comm import CommBlock, CommScheme
+        from repro.core import FusedTPChain, SchedulePlan
+
+        blocks = []
+        for remote in remote_nodes:
+            block = CommBlock(hub_qubit=0, hub_node=hub_node,
+                              remote_node=remote)
+            block.scheme = CommScheme.TP
+            blocks.append(block)
+        chain = FusedTPChain(blocks=blocks)
+        return SchedulePlan(items=[chain], preds=[[]], num_fused_chains=1,
+                            burst=True)
+
+    def test_only_itinerary_pairs_traced(self):
+        from repro.sim.engine import ExecutionEngine
+
+        network = uniform_network(4, 2)
+        plan = self._chain_plan([1, 3, 2])
+        engine = ExecutionEngine(plan, network, QubitMapping({0: 0}))
+        result = engine.run()
+        # Itinerary 0 -> 1 -> 3 -> 2 -> 0; the unused pairs (0, 3) and
+        # (1, 2) of the chain's node set must not appear in the link trace.
+        assert set(result.trace.link_busy) \
+            == {(0, 1), (1, 3), (2, 3), (0, 2)}
+        assert result.total_epr_pairs == 4
+
+    def test_routed_chain_traces_physical_links(self):
+        from repro.hardware import apply_topology
+        from repro.sim.engine import ExecutionEngine
+
+        network = apply_topology(uniform_network(4, 2), "line")
+        plan = self._chain_plan([1, 3, 2])
+        engine = ExecutionEngine(plan, network, QubitMapping({0: 0}))
+        result = engine.run()
+        # Every itinerary hop expands to the physical links of its route;
+        # on a line those are exactly the three adjacent links.
+        assert set(result.trace.link_busy) == {(0, 1), (1, 2), (2, 3)}
+        # 0-1 (1 hop) + 1-3 (2) + 3-2 (1) + 2-0 (2) = 6 physical pairs.
+        assert result.total_epr_pairs == 6
+
+    def test_capacity_one_serialises_shared_link_batches(self):
+        from repro.hardware import apply_topology
+        from repro.sim.engine import ExecutionEngine
+
+        network = apply_topology(uniform_network(4, 2), "line")
+        plan = self._chain_plan([1, 3, 2])
+        mapping = QubitMapping({0: 0})
+        free = ExecutionEngine(plan, network, mapping).run()
+        capped = ExecutionEngine(plan, network, mapping,
+                                 SimulationConfig(link_capacity=1)).run()
+        # Links (0, 1) and (1, 2) each host two concurrent generations;
+        # with capacity 1 they serialise into two batches.
+        assert capped.latency > free.latency
+        (op_free,) = free.comm_ops()
+        (op_capped,) = capped.comm_ops()
+        assert (op_capped.start - op_capped.prep_start) == pytest.approx(
+            2 * (op_free.start - op_free.prep_start))
+
+    def test_blockwise_op_books_route_links(self):
+        from repro.hardware import apply_topology
+
+        network = apply_topology(uniform_network(4, 3), "line")
+        circuit = Circuit(12).cx(0, 11)  # node 0 <-> node 3, 3 hops
+        mapping = QubitMapping({q: q // 3 for q in range(12)})
+        program = compile_autocomm(circuit, network, mapping=mapping)
+        result = simulate_program(program)
+        assert set(result.trace.link_busy) == {(0, 1), (1, 2), (2, 3)}
+        assert result.total_epr_pairs == 3

@@ -207,3 +207,75 @@ class TestGenerateCommand:
     def test_unknown_family_rejected(self):
         with pytest.raises(SystemExit):
             main(["generate", "grover", "--qubits", "8"])
+
+
+class TestTopologyFlags:
+    @pytest.fixture
+    def wide_qasm(self, tmp_path):
+        path = tmp_path / "qft16.qasm"
+        path.write_text(to_qasm(qft_circuit(16)))
+        return path
+
+    def test_topology_arguments_parsed(self):
+        args = build_parser().parse_args(
+            ["compile", "p.qasm", "--nodes", "4", "--topology", "line",
+             "--swap-overhead", "0.5"])
+        assert args.topology == "line"
+        assert args.swap_overhead == 0.5
+        assert args.grid_columns is None
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compile", "p.qasm", "--nodes", "4",
+                                       "--topology", "torus"])
+
+    def test_compile_reports_physical_epr_pairs(self, wide_qasm, capsys):
+        exit_code = main(["compile", str(wide_qasm), "--nodes", "4",
+                          "--topology", "line"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "topology" in captured
+        assert "physical EPR pairs" in captured
+
+    def test_all_to_all_report_unchanged(self, wide_qasm, capsys):
+        exit_code = main(["compile", str(wide_qasm), "--nodes", "4"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "physical EPR pairs" not in captured
+
+    def test_simulate_line_topology_validates(self, wide_qasm, capsys):
+        exit_code = main(["simulate", str(wide_qasm), "--nodes", "4",
+                          "--topology", "line"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "yes" in captured  # deterministic replay validated
+        assert "total_epr_pairs" in captured
+
+    def test_simulate_grid_with_columns(self, wide_qasm, capsys):
+        exit_code = main(["simulate", str(wide_qasm), "--nodes", "4",
+                          "--topology", "grid", "--grid-columns", "2",
+                          "--p-epr", "0.7", "--trials", "3", "--seed", "5"])
+        assert exit_code == 0
+        assert "sim_mean" in capsys.readouterr().out
+
+    def test_profile_accepts_topology(self, wide_qasm, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "bench.json"
+        exit_code = main(["profile", str(wide_qasm), "--nodes", "4",
+                          "--topology", "ring", "--repeat", "1",
+                          "--json", str(out)])
+        assert exit_code == 0
+        assert json.loads(out.read_text())["topology"] == "ring"
+
+    def test_grid_columns_without_grid_topology_rejected(self, wide_qasm):
+        with pytest.raises(SystemExit, match="grid"):
+            main(["compile", str(wide_qasm), "--nodes", "4",
+                  "--topology", "line", "--grid-columns", "2"])
+
+    def test_simulate_reports_executed_pair_count(self, wide_qasm, capsys):
+        exit_code = main(["simulate", str(wide_qasm), "--nodes", "4",
+                          "--topology", "line"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "sim_epr_pairs" in out
