@@ -13,7 +13,15 @@ assumption:
   topology — the benchmark doubles as a routed-simulation validation;
 * the all-to-all run must be byte-identical to a compile on an unrouted
   network, guarding the "topology-aware changes nothing when the topology
-  is unconstrained" invariant.
+  is unconstrained" invariant;
+* every topology is additionally compiled with a heterogeneous
+  ``noisy_spine`` link model (``<kind>+hetero`` rows): latency-weighted
+  routing plus per-link pricing, whose deterministic replay must also match
+  the analytical schedule exactly;
+* the cost of building a latency-weighted RoutingTable is measured against
+  the unit-weight build on a 64-node grid, with a regression guard on the
+  ratio (same Dijkstra, float weight sums — a blowup means a complexity
+  regression in the weighted path).
 
 Run standalone::
 
@@ -45,17 +53,35 @@ from _harness import BENCH_SCALES, emit, family_specs
 from repro.analysis import topology_row
 from repro.circuits import BenchmarkSpec, paper_configurations, scaled_configurations
 from repro.core import compile_autocomm
-from repro.hardware import SUPPORTED_TOPOLOGIES, apply_topology
+from repro.hardware import (RoutingTable, SUPPORTED_TOPOLOGIES,
+                            apply_topology, link_model_from_profile,
+                            topology_graph)
 from repro.sim import validate_schedule
 
 DEFAULT_FAMILIES = ("QFT", "BV", "QAOA")
 DEFAULT_SWAP_OVERHEAD = 1.0
+#: Preset used for the heterogeneous-link rows: spine links 2.5x slower,
+#: which is heterogeneous (and therefore weighted-routed) on every topology.
+HETERO_PROFILE = "noisy_spine"
+HETERO_FACTOR = 2.5
+#: Weighted construction may cost more than the unit-weight search (float
+#: weight sums instead of int hop counts) but must stay the same algorithm;
+#: a blowup beyond this ratio flags a complexity regression.
+ROUTING_COST_MAX_RATIO = 5.0
+ROUTING_COST_NODES = 64
 
 
 def _compile_for_topology(spec: BenchmarkSpec, kind: str,
-                          swap_overhead: float):
+                          swap_overhead: float, hetero: bool = False):
     circuit, network = spec.build()
-    if kind != "unrouted":
+    if hetero:
+        graph = topology_graph(kind, network.num_nodes)
+        model = link_model_from_profile(HETERO_PROFILE, graph,
+                                        network.latency.t_epr,
+                                        factor=HETERO_FACTOR)
+        apply_topology(network, kind, swap_overhead=swap_overhead,
+                       link_model=model)
+    elif kind != "unrouted":
         apply_topology(network, kind, swap_overhead=swap_overhead)
     return compile_autocomm(circuit, network)
 
@@ -83,7 +109,53 @@ def _bench_spec(spec: BenchmarkSpec,
         if kind == "all-to-all":
             row["matches_unrouted"] = matches_unrouted
         rows.append(row)
+        # The same topology with heterogeneous (noisy-spine) links: weighted
+        # routing plus per-link pricing, whose deterministic replay must
+        # still reproduce the analytical latency exactly.
+        hetero = _compile_for_topology(spec, kind, swap_overhead, hetero=True)
+        hetero_report = validate_schedule(hetero)
+        hetero_row = topology_row(hetero, baseline=baseline,
+                                  simulated_latency=hetero_report.simulated_latency)
+        hetero_row["topology"] = f"{kind}+hetero"
+        hetero_row["replay_validated"] = hetero_report.matches
+        rows.append(hetero_row)
     return rows
+
+
+def _routing_construction_cost() -> Dict[str, object]:
+    """Unit-weight vs latency-weighted RoutingTable construction time.
+
+    The regression guard is the *ratio*: weighted construction runs the same
+    Dijkstra with float weight sums, so it may cost a constant factor over
+    the int hop search but never a complexity class.  Absolute timings are
+    recorded for the trajectory.
+    """
+    import time
+
+    graph = topology_graph("grid", ROUTING_COST_NODES)
+    model = link_model_from_profile("distance_scaled", graph, 12.0)
+    weights = model.routing_weights(graph.edges)
+    assert weights is not None
+
+    def _best_of(builder, repeats: int = 3) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            begin = time.perf_counter()
+            builder()
+            best = min(best, time.perf_counter() - begin)
+        return best
+
+    unweighted_s = _best_of(lambda: RoutingTable(graph))
+    weighted_s = _best_of(lambda: RoutingTable(graph, weights=weights))
+    ratio = weighted_s / unweighted_s if unweighted_s > 0 else 1.0
+    return {
+        "nodes": ROUTING_COST_NODES,
+        "edges": graph.number_of_edges(),
+        "unweighted_ms": round(unweighted_s * 1e3, 3),
+        "weighted_ms": round(weighted_s * 1e3, 3),
+        "weighted_over_unweighted": round(ratio, 3),
+        "max_ratio": ROUTING_COST_MAX_RATIO,
+    }
 
 
 def run_bench(scale: str, families: Sequence[str] = DEFAULT_FAMILIES,
@@ -103,10 +175,12 @@ def run_bench(scale: str, families: Sequence[str] = DEFAULT_FAMILIES,
     constrained = [c for c in configs if c["topology"] != "all-to-all"]
     return {
         "bench": "topology_sensitivity",
-        "schema": 1,
+        "schema": 2,
         "scale": scale,
         "swap_overhead": swap_overhead,
+        "hetero_profile": {"name": HETERO_PROFILE, "factor": HETERO_FACTOR},
         "configs": configs,
+        "routing_construction": _routing_construction_cost(),
         "all_replays_validated": all(c["replay_validated"] for c in configs),
         "all_to_all_matches_unrouted": all(
             c["matches_unrouted"] for c in configs
@@ -124,20 +198,30 @@ def _check(report: Dict[str, object]) -> List[str]:
     failures = []
     if not report["all_replays_validated"]:
         failures.append("deterministic replay diverged from the analytical "
-                        "schedule on some topology")
+                        "schedule on some topology (heterogeneous links "
+                        "included)")
     if not report["all_to_all_matches_unrouted"]:
         failures.append("routed all-to-all compile differs from the "
                         "unrouted baseline")
     if not report["epr_pairs_never_below_logical"]:
         failures.append("physical EPR-pair count fell below the logical "
                         "communication count")
+    routing = report["routing_construction"]
+    if routing["weighted_over_unweighted"] > routing["max_ratio"]:
+        failures.append(
+            f"weighted RoutingTable construction regressed: "
+            f"{routing['weighted_over_unweighted']:.2f}x the unit-weight "
+            f"build (allowed {routing['max_ratio']}x)")
     return failures
 
 
 def _emit_report(report: Dict[str, object]) -> None:
+    routing = report["routing_construction"]
     note = (f"swap_overhead={report['swap_overhead']}; max inflation vs "
             f"all-to-all: EPR pairs {report['max_epr_pair_inflation']:.2f}x, "
-            f"latency {report['max_latency_inflation']:.2f}x")
+            f"latency {report['max_latency_inflation']:.2f}x; weighted "
+            f"routing build {routing['weighted_ms']:.2f}ms "
+            f"({routing['weighted_over_unweighted']:.2f}x unit-weight)")
     emit("topology_sensitivity", report["configs"],
          columns=["name", "topology", "max_hops", "total_comm",
                   "total_epr_pairs", "latency", "simulated_latency",

@@ -106,6 +106,10 @@ def topology_row(program: CompiledProgram,
         "total_epr_pairs": metrics.total_epr_pairs,
         "latency": metrics.latency,
     }
+    if network.heterogeneous_links:
+        row["link_model"] = network.link_model.describe()
+        if metrics.total_epr_latency is not None:
+            row["total_epr_latency"] = metrics.total_epr_latency
     if simulated_latency is not None:
         row["simulated_latency"] = simulated_latency
     if baseline is not None:

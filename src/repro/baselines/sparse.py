@@ -70,6 +70,7 @@ class SparseCompiler:
             num_blocks=len(blocks),
             num_remote_gates=mapping.count_remote_gates(working),
             total_epr_pairs=cost.total_epr_pairs,
+            total_epr_latency=cost.total_epr_latency,
         )
         return CompiledProgram(
             name=circuit.name,

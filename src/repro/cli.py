@@ -21,9 +21,17 @@ from the command line; ``--retry-latency`` prices failed EPR attempts,
 the EPR link graph of the machine for ``compile``, ``compare``,
 ``simulate`` and ``profile``: non-adjacent node pairs route through
 entanglement swapping, the whole pipeline compiles topology-aware
-(hop-weighted partitioning, per-pair EPR latencies, swap-inclusive
+(latency-weighted partitioning, per-pair EPR latencies, swap-inclusive
 ``total_epr_pairs`` accounting) and the simulator books contention on the
 physical links of each route.
+
+``--link-spec`` (a JSON file with per-link ``t_epr``/``capacity``/``p_epr``)
+or ``--link-profile`` (a named preset such as ``distance_scaled`` or
+``noisy_spine``) makes the links heterogeneous: routing detours around slow
+fibres, the compiler prices each link it crosses, and the simulator books
+each link against its own capacity and samples generation with its own
+success probability.  The global ``--link-capacity`` flag is the uniform
+special case (every link, same bound) and conflicts with ``--link-spec``.
 """
 
 from __future__ import annotations
@@ -44,7 +52,8 @@ from .baselines import (
 )
 from .circuits import BENCHMARK_FAMILIES, build_benchmark
 from .core import compile_autocomm
-from .hardware import SUPPORTED_TOPOLOGIES, apply_topology, uniform_network
+from .hardware import (LINK_PROFILES, SUPPORTED_TOPOLOGIES, apply_topology,
+                       load_link_spec, uniform_network)
 from .ir import Circuit, from_qasm, to_qasm
 from .sim import (SimulationConfig, run_monte_carlo, simulate_program,
                   validate_schedule)
@@ -70,10 +79,23 @@ def _add_topology_arguments(parser: argparse.ArgumentParser) -> None:
                              "(default all-to-all)")
     parser.add_argument("--swap-overhead", type=float, default=1.0,
                         help="extra EPR latency per entanglement-swapping "
-                             "hop, as a multiple of t_epr (default 1.0)")
+                             "hop, as a multiple of the link latency "
+                             "(default 1.0)")
     parser.add_argument("--grid-columns", type=int, default=None,
                         help="columns of the grid topology "
                              "(default: near-square)")
+    parser.add_argument("--link-spec", type=Path, default=None,
+                        metavar="PATH",
+                        help="JSON file with per-link EPR parameters "
+                             "(t_epr/capacity/p_epr; see the README's "
+                             "heterogeneous-links section); routing, "
+                             "compilation and simulation price each link "
+                             "individually")
+    parser.add_argument("--link-profile", choices=sorted(LINK_PROFILES),
+                        default=None,
+                        help="named heterogeneous link preset derived from "
+                             "the topology (mutually exclusive with "
+                             "--link-spec)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -128,8 +150,12 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="master seed for stochastic runs "
                                       "(default 0)")
     simulate_parser.add_argument("--link-capacity", type=int, default=None,
-                                 help="concurrent EPR generations per link "
-                                      "(default: unlimited)")
+                                 help="uniform concurrent EPR generations "
+                                      "per link (default: unlimited); "
+                                      "equivalent to a link-spec whose "
+                                      "default carries this capacity, and "
+                                      "mutually exclusive with --link-spec "
+                                      "— prefer per-link capacities there")
     simulate_parser.add_argument("--timeline", action="store_true",
                                  help="render the executed schedule as an "
                                       "ASCII per-node timeline")
@@ -186,12 +212,16 @@ def _load_circuit(path: Path) -> Circuit:
 def _make_network(circuit: Circuit, nodes: int, qubits_per_node: Optional[int],
                   comm_qubits: int, topology: str = "all-to-all",
                   swap_overhead: float = 1.0,
-                  grid_columns: Optional[int] = None):
+                  grid_columns: Optional[int] = None,
+                  link_model=None, link_profile: Optional[str] = None):
     per_node = qubits_per_node or -(-circuit.num_qubits // nodes)
     network = uniform_network(nodes, per_node, comm_qubits_per_node=comm_qubits)
-    if topology != "all-to-all" or swap_overhead != 1.0 or grid_columns is not None:
+    if (topology != "all-to-all" or swap_overhead != 1.0
+            or grid_columns is not None or link_model is not None
+            or link_profile is not None):
         apply_topology(network, topology, swap_overhead=swap_overhead,
-                       grid_columns=grid_columns)
+                       grid_columns=grid_columns, link_model=link_model,
+                       link_profile=link_profile)
     return network
 
 
@@ -201,10 +231,33 @@ def _network_from_args(circuit: Circuit, args):
     if grid_columns is not None and topology != "grid":
         raise SystemExit("error: --grid-columns only applies to "
                          "--topology grid")
-    return _make_network(circuit, args.nodes, args.qubits_per_node,
-                         args.comm_qubits, topology=topology,
-                         swap_overhead=getattr(args, "swap_overhead", 1.0),
-                         grid_columns=grid_columns)
+    link_spec = getattr(args, "link_spec", None)
+    link_profile = getattr(args, "link_profile", None)
+    if link_spec is not None and link_profile is not None:
+        raise SystemExit("error: --link-spec and --link-profile are "
+                         "mutually exclusive")
+    if link_spec is not None and getattr(args, "link_capacity", None) is not None:
+        raise SystemExit(
+            "error: --link-spec and --link-capacity are mutually exclusive; "
+            "set per-link (or \"default\") capacities in the link-spec file "
+            "instead of the global flag")
+    link_model = None
+    if link_spec is not None:
+        if not link_spec.exists():
+            raise SystemExit(f"error: no such link-spec file: {link_spec}")
+        from .hardware import DEFAULT_LATENCY
+        try:
+            link_model = load_link_spec(link_spec, DEFAULT_LATENCY.t_epr)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+    try:
+        return _make_network(circuit, args.nodes, args.qubits_per_node,
+                             args.comm_qubits, topology=topology,
+                             swap_overhead=getattr(args, "swap_overhead", 1.0),
+                             grid_columns=grid_columns,
+                             link_model=link_model, link_profile=link_profile)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
 
 
 def _report_rows(program) -> List[dict]:
@@ -222,10 +275,17 @@ def _report_rows(program) -> List[dict]:
         {"metric": "latency [CX units]", "value": round(metrics.latency, 1)},
     ]
     network = program.network
-    if network.topology_kind != "all-to-all":
+    if network.topology_kind != "all-to-all" or network.heterogeneous_links:
         rows.insert(2, {"metric": "topology", "value": network.topology_kind})
         rows.append({"metric": "physical EPR pairs (swaps incl.)",
                      "value": metrics.total_epr_pairs})
+    if network.heterogeneous_links:
+        rows.insert(3, {"metric": "link model",
+                        "value": f"heterogeneous "
+                                 f"({network.link_model.describe()})"})
+        if metrics.total_epr_latency is not None:
+            rows.append({"metric": "EPR latency volume [CX units]",
+                         "value": round(metrics.total_epr_latency, 1)})
     return rows
 
 
@@ -275,14 +335,21 @@ def _cmd_simulate(args) -> int:
     program = COMPILERS[args.compiler](circuit, network)
 
     # Deterministic replay first: the simulated execution must reproduce the
-    # analytical schedule latency exactly.
-    deterministic = simulate_program(program)
+    # analytical schedule latency exactly.  Ideal links match the analytical
+    # model's assumptions (capacities and per-link loss ignored, per-link
+    # latencies kept), so the check stays meaningful under any link spec.
+    deterministic = simulate_program(program, SimulationConfig(ideal_links=True))
     report = validate_schedule(program, result=deterministic)
     monte_carlo = None
-    # A capacity-limited link is a study of its own even at p_epr = 1.0: the
-    # validation replay above stays unconstrained (it checks the analytical
-    # model), while the study branch reflects every flag the user passed.
-    if args.p_epr < 1.0 or args.trials > 1 or args.link_capacity is not None:
+    # A capacity-limited or lossy link is a study of its own even at
+    # p_epr = 1.0: the validation replay above stays unconstrained (it
+    # checks the analytical model), while the study branch reflects every
+    # flag the user passed plus the link model's own capacities/p_epr.
+    link_model = network.link_model
+    constrained_links = link_model is not None and (
+        link_model.has_capacities or not link_model.deterministic)
+    if (args.p_epr < 1.0 or args.trials > 1
+            or args.link_capacity is not None or constrained_links):
         config = SimulationConfig(p_epr=args.p_epr,
                                   retry_latency=args.retry_latency,
                                   seed=args.seed, trials=args.trials,
@@ -290,7 +357,7 @@ def _cmd_simulate(args) -> int:
         monte_carlo = run_monte_carlo(program, config)
 
     row = simulation_row(report, monte_carlo)
-    if network.topology_kind != "all-to-all":
+    if network.topology_kind != "all-to-all" or network.heterogeneous_links:
         row["topology"] = network.topology_kind
         row["total_comm"] = program.metrics.total_comm
         # Compiler-side per-block accounting vs pairs the replayed

@@ -14,6 +14,7 @@ from .cost import (
     CommCost,
     block_comm_count,
     block_epr_pairs,
+    block_epr_latency,
     total_comm_count,
     block_latency,
     peak_remote_cx_per_comm,
@@ -34,6 +35,7 @@ __all__ = [
     "CommCost",
     "block_comm_count",
     "block_epr_pairs",
+    "block_epr_latency",
     "total_comm_count",
     "block_latency",
     "peak_remote_cx_per_comm",

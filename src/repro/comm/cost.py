@@ -11,7 +11,13 @@ On a routed topology (see :mod:`repro.hardware.routing`) one logical
 end-to-end EPR pair between non-adjacent nodes is built by entanglement
 swapping, consuming one *physical* EPR pair per link of the route.
 ``total_epr_pairs`` reports that swap-inclusive physical count alongside
-``total_comm``; on all-to-all connectivity the two coincide.
+``total_comm``; on all-to-all connectivity the two coincide.  With a
+heterogeneous :class:`~repro.hardware.links.LinkModel` the pair count alone
+no longer prices a program's communication — two routes of equal length may
+cross very different fibres — so ``total_epr_latency`` additionally sums
+each communication's derived end-to-end EPR preparation latency (the
+routed link-latency combination), the same quantity the scheduler charges
+per operation.
 """
 
 from __future__ import annotations
@@ -27,7 +33,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..hardware.network import QuantumNetwork
 
 __all__ = ["CommCost", "block_comm_count", "block_epr_pairs",
-           "total_comm_count", "block_latency", "peak_remote_cx_per_comm"]
+           "block_epr_latency", "total_comm_count", "block_latency",
+           "peak_remote_cx_per_comm"]
 
 
 @dataclass(frozen=True)
@@ -41,6 +48,10 @@ class CommCost:
     #: Physical EPR pairs consumed, entanglement swaps included.  Defaults
     #: to ``total_comm`` (direct links everywhere — the paper's assumption).
     total_epr_pairs: Optional[int] = None
+    #: Sum over all communications of the pair's derived end-to-end EPR
+    #: preparation latency (routed link-latency combination) — the
+    #: latency-weighted communication volume.  ``None`` without a network.
+    total_epr_latency: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.total_epr_pairs is None:
@@ -53,6 +64,7 @@ class CommCost:
             "cat_comm": self.cat_comm,
             "peak_remote_cx": self.peak_remote_cx,
             "total_epr_pairs": self.total_epr_pairs,
+            "total_epr_latency": self.total_epr_latency,
         }
 
 
@@ -79,19 +91,33 @@ def block_epr_pairs(block: CommBlock, mapping: QubitMapping,
     return logical * network.epr_hops(block.hub_node, block.remote_node)
 
 
+def block_epr_latency(block: CommBlock, mapping: QubitMapping,
+                      network: "QuantumNetwork") -> float:
+    """EPR preparation latency charged across one block's communications.
+
+    Every logical communication of the block prepares one end-to-end pair
+    between hub and remote node, whose latency is the routed link-latency
+    combination ``network.epr_latency`` derives from the link model.
+    """
+    logical = block_comm_count(block, mapping)
+    return logical * network.epr_latency(block.hub_node, block.remote_node)
+
+
 def total_comm_count(blocks: Sequence[CommBlock], mapping: QubitMapping,
                      network: Optional["QuantumNetwork"] = None) -> CommCost:
     """Aggregate communication cost over all blocks of a compiled program.
 
     When ``network`` is given, ``total_epr_pairs`` counts the physical EPR
-    pairs its entanglement routes consume; otherwise direct links are
-    assumed and the physical count equals ``total_comm``.
+    pairs its entanglement routes consume and ``total_epr_latency`` sums the
+    routed link-latency of every communication; otherwise direct uniform
+    links are assumed and only the logical counts are reported.
     """
     total = 0
     tp = 0
     cat = 0
     peak = 0.0
     physical = 0
+    epr_latency = 0.0
     for block in blocks:
         count = block_comm_count(block, mapping)
         total += count
@@ -101,8 +127,12 @@ def total_comm_count(blocks: Sequence[CommBlock], mapping: QubitMapping,
             cat += count
         peak = max(peak, block_remote_cx_per_comm(block, mapping))
         physical += block_epr_pairs(block, mapping, network)
+        if network is not None:
+            epr_latency += block_epr_latency(block, mapping, network)
     return CommCost(total_comm=total, tp_comm=tp, cat_comm=cat,
-                    peak_remote_cx=peak, total_epr_pairs=physical)
+                    peak_remote_cx=peak, total_epr_pairs=physical,
+                    total_epr_latency=(epr_latency if network is not None
+                                       else None))
 
 
 def block_remote_cx_per_comm(block: CommBlock, mapping: QubitMapping) -> float:

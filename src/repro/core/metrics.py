@@ -46,6 +46,14 @@ class CompilationMetrics:
     #: convention — TP-chain fusion savings are a schedule-level effect and
     #: show up in ``SimulationResult.total_epr_pairs`` instead.
     total_epr_pairs: Optional[int] = None
+    #: Latency-weighted communication volume: the sum over all issued
+    #: communications of their pair's routed end-to-end EPR preparation
+    #: latency (link-latency combination over the route).  On uniform links
+    #: this is ``total_comm * t_epr`` scaled by swap overheads; with a
+    #: heterogeneous :class:`~repro.hardware.links.LinkModel` it separates
+    #: programs whose pair counts agree but whose traffic crosses different
+    #: fibres.  ``None`` when the compiler had no network to price with.
+    total_epr_latency: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.total_epr_pairs is None:
@@ -62,6 +70,7 @@ class CompilationMetrics:
             "num_blocks": self.num_blocks,
             "num_remote_gates": self.num_remote_gates,
             "total_epr_pairs": self.total_epr_pairs,
+            "total_epr_latency": self.total_epr_latency,
         }
 
 

@@ -106,6 +106,7 @@ class AutoCommCompiler:
             num_blocks=len(assignment.blocks),
             num_remote_gates=mapping.count_remote_gates(working),
             total_epr_pairs=assignment.cost.total_epr_pairs,
+            total_epr_latency=assignment.cost.total_epr_latency,
         )
         return CompiledProgram(
             name=circuit.name,

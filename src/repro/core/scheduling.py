@@ -642,6 +642,12 @@ def prep_latency_for_pairs(network: QuantumNetwork,
     all-pairs closure of the chain's node set — the itinerary never links
     most of those pairs, and on a non-uniform topology charging the
     slowest unused pair overstates the chain's critical path.
+
+    Each pair's latency is ``QuantumNetwork.epr_latency`` — on a routed
+    topology the link-latency combination of the pair's entanglement route
+    (heterogeneous links priced individually by the network's
+    :class:`~repro.hardware.links.LinkModel`), so the analytical schedule
+    charges exactly what the per-link discrete-event replay realises.
     """
     if not pairs:
         return network.latency.t_epr

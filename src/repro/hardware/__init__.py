@@ -1,9 +1,11 @@
-"""Distributed quantum hardware model: nodes, networks, latency, resources."""
+"""Distributed quantum hardware model: nodes, networks, links, resources."""
 
 from .node import QuantumNode
 from .network import QuantumNetwork, uniform_network
 from .timing import LatencyModel, DEFAULT_LATENCY
 from .epr import CommResourceTracker, Reservation, SlotSchedule
+from .links import (LinkModel, LinkSpec, combine_link_latencies,
+                    link_model_from_profile, load_link_spec, LINK_PROFILES)
 from .routing import EPRRoute, RoutingTable
 from .topology import apply_topology, topology_graph, hop_counts, SUPPORTED_TOPOLOGIES
 
@@ -15,6 +17,12 @@ __all__ = [
     "uniform_network",
     "LatencyModel",
     "DEFAULT_LATENCY",
+    "LinkModel",
+    "LinkSpec",
+    "combine_link_latencies",
+    "link_model_from_profile",
+    "load_link_spec",
+    "LINK_PROFILES",
     "CommResourceTracker",
     "Reservation",
     "SlotSchedule",

@@ -1,0 +1,412 @@
+"""First-class heterogeneous link model.
+
+Until this module existed, every layer of the pipeline assumed identical
+EPR links: routing counted unit-cost hops, :func:`~repro.hardware.topology.apply_topology`
+derived every per-pair latency from one global ``t_epr``, and the execution
+simulator took one global ``--link-capacity``.  Real networks mix fibre
+lengths and repeater quality, so each physical link carries its own
+parameters here:
+
+* ``t_epr`` — generation latency of one EPR pair on the link (one
+  successful heralded attempt), in CX-gate units;
+* ``capacity`` — concurrent EPR generations the link sustains (``None`` =
+  unlimited, the analytical model's assumption);
+* ``p_epr`` — per-attempt heralding success probability of the link
+  (multiplies the simulation-level ``p_epr`` knob).
+
+A :class:`LinkModel` maps physical links to :class:`LinkSpec` values with a
+default for unlisted links.  :func:`~repro.hardware.topology.apply_topology`
+attaches one to the network, feeds its latencies to the latency-weighted
+:class:`~repro.hardware.routing.RoutingTable` and derives each node pair's
+end-to-end EPR latency from the links of the chosen route
+(:func:`combine_link_latencies`).  The *uniform* model (every link equal to
+the default, no capacity, ``p_epr = 1``) reproduces the previous global
+``t_epr`` behaviour bit-for-bit — the equivalence tests in
+``tests/integration/test_link_model_equivalence.py`` assert it.
+
+Models come from three places:
+
+* :meth:`LinkModel.uniform_model` — one spec for every link (also how the
+  deprecated global ``--link-capacity`` flag is mapped onto the model);
+* :func:`link_model_from_profile` — named presets (``distance_scaled``,
+  ``noisy_spine``) parameterised over a topology graph;
+* :meth:`LinkModel.from_spec` / :func:`load_link_spec` — a user-supplied
+  JSON link-spec file (the CLI's ``--link-spec``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+import networkx as nx
+
+__all__ = [
+    "LinkSpec",
+    "LinkModel",
+    "combine_link_latencies",
+    "link_model_from_profile",
+    "load_link_spec",
+    "LINK_PROFILES",
+]
+
+Link = Tuple[int, int]
+
+
+def _normalise(a: int, b: int) -> Link:
+    if a == b:
+        raise ValueError("links connect distinct nodes")
+    return (a, b) if a < b else (b, a)
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Parameters of one physical EPR link."""
+
+    t_epr: float
+    capacity: Optional[int] = None
+    p_epr: float = 1.0
+
+    def __post_init__(self) -> None:
+        # Inverted comparisons so NaN (which json.loads accepts) is rejected
+        # here instead of corrupting routing arithmetic downstream.
+        if not self.t_epr > 0:
+            raise ValueError(f"link t_epr must be positive, got {self.t_epr}")
+        if self.capacity is not None and not self.capacity >= 1:
+            raise ValueError(
+                f"link capacity must be >= 1 (or None), got {self.capacity}")
+        if not 0.0 < self.p_epr <= 1.0:
+            raise ValueError(
+                f"link p_epr must be in (0, 1], got {self.p_epr}")
+
+    def merged(self, **overrides: object) -> "LinkSpec":
+        """A copy with selected fields replaced (used by spec parsing)."""
+        data = {"t_epr": self.t_epr, "capacity": self.capacity,
+                "p_epr": self.p_epr}
+        data.update(overrides)
+        return LinkSpec(**data)  # type: ignore[arg-type]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"t_epr": self.t_epr, "capacity": self.capacity,
+                "p_epr": self.p_epr}
+
+
+class LinkModel:
+    """Per-link EPR parameters: a default spec plus per-link overrides.
+
+    A default-only model (no overrides) applies to *any* link, which is how
+    a uniform capacity or latency is expressed without enumerating the
+    topology's edges.
+    """
+
+    def __init__(self, default: LinkSpec,
+                 overrides: Optional[Mapping[Link, LinkSpec]] = None) -> None:
+        self.default = default
+        self._overrides: Dict[Link, LinkSpec] = {}
+        for (a, b), spec in (overrides or {}).items():
+            key = _normalise(a, b)
+            if key in self._overrides:
+                raise ValueError(f"duplicate link spec for {key}")
+            self._overrides[key] = spec
+
+    # ---------------------------------------------------------- constructors
+
+    @classmethod
+    def uniform_model(cls, t_epr: float, capacity: Optional[int] = None,
+                      p_epr: float = 1.0) -> "LinkModel":
+        """One spec for every link of the network."""
+        return cls(LinkSpec(t_epr=t_epr, capacity=capacity, p_epr=p_epr))
+
+    @classmethod
+    def from_spec(cls, data: Mapping[str, object],
+                  base_t_epr: float) -> "LinkModel":
+        """Build a model from a parsed link-spec mapping.
+
+        Schema::
+
+            {
+              "default": {"t_epr": 12.0, "capacity": 2, "p_epr": 1.0},
+              "links": {
+                "0-1": {"t_epr": 24.0},
+                "1-2": {"p_epr": 0.5, "capacity": 1}
+              }
+            }
+
+        Both sections are optional; unlisted fields of a link inherit the
+        default spec, and a missing default inherits the network latency
+        model's ``t_epr`` (``base_t_epr``).
+        """
+        known = {"default", "links"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown link-spec keys {sorted(unknown)}; expected "
+                f"{sorted(known)}")
+        default = LinkSpec(t_epr=base_t_epr)
+        raw_default = data.get("default")
+        if raw_default is not None:
+            default = default.merged(**_spec_fields(raw_default, "default"))
+        overrides: Dict[Link, LinkSpec] = {}
+        for name, raw in (data.get("links") or {}).items():
+            link = _parse_link_name(name)
+            if link in overrides:
+                raise ValueError(f"duplicate link spec for {link}")
+            overrides[link] = default.merged(**_spec_fields(raw, name))
+        return cls(default, overrides)
+
+    # --------------------------------------------------------------- queries
+
+    def spec(self, node_a: int, node_b: int) -> LinkSpec:
+        """The spec of link ``(node_a, node_b)``."""
+        return self._overrides.get(_normalise(node_a, node_b), self.default)
+
+    def t_epr(self, node_a: int, node_b: int) -> float:
+        return self.spec(node_a, node_b).t_epr
+
+    def capacity(self, node_a: int, node_b: int) -> Optional[int]:
+        return self.spec(node_a, node_b).capacity
+
+    def p_epr(self, node_a: int, node_b: int) -> float:
+        return self.spec(node_a, node_b).p_epr
+
+    @property
+    def overrides(self) -> Dict[Link, LinkSpec]:
+        """The per-link overrides (normalised keys; do not mutate)."""
+        return self._overrides
+
+    # ------------------------------------------------------------ properties
+
+    def _specs(self) -> Iterable[LinkSpec]:
+        yield self.default
+        yield from self._overrides.values()
+
+    @property
+    def uniform_latency(self) -> bool:
+        """Every link generates at the same ``t_epr``."""
+        return all(spec.t_epr == self.default.t_epr for spec in self._specs())
+
+    @property
+    def deterministic(self) -> bool:
+        """Every link succeeds on the first attempt (``p_epr = 1``)."""
+        return all(spec.p_epr >= 1.0 for spec in self._specs())
+
+    @property
+    def has_capacities(self) -> bool:
+        """Some link bounds its concurrent EPR generations."""
+        return any(spec.capacity is not None for spec in self._specs())
+
+    @property
+    def uniform(self) -> bool:
+        """Indistinguishable from the legacy single-``t_epr`` assumption.
+
+        Uniform models take the exact pre-link-model code paths (unit-weight
+        routing, global-latency derivation, pair-level EPR sampling), so
+        compilation and simulation output stays bit-identical to a network
+        without a link model.
+        """
+        return (self.uniform_latency and self.deterministic
+                and not self.has_capacities)
+
+    # ---------------------------------------------------------------- routing
+
+    def routing_weights(self, links: Iterable[Link]
+                        ) -> Optional[Dict[Link, float]]:
+        """Per-link latency weights over ``links`` for the routing table.
+
+        Routes then minimise the route's *total link latency* — the EPR
+        generation volume the route engages, which is also what capacity
+        booking and physical-pair accounting see.  At the default
+        ``swap_overhead = 1.0`` this total equals the derived end-to-end
+        pair latency (:func:`combine_link_latencies`), so routing is
+        latency-optimal there; for other overheads the derived latency
+        follows the chosen route consistently across compiler and
+        simulator, but a route optimal under the combined formula may
+        differ (the peak term is not edge-additive) — a documented
+        approximation.
+
+        ``None`` when every link has the same latency: the routing table
+        then runs the unit-weight (hop-count) search, whose arithmetic — and
+        therefore whose lexicographic tie-breaking — is bit-identical to the
+        pre-link-model code.
+        """
+        if self.uniform_latency:
+            return None
+        return {_normalise(a, b): self.t_epr(a, b) for a, b in links}
+
+    def route_latency(self, links: Sequence[Link],
+                      swap_overhead: float) -> float:
+        """End-to-end EPR latency of a route over ``links``."""
+        return combine_link_latencies(
+            [self.t_epr(a, b) for a, b in links], swap_overhead)
+
+    # -------------------------------------------------------------- validation
+
+    def validate_for_graph(self, graph: nx.Graph) -> None:
+        """Raise when an override names a link the topology does not have."""
+        for (a, b) in self._overrides:
+            if not graph.has_edge(a, b):
+                raise ValueError(
+                    f"link spec names ({a}, {b}), which is not a link of "
+                    f"the topology")
+
+    # --------------------------------------------------------------- reporting
+
+    def describe(self) -> str:
+        """Short human-readable heterogeneity summary for reports.
+
+        Distinguishes per-link overrides from a heterogeneous *default*
+        spec (lossy or capacity-bearing on every link), which carries zero
+        overrides but is anything but uniform.
+        """
+        if self.uniform:
+            return "uniform"
+        if self._overrides:
+            count = len(self._overrides)
+            return f"{count} link override{'s' if count != 1 else ''}"
+        return "heterogeneous default spec"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "default": self.default.as_dict(),
+            "links": {f"{a}-{b}": spec.as_dict()
+                      for (a, b), spec in sorted(self._overrides.items())},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "uniform" if self.uniform else "heterogeneous"
+        return (f"LinkModel({kind}, default={self.default}, "
+                f"overrides={len(self._overrides)})")
+
+
+def combine_link_latencies(latencies: Sequence[float],
+                           swap_overhead: float) -> float:
+    """End-to-end EPR latency of one entanglement-swapping route.
+
+    All links generate concurrently, so the slowest link's generation sits
+    on the critical path at full cost; every other link contributes its
+    ``swap_overhead`` share (the Bell-measurement splice it feeds).  With
+    the default ``swap_overhead = 1.0`` this is simply the sum of the route's
+    link latencies.  Uniform inputs take the legacy
+    ``t_epr * (1 + swap_overhead * (hops - 1))`` arithmetic verbatim so the
+    derived value is bit-identical to the pre-link-model formula.
+    """
+    if not latencies:
+        raise ValueError("a route needs at least one link")
+    peak = max(latencies)
+    if all(latency == peak for latency in latencies):
+        return peak * (1.0 + swap_overhead * (len(latencies) - 1))
+    return peak + swap_overhead * (sum(latencies) - peak)
+
+
+# ---------------------------------------------------------------------------
+# Spec-file parsing
+# ---------------------------------------------------------------------------
+
+def _spec_fields(raw: object, where: str) -> Dict[str, object]:
+    if not isinstance(raw, Mapping):
+        raise ValueError(f"link-spec entry {where!r} must be an object, "
+                         f"got {type(raw).__name__}")
+    known = {"t_epr", "capacity", "p_epr"}
+    unknown = set(raw) - known
+    if unknown:
+        raise ValueError(f"unknown fields {sorted(unknown)} in link-spec "
+                         f"entry {where!r}; expected {sorted(known)}")
+    return dict(raw)
+
+
+def _parse_link_name(name: str) -> Link:
+    parts = name.replace(",", "-").split("-")
+    if len(parts) != 2:
+        raise ValueError(f"link name {name!r} is not of the form 'a-b'")
+    try:
+        a, b = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ValueError(f"link name {name!r} is not of the form 'a-b'") \
+            from None
+    return _normalise(a, b)
+
+
+def load_link_spec(path: Union[str, Path], base_t_epr: float) -> LinkModel:
+    """Parse a JSON link-spec file into a :class:`LinkModel`."""
+    text = Path(path).read_text()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"link-spec file {path} is not valid JSON: {exc}") \
+            from None
+    if not isinstance(data, Mapping):
+        raise ValueError(f"link-spec file {path} must contain a JSON object")
+    return LinkModel.from_spec(data, base_t_epr)
+
+
+# ---------------------------------------------------------------------------
+# Topology-parameterised profiles
+# ---------------------------------------------------------------------------
+
+def distance_scaled(graph: nx.Graph, t_epr: float,
+                    scale: float = 1.0) -> LinkModel:
+    """Fibre length grows with the index distance of a link's endpoints.
+
+    Nodes are assumed laid out in index order, so a link between distant
+    indices models a longer fibre: ``t_epr_link = t_epr * (1 + scale *
+    (|a - b| - 1))``.  Adjacent-index links keep the base latency; a ring's
+    wrap-around link, a grid's vertical links and a star's high-index spokes
+    become progressively slower.  (On a line every link joins adjacent
+    indices, so this profile degenerates to uniform there — use an explicit
+    link spec for a heterogeneous line.)
+    """
+    if scale < 0:
+        raise ValueError("scale must be non-negative")
+    overrides = {}
+    for a, b in graph.edges:
+        # Adjacent-index links equal the default spec; storing them as
+        # overrides would misreport every link as heterogeneous.
+        if abs(a - b) > 1 and scale > 0:
+            overrides[_normalise(a, b)] = LinkSpec(
+                t_epr=t_epr * (1.0 + scale * (abs(a - b) - 1)))
+    return LinkModel(LinkSpec(t_epr=t_epr), overrides)
+
+
+def noisy_spine(graph: nx.Graph, t_epr: float, factor: float = 2.0,
+                p_epr: float = 1.0,
+                capacity: Optional[int] = None) -> LinkModel:
+    """Links through the busiest node are slow, lossy repeater links.
+
+    The "spine" node is the highest-degree node (lowest index on ties) —
+    a star's hub, a line's or grid's centre.  Every link incident to it is
+    degraded: latency scaled by ``factor``, per-attempt success probability
+    ``p_epr``, and optionally a concurrent-generation ``capacity``.  All
+    other links stay at the clean base spec.
+    """
+    if factor < 1.0:
+        raise ValueError("factor must be >= 1")
+    if graph.number_of_edges() == 0:
+        return LinkModel(LinkSpec(t_epr=t_epr))
+    spine = min(sorted(graph.nodes), key=lambda n: (-graph.degree(n), n))
+    overrides = {}
+    for neighbour in graph.neighbors(spine):
+        key = _normalise(spine, neighbour)
+        overrides[key] = LinkSpec(t_epr=t_epr * factor, p_epr=p_epr,
+                                  capacity=capacity)
+    return LinkModel(LinkSpec(t_epr=t_epr), overrides)
+
+
+#: Named link-model presets accepted by the CLI's ``--link-profile``.
+LINK_PROFILES = {
+    "distance_scaled": distance_scaled,
+    "noisy_spine": noisy_spine,
+}
+
+
+def link_model_from_profile(name: str, graph: nx.Graph,
+                            t_epr: float, **kwargs: object) -> LinkModel:
+    """Build a preset link model for a topology graph."""
+    try:
+        builder = LINK_PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown link profile {name!r}; choose from "
+            f"{sorted(LINK_PROFILES)}") from None
+    return builder(graph, t_epr, **kwargs)  # type: ignore[operator]

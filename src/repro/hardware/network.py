@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from .links import LinkModel
 from .node import QuantumNode
 from .routing import EPRRoute, RoutingTable
 from .timing import DEFAULT_LATENCY, LatencyModel
@@ -40,6 +41,10 @@ class QuantumNetwork:
         self.topology_kind: str = "all-to-all"
         #: Swap-overhead factor the topology's latencies were derived with.
         self.swap_overhead: float = 1.0
+        #: Per-link EPR parameters (latency/capacity/p_epr); ``None`` means
+        #: the legacy uniform assumption (one global ``t_epr``, unbounded
+        #: links).  Set by :func:`repro.hardware.topology.apply_topology`.
+        self.link_model: Optional[LinkModel] = None
 
     # ---------------------------------------------------------------- basics
 
@@ -71,10 +76,23 @@ class QuantumNetwork:
     # ------------------------------------------------------------------ links
 
     def set_epr_latency(self, node_a: int, node_b: int, latency: float) -> None:
-        """Override the EPR-preparation latency for one node pair."""
+        """Override the EPR-preparation latency for one node pair.
+
+        Note that :func:`repro.hardware.topology.apply_topology` derives and
+        stores a latency for *every* node pair, so a later ``apply_topology``
+        call replaces any manual override set here.  Set overrides after the
+        topology is applied — or, better, express per-link heterogeneity
+        through the topology's :class:`~repro.hardware.links.LinkModel`,
+        which survives re-derivation and also drives routing, capacity and
+        stochastic sampling.
+        """
         if node_a == node_b:
             raise ValueError("EPR links connect distinct nodes")
-        self._epr_latency_overrides[self._key(node_a, node_b)] = float(latency)
+        latency = float(latency)
+        if not latency > 0:
+            raise ValueError(
+                f"EPR latency must be positive, got {latency}")
+        self._epr_latency_overrides[self._key(node_a, node_b)] = latency
 
     def epr_latency(self, node_a: int, node_b: int) -> float:
         """EPR-pair preparation latency between two nodes."""
@@ -117,6 +135,46 @@ class QuantumNetwork:
         """All unordered node pairs."""
         return [(i, j) for i in range(self.num_nodes)
                 for j in range(i + 1, self.num_nodes)]
+
+    # ------------------------------------------------------------------ links
+
+    @property
+    def heterogeneous_links(self) -> bool:
+        """True when the attached link model prices some link differently.
+
+        Heterogeneous latencies or per-link success probabilities engage the
+        per-link code paths (latency-weighted routing happens at
+        ``apply_topology`` time; per-link EPR sampling in the simulator).  A
+        capacity-only model stays on the pair-level sampling path — capacity
+        affects booking, not generation time.
+        """
+        return (self.link_model is not None
+                and not (self.link_model.uniform_latency
+                         and self.link_model.deterministic))
+
+    def link_latency(self, node_a: int, node_b: int) -> float:
+        """EPR generation latency of one *physical link* (not a routed pair)."""
+        if self.link_model is not None:
+            return self.link_model.t_epr(node_a, node_b)
+        if node_a == node_b:
+            raise ValueError("EPR links connect distinct nodes")
+        return self.latency.t_epr
+
+    def link_capacity(self, node_a: int, node_b: int) -> Optional[int]:
+        """Concurrent EPR generations the link sustains (None = unlimited)."""
+        if self.link_model is not None:
+            return self.link_model.capacity(node_a, node_b)
+        if node_a == node_b:
+            raise ValueError("EPR links connect distinct nodes")
+        return None
+
+    def link_p_epr(self, node_a: int, node_b: int) -> float:
+        """Per-attempt success probability of the link (1.0 = ideal)."""
+        if self.link_model is not None:
+            return self.link_model.p_epr(node_a, node_b)
+        if node_a == node_b:
+            raise ValueError("EPR links connect distinct nodes")
+        return 1.0
 
     # --------------------------------------------------------------- capacity
 

@@ -13,23 +13,37 @@ execution simulator ask about it:
 * which physical links are engaged while the pair is being distilled
   (``links`` — the simulator books contention on these, not on the
   end-to-end pair);
-* how far apart two nodes are (``hop_matrix`` — the OEE partitioner can
-  weight interaction-graph edges by it).
+* how far apart two nodes are (``hop_matrix`` / ``cost_matrix`` — the OEE
+  partitioner weights interaction-graph edges by the latter).
 
-Routes are deterministic: ties between equal-length shortest paths are
-broken lexicographically by node index, so every build of the same
-topology yields the same routing table.
+Routes are *latency-weighted* when the table is built with per-link weights
+(a heterogeneous :class:`~repro.hardware.links.LinkModel` supplies its link
+latencies): the route between two nodes minimises the sum of link weights,
+so traffic detours around slow fibres even when that costs extra hops.
+Without weights every link counts 1 and the table degenerates to hop-count
+shortest paths — byte-for-byte the same routes as before weights existed
+(the unit-weight property test asserts this on every supported topology).
+
+Routes are deterministic: ties between equal-cost shortest paths are
+broken by hop count (fewer physical EPR pairs) and then lexicographically
+by node sequence, so every build of the same topology yields the same
+routing table.  On unit weights cost *is* the hop count, so the tie-break
+degenerates to the pure lexicographic rule of the pre-weight code.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import networkx as nx
 
 __all__ = ["EPRRoute", "RoutingTable"]
+
+#: Edge weights accepted by :class:`RoutingTable`: normalised (low, high)
+#: link -> positive cost.
+LinkWeights = Mapping[Tuple[int, int], float]
 
 
 @dataclass(frozen=True)
@@ -85,7 +99,8 @@ class RoutingTable:
     the execution simulator share it through the network object.
     """
 
-    def __init__(self, graph: nx.Graph) -> None:
+    def __init__(self, graph: nx.Graph,
+                 weights: Optional[LinkWeights] = None) -> None:
         nodes = sorted(graph.nodes)
         if nodes != list(range(len(nodes))):
             raise ValueError("routing expects nodes labelled 0..k-1")
@@ -94,12 +109,28 @@ class RoutingTable:
         if len(nodes) > 1 and not nx.is_connected(graph):
             raise ValueError("topology graph must be connected")
         self.num_nodes = len(nodes)
+        self.weighted = weights is not None
+        if weights is not None:
+            weights = {((a, b) if a < b else (b, a)): float(w)
+                       for (a, b), w in weights.items()}
+            missing = [link for link in
+                       (tuple(sorted(edge)) for edge in graph.edges)
+                       if link not in weights]
+            if missing:
+                raise ValueError(f"missing routing weights for links "
+                                 f"{sorted(missing)}")
+            if any(not (w > 0) for w in weights.values()):  # NaN-safe
+                raise ValueError("routing weights must be positive")
+        self._weights = weights
         self._routes: Dict[Tuple[int, int], EPRRoute] = {}
+        self._costs: Dict[Tuple[int, int], float] = {}
         for source in nodes:
-            for path in _lexicographic_shortest_paths(graph, source):
+            for cost, path in _lexicographic_shortest_paths(graph, source,
+                                                            weights):
                 target = path[-1]
                 if source < target:
                     self._routes[(source, target)] = EPRRoute(path=tuple(path))
+                    self._costs[(source, target)] = cost
 
     # ------------------------------------------------------------------ lookup
 
@@ -119,6 +150,13 @@ class RoutingTable:
         """Physical links engaged while the end-to-end pair is generated."""
         return self.route(node_a, node_b).links
 
+    def route_cost(self, node_a: int, node_b: int) -> float:
+        """Weight sum of the chosen route (= hop count without weights)."""
+        if node_a == node_b:
+            raise ValueError("EPR routes connect distinct nodes")
+        return self._costs[(node_a, node_b) if node_a < node_b
+                           else (node_b, node_a)]
+
     # --------------------------------------------------------------- summaries
 
     @property
@@ -131,6 +169,21 @@ class RoutingTable:
         matrix = [[0] * self.num_nodes for _ in range(self.num_nodes)]
         for (a, b), route in self._routes.items():
             matrix[a][b] = matrix[b][a] = route.num_hops
+        return matrix
+
+    def cost_matrix(self) -> List[List[float]]:
+        """Dense node-by-node route-cost matrix (zeros on the diagonal).
+
+        Entries are the weight sums of the chosen routes — link-latency sums
+        when the table was built from a heterogeneous link model.  Without
+        weights every entry equals the hop count (same integers as
+        :meth:`hop_matrix`), which keeps consumers like the OEE partitioner
+        bit-identical to the pre-weight arithmetic on uniform links.
+        """
+        matrix: List[List[float]] = [
+            [0] * self.num_nodes for _ in range(self.num_nodes)]
+        for (a, b), cost in self._costs.items():
+            matrix[a][b] = matrix[b][a] = cost
         return matrix
 
     def max_hops(self) -> int:
@@ -147,27 +200,42 @@ class RoutingTable:
                 f"max_hops={self.max_hops()})")
 
 
-def _lexicographic_shortest_paths(graph: nx.Graph,
-                                  source: int) -> List[List[int]]:
-    """Shortest paths from ``source``, ties broken by smallest node sequence.
+def _lexicographic_shortest_paths(
+        graph: nx.Graph, source: int,
+        weights: Optional[LinkWeights] = None
+) -> List[Tuple[Union[int, float], List[int]]]:
+    """Cheapest paths from ``source``, ties broken by smallest node sequence.
 
-    A Dijkstra-style search over (distance, path) keys: among equal-length
-    paths the lexicographically smallest node sequence wins, making the
-    routing table independent of edge insertion order.
+    A Dijkstra-style search over (distance, hops, path) keys: among
+    equal-cost paths the one with fewer hops wins (fewer physical EPR
+    pairs consumed), then the lexicographically smallest node sequence,
+    making the routing table independent of edge insertion order.  Without
+    ``weights`` every link costs 1 — distance *is* the hop count, so the
+    middle key component is redundant and the selected routes are exactly
+    the pre-weight (distance, path) search's.  With weights a link costs
+    its weight and the search minimises the weight sum.
     """
-    best: Dict[int, Tuple[int, Tuple[int, ...]]] = {source: (0, (source,))}
-    heap: List[Tuple[int, Tuple[int, ...]]] = [(0, (source,))]
+    best: Dict[int, Tuple[Union[int, float], int, Tuple[int, ...]]] = {
+        source: (0, 0, (source,))}
+    heap: List[Tuple[Union[int, float], int, Tuple[int, ...]]] = [
+        (0, 0, (source,))]
     while heap:
-        dist, path = heapq.heappop(heap)
+        entry = heapq.heappop(heap)
+        dist, hops, path = entry
         node = path[-1]
-        if best.get(node) != (dist, path):
+        if best.get(node) != entry:
             continue
         for neighbour in graph.neighbors(node):
-            candidate = (dist + 1, path + (neighbour,))
+            if weights is None:
+                step = 1
+            else:
+                step = weights[(node, neighbour) if node < neighbour
+                               else (neighbour, node)]
+            candidate = (dist + step, hops + 1, path + (neighbour,))
             known = best.get(neighbour)
             if known is None or candidate < known:
                 best[neighbour] = candidate
                 heapq.heappush(heap, candidate)
-    return [list(path) for _, path in
-            sorted(best.values(), key=lambda entry: entry[1][-1])
+    return [(dist, list(path)) for dist, _, path in
+            sorted(best.values(), key=lambda entry: entry[2][-1])
             if len(path) > 1]

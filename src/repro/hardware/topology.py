@@ -7,14 +7,17 @@ entanglement swapping along the shortest path, which multiplies the
 preparation latency by (roughly) the hop count.
 
 :func:`apply_topology` configures a :class:`~repro.hardware.network.QuantumNetwork`
-for a chosen topology: it derives per-pair EPR latencies from the hop
-counts *and* attaches a :class:`~repro.hardware.routing.RoutingTable` so the
-whole pipeline becomes topology-aware — the OEE partitioner can weight
-interaction edges by hop distance, the cost pass reports physical EPR pairs
-(swaps included), and the execution simulator books the intermediate links
-of each route instead of an abstract end-to-end pair.  Logical
-communication counts (``total_comm``) are unaffected: one remote
-communication still consumes one end-to-end EPR pair.
+for a chosen topology: it attaches a per-link
+:class:`~repro.hardware.links.LinkModel`, builds a latency-weighted
+:class:`~repro.hardware.routing.RoutingTable` over it and derives each
+per-pair EPR latency from the links of the chosen route, so the whole
+pipeline becomes topology- and link-aware — the OEE partitioner weights
+interaction edges by routed link-latency sums, the cost pass reports
+physical EPR pairs (swaps included), and the execution simulator books the
+intermediate links of each route (against each link's own capacity) instead
+of an abstract end-to-end pair.  Logical communication counts
+(``total_comm``) are unaffected: one remote communication still consumes
+one end-to-end EPR pair.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
+from .links import LinkModel, link_model_from_profile
 from .network import QuantumNetwork
 from .routing import RoutingTable
 
@@ -97,28 +101,54 @@ def hop_counts(graph: nx.Graph) -> Dict[Tuple[int, int], int]:
 
 def apply_topology(network: QuantumNetwork, kind: str,
                    swap_overhead: float = 1.0,
-                   grid_columns: Optional[int] = None) -> QuantumNetwork:
-    """Configure ``network`` for a topology: latencies plus routing table.
+                   grid_columns: Optional[int] = None,
+                   link_model: Optional[LinkModel] = None,
+                   link_profile: Optional[str] = None) -> QuantumNetwork:
+    """Configure ``network`` for a topology: link model, routing, latencies.
 
-    The EPR preparation latency between two nodes becomes
-    ``t_epr * (1 + swap_overhead * (hops - 1))``: adjacent nodes keep the
-    base latency, and each additional entanglement-swapping hop adds
-    ``swap_overhead`` times the base latency.  The attached
-    :class:`~repro.hardware.routing.RoutingTable` makes the compiler passes
-    and the execution simulator route-aware (physical EPR-pair accounting,
-    per-link contention, hop-weighted partitioning).
+    Every physical link carries the parameters of the network's
+    :class:`~repro.hardware.links.LinkModel` (``link_model``, or the named
+    ``link_profile`` preset, or a uniform model at the latency model's
+    ``t_epr``).  The :class:`~repro.hardware.routing.RoutingTable` picks
+    latency-weighted shortest paths over those links (minimum total link
+    latency — latency-optimal at the default ``swap_overhead`` of 1.0, a
+    documented approximation otherwise; see
+    :meth:`~repro.hardware.links.LinkModel.routing_weights`), and each node
+    pair's EPR preparation latency becomes the route's link-latency
+    combination
+    (:func:`repro.hardware.links.combine_link_latencies`): the slowest link
+    of the route at full cost plus ``swap_overhead`` times every other
+    link's latency.  With uniform links this reduces to the legacy
+    ``t_epr * (1 + swap_overhead * (hops - 1))`` — bit-identically, so a
+    topology without heterogeneity compiles and simulates exactly as before
+    the link model existed.
+
+    The attached routing table and link model make the compiler passes and
+    the execution simulator link-aware: physical EPR-pair accounting,
+    per-link capacity contention and per-link stochastic generation,
+    latency-weighted partitioning.
 
     Returns the same network object (mutated) for chaining.
     """
     if swap_overhead < 0:
         raise ValueError("swap_overhead must be non-negative")
+    if link_model is not None and link_profile is not None:
+        raise ValueError("pass link_model or link_profile, not both")
     graph = topology_graph(kind, network.num_nodes, grid_columns=grid_columns)
-    routing = RoutingTable(graph)
     base = network.latency.t_epr
-    for (a, b), hops in hop_counts(graph).items():
-        latency = base * (1.0 + swap_overhead * (hops - 1))
-        network.set_epr_latency(a, b, latency)
+    if link_profile is not None:
+        link_model = link_model_from_profile(link_profile, graph, base)
+    if link_model is None:
+        link_model = LinkModel.uniform_model(base)
+    link_model.validate_for_graph(graph)
+    # routing_weights normalises each link's orientation itself.
+    routing = RoutingTable(graph,
+                           weights=link_model.routing_weights(graph.edges))
+    for route in routing.all_routes():
+        latency = link_model.route_latency(route.links, swap_overhead)
+        network.set_epr_latency(route.source, route.target, latency)
     network.routing = routing
+    network.link_model = link_model
     network.topology_kind = kind.lower()
     network.swap_overhead = swap_overhead
     return network

@@ -49,11 +49,12 @@ def cut_weight(graph: nx.Graph, assignment: Dict[int, int],
                ) -> float:
     """Total weight of edges whose endpoints live on different nodes.
 
-    With ``node_distances`` (a dense node-by-node hop matrix, e.g.
-    ``RoutingTable.hop_matrix()``) every cut edge is scaled by the hop
-    distance between its endpoints' nodes, so the objective counts the
-    physical EPR pairs a static mapping would consume on a routed topology
-    rather than the bare remote-gate count.
+    With ``node_distances`` (a dense node-by-node distance matrix, e.g.
+    ``RoutingTable.cost_matrix()`` — link-latency route sums on a
+    heterogeneous link model, hop counts otherwise) every cut edge is
+    scaled by the routed distance between its endpoints' nodes, so the
+    objective prices the physical links a static mapping would consume on a
+    routed topology rather than the bare remote-gate count.
     """
     total = 0.0
     if node_distances is None:

@@ -48,8 +48,9 @@ def exchange_gain(weights: Dict[int, Dict[int, float]], assignment: Dict[int, in
     """Cut-weight reduction from swapping the nodes of ``qubit_a`` and ``qubit_b``.
 
     Positive gain means the swap reduces the number of remote gates — or,
-    with ``node_distances`` (hop counts of a routed topology), the number
-    of physical EPR pairs those remote gates would consume.  The edge
+    with ``node_distances`` (route costs of a routed topology: link-latency
+    sums, or hop counts on uniform links), the routed cost those remote
+    gates would incur.  The edge
     between the two exchanged qubits never contributes: its endpoints swap
     nodes, so its (symmetric) distance is unchanged.
     """
@@ -97,22 +98,28 @@ def _neighbour_weights(graph: nx.Graph) -> Dict[int, Dict[int, float]]:
 def _topology_distances(network: QuantumNetwork,
                         use_link_distances: Optional[bool]
                         ) -> Optional[List[List[float]]]:
-    """Resolve the hop matrix the partitioner should weight cuts by.
+    """Resolve the distance matrix the partitioner should weight cuts by.
+
+    The distances are the routing table's route costs — link-latency sums
+    when the network carries a heterogeneous link model, plain hop counts
+    (identical integers to before link weights existed) otherwise.
 
     ``None`` (auto) engages distance weighting only when the network
-    carries a routing table with non-uniform hop counts; an all-to-all
-    table (all hops 1) takes the unweighted path, whose arithmetic — and
-    therefore whose mapping — is bit-identical to the pre-routing code.
+    carries a routing table with non-uniform hop counts or weighted (link-
+    latency) routes; an unweighted all-to-all table (all hops 1) takes the
+    unweighted path, whose arithmetic — and therefore whose mapping — is
+    bit-identical to the pre-routing code.
     """
     routing = getattr(network, "routing", None)
     if use_link_distances is None:
-        use_link_distances = routing is not None and not routing.uniform
+        use_link_distances = routing is not None and (
+            not routing.uniform or routing.weighted)
     if not use_link_distances:
         return None
     if routing is None:
         raise ValueError("use_link_distances requires a routed network "
                          "(see repro.hardware.apply_topology)")
-    return routing.hop_matrix()
+    return routing.cost_matrix()
 
 
 def oee_partition(circuit: Circuit, network: QuantumNetwork,
@@ -130,11 +137,13 @@ def oee_partition(circuit: Circuit, network: QuantumNetwork,
         initial: optional starting mapping; defaults to the balanced block
             mapping.
         max_rounds: safety bound on improvement passes.
-        use_link_distances: weight each cut edge by the hop distance between
-            its endpoints' nodes, so the objective counts physical EPR pairs
-            on a routed topology instead of remote gates.  Default ``None``
-            auto-enables this exactly when the network carries non-uniform
-            entanglement routes.
+        use_link_distances: weight each cut edge by the routed distance
+            between its endpoints' nodes — the route's link-latency sum on a
+            heterogeneous link model, the hop count otherwise — so the
+            objective prices the physical links a static mapping would
+            actually cross instead of the bare remote-gate count.  Default
+            ``None`` auto-enables this exactly when the network carries
+            non-uniform or latency-weighted entanglement routes.
 
     Returns:
         An :class:`OEEResult` whose ``mapping`` minimises (locally) the number

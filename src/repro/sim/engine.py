@@ -62,9 +62,20 @@ class SimulationConfig:
     seed: Optional[int] = None
     #: Monte-Carlo trials for :func:`run_monte_carlo`.
     trials: int = 1
-    #: Concurrent EPR generations allowed per link (None = unlimited, the
-    #: analytical model's assumption; node comm qubits still constrain).
+    #: Uniform fallback for concurrent EPR generations per link (None =
+    #: unlimited, the analytical model's assumption; node comm qubits still
+    #: constrain).  Semantically a default-only link capacity: a link whose
+    #: :class:`~repro.hardware.links.LinkModel` spec carries its own
+    #: capacity uses that (see ``ExecutionEngine._effective_capacity``),
+    #: and combining this knob with a capacity-bearing link model is
+    #: rejected as ambiguous.
     link_capacity: Optional[int] = None
+    #: Ignore link capacities and per-link success probabilities (per-link
+    #: *latencies* are kept — the analytical model includes them).  This is
+    #: the analytical scheduler's idealisation; the schedule validator turns
+    #: it on so deterministic replay checks the latency model and nothing
+    #: else.
+    ideal_links: bool = False
     #: Record the fine-grained event trace (disable for large sweeps).
     record_trace: bool = True
     #: Pre-sample EPR attempt counts in vectorised batches (bitwise-identical
@@ -170,18 +181,48 @@ class ExecutionEngine:
         #: Trial-invariant (kind, duration, nodes, item-count) per plan unit,
         #: cached on the plan and therefore shared across Monte-Carlo trials.
         self._profiles = plan.op_profiles(mapping, network.latency)
+        link_model = network.link_model
+        if (self.config.link_capacity is not None and link_model is not None
+                and link_model.has_capacities):
+            raise ValueError(
+                "ambiguous link capacities: the network's link model "
+                "already defines per-link capacities; drop the global "
+                "link_capacity (--link-capacity) or the capacities in the "
+                "link spec")
+        #: Whether any link bounds concurrent EPR generations this run.
+        self._capacity_constrained = not self.config.ideal_links and (
+            self.config.link_capacity is not None
+            or (link_model is not None and link_model.has_capacities))
+        per_link = network.heterogeneous_links and not self.config.ideal_links
+        #: Memoised physical-link expansion per op pair-list (plan units
+        #: repeat pair lists across Monte-Carlo events).
+        self._route_cache: Dict[Tuple[Tuple[int, int], ...],
+                                Tuple[Tuple[Tuple[Tuple[int, int], int], ...],
+                                      int]] = {}
         self.epr = EPRProcess(network, p_success=self.config.p_epr,
-                              retry_latency=self.config.retry_latency)
+                              retry_latency=self.config.retry_latency,
+                              per_link=per_link)
         # Batched pre-sampling serves the draws from a numpy clone of the
         # generator without advancing the Python object, so it is only
         # enabled for the engine's own private generator — a caller-supplied
         # rng must observe the usual stream consumption.  It also pays a
         # fixed setup cost (~tens of us), so below a few hundred expected
-        # draws the C-backed rejection loop is kept instead.
+        # draws the C-backed rejection loop is kept instead.  A link model
+        # with its own success probabilities mixes per-link draw
+        # probabilities, which the fixed-p batched stream cannot serve, so
+        # batching stays off there.
+        links_deterministic = link_model is None or link_model.deterministic
         if (self.config.batch_epr and self.config.p_epr < 1.0
-                and engine_owns_rng):
-            pair_draws = sum(len(profile.prep_pairs)
-                             for profile in self._profiles)
+                and engine_owns_rng
+                and (not per_link or links_deterministic)):
+            if per_link:
+                # One attempt process per physical link of every route.
+                pair_draws = sum(
+                    self._physical_links(profile.prep_pairs)[1]
+                    for profile in self._profiles if profile.prep_pairs)
+            else:
+                pair_draws = sum(len(profile.prep_pairs)
+                                 for profile in self._profiles)
             expected_draws = int(pair_draws / self.config.p_epr)
             if expected_draws >= 512:
                 self.epr.use_batched_sampling(self.rng,
@@ -190,10 +231,6 @@ class ExecutionEngine:
         self.resources = CommResourceTracker(network)
         self.trace = TraceRecorder(enabled=self.config.record_trace)
         self._links: Dict[Tuple[int, int], SlotSchedule] = {}
-        #: Memoised physical-link expansion per op pair-list (plan units
-        #: repeat pair lists across Monte-Carlo events).
-        self._route_cache: Dict[Tuple[Tuple[int, int], ...],
-                                Tuple[Tuple[Tuple[int, int], ...], int]] = {}
 
     # ------------------------------------------------------------- event loop
 
@@ -260,14 +297,17 @@ class ExecutionEngine:
         # which would sample (and book) links the itinerary never uses.
         sample = self.epr.sample_pairs(self.rng, profile.prep_pairs)
         links, num_physical = self._physical_links(profile.prep_pairs)
-        capacity = self.config.link_capacity
         # When one physical link must host more concurrent generations than
         # it has capacity slots (a fused chain whose routed hops revisit a
         # link), the excess generations serialise into batches, stretching
-        # the preparation window accordingly.
+        # the preparation window accordingly.  Each link batches against its
+        # *own* capacity (link-model spec, or the uniform fallback).
         batches = 1
-        if capacity is not None and links:
-            batches = max(-(-count // capacity) for _, count in links)
+        if self._capacity_constrained and links:
+            for (a, b), count in links:
+                capacity = self._effective_capacity(a, b)
+                if capacity is not None:
+                    batches = max(batches, -(-count // capacity))
         prep = sample.duration * batches
         total = prep + duration
 
@@ -284,10 +324,12 @@ class ExecutionEngine:
             self.resources.reserve(node, prep_start, end, label=label)
         for (a, b), count in links:
             self.trace.record_link(a, b, prep_start, start)
-            if capacity is not None:
-                schedule = self._link_schedule(a, b)
-                for _ in range(min(count, capacity)):
-                    schedule.book(prep_start, start)
+            if self._capacity_constrained:
+                capacity = self._effective_capacity(a, b)
+                if capacity is not None:
+                    schedule = self._link_schedule(a, b, capacity)
+                    for _ in range(min(count, capacity)):
+                        schedule.book(prep_start, start)
 
         self._record_comm_trace(index, item, kind, nodes, prep_start, start,
                                 end, sample.attempts)
@@ -316,29 +358,46 @@ class ExecutionEngine:
             self._route_cache[prep_pairs] = cached
         return cached
 
+    def _effective_capacity(self, node_a: int, node_b: int) -> Optional[int]:
+        """Concurrent-generation bound of one link for this run.
+
+        The link model's own capacity wins; links it leaves unbounded fall
+        back to the uniform ``link_capacity`` knob (the deprecated global
+        flag, mapped onto a default for every link).  ``None`` = unlimited.
+        """
+        if self.config.ideal_links:
+            return None
+        capacity = self.network.link_capacity(node_a, node_b)
+        if capacity is not None:
+            return capacity
+        return self.config.link_capacity
+
     def _find_window(self, nodes: Sequence[int],
                      links: Sequence[Tuple[Tuple[int, int], int]],
                      total: float, prep: float, not_before: float) -> float:
-        """Earliest start honouring node comm qubits and link capacity."""
+        """Earliest start honouring node comm qubits and link capacities."""
         time = not_before
         for _ in range(1000):
             proposal, _ = self.resources.earliest_joint(list(nodes), total,
                                                         not_before=time)
-            if self.config.link_capacity is not None and prep > 0:
+            if self._capacity_constrained and prep > 0:
                 for (a, b), count in links:
-                    start = self._link_schedule(a, b).earliest_multi(
-                        prep, min(count, self.config.link_capacity),
-                        not_before=proposal)
+                    capacity = self._effective_capacity(a, b)
+                    if capacity is None:
+                        continue
+                    start = self._link_schedule(a, b, capacity).earliest_multi(
+                        prep, min(count, capacity), not_before=proposal)
                     proposal = max(proposal, start)
             if proposal == time:
                 return time
             time = proposal
         raise RuntimeError("resource search did not converge")  # pragma: no cover
 
-    def _link_schedule(self, node_a: int, node_b: int) -> SlotSchedule:
+    def _link_schedule(self, node_a: int, node_b: int,
+                       capacity: int) -> SlotSchedule:
         key = (node_a, node_b) if node_a < node_b else (node_b, node_a)
         if key not in self._links:
-            self._links[key] = SlotSchedule(self.config.link_capacity)
+            self._links[key] = SlotSchedule(capacity)
         return self._links[key]
 
     # ---------------------------------------------------------------- tracing

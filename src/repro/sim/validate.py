@@ -1,8 +1,11 @@
 """Cross-validation of analytical schedules against deterministic execution.
 
 :func:`validate_schedule` replays a compiled program's schedule through the
-discrete-event engine with ``p_epr = 1.0`` and compares the resulting timing
-against the analytical :class:`~repro.core.scheduling.ScheduleResult`:
+discrete-event engine with ``p_epr = 1.0`` and *ideal links* (link
+capacities and per-link success probabilities ignored, per-link latencies
+kept — exactly the analytical scheduler's assumptions) and compares the
+resulting timing against the analytical
+:class:`~repro.core.scheduling.ScheduleResult`:
 the program latency, the per-op completion times and the number of covered
 assignment items must all agree.  Any disagreement means the analytical
 latency model and the executable semantics have drifted apart — the class of
@@ -66,7 +69,8 @@ def validate_schedule(program: CompiledProgram, tolerance: float = 1e-6,
     if program.schedule is None:
         raise ValueError(f"program {program.name!r} has no schedule to validate")
     if result is None:
-        result = simulate_program(program, SimulationConfig(p_epr=1.0))
+        result = simulate_program(program, SimulationConfig(p_epr=1.0,
+                                                            ideal_links=True))
 
     analytical_ends: Dict[int, float] = {op.index: op.end
                                          for op in program.schedule.ops}

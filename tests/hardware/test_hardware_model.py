@@ -86,6 +86,36 @@ class TestQuantumNetwork:
         with pytest.raises(ValueError):
             network.set_epr_latency(0, 0, 5.0)
 
+    def test_nonpositive_epr_latency_rejected(self):
+        network = uniform_network(2, 2)
+        for latency in (0.0, -1.0, float("nan")):
+            with pytest.raises(ValueError):
+                network.set_epr_latency(0, 1, latency)
+
+    def test_apply_topology_clobbers_manual_overrides(self):
+        # Documented behaviour: apply_topology derives a latency for every
+        # pair, replacing earlier manual overrides — set overrides after
+        # applying the topology (or use a LinkModel).
+        from repro.hardware import apply_topology
+        network = uniform_network(3, 2)
+        network.set_epr_latency(0, 1, 99.0)
+        apply_topology(network, "line")
+        assert network.epr_latency(0, 1) == DEFAULT_LATENCY.t_epr
+        network.set_epr_latency(0, 1, 99.0)
+        assert network.epr_latency(0, 1) == 99.0
+
+    def test_link_helpers_without_model(self):
+        network = uniform_network(3, 2)
+        assert network.link_model is None
+        assert not network.heterogeneous_links
+        assert network.link_latency(0, 1) == DEFAULT_LATENCY.t_epr
+        assert network.link_capacity(0, 1) is None
+        assert network.link_p_epr(0, 1) == 1.0
+        for helper in (network.link_latency, network.link_capacity,
+                       network.link_p_epr):
+            with pytest.raises(ValueError):
+                helper(1, 1)
+
     def test_node_pairs(self):
         network = uniform_network(3, 2)
         assert network.node_pairs() == [(0, 1), (0, 2), (1, 2)]

@@ -1,0 +1,266 @@
+"""Unit tests for the heterogeneous link model (LinkSpec / LinkModel)."""
+
+import json
+
+import pytest
+
+from repro.hardware import (
+    LINK_PROFILES,
+    LinkModel,
+    LinkSpec,
+    combine_link_latencies,
+    link_model_from_profile,
+    load_link_spec,
+    topology_graph,
+)
+
+
+class TestLinkSpec:
+    def test_defaults(self):
+        spec = LinkSpec(t_epr=12.0)
+        assert spec.capacity is None
+        assert spec.p_epr == 1.0
+
+    def test_nonpositive_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LinkSpec(t_epr=0.0)
+        with pytest.raises(ValueError):
+            LinkSpec(t_epr=-3.0)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LinkSpec(t_epr=12.0, capacity=0)
+
+    def test_nan_fields_rejected(self):
+        # json.loads accepts the NaN literal, so spec parsing must not.
+        nan = float("nan")
+        with pytest.raises(ValueError):
+            LinkSpec(t_epr=nan)
+        with pytest.raises(ValueError):
+            LinkSpec(t_epr=12.0, capacity=nan)
+        with pytest.raises(ValueError):
+            LinkSpec(t_epr=12.0, p_epr=nan)
+
+    def test_bad_p_epr_rejected(self):
+        with pytest.raises(ValueError):
+            LinkSpec(t_epr=12.0, p_epr=0.0)
+        with pytest.raises(ValueError):
+            LinkSpec(t_epr=12.0, p_epr=1.5)
+
+    def test_merged_overrides_selected_fields(self):
+        spec = LinkSpec(t_epr=12.0, capacity=2)
+        merged = spec.merged(t_epr=24.0)
+        assert merged.t_epr == 24.0
+        assert merged.capacity == 2
+
+
+class TestLinkModel:
+    def test_uniform_model_properties(self):
+        model = LinkModel.uniform_model(12.0)
+        assert model.uniform
+        assert model.uniform_latency
+        assert model.deterministic
+        assert not model.has_capacities
+        assert model.t_epr(3, 7) == 12.0
+        assert model.capacity(3, 7) is None
+        assert model.p_epr(3, 7) == 1.0
+
+    def test_uniform_capacity_model_is_not_uniform(self):
+        model = LinkModel.uniform_model(12.0, capacity=2)
+        assert model.has_capacities
+        assert not model.uniform
+        assert model.uniform_latency
+
+    def test_overrides_normalised_and_queried_both_ways(self):
+        model = LinkModel(LinkSpec(12.0), {(2, 1): LinkSpec(36.0)})
+        assert model.t_epr(1, 2) == 36.0
+        assert model.t_epr(2, 1) == 36.0
+        assert model.t_epr(0, 1) == 12.0
+        assert (1, 2) in model.overrides
+
+    def test_duplicate_override_rejected(self):
+        with pytest.raises(ValueError):
+            LinkModel(LinkSpec(12.0), dict([((0, 1), LinkSpec(1.0))])
+                      | {(1, 0): LinkSpec(2.0)})
+
+    def test_self_loop_override_rejected(self):
+        with pytest.raises(ValueError):
+            LinkModel(LinkSpec(12.0), {(1, 1): LinkSpec(1.0)})
+
+    def test_heterogeneous_properties(self):
+        model = LinkModel(LinkSpec(12.0),
+                          {(0, 1): LinkSpec(12.0, p_epr=0.5)})
+        assert model.uniform_latency
+        assert not model.deterministic
+        assert not model.uniform
+
+    def test_routing_weights_none_when_uniform_latency(self):
+        model = LinkModel(LinkSpec(12.0),
+                          {(0, 1): LinkSpec(12.0, capacity=1)})
+        assert model.routing_weights([(0, 1), (1, 2)]) is None
+
+    def test_routing_weights_cover_requested_links(self):
+        model = LinkModel(LinkSpec(12.0), {(0, 1): LinkSpec(30.0)})
+        weights = model.routing_weights([(1, 0), (1, 2)])
+        assert weights == {(0, 1): 30.0, (1, 2): 12.0}
+
+    def test_validate_for_graph(self):
+        graph = topology_graph("line", 4)
+        LinkModel(LinkSpec(12.0),
+                  {(1, 2): LinkSpec(24.0)}).validate_for_graph(graph)
+        with pytest.raises(ValueError):
+            LinkModel(LinkSpec(12.0),
+                      {(0, 3): LinkSpec(24.0)}).validate_for_graph(graph)
+
+    def test_as_dict_round_trips_through_from_spec(self):
+        model = LinkModel(LinkSpec(12.0, capacity=2, p_epr=0.9),
+                          {(0, 1): LinkSpec(24.0, capacity=1, p_epr=0.5)})
+        rebuilt = LinkModel.from_spec(model.as_dict(), base_t_epr=99.0)
+        assert rebuilt.default == model.default
+        assert rebuilt.overrides == model.overrides
+
+
+class TestCombineLinkLatencies:
+    def test_single_link_is_its_latency(self):
+        assert combine_link_latencies([12.0], 1.0) == 12.0
+        assert combine_link_latencies([12.0], 0.0) == 12.0
+
+    def test_uniform_links_match_legacy_formula(self):
+        for hops in (1, 2, 3, 5):
+            for overhead in (0.0, 0.3, 1.0, 2.5):
+                legacy = 12.0 * (1.0 + overhead * (hops - 1))
+                assert combine_link_latencies([12.0] * hops,
+                                              overhead) == legacy
+
+    def test_default_overhead_is_link_latency_sum(self):
+        assert combine_link_latencies([12.0, 36.0, 12.0], 1.0) == 60.0
+
+    def test_slowest_link_charged_in_full(self):
+        # overhead 0: only the slowest link's generation matters.
+        assert combine_link_latencies([12.0, 36.0, 12.0], 0.0) == 36.0
+
+    def test_empty_route_rejected(self):
+        with pytest.raises(ValueError):
+            combine_link_latencies([], 1.0)
+
+
+class TestRouteLatency:
+    def test_uses_per_link_latencies(self):
+        model = LinkModel(LinkSpec(12.0), {(1, 2): LinkSpec(36.0)})
+        assert model.route_latency([(0, 1), (1, 2)], 1.0) == 48.0
+        assert model.route_latency([(0, 1), (1, 2)], 0.5) == 42.0
+
+
+class TestSpecParsing:
+    def test_minimal_spec(self):
+        model = LinkModel.from_spec({}, base_t_epr=12.0)
+        assert model.uniform
+        assert model.default.t_epr == 12.0
+
+    def test_default_and_links(self):
+        model = LinkModel.from_spec(
+            {"default": {"t_epr": 10.0, "capacity": 2},
+             "links": {"0-1": {"t_epr": 30.0},
+                       "1-2": {"p_epr": 0.5}}},
+            base_t_epr=12.0)
+        assert model.default == LinkSpec(10.0, capacity=2)
+        # Unlisted fields of a link inherit the default spec.
+        assert model.spec(0, 1) == LinkSpec(30.0, capacity=2)
+        assert model.spec(1, 2) == LinkSpec(10.0, capacity=2, p_epr=0.5)
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown link-spec keys"):
+            LinkModel.from_spec({"edges": {}}, base_t_epr=12.0)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown fields"):
+            LinkModel.from_spec({"links": {"0-1": {"latency": 3}}},
+                                base_t_epr=12.0)
+
+    def test_bad_link_name_rejected(self):
+        for name in ("01", "0-1-2", "a-b", "0"):
+            with pytest.raises(ValueError):
+                LinkModel.from_spec({"links": {name: {"t_epr": 3}}},
+                                    base_t_epr=12.0)
+
+    def test_comma_separated_link_name(self):
+        model = LinkModel.from_spec({"links": {"3,1": {"t_epr": 5.0}}},
+                                    base_t_epr=12.0)
+        assert model.t_epr(1, 3) == 5.0
+
+    def test_load_link_spec_file(self, tmp_path):
+        path = tmp_path / "links.json"
+        path.write_text(json.dumps(
+            {"default": {"capacity": 3}, "links": {"0-2": {"t_epr": 7.5}}}))
+        model = load_link_spec(path, base_t_epr=12.0)
+        assert model.default == LinkSpec(12.0, capacity=3)
+        assert model.t_epr(0, 2) == 7.5
+
+    def test_load_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "links.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_link_spec(path, base_t_epr=12.0)
+
+    def test_load_non_object_rejected(self, tmp_path):
+        path = tmp_path / "links.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_link_spec(path, base_t_epr=12.0)
+
+
+class TestProfiles:
+    def test_registry(self):
+        assert set(LINK_PROFILES) == {"distance_scaled", "noisy_spine"}
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown link profile"):
+            link_model_from_profile("fast_everything",
+                                    topology_graph("line", 3), 12.0)
+
+    def test_distance_scaled_on_ring(self):
+        graph = topology_graph("ring", 5)
+        model = link_model_from_profile("distance_scaled", graph, 12.0)
+        # Adjacent-index links keep the base latency...
+        assert model.t_epr(0, 1) == 12.0
+        # ... the wrap-around link models the long fibre closing the loop.
+        assert model.t_epr(0, 4) == 12.0 * 4
+        assert not model.uniform_latency
+
+    def test_distance_scaled_scale_parameter(self):
+        graph = topology_graph("ring", 4)
+        model = link_model_from_profile("distance_scaled", graph, 12.0,
+                                        scale=0.5)
+        assert model.t_epr(0, 3) == 12.0 * (1.0 + 0.5 * 2)
+
+    def test_distance_scaled_degenerates_on_line(self):
+        model = link_model_from_profile("distance_scaled",
+                                        topology_graph("line", 5), 12.0)
+        assert model.uniform_latency
+        assert model.uniform
+
+    def test_distance_scaled_overrides_only_distant_links(self):
+        # Adjacent-index links equal the default and must not be stored as
+        # overrides (len(overrides) is reported as the heterogeneity count).
+        model = link_model_from_profile("distance_scaled",
+                                        topology_graph("ring", 6), 12.0)
+        assert set(model.overrides) == {(0, 5)}
+
+    def test_noisy_spine_degrades_hub_links(self):
+        graph = topology_graph("star", 4)
+        model = link_model_from_profile("noisy_spine", graph, 12.0,
+                                        factor=3.0, p_epr=0.5)
+        for leaf in (1, 2, 3):
+            assert model.t_epr(0, leaf) == 36.0
+            assert model.p_epr(0, leaf) == 0.5
+        assert not model.deterministic
+
+    def test_noisy_spine_picks_max_degree_node(self):
+        # On a 5-node line the centre (node 2, degree 2, lowest index among
+        # the degree-2 nodes is 1) — spine is node 1: links (0,1) and (1,2).
+        graph = topology_graph("line", 5)
+        model = link_model_from_profile("noisy_spine", graph, 12.0)
+        assert model.t_epr(0, 1) == 24.0
+        assert model.t_epr(1, 2) == 24.0
+        assert model.t_epr(2, 3) == 12.0
+        assert model.t_epr(3, 4) == 12.0

@@ -121,6 +121,79 @@ class TestRoutingTable:
         assert paths_f == paths_b
 
 
+class TestWeightedRouting:
+    @staticmethod
+    def _unit_weights(graph):
+        return {tuple(sorted(edge)): 1 for edge in graph.edges}
+
+    def test_unit_weights_reproduce_hop_routing(self):
+        for kind in ("line", "ring", "star", "grid", "all-to-all"):
+            graph = topology_graph(kind, 7)
+            plain = RoutingTable(graph)
+            weighted = RoutingTable(graph, weights=self._unit_weights(graph))
+            assert ([r.path for r in weighted.all_routes()]
+                    == [r.path for r in plain.all_routes()]), kind
+            assert weighted.cost_matrix() == plain.hop_matrix()
+
+    def test_routes_detour_around_slow_link(self):
+        # 4-cycle with one very slow link: the 0-1 pair routes the long way.
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (1, 2), (2, 3), (3, 0)])
+        table = RoutingTable(graph, weights={(0, 1): 100.0, (1, 2): 1.0,
+                                             (2, 3): 1.0, (0, 3): 1.0})
+        assert table.route(0, 1).path == (0, 3, 2, 1)
+        assert table.route_cost(0, 1) == 3.0
+
+    def test_equal_cost_tie_prefers_fewer_hops(self):
+        # distance_scaled-style weights: the direct 0-3 link costs exactly
+        # what the 0-1-2-3 chain sums to.  The direct route must win —
+        # fewer hops means fewer physical EPR pairs — even though the
+        # chain's node sequence is lexicographically smaller.
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (1, 2), (2, 3), (0, 3)])
+        table = RoutingTable(graph, weights={(0, 1): 1.0, (1, 2): 1.0,
+                                             (2, 3): 1.0, (0, 3): 3.0})
+        assert table.route(0, 3).path == (0, 3)
+        assert table.route_cost(0, 3) == 3.0
+
+    def test_weighted_ties_break_lexicographically(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (1, 2), (2, 3), (3, 0)])
+        weights = {(0, 1): 2.0, (1, 2): 2.0, (2, 3): 2.0, (0, 3): 2.0}
+        for _ in range(3):
+            table = RoutingTable(graph, weights=weights)
+            assert table.route(0, 2).path == (0, 1, 2)
+            assert table.route(1, 3).path == (1, 0, 3)
+
+    def test_route_cost_is_weight_sum(self):
+        graph = topology_graph("line", 4)
+        weights = {(0, 1): 1.5, (1, 2): 2.5, (2, 3): 4.0}
+        table = RoutingTable(graph, weights=weights)
+        assert table.route_cost(0, 3) == 8.0
+        assert table.route_cost(3, 0) == 8.0
+        assert table.cost_matrix()[0][2] == 4.0
+
+    def test_unweighted_route_cost_equals_hops(self):
+        table = RoutingTable(topology_graph("line", 4))
+        assert table.route_cost(0, 3) == 3
+        assert not table.weighted
+
+    def test_missing_weight_rejected(self):
+        graph = topology_graph("line", 3)
+        with pytest.raises(ValueError, match="missing routing weights"):
+            RoutingTable(graph, weights={(0, 1): 1.0})
+
+    def test_nonpositive_weight_rejected(self):
+        graph = topology_graph("line", 3)
+        with pytest.raises(ValueError, match="positive"):
+            RoutingTable(graph, weights={(0, 1): 1.0, (1, 2): 0.0})
+
+    def test_reversed_orientation_weights_accepted(self):
+        graph = topology_graph("line", 3)
+        table = RoutingTable(graph, weights={(1, 0): 3.0, (2, 1): 4.0})
+        assert table.route_cost(0, 2) == 7.0
+
+
 class TestNetworkRouting:
     def test_unrouted_network_defaults(self):
         network = uniform_network(4, 2)

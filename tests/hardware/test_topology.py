@@ -7,6 +7,8 @@ from repro import compile_autocomm
 from repro.circuits import qft_circuit
 from repro.hardware import (
     DEFAULT_LATENCY,
+    LinkModel,
+    LinkSpec,
     SUPPORTED_TOPOLOGIES,
     apply_topology,
     hop_counts,
@@ -140,6 +142,73 @@ class TestApplyTopology:
         # Same communication count, higher latency under the constrained topology.
         assert constrained.metrics.total_comm == base.metrics.total_comm
         assert constrained.metrics.latency >= base.metrics.latency
+
+
+class TestApplyTopologyLinkModel:
+    def test_uniform_model_attached_by_default(self):
+        network = apply_topology(uniform_network(4, 3), "line")
+        assert network.link_model is not None
+        assert network.link_model.uniform
+        assert not network.heterogeneous_links
+        assert not network.routing.weighted
+
+    def test_heterogeneous_latency_derives_route_combination(self):
+        model = LinkModel(LinkSpec(12.0), {(1, 2): LinkSpec(36.0)})
+        network = apply_topology(uniform_network(4, 3), "line",
+                                 link_model=model)
+        assert network.heterogeneous_links
+        assert network.routing.weighted
+        # Route 0-1-2-3 at swap_overhead 1.0: 12 + 36 + 12.
+        assert network.epr_latency(0, 3) == 60.0
+        assert network.epr_latency(0, 1) == 12.0
+        assert network.link_latency(1, 2) == 36.0
+
+    def test_swap_overhead_charges_off_peak_links(self):
+        model = LinkModel(LinkSpec(12.0), {(1, 2): LinkSpec(36.0)})
+        network = apply_topology(uniform_network(4, 3), "line",
+                                 swap_overhead=0.5, link_model=model)
+        # Slowest link in full, the two base links at half cost.
+        assert network.epr_latency(0, 3) == 36.0 + 0.5 * 24.0
+
+    def test_weighted_routing_detours_and_reprices(self):
+        # All-to-all with one very slow direct link: the pair routes around
+        # it through an intermediate node, and the derived latency follows
+        # the chosen route.
+        model = LinkModel(LinkSpec(12.0), {(0, 1): LinkSpec(100.0)})
+        network = apply_topology(uniform_network(3, 3), "all-to-all",
+                                 link_model=model)
+        assert network.epr_route(0, 1).path == (0, 2, 1)
+        assert network.epr_hops(0, 1) == 2
+        assert network.epr_latency(0, 1) == 24.0
+
+    def test_link_profile_argument(self):
+        network = apply_topology(uniform_network(5, 2), "star",
+                                 link_profile="noisy_spine")
+        assert network.heterogeneous_links
+        assert network.link_latency(0, 1) == 2.0 * DEFAULT_LATENCY.t_epr
+
+    def test_model_and_profile_together_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            apply_topology(uniform_network(3, 2), "line",
+                           link_model=LinkModel(LinkSpec(12.0)),
+                           link_profile="noisy_spine")
+
+    def test_override_outside_topology_rejected(self):
+        model = LinkModel(LinkSpec(12.0), {(0, 3): LinkSpec(24.0)})
+        with pytest.raises(ValueError, match="not a link"):
+            apply_topology(uniform_network(4, 2), "line", link_model=model)
+
+    def test_uniform_model_latencies_bit_identical_to_plain(self):
+        for kind in SUPPORTED_TOPOLOGIES:
+            plain = apply_topology(uniform_network(6, 2), kind,
+                                   swap_overhead=0.3)
+            explicit = apply_topology(
+                uniform_network(6, 2), kind, swap_overhead=0.3,
+                link_model=LinkModel.uniform_model(DEFAULT_LATENCY.t_epr))
+            for a, b in plain.node_pairs():
+                assert plain.epr_latency(a, b) == explicit.epr_latency(a, b)
+            assert ([r.path for r in plain.routing.all_routes()]
+                    == [r.path for r in explicit.routing.all_routes()])
 
 
 class TestGridColumnsScope:

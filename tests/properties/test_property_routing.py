@@ -7,6 +7,8 @@ from repro.circuits import random_circuit
 from repro.comm import block_epr_pairs
 from repro.core import aggregate_communications, assign_communications
 from repro.hardware import (
+    LinkModel,
+    LinkSpec,
     RoutingTable,
     SUPPORTED_TOPOLOGIES,
     apply_topology,
@@ -42,6 +44,43 @@ class TestRoutingProperties:
             assert all(graph.has_edge(a, b) for a, b in route.links)
             # ... of minimum length.
             assert route.num_hops == counts[(route.source, route.target)]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.sampled_from(SUPPORTED_TOPOLOGIES), st.integers(2, 10))
+    def test_weighted_routing_with_unit_weights_equals_hop_routing(
+            self, kind, num_nodes):
+        """A weighted table with unit weights IS the hop table, byte for byte."""
+        graph = topology_graph(kind, num_nodes)
+        plain = RoutingTable(graph)
+        unit = {tuple(sorted(edge)): 1 for edge in graph.edges}
+        weighted = RoutingTable(graph, weights=unit)
+        assert ([r.path for r in weighted.all_routes()]
+                == [r.path for r in plain.all_routes()])
+        assert weighted.cost_matrix() == plain.hop_matrix()
+        assert weighted.max_hops() == plain.max_hops()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from(SUPPORTED_TOPOLOGIES), st.integers(2, 8),
+           st.floats(1.25, 4.0))
+    def test_weighted_routes_never_cost_more_than_hop_routes(
+            self, kind, num_nodes, factor):
+        """Latency-weighted routing only ever improves the route cost."""
+        graph = topology_graph(kind, num_nodes)
+        base = 12.0
+        overrides = {tuple(sorted(edge)): LinkSpec(base * factor)
+                     for i, edge in enumerate(sorted(graph.edges))
+                     if i % 2 == 0}
+        model = LinkModel(LinkSpec(base), overrides)
+        weights = model.routing_weights(
+            [tuple(sorted(edge)) for edge in graph.edges])
+        if weights is None:  # degenerate: every link got the override
+            return
+        weighted = RoutingTable(graph, weights=weights)
+        plain = RoutingTable(graph)
+        for route in plain.all_routes():
+            hop_cost = sum(weights[link] for link in route.links)
+            assert (weighted.route_cost(route.source, route.target)
+                    <= hop_cost + 1e-9)
 
     @settings(max_examples=40, deadline=None)
     @given(st.sampled_from(SUPPORTED_TOPOLOGIES), st.integers(2, 10))

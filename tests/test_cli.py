@@ -279,3 +279,108 @@ class TestTopologyFlags:
         out = capsys.readouterr().out
         assert exit_code == 0
         assert "sim_epr_pairs" in out
+
+
+class TestLinkModelFlags:
+    @pytest.fixture
+    def wide_qasm(self, tmp_path):
+        path = tmp_path / "qft16.qasm"
+        path.write_text(to_qasm(qft_circuit(16)))
+        return path
+
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "links.json"
+        path.write_text(json.dumps({
+            "default": {"t_epr": 12.0},
+            "links": {"1-2": {"t_epr": 36.0, "p_epr": 0.8, "capacity": 1}},
+        }))
+        return path
+
+    def test_link_arguments_parsed(self):
+        args = build_parser().parse_args(
+            ["compile", "p.qasm", "--nodes", "4", "--topology", "line",
+             "--link-spec", "links.json"])
+        assert str(args.link_spec) == "links.json"
+        assert args.link_profile is None
+
+    def test_unknown_link_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compile", "p.qasm", "--nodes", "4",
+                                       "--link-profile", "magic"])
+
+    def test_compile_reports_heterogeneous_links(self, wide_qasm, spec_file,
+                                                 capsys):
+        exit_code = main(["compile", str(wide_qasm), "--nodes", "4",
+                          "--topology", "line", "--link-spec",
+                          str(spec_file)])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "heterogeneous (1 link override)" in out
+        assert "EPR latency volume" in out
+
+    def test_link_profile_preset(self, wide_qasm, capsys):
+        exit_code = main(["compile", str(wide_qasm), "--nodes", "4",
+                          "--topology", "star", "--link-profile",
+                          "noisy_spine"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "heterogeneous" in out
+
+    def test_simulate_link_spec_validates_and_studies(self, wide_qasm,
+                                                      spec_file, capsys):
+        # A capacity- and loss-bearing spec triggers the Monte-Carlo study
+        # even at p_epr = 1.0, and the ideal-links validation still passes.
+        exit_code = main(["simulate", str(wide_qasm), "--nodes", "4",
+                          "--topology", "line", "--link-spec",
+                          str(spec_file), "--seed", "3"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "yes" in out
+        assert "sim_mean" in out
+
+    def test_link_spec_conflicts_with_link_capacity(self, wide_qasm,
+                                                    spec_file):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["simulate", str(wide_qasm), "--nodes", "4",
+                  "--topology", "line", "--link-spec", str(spec_file),
+                  "--link-capacity", "2"])
+
+    def test_link_spec_conflicts_with_link_profile(self, wide_qasm,
+                                                   spec_file):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["compile", str(wide_qasm), "--nodes", "4",
+                  "--topology", "line", "--link-spec", str(spec_file),
+                  "--link-profile", "noisy_spine"])
+
+    def test_missing_spec_file_errors(self, wide_qasm, tmp_path):
+        with pytest.raises(SystemExit, match="no such link-spec"):
+            main(["compile", str(wide_qasm), "--nodes", "4",
+                  "--topology", "line",
+                  "--link-spec", str(tmp_path / "nope.json")])
+
+    def test_invalid_spec_file_errors(self, wide_qasm, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["compile", str(wide_qasm), "--nodes", "4",
+                  "--topology", "line", "--link-spec", str(bad)])
+
+    def test_spec_link_outside_topology_errors(self, wide_qasm, tmp_path):
+        import json
+
+        spec = tmp_path / "offgrid.json"
+        spec.write_text(json.dumps({"links": {"0-3": {"t_epr": 24.0}}}))
+        with pytest.raises(SystemExit, match="not a link"):
+            main(["compile", str(wide_qasm), "--nodes", "4",
+                  "--topology", "line", "--link-spec", str(spec)])
+
+    def test_link_capacity_alone_still_works(self, wide_qasm, capsys):
+        exit_code = main(["simulate", str(wide_qasm), "--nodes", "4",
+                          "--topology", "line", "--link-capacity", "1",
+                          "--seed", "2"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "sim_mean" in out
