@@ -18,6 +18,11 @@ assumption:
   ``noisy_spine`` link model (``<kind>+hetero`` rows): latency-weighted
   routing plus per-link pricing, whose deterministic replay must also match
   the analytical schedule exactly;
+* line/ring/grid are additionally compiled with dynamic inter-phase
+  remapping (``<kind>+remap`` rows, ``AutoCommConfig(remap="bursts")``):
+  the rows compare the remapped EPR latency volume and schedule latency
+  against the static mapping, and the deterministic replay check covers
+  the phased plan, migration teleports included;
 * the cost of building a latency-weighted RoutingTable is measured against
   the unit-weight build on a 64-node grid, with a regression guard on the
   ratio (same Dijkstra, float weight sums — a blowup means a complexity
@@ -52,7 +57,7 @@ if __name__ == "__main__":  # allow standalone runs without PYTHONPATH=src
 from _harness import BENCH_SCALES, emit, family_specs
 from repro.analysis import topology_row
 from repro.circuits import BenchmarkSpec, paper_configurations, scaled_configurations
-from repro.core import compile_autocomm
+from repro.core import AutoCommConfig, compile_autocomm
 from repro.hardware import (RoutingTable, SUPPORTED_TOPOLOGIES,
                             apply_topology, link_model_from_profile,
                             topology_graph)
@@ -64,6 +69,10 @@ DEFAULT_SWAP_OVERHEAD = 1.0
 #: which is heterogeneous (and therefore weighted-routed) on every topology.
 HETERO_PROFILE = "noisy_spine"
 HETERO_FACTOR = 2.5
+#: Topologies the dynamic-remapping rows compare remap vs static on, and
+#: the phase quota they slice with (small so small-scale programs phase up).
+REMAP_TOPOLOGIES = ("line", "ring", "grid")
+REMAP_PHASE_BLOCKS = 4
 #: Weighted construction may cost more than the unit-weight search (float
 #: weight sums instead of int hop counts) but must stay the same algorithm;
 #: a blowup beyond this ratio flags a complexity regression.
@@ -72,7 +81,8 @@ ROUTING_COST_NODES = 64
 
 
 def _compile_for_topology(spec: BenchmarkSpec, kind: str,
-                          swap_overhead: float, hetero: bool = False):
+                          swap_overhead: float, hetero: bool = False,
+                          config: Optional[AutoCommConfig] = None):
     circuit, network = spec.build()
     if hetero:
         graph = topology_graph(kind, network.num_nodes)
@@ -83,7 +93,7 @@ def _compile_for_topology(spec: BenchmarkSpec, kind: str,
                        link_model=model)
     elif kind != "unrouted":
         apply_topology(network, kind, swap_overhead=swap_overhead)
-    return compile_autocomm(circuit, network)
+    return compile_autocomm(circuit, network, config=config)
 
 
 def _bench_spec(spec: BenchmarkSpec,
@@ -119,6 +129,32 @@ def _bench_spec(spec: BenchmarkSpec,
         hetero_row["topology"] = f"{kind}+hetero"
         hetero_row["replay_validated"] = hetero_report.matches
         rows.append(hetero_row)
+        # Dynamic inter-phase remapping vs the static mapping on the same
+        # constrained topology: migration teleports included, so the
+        # deterministic replay check also covers the phased plan.
+        if kind in REMAP_TOPOLOGIES:
+            remap = _compile_for_topology(
+                spec, kind, swap_overhead,
+                config=AutoCommConfig(remap="bursts",
+                                      phase_blocks=REMAP_PHASE_BLOCKS))
+            remap_report = validate_schedule(remap)
+            remap_row = topology_row(
+                remap, baseline=baseline,
+                simulated_latency=remap_report.simulated_latency)
+            remap_row["topology"] = f"{kind}+remap"
+            remap_row["replay_validated"] = remap_report.matches
+            remap_row["num_phases"] = remap.metrics.num_phases
+            remap_row["migration_moves"] = remap.metrics.migration_moves
+            remap_row["migration_latency"] = remap.metrics.migration_latency
+            remap_row["total_epr_latency"] = remap.metrics.total_epr_latency
+            static_epr_latency = program.metrics.total_epr_latency
+            remap_row["epr_latency_vs_static"] = (
+                remap.metrics.total_epr_latency / static_epr_latency
+                if static_epr_latency else 1.0)
+            remap_row["latency_vs_static"] = (
+                remap.metrics.latency / program.metrics.latency
+                if program.metrics.latency else 1.0)
+            rows.append(remap_row)
     return rows
 
 
@@ -172,13 +208,21 @@ def run_bench(scale: str, families: Sequence[str] = DEFAULT_FAMILIES,
     configs: List[Dict[str, object]] = []
     for spec in specs:
         configs.extend(_bench_spec(spec, swap_overhead))
-    constrained = [c for c in configs if c["topology"] != "all-to-all"]
+    # The +remap rows are a separate study (remap vs static); the
+    # inflation aggregates keep their schema-2 meaning over the static
+    # pipeline's rows only.
+    remap_rows = [c for c in configs if str(c["topology"]).endswith("+remap")]
+    static_rows = [c for c in configs
+                   if not str(c["topology"]).endswith("+remap")]
+    constrained = [c for c in static_rows if c["topology"] != "all-to-all"]
     return {
         "bench": "topology_sensitivity",
-        "schema": 2,
+        "schema": 3,
         "scale": scale,
         "swap_overhead": swap_overhead,
         "hetero_profile": {"name": HETERO_PROFILE, "factor": HETERO_FACTOR},
+        "remap": {"phase_blocks": REMAP_PHASE_BLOCKS,
+                  "topologies": list(REMAP_TOPOLOGIES)},
         "configs": configs,
         "routing_construction": _routing_construction_cost(),
         "all_replays_validated": all(c["replay_validated"] for c in configs),
@@ -186,11 +230,15 @@ def run_bench(scale: str, families: Sequence[str] = DEFAULT_FAMILIES,
             c["matches_unrouted"] for c in configs
             if c["topology"] == "all-to-all"),
         "epr_pairs_never_below_logical": all(
-            c["total_epr_pairs"] >= c["total_comm"] for c in configs),
+            c["total_epr_pairs"] >= c["total_comm"] for c in static_rows),
         "max_epr_pair_inflation": max(
             (c["epr_pairs_vs_all_to_all"] for c in constrained), default=1.0),
         "max_latency_inflation": max(
             (c["latency_vs_all_to_all"] for c in constrained), default=1.0),
+        "min_remap_epr_latency_vs_static": min(
+            (c["epr_latency_vs_static"] for c in remap_rows), default=1.0),
+        "max_remap_epr_latency_vs_static": max(
+            (c["epr_latency_vs_static"] for c in remap_rows), default=1.0),
     }
 
 
@@ -219,14 +267,17 @@ def _emit_report(report: Dict[str, object]) -> None:
     routing = report["routing_construction"]
     note = (f"swap_overhead={report['swap_overhead']}; max inflation vs "
             f"all-to-all: EPR pairs {report['max_epr_pair_inflation']:.2f}x, "
-            f"latency {report['max_latency_inflation']:.2f}x; weighted "
+            f"latency {report['max_latency_inflation']:.2f}x; remap EPR "
+            f"latency vs static "
+            f"{report['min_remap_epr_latency_vs_static']:.2f}x.."
+            f"{report['max_remap_epr_latency_vs_static']:.2f}x; weighted "
             f"routing build {routing['weighted_ms']:.2f}ms "
             f"({routing['weighted_over_unweighted']:.2f}x unit-weight)")
     emit("topology_sensitivity", report["configs"],
          columns=["name", "topology", "max_hops", "total_comm",
                   "total_epr_pairs", "latency", "simulated_latency",
                   "latency_vs_all_to_all", "epr_pairs_vs_all_to_all",
-                  "replay_validated"],
+                  "migration_moves", "replay_validated"],
          note=note)
 
 

@@ -1,0 +1,107 @@
+"""Dynamic-remapping study: when moving qubits mid-program pays off.
+
+The paper's pipeline commits to ONE static OEE mapping for the whole
+program.  On a constrained topology that forces a compromise: a workload
+whose communication pattern *shifts* between burst phases leaves every
+static placement wrong for half the program.  Phase-structured compilation
+(``AutoCommConfig(remap="bursts")``) segments the aggregated program at
+burst-phase boundaries and re-partitions incrementally between phases —
+each qubit move is charged its routed teleport latency, so qubits only
+migrate where the later phases' savings beat the migration bill.
+
+The workload here has two conflicting phases on a 4-node line
+(2 data qubits per node):
+
+* phase A bursts along neighbouring pairs q1-q2 and q5-q6;
+* phase B bursts between q1 and q6, which phase A's friendly layout
+  keeps 3 routed hops apart.
+
+The study compiles the workload statically and with ``--remap bursts`` and
+shows that remapping strictly lowers both the latency-weighted
+communication volume (``total_epr_latency``) and the scheduled program
+latency — while the deterministic discrete-event replay still reproduces
+the analytical schedule exactly, migration teleports included.
+
+Run with:  PYTHONPATH=src python examples/dynamic_remapping_study.py
+"""
+
+from repro.analysis import render_table
+from repro.core import AutoCommConfig, compile_autocomm
+from repro.hardware import apply_topology, uniform_network
+from repro.ir.circuit import Circuit
+from repro.ir.gates import Gate
+from repro.sim import validate_schedule
+
+REPS_A = 8        # neighbour-pair bursts in phase A
+REPS_B = 4        # remote gates per phase-B burst
+BURSTS_B = 10     # phase-B bursts between the conflicting far pair
+PHASE_BLOCKS = 4  # burst blocks per phase when slicing
+
+
+def phase_shift_circuit() -> Circuit:
+    """Two-phase workload whose traffic pattern shifts mid-program."""
+    circuit = Circuit(8, name="phase-shift")
+    for _ in range(REPS_A):
+        circuit.append(Gate("cx", (1, 2)))
+        circuit.append(Gate("h", (1,)))
+        circuit.append(Gate("cx", (5, 6)))
+        circuit.append(Gate("h", (5,)))
+    for _ in range(BURSTS_B):
+        for _ in range(REPS_B):
+            circuit.append(Gate("cx", (1, 6)))
+        circuit.append(Gate("h", (1,)))
+        circuit.append(Gate("h", (6,)))
+    return circuit
+
+
+def _compile(config=None):
+    network = uniform_network(num_nodes=4, qubits_per_node=2)
+    apply_topology(network, "line")
+    return compile_autocomm(phase_shift_circuit(), network, config=config)
+
+
+def main() -> None:
+    static = _compile()
+    remapped = _compile(AutoCommConfig(remap="bursts",
+                                       phase_blocks=PHASE_BLOCKS))
+
+    rows = []
+    for label, program in (("static mapping", static),
+                           ("dynamic remapping", remapped)):
+        report = validate_schedule(program)
+        assert report.matches, "replay must match the analytical schedule"
+        metrics = program.metrics
+        rows.append({
+            "pipeline": label,
+            "phases": metrics.num_phases,
+            "migrations": metrics.migration_moves,
+            "migration_latency": metrics.migration_latency,
+            "epr_latency_volume": metrics.total_epr_latency,
+            "latency": metrics.latency,
+            "replay": "exact" if report.matches else "DIVERGED",
+        })
+    print("static vs phase-structured compilation (4-node line):\n")
+    print(render_table(rows))
+
+    saved_volume = (static.metrics.total_epr_latency
+                    - remapped.metrics.total_epr_latency)
+    saved_latency = static.metrics.latency - remapped.metrics.latency
+    assert saved_volume > 0, "remapping must strictly lower EPR volume here"
+    assert saved_latency > 0, "remapping must strictly lower latency here"
+    print(f"\nremapping saves {saved_volume:.0f} CX units of routed EPR "
+          f"latency volume and {saved_latency:.1f} CX units of schedule "
+          f"latency,\nafter paying "
+          f"{remapped.metrics.migration_latency:.1f} CX units to migrate "
+          f"{remapped.metrics.migration_moves} qubits "
+          f"across {remapped.metrics.num_phases} phases.")
+
+    print("\nper-phase mappings (qubit -> node):")
+    for phase in remapped.phases:
+        moves = ([] if phase.index == 0
+                 else remapped.migrations[phase.index - 1])
+        note = (f"  ({len(moves)} migrations in)" if moves else "")
+        print(f"  phase {phase.index}: {phase.mapping.as_dict()}{note}")
+
+
+if __name__ == "__main__":
+    main()

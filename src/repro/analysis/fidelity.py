@@ -60,15 +60,25 @@ DEFAULT_ERROR_MODEL = ErrorModel()
 
 def fidelity_breakdown(program: CompiledProgram,
                        model: ErrorModel = DEFAULT_ERROR_MODEL) -> Dict[str, float]:
-    """Per-source fidelity factors of a compiled program."""
-    num_comm = program.metrics.total_comm
+    """Per-source fidelity factors of a compiled program.
+
+    Inter-phase qubit migrations of a dynamically remapped program each
+    consume one EPR pair (a teleport), so they count as communications;
+    local-gate classification follows each phase's own mapping.
+    """
+    num_comm = program.metrics.total_comm + program.metrics.migration_moves
     num_2q_local = 0
     num_1q = 0
-    for gate in program.circuit:
-        if gate.is_multi_qubit and not program.mapping.is_remote(gate):
-            num_2q_local += 1
-        elif gate.is_single_qubit:
-            num_1q += 1
+    phases = getattr(program, "phases", None)
+    gate_scopes = ([(phase.aggregation.circuit, phase.mapping)
+                    for phase in phases] if phases
+                   else [(program.circuit, program.mapping)])
+    for circuit, mapping in gate_scopes:
+        for gate in circuit:
+            if gate.is_multi_qubit and not mapping.is_remote(gate):
+                num_2q_local += 1
+            elif gate.is_single_qubit:
+                num_1q += 1
     communication = (1.0 - model.epr_error) ** num_comm
     local_2q = (1.0 - model.two_qubit_error) ** num_2q_local
     local_1q = (1.0 - model.one_qubit_error) ** num_1q

@@ -24,8 +24,9 @@ def schedule_timeline(program: CompiledProgram, width: int = 72) -> str:
 
     Each character cell covers ``latency / width`` time units; a cell shows
     ``C`` when a Cat-Comm block is active on the node, ``T`` for a TP-Comm
-    block, ``#`` when more than one communication overlaps, and ``.`` when
-    the node's communication qubits are idle.
+    block, ``M`` for an inter-phase migration teleport, ``#`` when more
+    than one communication overlaps, and ``.`` when the node's
+    communication qubits are idle.
     """
     if program.schedule is None:
         raise ValueError("program has no schedule attached")
@@ -39,7 +40,7 @@ def schedule_timeline(program: CompiledProgram, width: int = 72) -> str:
     cell = latency / width
     rows: Dict[int, List[str]] = {n: ["."] * width for n in range(num_nodes)}
     for op in comm_ops:
-        symbol = "T" if op.kind.startswith("tp") else "C"
+        symbol = _op_symbol(op.kind)
         first = min(width - 1, int(op.start / cell))
         last = min(width - 1, max(first, int((op.end - 1e-9) / cell)))
         for node in op.nodes:
@@ -91,8 +92,7 @@ def simulation_timeline(result: "SimulationResult", num_nodes: int,
 
     for op in comm_ops:
         paint(op.index, op.nodes, op.prep_start, op.start, "e")
-        paint(op.index, op.nodes, op.start, op.end,
-              "T" if op.kind.startswith("tp") else "C")
+        paint(op.index, op.nodes, op.start, op.end, _op_symbol(op.kind))
 
     header = (f"0{' ' * (width - len(str(round(latency))) - 1)}"
               f"{round(latency)} [CX units]")
@@ -100,13 +100,32 @@ def simulation_timeline(result: "SimulationResult", num_nodes: int,
     for node in range(num_nodes):
         lines.append("node %d: %s" % (
             node, "".join("." if c is None else c[1] for c in rows[node])))
-    lines.append("legend: e=EPR generation  C=Cat-Comm  T=TP-Comm  #=overlap")
+    lines.append("legend: e=EPR generation  C=Cat-Comm  T=TP-Comm  "
+                 "M=migration  #=overlap")
     return "\n".join(lines)
 
 
+def _op_symbol(kind: str) -> str:
+    """Timeline symbol of one communication kind."""
+    if kind == "migration":
+        return "M"
+    return "T" if kind.startswith("tp") else "C"
+
+
 def burst_histogram(program: CompiledProgram, max_width: int = 40) -> str:
-    """Histogram of burst-block sizes (remote CX gates per block)."""
-    sizes = [block.num_remote_gates(program.mapping) for block in program.blocks]
+    """Histogram of burst-block sizes (remote CX gates per block).
+
+    Phase-structured programs classify each phase's blocks under that
+    phase's own mapping (a later-phase block pooled into
+    ``program.blocks`` is only meaningful under the mapping it was
+    aggregated with).
+    """
+    if program.phases is not None:
+        sizes = [block.num_remote_gates(phase.mapping)
+                 for phase in program.phases for block in phase.blocks]
+    else:
+        sizes = [block.num_remote_gates(program.mapping)
+                 for block in program.blocks]
     if not sizes:
         return "(no burst blocks)"
     counts: Dict[int, int] = {}

@@ -32,6 +32,17 @@ fibres, the compiler prices each link it crosses, and the simulator books
 each link against its own capacity and samples generation with its own
 success probability.  The global ``--link-capacity`` flag is the uniform
 special case (every link, same bound) and conflicts with ``--link-spec``.
+
+``--remap bursts`` (with ``--phase-blocks``) switches the autocomm pipeline
+to phase-structured compilation: the aggregated program is segmented at
+burst-phase boundaries, each later phase re-partitions incrementally from
+the previous phase's mapping (every qubit move charged its routed teleport
+latency), and the resulting migrations are explicit teleports the scheduler
+and simulator execute.  ``compare --remap bursts`` adds the remapped
+pipeline as an extra contender row; ``compare --fidelity`` appends an
+estimated-fidelity column.  ``simulate --ideal-links`` runs the Monte-Carlo
+study under the analytical scheduler's idealisation (capacities and
+per-link loss ignored, per-link latencies kept).
 """
 
 from __future__ import annotations
@@ -51,7 +62,7 @@ from .baselines import (
     compile_sparse,
 )
 from .circuits import BENCHMARK_FAMILIES, build_benchmark
-from .core import compile_autocomm
+from .core import AutoCommConfig, compile_autocomm
 from .hardware import (LINK_PROFILES, SUPPORTED_TOPOLOGIES, apply_topology,
                        load_link_spec, uniform_network)
 from .ir import Circuit, from_qasm, to_qasm
@@ -98,6 +109,21 @@ def _add_topology_arguments(parser: argparse.ArgumentParser) -> None:
                              "--link-spec)")
 
 
+def _add_remap_arguments(parser: argparse.ArgumentParser) -> None:
+    """Dynamic-remapping options shared by compile/compare/simulate/profile."""
+    parser.add_argument("--remap", choices=("never", "bursts"),
+                        default="never",
+                        help="dynamic inter-phase remapping for the autocomm "
+                             "pipeline: 'bursts' segments the program at "
+                             "burst-phase boundaries and re-partitions "
+                             "incrementally between phases, charging every "
+                             "qubit move its routed teleport latency "
+                             "(default never = one static mapping)")
+    parser.add_argument("--phase-blocks", type=int, default=8,
+                        help="burst blocks per phase under --remap bursts "
+                             "(default 8)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -119,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
     compile_parser.add_argument("--fidelity", action="store_true",
                                 help="also print an estimated program fidelity")
     _add_topology_arguments(compile_parser)
+    _add_remap_arguments(compile_parser)
 
     compare_parser = subparsers.add_parser(
         "compare", help="run every compiler on the same program")
@@ -126,7 +153,11 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--nodes", type=int, required=True)
     compare_parser.add_argument("--qubits-per-node", type=int, default=None)
     compare_parser.add_argument("--comm-qubits", type=int, default=2)
+    compare_parser.add_argument("--fidelity", action="store_true",
+                                help="also report an estimated fidelity "
+                                     "column per compiler")
     _add_topology_arguments(compare_parser)
+    _add_remap_arguments(compare_parser)
 
     simulate_parser = subparsers.add_parser(
         "simulate", help="execute a compiled program with the discrete-event "
@@ -159,10 +190,17 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--timeline", action="store_true",
                                  help="render the executed schedule as an "
                                       "ASCII per-node timeline")
+    simulate_parser.add_argument("--ideal-links", action="store_true",
+                                 help="run the Monte-Carlo study with ideal "
+                                      "links too: ignore link capacities and "
+                                      "per-link success probabilities "
+                                      "(per-link latencies are kept), the "
+                                      "analytical scheduler's idealisation")
     simulate_parser.add_argument("--trace", type=int, default=None,
                                  metavar="N",
                                  help="print the first N simulation events")
     _add_topology_arguments(simulate_parser)
+    _add_remap_arguments(simulate_parser)
 
     profile_parser = subparsers.add_parser(
         "profile", help="profile the compiler (and optionally the simulator) "
@@ -193,6 +231,7 @@ def build_parser() -> argparse.ArgumentParser:
                                      "hotspots to PATH (e.g. "
                                      "BENCH_compiler.json)")
     _add_topology_arguments(profile_parser)
+    _add_remap_arguments(profile_parser)
 
     generate_parser = subparsers.add_parser(
         "generate", help="write a benchmark circuit as OpenQASM 2.0")
@@ -260,6 +299,39 @@ def _network_from_args(circuit: Circuit, args):
         raise SystemExit(f"error: {exc}")
 
 
+def _autocomm_config(args) -> Optional[AutoCommConfig]:
+    """The AutoComm pipeline config the remap flags ask for (None = default)."""
+    remap = getattr(args, "remap", "never")
+    phase_blocks = getattr(args, "phase_blocks", 8)
+    if phase_blocks < 1:
+        raise SystemExit(f"error: --phase-blocks must be >= 1, "
+                         f"got {phase_blocks}")
+    if remap == "never":
+        return None
+    return AutoCommConfig(remap=remap, phase_blocks=phase_blocks)
+
+
+def _compiler_for_args(args):
+    """The compile callable the compiler/remap flags select."""
+    config = _autocomm_config(args)
+    name = getattr(args, "compiler", "autocomm")
+    if config is None:
+        return COMPILERS[name]
+    if name != "autocomm":
+        raise SystemExit("error: --remap only applies to the autocomm "
+                         f"compiler, not {name!r}")
+
+    def remapping_compiler(circuit, network, config=config):
+        return compile_autocomm(circuit, network, config=config)
+
+    return remapping_compiler
+
+
+def _compile_program(circuit: Circuit, network, args):
+    """Compile with the selected compiler, honouring the remap flags."""
+    return _compiler_for_args(args)(circuit, network)
+
+
 def _report_rows(program) -> List[dict]:
     metrics = program.metrics
     rows = [
@@ -286,13 +358,24 @@ def _report_rows(program) -> List[dict]:
         if metrics.total_epr_latency is not None:
             rows.append({"metric": "EPR latency volume [CX units]",
                          "value": round(metrics.total_epr_latency, 1)})
+    if getattr(program, "remap", "never") != "never":
+        rows.insert(1, {"metric": "remap", "value": program.remap})
+        rows.append({"metric": "phases", "value": metrics.num_phases})
+        rows.append({"metric": "migration moves",
+                     "value": metrics.migration_moves})
+        rows.append({"metric": "migration latency [CX units]",
+                     "value": round(metrics.migration_latency, 1)})
+        if (metrics.total_epr_latency is not None
+                and not network.heterogeneous_links):
+            rows.append({"metric": "EPR latency volume [CX units]",
+                         "value": round(metrics.total_epr_latency, 1)})
     return rows
 
 
 def _cmd_compile(args) -> int:
     circuit = _load_circuit(args.qasm)
     network = _network_from_args(circuit, args)
-    program = COMPILERS[args.compiler](circuit, network)
+    program = _compile_program(circuit, network, args)
     rows = _report_rows(program)
     if args.fidelity:
         rows.append({"metric": "estimated fidelity",
@@ -304,20 +387,44 @@ def _cmd_compile(args) -> int:
 def _cmd_compare(args) -> int:
     circuit = _load_circuit(args.qasm)
     network = _network_from_args(circuit, args)
+    remap_config = _autocomm_config(args)
     autocomm = compile_autocomm(circuit, network)
+    programs = [(name,
+                 autocomm if name == "autocomm"
+                 else compiler(circuit, network, mapping=autocomm.mapping))
+                for name, compiler in sorted(COMPILERS.items())]
+    if remap_config is not None:
+        # The dynamically remapped pipeline as an extra contender, seeded
+        # from the same initial mapping as every static compiler.
+        programs.append(("autocomm-remap",
+                         compile_autocomm(circuit, network,
+                                          mapping=autocomm.mapping,
+                                          config=remap_config)))
     rows = []
-    for name, compiler in sorted(COMPILERS.items()):
-        program = (autocomm if name == "autocomm"
-                   else compiler(circuit, network, mapping=autocomm.mapping))
-        rows.append({
+    for name, program in programs:
+        row = {
             "compiler": name,
             "communications": program.metrics.total_comm,
             "tp_comm": program.metrics.tp_comm,
             "peak_rem_cx": program.metrics.peak_rem_cx,
             "latency": round(program.metrics.latency, 1),
-        })
-    print(render_table(rows, columns=["compiler", "communications", "tp_comm",
-                                      "peak_rem_cx", "latency"]))
+        }
+        if remap_config is not None:
+            epr_latency = program.metrics.total_epr_latency
+            row["epr_latency"] = (round(epr_latency, 1)
+                                  if epr_latency is not None else "-")
+            row["migrations"] = program.metrics.migration_moves
+        if args.fidelity:
+            row["fidelity"] = round(
+                estimate_fidelity(program, DEFAULT_ERROR_MODEL), 4)
+        rows.append(row)
+    columns = ["compiler", "communications", "tp_comm", "peak_rem_cx",
+               "latency"]
+    if remap_config is not None:
+        columns += ["epr_latency", "migrations"]
+    if args.fidelity:
+        columns.append("fidelity")
+    print(render_table(rows, columns=columns))
     return 0
 
 
@@ -332,7 +439,7 @@ def _cmd_simulate(args) -> int:
         raise SystemExit("error: --link-capacity must be >= 1")
     circuit = _load_circuit(args.qasm)
     network = _network_from_args(circuit, args)
-    program = COMPILERS[args.compiler](circuit, network)
+    program = _compile_program(circuit, network, args)
 
     # Deterministic replay first: the simulated execution must reproduce the
     # analytical schedule latency exactly.  Ideal links match the analytical
@@ -353,7 +460,8 @@ def _cmd_simulate(args) -> int:
         config = SimulationConfig(p_epr=args.p_epr,
                                   retry_latency=args.retry_latency,
                                   seed=args.seed, trials=args.trials,
-                                  link_capacity=args.link_capacity)
+                                  link_capacity=args.link_capacity,
+                                  ideal_links=args.ideal_links)
         monte_carlo = run_monte_carlo(program, config)
 
     row = simulation_row(report, monte_carlo)
@@ -395,7 +503,7 @@ def _cmd_profile(args) -> int:
 
     circuit = _load_circuit(args.qasm)
     network = _network_from_args(circuit, args)
-    compiler = COMPILERS[args.compiler]
+    compiler = _compiler_for_args(args)
 
     compile_times = []
     for _ in range(args.repeat):
@@ -467,6 +575,7 @@ def _cmd_profile(args) -> int:
             "compiler": args.compiler,
             "nodes": args.nodes,
             "topology": args.topology,
+            "remap": args.remap,
             "gates": len(program.circuit),
             "compile_s": {"median": statistics.median(compile_times),
                           "runs": compile_times},

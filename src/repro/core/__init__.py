@@ -15,8 +15,11 @@ from .scheduling import (
     ScheduledOp,
     SchedulePlan,
     FusedTPChain,
+    MigrationOp,
     schedule_communications,
+    schedule_phased_communications,
     plan_schedule,
+    plan_phased_schedule,
     fuse_tp_chains,
 )
 from .scheduling_reference import (
@@ -27,9 +30,11 @@ from .metrics import (
     CompilationMetrics,
     comparison_factors,
     burst_distribution,
+    distribution_from_loads,
     communication_loads,
 )
-from .pipeline import AutoCommConfig, AutoCommCompiler, CompiledProgram, compile_autocomm
+from .pipeline import (AutoCommConfig, AutoCommCompiler, CompiledPhase,
+                       CompiledProgram, compile_autocomm)
 from .collective import CollectiveBlock, form_collectives, collective_latency
 
 __all__ = [
@@ -47,17 +52,22 @@ __all__ = [
     "ScheduledOp",
     "SchedulePlan",
     "FusedTPChain",
+    "MigrationOp",
     "schedule_communications",
+    "schedule_phased_communications",
     "plan_schedule",
+    "plan_phased_schedule",
     "fuse_tp_chains",
     "plan_schedule_reference",
     "schedule_communications_reference",
     "CompilationMetrics",
     "comparison_factors",
     "burst_distribution",
+    "distribution_from_loads",
     "communication_loads",
     "AutoCommConfig",
     "AutoCommCompiler",
+    "CompiledPhase",
     "CompiledProgram",
     "compile_autocomm",
     "CollectiveBlock",

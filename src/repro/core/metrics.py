@@ -24,7 +24,7 @@ from ..comm.blocks import CommBlock, CommScheme
 from ..partition.mapping import QubitMapping
 
 __all__ = ["CompilationMetrics", "comparison_factors", "burst_distribution",
-           "communication_loads"]
+           "distribution_from_loads", "communication_loads"]
 
 
 @dataclass(frozen=True)
@@ -54,6 +54,20 @@ class CompilationMetrics:
     #: programs whose pair counts agree but whose traffic crosses different
     #: fibres.  ``None`` when the compiler had no network to price with.
     total_epr_latency: Optional[float] = None
+    #: Phases of a phase-structured compile (1 = the static pipeline).
+    num_phases: int = 1
+    #: Inter-phase qubit migrations performed by dynamic remapping, and the
+    #: total latency bill those teleports were charged (routed EPR
+    #: preparation plus one ``t_teleport`` per move).  Migrations are kept
+    #: out of every communication metric above — ``total_comm``,
+    #: ``total_epr_pairs`` and ``total_epr_latency`` price the program's
+    #: communications under the per-phase mappings, and a remap pays
+    #: ``migration_moves``/``migration_latency`` to shrink them.  (The
+    #: executed-pair count ``SimulationResult.total_epr_pairs`` and the
+    #: fidelity estimate do include the migration teleports: they report
+    #: what the machine really does.)
+    migration_moves: int = 0
+    migration_latency: float = 0.0
 
     def __post_init__(self) -> None:
         if self.total_epr_pairs is None:
@@ -71,6 +85,9 @@ class CompilationMetrics:
             "num_remote_gates": self.num_remote_gates,
             "total_epr_pairs": self.total_epr_pairs,
             "total_epr_latency": self.total_epr_latency,
+            "num_phases": self.num_phases,
+            "migration_moves": self.migration_moves,
+            "migration_latency": self.migration_latency,
         }
 
 
@@ -104,10 +121,14 @@ def communication_loads(blocks: Sequence[CommBlock],
     return loads
 
 
-def burst_distribution(blocks: Sequence[CommBlock], mapping: QubitMapping,
-                       max_x: Optional[int] = None) -> Dict[int, float]:
-    """``Pr[one communication carries >= X remote CX gates]`` (Figure 15)."""
-    loads = communication_loads(blocks, mapping)
+def distribution_from_loads(loads: Sequence[float],
+                            max_x: Optional[int] = None) -> Dict[int, float]:
+    """``Pr[one communication carries >= X remote CX gates]`` over ``loads``.
+
+    Shared by :func:`burst_distribution` and the phase-structured pipeline,
+    whose per-phase loads are classified under different mappings before
+    being pooled into one program-level distribution.
+    """
     if not loads:
         return {}
     if max_x is None:
@@ -115,3 +136,10 @@ def burst_distribution(blocks: Sequence[CommBlock], mapping: QubitMapping,
     total = len(loads)
     return {x: sum(1 for load in loads if load >= x) / total
             for x in range(1, max_x + 1)}
+
+
+def burst_distribution(blocks: Sequence[CommBlock], mapping: QubitMapping,
+                       max_x: Optional[int] = None) -> Dict[int, float]:
+    """``Pr[one communication carries >= X remote CX gates]`` (Figure 15)."""
+    return distribution_from_loads(communication_loads(blocks, mapping),
+                                   max_x=max_x)

@@ -6,11 +6,25 @@ aggregation, assignment and scheduling — behind one call and produces a
 evaluation metrics.  The baselines in :mod:`repro.baselines` produce the
 same :class:`CompiledProgram` type so that every compiler is measured with
 identical code.
+
+**Phase-structured compilation** (``AutoCommConfig.remap = "bursts"``)
+extends the paper's single static OEE mapping with dynamic inter-phase
+remapping: the aggregated program is segmented at burst-phase boundaries
+(extending Baker et al.'s time-sliced partitioning from gate slices to the
+aggregated burst structure), and each later phase runs an incremental,
+migration-cost-aware OEE pass (:func:`repro.partition.oee.oee_repartition`)
+seeded from the previous phase's mapping.  A remap only happens where the
+phase's routed communication savings beat the migration bill — each qubit
+move is charged its routed teleport distance — and the moves are made
+explicit as :class:`~repro.core.scheduling.MigrationOp` teleports between
+the phases, scheduled and simulated like any other communication.  With the
+default ``remap = "never"`` the pipeline is byte-identical to the static
+one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..comm.blocks import CommBlock
@@ -18,13 +32,20 @@ from ..hardware.network import QuantumNetwork
 from ..ir.circuit import Circuit
 from ..ir.decompose import decompose_to_cx
 from ..partition.mapping import QubitMapping
-from ..partition.oee import oee_partition
-from .aggregation import AggregationResult, aggregate_communications
+from ..partition.oee import oee_partition, oee_repartition
+from .aggregation import (AggregationResult, ScheduleItem,
+                          aggregate_communications)
 from .assignment import AssignmentResult, assign_communications
-from .metrics import CompilationMetrics, burst_distribution
-from .scheduling import ScheduleResult, schedule_communications
+from .metrics import (CompilationMetrics, burst_distribution,
+                      communication_loads, distribution_from_loads)
+from .scheduling import (MigrationOp, ScheduleResult, schedule_communications,
+                         schedule_phased_communications)
 
-__all__ = ["AutoCommConfig", "CompiledProgram", "AutoCommCompiler", "compile_autocomm"]
+__all__ = ["AutoCommConfig", "CompiledPhase", "CompiledProgram",
+           "AutoCommCompiler", "compile_autocomm"]
+
+#: Accepted values of :attr:`AutoCommConfig.remap`.
+REMAP_MODES = ("never", "bursts")
 
 
 @dataclass(frozen=True)
@@ -41,6 +62,27 @@ class AutoCommConfig:
     decompose: bool = True
     #: Refinement sweeps of the aggregation pass.
     max_sweeps: int = 3
+    #: Dynamic inter-phase remapping: "never" keeps the paper's single
+    #: static mapping (byte-identical to the pre-phase pipeline); "bursts"
+    #: segments the aggregated program at burst-phase boundaries and
+    #: re-partitions incrementally between phases, migration-cost-aware.
+    remap: str = "never"
+    #: Burst blocks per phase when segmenting under ``remap = "bursts"``.
+    phase_blocks: int = 8
+
+
+@dataclass
+class CompiledPhase:
+    """One phase of a phase-structured compile: its mapping and passes."""
+
+    index: int
+    mapping: QubitMapping
+    aggregation: AggregationResult
+    assignment: AssignmentResult
+
+    @property
+    def blocks(self) -> List[CommBlock]:
+        return self.assignment.blocks
 
 
 @dataclass
@@ -57,9 +99,26 @@ class CompiledProgram:
     aggregation: Optional[AggregationResult] = None
     assignment: Optional[AssignmentResult] = None
     schedule: Optional[ScheduleResult] = None
+    #: Dynamic-remapping mode the program was compiled under.
+    remap: str = "never"
+    #: Phase structure of a ``remap = "bursts"`` compile (``None`` for the
+    #: static pipeline).  ``mapping`` then holds the *initial* (phase-0)
+    #: mapping; each phase carries its own.
+    phases: Optional[List[CompiledPhase]] = None
+    #: One migration list per phase boundary (``len(phases) - 1`` entries).
+    migrations: Optional[List[List[MigrationOp]]] = None
 
     def burst_distribution(self, max_x: Optional[int] = None) -> Dict[int, float]:
-        """Figure 15 distribution for this compiled program."""
+        """Figure 15 distribution for this compiled program.
+
+        Phase-structured programs pool per-phase communication loads, each
+        classified under its own phase mapping.
+        """
+        if self.phases is not None:
+            loads: List[float] = []
+            for phase in self.phases:
+                loads.extend(communication_loads(phase.blocks, phase.mapping))
+            return distribution_from_loads(loads, max_x=max_x)
         return burst_distribution(self.blocks, self.mapping, max_x=max_x)
 
     def summary(self) -> Dict[str, object]:
@@ -73,6 +132,11 @@ class AutoCommCompiler:
 
     def __init__(self, config: Optional[AutoCommConfig] = None) -> None:
         self.config = config or AutoCommConfig()
+        if self.config.remap not in REMAP_MODES:
+            raise ValueError(f"unknown remap mode {self.config.remap!r}; "
+                             f"choose from {REMAP_MODES}")
+        if self.config.phase_blocks < 1:
+            raise ValueError("phase_blocks must be >= 1")
 
     def compile(self, circuit: Circuit, network: QuantumNetwork,
                 mapping: Optional[QubitMapping] = None) -> CompiledProgram:
@@ -81,6 +145,8 @@ class AutoCommCompiler:
         When ``mapping`` is omitted the qubits are placed with the OEE static
         partitioner, exactly as in the paper's experimental setup.
         """
+        if self.config.remap != "never":
+            return self._compile_phased(circuit, network, mapping)
         network.validate_capacity(circuit.num_qubits)
         working = decompose_to_cx(circuit) if self.config.decompose else circuit
         if mapping is None:
@@ -121,6 +187,105 @@ class AutoCommCompiler:
             schedule=schedule,
         )
 
+    # ------------------------------------------------- phase-structured path
+
+    def _compile_phased(self, circuit: Circuit, network: QuantumNetwork,
+                        mapping: Optional[QubitMapping]) -> CompiledProgram:
+        """The ``remap = "bursts"`` pipeline: segment, repartition, migrate."""
+        network.validate_capacity(circuit.num_qubits)
+        working = decompose_to_cx(circuit) if self.config.decompose else circuit
+        if mapping is None:
+            mapping = oee_partition(working, network).mapping
+
+        # The initial aggregation discovers the burst structure the phases
+        # are sliced along; phase 0 reuses its blocks verbatim.
+        base = aggregate_communications(
+            working, mapping,
+            use_commutation=self.config.use_commutation,
+            max_sweeps=self.config.max_sweeps)
+        segments = _segment_items(base.items, self.config.phase_blocks)
+
+        phases: List[CompiledPhase] = []
+        migrations: List[List[MigrationOp]] = []
+        current = mapping
+        for index, segment in enumerate(segments):
+            phase_circuit = _phase_circuit(working, segment, index)
+            if index > 0:
+                repartition = oee_repartition(phase_circuit, network,
+                                              previous=current)
+                new_mapping = repartition.mapping
+                moves = [MigrationOp(qubit=q, source=current.node_of(q),
+                                     target=new_mapping.node_of(q))
+                         for q in range(working.num_qubits)
+                         if new_mapping.node_of(q) != current.node_of(q)]
+                migrations.append(moves)
+                if moves:
+                    current = new_mapping
+            if current is mapping:
+                # Blocks from the initial aggregation were built under the
+                # initial mapping, so an un-remapped phase reuses them.
+                aggregation = AggregationResult(
+                    circuit=phase_circuit, mapping=current,
+                    items=list(segment),
+                    blocks=[i for i in segment if isinstance(i, CommBlock)])
+            else:
+                aggregation = aggregate_communications(
+                    phase_circuit, current,
+                    use_commutation=self.config.use_commutation,
+                    max_sweeps=self.config.max_sweeps)
+            assignment = assign_communications(aggregation,
+                                               cat_only=self.config.cat_only,
+                                               network=network)
+            phases.append(CompiledPhase(index=index, mapping=current,
+                                        aggregation=aggregation,
+                                        assignment=assignment))
+
+        schedule = schedule_phased_communications(
+            phases, migrations, network,
+            strategy=self.config.schedule_strategy)
+
+        latency_model = network.latency
+        all_moves = [move for boundary in migrations for move in boundary]
+        migration_latency = sum(
+            network.epr_latency(move.source, move.target)
+            + latency_model.t_teleport for move in all_moves)
+        costs = [phase.assignment.cost for phase in phases]
+        total_epr_latency = (
+            sum(c.total_epr_latency for c in costs)
+            if all(c.total_epr_latency is not None for c in costs) else None)
+        metrics = CompilationMetrics(
+            name=circuit.name,
+            total_comm=sum(c.total_comm for c in costs),
+            tp_comm=sum(c.tp_comm for c in costs),
+            cat_comm=sum(c.cat_comm for c in costs),
+            peak_rem_cx=max((c.peak_remote_cx for c in costs), default=0.0),
+            latency=schedule.latency,
+            num_blocks=sum(len(phase.blocks) for phase in phases),
+            num_remote_gates=sum(
+                phase.mapping.count_remote_gates(phase.aggregation.circuit)
+                for phase in phases),
+            total_epr_pairs=sum(c.total_epr_pairs for c in costs),
+            total_epr_latency=total_epr_latency,
+            num_phases=len(phases),
+            migration_moves=len(all_moves),
+            migration_latency=migration_latency,
+        )
+        return CompiledProgram(
+            name=circuit.name,
+            compiler=self._compiler_label(),
+            circuit=working,
+            mapping=mapping,
+            network=network,
+            blocks=[block for phase in phases for block in phase.blocks],
+            metrics=metrics,
+            aggregation=base,
+            assignment=None,
+            schedule=schedule,
+            remap=self.config.remap,
+            phases=phases,
+            migrations=migrations,
+        )
+
     def _compiler_label(self) -> str:
         label = "autocomm"
         if not self.config.use_commutation:
@@ -129,7 +294,47 @@ class AutoCommCompiler:
             label += "-catonly"
         if self.config.schedule_strategy != "burst-greedy":
             label += f"-{self.config.schedule_strategy}"
+        if self.config.remap != "never":
+            label += "-remap"
         return label
+
+
+def _segment_items(items: Sequence[ScheduleItem],
+                   phase_blocks: int) -> List[List[ScheduleItem]]:
+    """Slice an aggregated item list at burst-phase boundaries.
+
+    A boundary is placed immediately before a burst block once the open
+    phase already holds ``phase_blocks`` blocks; local gates between two
+    blocks stay with the earlier phase, and trailing local gates join the
+    last phase.  Every phase therefore holds at least one burst block
+    (except a blockless program, which yields a single phase).
+    """
+    segments: List[List[ScheduleItem]] = []
+    open_segment: List[ScheduleItem] = []
+    open_blocks = 0
+    for item in items:
+        if isinstance(item, CommBlock) and open_blocks >= phase_blocks:
+            segments.append(open_segment)
+            open_segment = []
+            open_blocks = 0
+        open_segment.append(item)
+        if isinstance(item, CommBlock):
+            open_blocks += 1
+    if open_segment or not segments:
+        segments.append(open_segment)
+    return segments
+
+
+def _phase_circuit(working: Circuit, segment: Sequence[ScheduleItem],
+                   index: int) -> Circuit:
+    """Flatten one phase's items back into a plain circuit."""
+    phase = Circuit(working.num_qubits, name=f"{working.name}-phase{index}")
+    for item in segment:
+        if isinstance(item, CommBlock):
+            phase.extend(item.gates)
+        else:
+            phase.append(item)
+    return phase
 
 
 def compile_autocomm(circuit: Circuit, network: QuantumNetwork,

@@ -40,7 +40,35 @@ from .assignment import AssignmentResult
 
 __all__ = ["ScheduledOp", "ScheduleResult", "SchedulePlan", "OpProfile",
            "plan_schedule", "schedule_communications", "FusedTPChain",
-           "prep_latency_for_pairs"]
+           "prep_latency_for_pairs", "MigrationOp", "plan_phased_schedule",
+           "schedule_phased_communications"]
+
+
+@dataclass(frozen=True)
+class MigrationOp:
+    """One inter-phase qubit migration: teleport ``qubit`` between nodes.
+
+    Emitted by the phase-structured pipeline when dynamic remapping moves a
+    data qubit to a new home between burst phases.  Scheduled and simulated
+    like a single teleport: one end-to-end EPR pair on the (routed)
+    ``source``–``target`` pair, comm qubits occupied on both endpoints for
+    the preparation plus one ``t_teleport``.
+    """
+
+    qubit: int
+    source: int
+    target: int
+
+    @property
+    def nodes(self) -> Tuple[int, int]:
+        return (self.source, self.target)
+
+    @property
+    def touched_set(self) -> frozenset:
+        return frozenset((self.qubit,))
+
+    def num_remote_gates(self, mapping: QubitMapping) -> int:
+        return 0
 
 
 @dataclass
@@ -109,7 +137,7 @@ class FusedTPChain:
 
 
 #: Units handled by the scheduler.
-SchedulableItem = Union[Gate, CommBlock, FusedTPChain]
+SchedulableItem = Union[Gate, CommBlock, FusedTPChain, "MigrationOp"]
 
 
 @dataclass(frozen=True)
@@ -169,7 +197,7 @@ class ScheduleResult:
 
 def _touched_set(item: SchedulableItem) -> frozenset:
     """Cached qubit set of a schedulable item (no per-call allocation)."""
-    if isinstance(item, (CommBlock, FusedTPChain)):
+    if isinstance(item, (CommBlock, FusedTPChain, MigrationOp)):
         return item.touched_set
     return item.qubit_set
 
@@ -402,6 +430,12 @@ class SchedulePlan:
     preds: List[List[int]]
     num_fused_chains: int
     burst: bool
+    #: Per-item qubit mappings for phase-structured plans (``None`` for the
+    #: single-mapping plans of the static pipeline).  A phased program's
+    #: blocks were aggregated under their phase's mapping, so durations and
+    #: remote-gate counts must be derived from that mapping, not the
+    #: program-level one.
+    item_mappings: Optional[List[QubitMapping]] = None
     #: Lazily built caches shared by every consumer of the plan (the
     #: analytical scheduler and all Monte-Carlo trial engines).
     _succs: Optional[List[List[int]]] = field(
@@ -429,6 +463,12 @@ class SchedulePlan:
         item = self.items[index]
         return len(item.blocks) if isinstance(item, FusedTPChain) else 1
 
+    def item_mapping(self, index: int, default: QubitMapping) -> QubitMapping:
+        """Mapping plan unit ``index`` executes under (phase-aware)."""
+        if self.item_mappings is not None:
+            return self.item_mappings[index]
+        return default
+
     def op_profiles(self, mapping: QubitMapping,
                     latency: LatencyModel) -> List["OpProfile"]:
         """Trial-invariant (kind, duration, nodes, item-count) per plan unit.
@@ -447,22 +487,28 @@ class SchedulePlan:
         if entry is not None and entry[0] is mapping and entry[1] is latency:
             return entry[2]
         profiles: List[OpProfile] = []
-        for item in self.items:
+        for index, item in enumerate(self.items):
+            item_mapping = self.item_mapping(index, mapping)
             if isinstance(item, Gate):
                 profiles.append(OpProfile(
                     kind="gate", duration=latency.gate_latency(item),
                     nodes=(), num_items=1))
+            elif isinstance(item, MigrationOp):
+                profiles.append(OpProfile(
+                    kind="migration", duration=latency.t_teleport,
+                    nodes=item.nodes, num_items=1,
+                    prep_pairs=(item.nodes,)))
             elif isinstance(item, FusedTPChain):
                 profiles.append(OpProfile(
                     kind="tp-chain",
-                    duration=item.duration(mapping, latency),
+                    duration=item.duration(item_mapping, latency),
                     nodes=tuple(item.nodes()),
                     num_items=len(item.blocks),
                     prep_pairs=item.hop_pairs()))
             else:
                 profiles.append(OpProfile(
                     kind="tp" if item.scheme is CommScheme.TP else "cat",
-                    duration=block_latency(item, mapping, latency),
+                    duration=block_latency(item, item_mapping, latency),
                     nodes=tuple(item.nodes), num_items=1,
                     prep_pairs=(tuple(item.nodes),)))
         self._profiles[key] = (mapping, latency, profiles)
@@ -561,11 +607,15 @@ def schedule_communications(assignment: AssignmentResult,
 def _run_schedule(assignment: AssignmentResult, network: QuantumNetwork,
                   burst: bool, plan: Optional[SchedulePlan] = None
                   ) -> ScheduleResult:
-    latency = network.latency
-    mapping = assignment.mapping
-
     if plan is None:
         plan = plan_schedule(assignment, burst=burst)
+    return _execute_plan(plan, network, assignment.mapping)
+
+
+def _execute_plan(plan: SchedulePlan, network: QuantumNetwork,
+                  mapping: QubitMapping) -> ScheduleResult:
+    """Resource-constrained list scheduling of one plan (phase-aware)."""
+    latency = network.latency
     items = plan.items
     succs = plan.successors()
     indegree = [len(plist) for plist in plan.preds]
@@ -602,11 +652,12 @@ def _run_schedule(assignment: AssignmentResult, network: QuantumNetwork,
             start = _reserve_comm(resources, nodes, ready, profile.duration,
                                   prep, label=f"{kind}-{index}")
             item = items[index]
+            item_map = plan.item_mapping(index, mapping)
             if kind == "tp-chain":
-                num_remote = sum(b.num_remote_gates(mapping)
+                num_remote = sum(b.num_remote_gates(item_map)
                                  for b in item.blocks)
             else:
-                num_remote = item.num_remote_gates(mapping)
+                num_remote = item.num_remote_gates(item_map)
             op = ScheduledOp(index=index, kind=kind, start=start,
                              end=start + profile.duration, nodes=nodes,
                              num_remote_gates=num_remote,
@@ -686,3 +737,128 @@ def _reserve_comm(resources: CommResourceTracker, nodes: Sequence[int],
     for node in nodes:
         resources.reserve(node, prep_start, start + duration, label=label)
     return start
+
+
+# ---------------------------------------------------------------------------
+# Phase-structured scheduling (dynamic inter-phase remapping)
+# ---------------------------------------------------------------------------
+
+def plan_phased_schedule(phases: Sequence, migrations: Sequence[Sequence[MigrationOp]],
+                         burst: bool) -> SchedulePlan:
+    """Build one combined plan over a phase-structured program.
+
+    ``phases`` are the pipeline's ``CompiledPhase`` objects (anything with
+    ``mapping`` and ``assignment`` works); ``migrations`` holds one list of
+    :class:`MigrationOp` per phase boundary (``len(phases) - 1`` entries).
+
+    Within each phase the plan is built exactly like the static pipeline's
+    (TP fusion and commutation-aware dependencies under ``burst``, strict
+    program order otherwise) under that phase's own mapping.  Phase
+    boundaries are barriers: the boundary's migration teleports depend on
+    every sink of the earlier phase, and every source of the later phase
+    depends on the boundary (on the earlier phase's sinks directly when no
+    qubit moves).  With a single phase the plan degenerates to the static
+    plan's items and dependencies.
+
+    Plans are memoised on the first phase's assignment object so the
+    analytical scheduler and the execution simulator replay the *same* plan
+    object — deterministic replay then matches the analytical latency
+    bit-for-bit for the same reason it does on the static pipeline.  The
+    cached entry keeps the exact phase and migration objects it was built
+    from and is validated by identity, so a call with a different phase or
+    migration list (sharing the same first assignment) rebuilds instead of
+    returning a stale plan.
+    """
+    if len(migrations) != max(0, len(phases) - 1):
+        raise ValueError("need exactly one migration list per phase boundary")
+    anchor = phases[0].assignment
+    cache = getattr(anchor, "_phased_plan_cache", None)
+    if cache is None:
+        cache = {}
+        anchor._phased_plan_cache = cache
+    entry = cache.get(burst)
+    if entry is not None:
+        cached_phases, cached_migrations, plan = entry
+        if (len(cached_phases) == len(phases)
+                and all(a is b for a, b in zip(cached_phases, phases))
+                and len(cached_migrations) == len(migrations)
+                and all(len(x) == len(y) and all(m is n for m, n in zip(x, y))
+                        for x, y in zip(cached_migrations, migrations))):
+            return plan
+
+    num_qubits = anchor.aggregation.circuit.num_qubits
+    oracle = _PairwiseCommutation()
+    all_items: List[SchedulableItem] = []
+    item_mappings: List[QubitMapping] = []
+    preds: List[List[int]] = []
+    num_fused = 0
+    barrier: List[int] = []
+    for index, phase in enumerate(phases):
+        items: List[SchedulableItem] = list(phase.assignment.items)
+        if burst:
+            fused = fuse_tp_chains(items, phase.mapping, oracle=oracle)
+            num_fused += sum(isinstance(i, FusedTPChain) for i in fused)
+            items = fused
+        local_preds = _build_dependencies(items, num_qubits,
+                                          commutation_aware=burst,
+                                          oracle=oracle)
+        offset = len(all_items)
+        has_successor = [False] * len(items)
+        for local, plist in enumerate(local_preds):
+            shifted = [p + offset for p in plist]
+            if not shifted and barrier:
+                shifted = list(barrier)
+            preds.append(sorted(shifted))
+            for p in plist:
+                has_successor[p] = True
+        all_items.extend(items)
+        item_mappings.extend([phase.mapping] * len(items))
+        sinks = [offset + local for local in range(len(items))
+                 if not has_successor[local]]
+        if not sinks:
+            sinks = list(barrier)
+        if index < len(phases) - 1:
+            moves = list(migrations[index])
+            if moves:
+                move_offset = len(all_items)
+                next_mapping = phases[index + 1].mapping
+                for move in moves:
+                    preds.append(sorted(sinks))
+                    all_items.append(move)
+                    item_mappings.append(next_mapping)
+                barrier = list(range(move_offset, len(all_items)))
+            else:
+                barrier = sinks
+
+    plan = SchedulePlan(items=all_items, preds=preds,
+                        num_fused_chains=num_fused, burst=burst,
+                        item_mappings=item_mappings)
+    cache[burst] = (tuple(phases), tuple(tuple(b) for b in migrations), plan)
+    return plan
+
+
+def schedule_phased_communications(phases: Sequence,
+                                   migrations: Sequence[Sequence[MigrationOp]],
+                                   network: QuantumNetwork,
+                                   strategy: str = "burst-greedy"
+                                   ) -> ScheduleResult:
+    """Schedule a phase-structured program (phases + migration teleports).
+
+    The same adaptive strategy as :func:`schedule_communications`: under
+    ``"burst-greedy"`` both the burst-aware and the plain combined plans are
+    scheduled and the earlier-finishing one wins.
+    """
+    if strategy not in ("burst-greedy", "greedy"):
+        raise ValueError(f"unknown scheduling strategy {strategy!r}")
+    default_mapping = phases[0].mapping
+    if strategy == "burst-greedy":
+        burst_result = _execute_plan(
+            plan_phased_schedule(phases, migrations, burst=True),
+            network, default_mapping)
+        plain_result = _execute_plan(
+            plan_phased_schedule(phases, migrations, burst=False),
+            network, default_mapping)
+        return (burst_result if burst_result.latency <= plain_result.latency
+                else plain_result)
+    return _execute_plan(plan_phased_schedule(phases, migrations, burst=False),
+                         network, default_mapping)

@@ -2,7 +2,8 @@
 
 from .interaction_graph import interaction_graph, interaction_matrix, cut_weight
 from .mapping import QubitMapping, round_robin_mapping, block_mapping
-from .oee import oee_partition, OEEResult, exchange_gain
+from .oee import (oee_partition, oee_repartition, OEEResult, exchange_gain,
+                  migration_distance_matrix)
 
 __all__ = [
     "interaction_graph",
@@ -12,6 +13,8 @@ __all__ = [
     "round_robin_mapping",
     "block_mapping",
     "oee_partition",
+    "oee_repartition",
     "OEEResult",
     "exchange_gain",
+    "migration_distance_matrix",
 ]

@@ -23,19 +23,30 @@ from ..ir.circuit import Circuit
 from .interaction_graph import cut_weight, interaction_graph
 from .mapping import QubitMapping, block_mapping
 
-__all__ = ["oee_partition", "OEEResult", "exchange_gain"]
+__all__ = ["oee_partition", "oee_repartition", "OEEResult", "exchange_gain",
+           "migration_distance_matrix"]
 
 
 class OEEResult:
-    """Outcome of an OEE partitioning run."""
+    """Outcome of an OEE partitioning run.
+
+    ``migration_moves``/``migration_cost`` are only populated by
+    :func:`oee_repartition`: the number of qubits whose node changed
+    relative to the seed mapping and the total routed distance those moves
+    were charged in the objective.
+    """
 
     def __init__(self, mapping: QubitMapping, initial_cut: float,
-                 final_cut: float, num_exchanges: int, rounds: int) -> None:
+                 final_cut: float, num_exchanges: int, rounds: int,
+                 migration_moves: int = 0,
+                 migration_cost: float = 0.0) -> None:
         self.mapping = mapping
         self.initial_cut = initial_cut
         self.final_cut = final_cut
         self.num_exchanges = num_exchanges
         self.rounds = rounds
+        self.migration_moves = migration_moves
+        self.migration_cost = migration_cost
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"OEEResult(cut {self.initial_cut:.0f} -> {self.final_cut:.0f}, "
@@ -187,3 +198,117 @@ def oee_partition(circuit: Circuit, network: QuantumNetwork,
     final_cut = cut_weight(graph, assignment, node_distances=distances)
     result_mapping = QubitMapping(assignment, network)
     return OEEResult(result_mapping, initial_cut, final_cut, num_exchanges, rounds)
+
+
+def migration_distance_matrix(network: QuantumNetwork) -> List[List[float]]:
+    """Node-by-node cost of moving one data qubit between nodes.
+
+    On a routed network this is the routing table's
+    :meth:`~repro.hardware.routing.RoutingTable.cost_matrix` — the routed
+    link-cost of the teleport that would carry the qubit (link-latency sums
+    under a heterogeneous link model, hop counts otherwise), in the same
+    units the distance-weighted cut objective uses.  Unrouted (all-to-all)
+    networks charge one unit per move, matching the unweighted remote-gate
+    cut.
+    """
+    routing = getattr(network, "routing", None)
+    if routing is not None:
+        return routing.cost_matrix()
+    n = network.num_nodes
+    return [[0.0 if i == j else 1.0 for j in range(n)] for i in range(n)]
+
+
+def oee_repartition(circuit: Circuit, network: QuantumNetwork,
+                    previous: QubitMapping,
+                    max_rounds: int = 50,
+                    use_link_distances: Optional[bool] = None,
+                    migration_costs: Optional[List[List[float]]] = None
+                    ) -> OEEResult:
+    """Incrementally re-partition for one program phase, migration-aware.
+
+    The phase-structured pipeline calls this between burst phases: the
+    search is *seeded* from the previous phase's mapping and every exchange
+    is judged by the phase's cut-weight reduction **minus the migration
+    bill** — each qubit that ends up away from its previous node is charged
+    the routed distance of the teleport that moves it
+    (:func:`migration_distance_matrix`, i.e. ``RoutingTable.cost_matrix``
+    on a routed network).  A remap therefore only happens where the
+    phase's communication savings beat the cost of physically migrating
+    the qubits, and a phase whose traffic already suits the previous
+    placement returns it unchanged.
+
+    Args:
+        circuit: the gates of one phase (any basis; interaction counts are
+            taken from multi-qubit gates directly).
+        network: target distributed system.
+        previous: the mapping the previous phase executed under (the seed;
+            also the reference migration is priced against).
+        max_rounds: safety bound on improvement passes.
+        use_link_distances: as in :func:`oee_partition` — weight cut edges
+            by routed distance (auto-engaged on non-uniform routes).
+        migration_costs: override the per-move distance matrix (defaults to
+            :func:`migration_distance_matrix`).
+
+    Returns:
+        An :class:`OEEResult` whose ``mapping`` locally minimises
+        ``phase cut weight + migration cost``; ``migration_moves`` and
+        ``migration_cost`` report the moves relative to ``previous``.
+    """
+    network.validate_capacity(circuit.num_qubits)
+    if previous.num_qubits != circuit.num_qubits:
+        raise ValueError("previous mapping and circuit disagree on qubit count")
+    distances = _topology_distances(network, use_link_distances)
+    migration = (migration_costs if migration_costs is not None
+                 else migration_distance_matrix(network))
+    graph = interaction_graph(circuit)
+    weights = _neighbour_weights(graph)
+    home = previous.as_dict()
+    assignment = dict(home)
+    initial_cut = cut_weight(graph, assignment, node_distances=distances)
+
+    def move_cost(qubit: int, node: int) -> float:
+        origin = home[qubit]
+        return 0.0 if node == origin else migration[origin][node]
+
+    # Only qubits interacting in this phase can *earn* a move, but any
+    # qubit may serve as the displaced swap partner (exchanges preserve
+    # per-node load, so capacity is maintained by construction).
+    active = sorted(weights.keys())
+    all_qubits = list(range(circuit.num_qubits))
+    num_exchanges = 0
+    rounds = 0
+    for rounds in range(1, max_rounds + 1):
+        improved = False
+        for qubit_a in active:
+            best_gain = 0.0
+            best_partner: Optional[int] = None
+            node_a = assignment[qubit_a]
+            for qubit_b in all_qubits:
+                node_b = assignment[qubit_b]
+                if qubit_b == qubit_a or node_a == node_b:
+                    continue
+                gain = exchange_gain(weights, assignment, qubit_a, qubit_b,
+                                     node_distances=distances)
+                # Migration delta of the swap: what both qubits pay now vs
+                # what they would pay on each other's nodes.
+                gain += (move_cost(qubit_a, node_a) + move_cost(qubit_b, node_b)
+                         - move_cost(qubit_a, node_b) - move_cost(qubit_b, node_a))
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best_partner = qubit_b
+            if best_partner is not None:
+                assignment[qubit_a], assignment[best_partner] = (
+                    assignment[best_partner], assignment[qubit_a])
+                node_a = assignment[qubit_a]
+                num_exchanges += 1
+                improved = True
+        if not improved:
+            break
+
+    final_cut = cut_weight(graph, assignment, node_distances=distances)
+    moves = [q for q in all_qubits if assignment[q] != home[q]]
+    total_migration = sum(migration[home[q]][assignment[q]] for q in moves)
+    return OEEResult(QubitMapping(assignment, network), initial_cut, final_cut,
+                     num_exchanges, rounds,
+                     migration_moves=len(moves),
+                     migration_cost=total_migration)

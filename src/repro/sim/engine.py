@@ -35,7 +35,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.pipeline import CompiledProgram
-from ..core.scheduling import SchedulePlan, plan_schedule
+from ..core.scheduling import SchedulePlan, plan_phased_schedule, plan_schedule
 from ..hardware.epr import CommResourceTracker, SlotSchedule
 from ..hardware.network import QuantumNetwork
 from .epr_process import EPRProcess
@@ -422,6 +422,9 @@ class ExecutionEngine:
                               nodes, detail="hub to remote node")
             self.trace.record(end, "teleport", index, nodes,
                               detail="hub returned home")
+        elif kind == "migration":
+            self.trace.record(end, "teleport", index, nodes,
+                              detail=f"migrate q{item.qubit} to new home")
         else:  # tp-chain: hops interleaved with the block bodies
             t = start
             for hop, block in enumerate(item.blocks):
@@ -451,8 +454,25 @@ def _program_burst(program: CompiledProgram) -> bool:
 
 
 def _plan_for(program: CompiledProgram) -> SchedulePlan:
+    """The plan the program's analytical schedule was computed from.
+
+    Phase-structured programs replay the combined phased plan (per-phase
+    items plus inter-phase migration teleports); plans are memoised on the
+    underlying assignment, so the engine executes the *same* plan object
+    the analytical scheduler priced.
+    """
+    if getattr(program, "phases", None):
+        return plan_phased_schedule(program.phases, program.migrations or [],
+                                    burst=_program_burst(program))
     assignment = _require_assignment(program)
     return plan_schedule(assignment, burst=_program_burst(program))
+
+
+def _mapping_for(program: CompiledProgram):
+    """Default mapping for profile building (phase plans carry their own)."""
+    if getattr(program, "phases", None):
+        return program.phases[0].mapping
+    return _require_assignment(program).mapping
 
 
 def simulate_program(program: CompiledProgram,
@@ -465,7 +485,7 @@ def simulate_program(program: CompiledProgram,
     """
     config = config or SimulationConfig()
     engine = ExecutionEngine(_plan_for(program), program.network,
-                             program.assignment.mapping, config=config)
+                             _mapping_for(program), config=config)
     return engine.run()
 
 
@@ -484,7 +504,7 @@ def run_monte_carlo(program: CompiledProgram,
     # The plan (items + dependency graph) is identical across trials and its
     # commutation analysis dominates planning cost, so build it once.
     plan = _plan_for(program)
-    mapping = program.assignment.mapping
+    mapping = _mapping_for(program)
 
     latencies: List[float] = []
     attempts: List[int] = []

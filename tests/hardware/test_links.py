@@ -209,6 +209,74 @@ class TestSpecParsing:
             load_link_spec(path, base_t_epr=12.0)
 
 
+class TestLoadLinkSpecErrorPaths:
+    """Every rejection of :func:`load_link_spec`, through a real file."""
+
+    def _load(self, tmp_path, payload):
+        path = tmp_path / "links.json"
+        path.write_text(payload if isinstance(payload, str)
+                        else json.dumps(payload))
+        return load_link_spec(path, base_t_epr=12.0)
+
+    def test_truncated_json_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            self._load(tmp_path, '{"default": {"t_epr": 12.0')
+
+    @pytest.mark.parametrize("payload", ["[]", '"links"', "42", "null", "true"])
+    def test_non_object_top_level_rejected(self, tmp_path, payload):
+        with pytest.raises(ValueError, match="JSON object"):
+            self._load(tmp_path, payload)
+
+    @pytest.mark.parametrize("name", ["01", "0-1-2", "a-b", "0", "", "x,y"])
+    def test_bad_link_name_rejected(self, tmp_path, name):
+        with pytest.raises(ValueError, match="not of the form 'a-b'"):
+            self._load(tmp_path, {"links": {name: {"t_epr": 3.0}}})
+
+    def test_self_loop_link_name_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="distinct nodes"):
+            self._load(tmp_path, {"links": {"2-2": {"t_epr": 3.0}}})
+
+    def test_unknown_top_level_key_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown link-spec keys"):
+            self._load(tmp_path, {"default": {"t_epr": 9.0}, "edges": {}})
+
+    @pytest.mark.parametrize("where", ["default", "links"])
+    def test_unknown_field_rejected(self, tmp_path, where):
+        entry = {"t_epr": 9.0, "latency": 3.0}
+        payload = ({"default": entry} if where == "default"
+                   else {"links": {"0-1": entry}})
+        with pytest.raises(ValueError, match="unknown fields"):
+            self._load(tmp_path, payload)
+
+    @pytest.mark.parametrize("entry", [[1, 2], "fast", 7, None])
+    def test_non_object_entry_rejected(self, tmp_path, entry):
+        with pytest.raises(ValueError, match="must be an object"):
+            self._load(tmp_path, {"links": {"0-1": entry}})
+
+    def test_duplicate_link_after_normalisation_rejected(self, tmp_path):
+        # JSON keys "0-1" and "1-0" are distinct strings but the same link.
+        with pytest.raises(ValueError, match="duplicate link spec"):
+            self._load(tmp_path, {"links": {"0-1": {"t_epr": 3.0},
+                                            "1-0": {"t_epr": 4.0}}})
+
+    @pytest.mark.parametrize("field, value, match", [
+        ("t_epr", 0.0, "t_epr must be positive"),
+        ("t_epr", -1.0, "t_epr must be positive"),
+        ("capacity", 0, "capacity must be >= 1"),
+        ("p_epr", 0.0, "p_epr must be in"),
+        ("p_epr", 1.5, "p_epr must be in"),
+    ])
+    def test_invalid_values_rejected_through_file(self, tmp_path, field,
+                                                  value, match):
+        with pytest.raises(ValueError, match=match):
+            self._load(tmp_path, {"links": {"0-1": {field: value}}})
+
+    def test_nan_value_rejected_through_file(self, tmp_path):
+        # json.loads accepts the bare NaN literal; the spec must not.
+        with pytest.raises(ValueError):
+            self._load(tmp_path, '{"default": {"t_epr": NaN}}')
+
+
 class TestProfiles:
     def test_registry(self):
         assert set(LINK_PROFILES) == {"distance_scaled", "noisy_spine"}

@@ -4,7 +4,7 @@ import networkx as nx
 import pytest
 
 from repro.circuits import qft_circuit, bv_circuit
-from repro.hardware import uniform_network
+from repro.hardware import apply_topology, uniform_network
 from repro.ir import Circuit
 from repro.partition import (
     QubitMapping,
@@ -13,7 +13,9 @@ from repro.partition import (
     exchange_gain,
     interaction_graph,
     interaction_matrix,
+    migration_distance_matrix,
     oee_partition,
+    oee_repartition,
     round_robin_mapping,
 )
 
@@ -127,3 +129,106 @@ class TestOEE:
         network = uniform_network(2, 4)
         result = oee_partition(circuit, network)
         assert "cut" in repr(result)
+
+
+class TestMigrationDistanceMatrix:
+    def test_unrouted_network_charges_unit_moves(self):
+        network = uniform_network(3, 2)
+        matrix = migration_distance_matrix(network)
+        assert matrix == [[0.0, 1.0, 1.0], [1.0, 0.0, 1.0], [1.0, 1.0, 0.0]]
+
+    def test_routed_network_uses_cost_matrix(self):
+        network = uniform_network(4, 2)
+        apply_topology(network, "line")
+        matrix = migration_distance_matrix(network)
+        assert matrix == network.routing.cost_matrix()
+        assert matrix[0][3] == 3
+
+
+class TestOEERepartition:
+    def _line_network(self):
+        network = uniform_network(4, 2)
+        apply_topology(network, "line")
+        return network
+
+    def test_no_interactions_returns_previous_mapping(self):
+        network = self._line_network()
+        previous = block_mapping(8, network)
+        circuit = Circuit(8).h(0).h(5)
+        result = oee_repartition(circuit, network, previous)
+        assert result.mapping.as_dict() == previous.as_dict()
+        assert result.migration_moves == 0
+        assert result.migration_cost == 0.0
+
+    def test_small_gain_does_not_beat_migration_bill(self):
+        # One lone remote CX between adjacent nodes: colocating would save
+        # distance 1 per endpoint moved but cost at least 1 per move.
+        network = self._line_network()
+        previous = block_mapping(8, network)
+        circuit = Circuit(8).cx(1, 2)
+        result = oee_repartition(circuit, network, previous)
+        assert result.migration_moves == 0
+        assert result.mapping.as_dict() == previous.as_dict()
+
+    def test_heavy_phase_traffic_triggers_migration(self):
+        # Many bursts between the line's far ends: savings of 3 hops per
+        # gate dwarf the migration distance, so the qubits converge.
+        network = self._line_network()
+        previous = block_mapping(8, network)
+        circuit = Circuit(8)
+        for _ in range(10):
+            circuit.cx(0, 7)
+        result = oee_repartition(circuit, network, previous)
+        assert result.migration_moves > 0
+        mapping = result.mapping
+        distance = network.routing.cost_matrix()
+        assert (distance[mapping.node_of(0)][mapping.node_of(7)]
+                < distance[previous.node_of(0)][previous.node_of(7)])
+
+    def test_migration_cost_matches_moved_distances(self):
+        network = self._line_network()
+        previous = block_mapping(8, network)
+        circuit = Circuit(8)
+        for _ in range(10):
+            circuit.cx(0, 7)
+        result = oee_repartition(circuit, network, previous)
+        matrix = migration_distance_matrix(network)
+        expected = sum(
+            matrix[previous.node_of(q)][result.mapping.node_of(q)]
+            for q in range(8)
+            if result.mapping.node_of(q) != previous.node_of(q))
+        assert result.migration_cost == pytest.approx(expected)
+        assert result.migration_moves == sum(
+            1 for q in range(8)
+            if result.mapping.node_of(q) != previous.node_of(q))
+
+    def test_exchanges_preserve_node_loads(self):
+        network = self._line_network()
+        previous = block_mapping(8, network)
+        circuit = qft_circuit(8)
+        result = oee_repartition(circuit, network, previous)
+        for node in range(4):
+            assert (len(result.mapping.qubits_on(node))
+                    == len(previous.qubits_on(node)))
+
+    def test_free_moves_with_zero_migration_costs(self):
+        # With the migration bill zeroed out the pass degenerates to a
+        # plain OEE improvement of the seed, so an obviously bad seed on
+        # heavy far-end traffic must be repaired.
+        network = self._line_network()
+        previous = block_mapping(8, network)
+        circuit = Circuit(8)
+        for _ in range(3):
+            circuit.cx(0, 7)
+        zero = [[0.0] * 4 for _ in range(4)]
+        free = oee_repartition(circuit, network, previous,
+                               migration_costs=zero)
+        billed = oee_repartition(circuit, network, previous)
+        assert free.final_cut <= billed.final_cut
+        assert free.migration_cost == 0.0
+
+    def test_qubit_count_mismatch_rejected(self):
+        network = self._line_network()
+        previous = block_mapping(6, network)
+        with pytest.raises(ValueError):
+            oee_repartition(Circuit(8), network, previous)

@@ -384,3 +384,152 @@ class TestLinkModelFlags:
         out = capsys.readouterr().out
         assert exit_code == 0
         assert "sim_mean" in out
+
+
+class TestRemapFlags:
+    @pytest.fixture
+    def wide_qasm(self, tmp_path):
+        path = tmp_path / "qft12.qasm"
+        path.write_text(to_qasm(qft_circuit(12)))
+        return path
+
+    def test_remap_arguments_parsed(self):
+        args = build_parser().parse_args(
+            ["compile", "p.qasm", "--nodes", "4", "--remap", "bursts",
+             "--phase-blocks", "3"])
+        assert args.remap == "bursts"
+        assert args.phase_blocks == 3
+
+    def test_remap_defaults(self):
+        for command in ("compile", "compare", "simulate", "profile"):
+            args = build_parser().parse_args(
+                [command, "p.qasm", "--nodes", "4"])
+            assert args.remap == "never"
+            assert args.phase_blocks == 8
+
+    def test_unknown_remap_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compile", "p.qasm", "--nodes", "4",
+                                       "--remap", "sometimes"])
+
+    def test_compile_reports_remap_rows(self, wide_qasm, capsys):
+        exit_code = main(["compile", str(wide_qasm), "--nodes", "4",
+                          "--topology", "line", "--remap", "bursts",
+                          "--phase-blocks", "3"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "autocomm-remap" in out
+        assert "phases" in out
+        assert "migration moves" in out
+        assert "migration latency" in out
+        assert "EPR latency volume" in out
+
+    def test_compile_remap_never_report_unchanged(self, wide_qasm, capsys):
+        main(["compile", str(wide_qasm), "--nodes", "4", "--topology", "line"])
+        plain = capsys.readouterr().out
+        main(["compile", str(wide_qasm), "--nodes", "4", "--topology", "line",
+              "--remap", "never"])
+        explicit = capsys.readouterr().out
+        assert explicit == plain
+        assert "migration" not in plain
+
+    def test_remap_rejected_for_other_compilers(self, wide_qasm):
+        with pytest.raises(SystemExit, match="only applies to the autocomm"):
+            main(["compile", str(wide_qasm), "--nodes", "4",
+                  "--remap", "bursts", "--compiler", "sparse"])
+
+    def test_bad_phase_blocks_rejected(self, wide_qasm):
+        with pytest.raises(SystemExit, match="--phase-blocks"):
+            main(["compile", str(wide_qasm), "--nodes", "4",
+                  "--remap", "bursts", "--phase-blocks", "0"])
+
+    def test_compare_remap_adds_contender_row(self, wide_qasm, capsys):
+        exit_code = main(["compare", str(wide_qasm), "--nodes", "4",
+                          "--topology", "line", "--remap", "bursts"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "autocomm-remap" in out
+        assert "epr_latency" in out
+        assert "migrations" in out
+
+    def test_simulate_remap_validates(self, wide_qasm, capsys):
+        exit_code = main(["simulate", str(wide_qasm), "--nodes", "4",
+                          "--topology", "line", "--remap", "bursts",
+                          "--phase-blocks", "3"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "yes" in out
+
+    def test_profile_accepts_remap(self, wide_qasm, capsys, tmp_path):
+        report = tmp_path / "profile.json"
+        exit_code = main(["profile", str(wide_qasm), "--nodes", "4",
+                          "--remap", "bursts", "--repeat", "1",
+                          "--json", str(report)])
+        assert exit_code == 0
+        import json
+        assert json.loads(report.read_text())["remap"] == "bursts"
+
+
+class TestCompareFidelity:
+    def test_fidelity_column(self, qasm_file, capsys):
+        exit_code = main(["compare", str(qasm_file), "--nodes", "2",
+                          "--fidelity"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "fidelity" in out
+
+    def test_no_fidelity_column_by_default(self, qasm_file, capsys):
+        main(["compare", str(qasm_file), "--nodes", "2"])
+        out = capsys.readouterr().out
+        assert "fidelity" not in out
+
+
+class TestIdealLinksFlag:
+    @pytest.fixture
+    def wide_qasm(self, tmp_path):
+        path = tmp_path / "qft12.qasm"
+        path.write_text(to_qasm(qft_circuit(12)))
+        return path
+
+    @pytest.fixture
+    def capped_spec(self, tmp_path):
+        import json
+
+        path = tmp_path / "capped.json"
+        path.write_text(json.dumps(
+            {"default": {"capacity": 1, "p_epr": 0.5}}))
+        return path
+
+    def test_ideal_links_parsed(self):
+        args = build_parser().parse_args(
+            ["simulate", "p.qasm", "--nodes", "4", "--ideal-links"])
+        assert args.ideal_links is True
+        args = build_parser().parse_args(["simulate", "p.qasm", "--nodes", "4"])
+        assert args.ideal_links is False
+
+    def test_ideal_links_match_analytical(self, wide_qasm, capped_spec,
+                                          capsys):
+        """Under --ideal-links a capacity/loss-constrained study collapses
+        onto the analytical schedule."""
+        exit_code = main(["simulate", str(wide_qasm), "--nodes", "4",
+                          "--topology", "line", "--link-spec",
+                          str(capped_spec), "--trials", "2", "--seed", "5",
+                          "--ideal-links"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        row = [line for line in out.splitlines() if "yes" in line]
+        assert row, out
+        # sim_mean equals the analytical latency when links are idealised:
+        # columns are latency, simulated_latency, p_epr, sim_mean, ...
+        import re
+        numbers = re.findall(r"\d+\.\d+", row[0])
+        assert float(numbers[3]) == pytest.approx(float(numbers[0]))
+
+    def test_constrained_study_differs_without_flag(self, wide_qasm,
+                                                    capped_spec, capsys):
+        exit_code = main(["simulate", str(wide_qasm), "--nodes", "4",
+                          "--topology", "line", "--link-spec",
+                          str(capped_spec), "--trials", "2", "--seed", "5"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "sim_mean" in out
