@@ -33,6 +33,15 @@ each link against its own capacity and samples generation with its own
 success probability.  The global ``--link-capacity`` flag is the uniform
 special case (every link, same bound) and conflicts with ``--link-spec``.
 
+``--report out.json`` on ``compile``, ``compare`` and ``simulate`` writes a
+versioned :class:`~repro.obs.report.RunReport` JSON artifact (compilation
+metrics, compile stage timings, simulation summary and the simulator's
+metrics registry); ``python -m repro.cli trace program.qasm --nodes 4``
+exports a Chrome-trace-format ``.trace.json`` of the compile span tree and
+the simulated execution for chrome://tracing or Perfetto, and ``simulate
+--trace-out events.jsonl`` dumps the raw simulator event trace as JSON
+Lines.
+
 ``--remap bursts`` (with ``--phase-blocks``) switches the autocomm pipeline
 to phase-structured compilation: the aggregated program is segmented at
 burst-phase boundaries, each later phase re-partitions incrementally from
@@ -66,6 +75,9 @@ from .core import AutoCommConfig, compile_autocomm
 from .hardware import (LINK_PROFILES, SUPPORTED_TOPOLOGIES, apply_topology,
                        load_link_spec, uniform_network)
 from .ir import Circuit, from_qasm, to_qasm
+from .obs import (PID_COMPILE, RunReport, report_for_program,
+                  simulation_trace_events, span_trace_events,
+                  validate_trace_events, write_chrome_trace)
 from .sim import (SimulationConfig, run_monte_carlo, simulate_program,
                   validate_schedule)
 
@@ -109,6 +121,14 @@ def _add_topology_arguments(parser: argparse.ArgumentParser) -> None:
                              "--link-spec)")
 
 
+def _add_report_argument(parser: argparse.ArgumentParser) -> None:
+    """The ``--report`` option shared by compile/compare/simulate."""
+    parser.add_argument("--report", type=Path, default=None, metavar="PATH",
+                        help="write a versioned JSON run report (metrics, "
+                             "compile stage timings, simulation summary) "
+                             "to PATH")
+
+
 def _add_remap_arguments(parser: argparse.ArgumentParser) -> None:
     """Dynamic-remapping options shared by compile/compare/simulate/profile."""
     parser.add_argument("--remap", choices=("never", "bursts"),
@@ -146,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="also print an estimated program fidelity")
     _add_topology_arguments(compile_parser)
     _add_remap_arguments(compile_parser)
+    _add_report_argument(compile_parser)
 
     compare_parser = subparsers.add_parser(
         "compare", help="run every compiler on the same program")
@@ -158,6 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
                                      "column per compiler")
     _add_topology_arguments(compare_parser)
     _add_remap_arguments(compare_parser)
+    _add_report_argument(compare_parser)
 
     simulate_parser = subparsers.add_parser(
         "simulate", help="execute a compiled program with the discrete-event "
@@ -199,8 +221,14 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--trace", type=int, default=None,
                                  metavar="N",
                                  help="print the first N simulation events")
+    simulate_parser.add_argument("--trace-out", type=Path, default=None,
+                                 metavar="PATH",
+                                 help="write the shown run's event trace as "
+                                      "JSON Lines (one event object per "
+                                      "line) to PATH")
     _add_topology_arguments(simulate_parser)
     _add_remap_arguments(simulate_parser)
+    _add_report_argument(simulate_parser)
 
     profile_parser = subparsers.add_parser(
         "profile", help="profile the compiler (and optionally the simulator) "
@@ -232,6 +260,31 @@ def build_parser() -> argparse.ArgumentParser:
                                      "BENCH_compiler.json)")
     _add_topology_arguments(profile_parser)
     _add_remap_arguments(profile_parser)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="compile + simulate a program and export a Chrome-"
+                      "trace-format .trace.json (chrome://tracing, Perfetto) "
+                      "of compile stages, simulated ops and link activity")
+    trace_parser.add_argument("qasm", type=Path)
+    trace_parser.add_argument("--nodes", type=int, required=True)
+    trace_parser.add_argument("--qubits-per-node", type=int, default=None)
+    trace_parser.add_argument("--comm-qubits", type=int, default=2)
+    trace_parser.add_argument("--compiler", choices=sorted(COMPILERS),
+                              default="autocomm")
+    trace_parser.add_argument("--out", type=Path, default=None, metavar="PATH",
+                              help="output file (default: <qasm stem>"
+                                   ".trace.json next to the input)")
+    trace_parser.add_argument("--p-epr", type=float, default=1.0,
+                              help="EPR attempt success probability for the "
+                                   "simulated execution (default 1.0)")
+    trace_parser.add_argument("--seed", type=int, default=0,
+                              help="seed for a stochastic execution "
+                                   "(default 0)")
+    trace_parser.add_argument("--no-sim", action="store_true",
+                              help="export compile spans only, skip the "
+                                   "simulated execution")
+    _add_topology_arguments(trace_parser)
+    _add_remap_arguments(trace_parser)
 
     generate_parser = subparsers.add_parser(
         "generate", help="write a benchmark circuit as OpenQASM 2.0")
@@ -381,6 +434,11 @@ def _cmd_compile(args) -> int:
         rows.append({"metric": "estimated fidelity",
                      "value": round(estimate_fidelity(program, DEFAULT_ERROR_MODEL), 4)})
     print(render_table(rows, columns=["metric", "value"]))
+    if args.report is not None:
+        report = report_for_program(program, kind="compile",
+                                    meta={"qasm": str(args.qasm)})
+        report.save(args.report)
+        print(f"wrote {args.report}")
     return 0
 
 
@@ -425,6 +483,21 @@ def _cmd_compare(args) -> int:
     if args.fidelity:
         columns.append("fidelity")
     print(render_table(rows, columns=columns))
+    if args.report is not None:
+        entries = []
+        for name, program in programs:
+            spans = getattr(program, "spans", None)
+            entries.append({"compiler": name,
+                            "metrics": program.metrics.as_dict(),
+                            "spans": (spans.as_dict()
+                                      if spans is not None else None)})
+        report = RunReport(kind="compare",
+                           meta={"qasm": str(args.qasm),
+                                 "nodes": network.num_nodes,
+                                 "topology": network.topology_kind},
+                           programs=entries)
+        report.save(args.report)
+        print(f"wrote {args.report}")
     return 0
 
 
@@ -484,7 +557,64 @@ def _cmd_simulate(args) -> int:
     if args.trace is not None:
         print()
         print(shown.trace.render(limit=args.trace))
+    if args.trace_out is not None:
+        count = shown.trace.write_jsonl(args.trace_out)
+        print(f"wrote {args.trace_out} ({count} events)")
+    if args.report is not None:
+        simulation = {
+            "validation": {
+                "matches": report.matches,
+                "analytical_latency": report.analytical_latency,
+                "simulated_latency": report.simulated_latency,
+                "max_op_end_delta": report.max_op_end_delta,
+            },
+        }
+        if monte_carlo is not None:
+            simulation["monte_carlo"] = monte_carlo.summary()
+            if monte_carlo.metrics is not None:
+                simulation["sim_metrics"] = monte_carlo.metrics.as_dict()
+        elif deterministic.metrics is not None:
+            simulation["sim_metrics"] = deterministic.metrics.as_dict()
+        run_report = report_for_program(program, kind="simulate",
+                                        meta={"qasm": str(args.qasm),
+                                              "p_epr": args.p_epr,
+                                              "trials": args.trials,
+                                              "seed": args.seed})
+        run_report.simulation = simulation
+        run_report.save(args.report)
+        print(f"wrote {args.report}")
     return 0 if report.matches else 1
+
+
+def _cmd_trace(args) -> int:
+    if not 0.0 < args.p_epr <= 1.0:
+        raise SystemExit(f"error: --p-epr must be in (0, 1], got {args.p_epr}")
+    circuit = _load_circuit(args.qasm)
+    network = _network_from_args(circuit, args)
+    program = _compile_program(circuit, network, args)
+
+    events = []
+    spans = getattr(program, "spans", None)
+    if spans is not None:
+        events.extend(span_trace_events(spans, pid=PID_COMPILE))
+    if not args.no_sim:
+        result = simulate_program(program,
+                                  SimulationConfig(p_epr=args.p_epr,
+                                                   seed=args.seed))
+        events.extend(simulation_trace_events(result))
+
+    out = args.out
+    if out is None:
+        out = args.qasm.with_name(args.qasm.stem + ".trace.json")
+    write_chrome_trace(out, events)
+    print(f"wrote {out} ({len(events)} events) — open in chrome://tracing "
+          f"or https://ui.perfetto.dev")
+    violations = validate_trace_events(events)
+    if violations:
+        for violation in violations:
+            print(f"warning: {violation}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_profile(args) -> int:
@@ -558,11 +688,22 @@ def _cmd_profile(args) -> int:
              "value": " ".join(f"{t * 1e3:.2f}" for t in compile_times)},
             {"metric": "commutation cache hits/misses",
              "value": f"{cache_stats['hits']}/{cache_stats['misses']}"}]
+    spans = getattr(program, "spans", None)
+    if spans is not None:
+        # Top-level pass timings from the profiled compile's span tree; the
+        # full nested tree follows the hotspot table.
+        for child in spans.children:
+            rows.append({"metric": f"  stage {child.name} [ms]",
+                         "value": round(child.duration * 1e3, 2)})
     if simulate_times:
         rows.append({"metric": f"simulate {args.simulate_trials} trials "
                                f"median [ms]",
                      "value": round(statistics.median(simulate_times) * 1e3, 2)})
     print(render_table(rows, columns=["metric", "value"]))
+    if spans is not None:
+        print()
+        print("compile stage tree (profiled run):")
+        print(spans.render())
     print()
     print(f"top {len(hotspots)} hotspots by cumulative time:")
     print(render_table(hotspots,
@@ -571,6 +712,7 @@ def _cmd_profile(args) -> int:
     if args.json is not None:
         payload = {
             "command": "profile",
+            "schema": 1,
             "qasm": str(args.qasm),
             "compiler": args.compiler,
             "nodes": args.nodes,
@@ -582,6 +724,8 @@ def _cmd_profile(args) -> int:
             "commutation_cache": cache_stats,
             "hotspots": hotspots,
         }
+        if spans is not None:
+            payload["stages"] = spans.as_dict()
         if simulate_times:
             payload["simulate_s"] = {"median": statistics.median(simulate_times),
                                      "runs": simulate_times,
@@ -608,7 +752,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"compile": _cmd_compile, "compare": _cmd_compare,
                 "simulate": _cmd_simulate, "generate": _cmd_generate,
-                "profile": _cmd_profile}
+                "profile": _cmd_profile, "trace": _cmd_trace}
     return handlers[args.command](args)
 
 

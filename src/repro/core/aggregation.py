@@ -30,8 +30,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from ..comm.blocks import CommBlock
 from ..ir.circuit import Circuit
-from ..ir.commutation import commutes
+from ..ir.commutation import commutation_cache_stats, commutes
 from ..ir.gates import Gate
+from ..obs.span import stage
 from ..partition.mapping import QubitMapping
 
 __all__ = ["AggregationResult", "aggregate_communications", "CommAggregator"]
@@ -460,6 +461,24 @@ def aggregate_communications(circuit: Circuit, mapping: QubitMapping,
             Figure 17(a) (blocks are then only formed from physically adjacent
             remote gates).
         max_sweeps: maximum number of refinement sweeps over all pairs.
+
+    Under an active :mod:`repro.obs` tracer the pass runs inside an
+    ``aggregation`` span carrying block/item counts and the commutation
+    oracle's cache activity for this pass (hit/miss deltas).
     """
-    return CommAggregator(circuit, mapping, use_commutation=use_commutation,
-                          max_sweeps=max_sweeps).run()
+    with stage("aggregation") as span:
+        if not span.enabled:
+            return CommAggregator(circuit, mapping,
+                                  use_commutation=use_commutation,
+                                  max_sweeps=max_sweeps).run()
+        before = commutation_cache_stats()
+        result = CommAggregator(circuit, mapping,
+                                use_commutation=use_commutation,
+                                max_sweeps=max_sweeps).run()
+        after = commutation_cache_stats()
+        span.set("gates", len(circuit))
+        span.set("blocks", len(result.blocks))
+        span.set("items", len(result.items))
+        span.set("commutation_hits", after["hits"] - before["hits"])
+        span.set("commutation_misses", after["misses"] - before["misses"])
+        return result

@@ -31,6 +31,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from ..comm.blocks import CommBlock, CommPattern, CommScheme
 from ..comm.cost import CommCost, total_comm_count
 from ..hardware.network import QuantumNetwork
+from ..obs.span import stage
 from ..partition.mapping import QubitMapping
 from .aggregation import AggregationResult
 
@@ -113,25 +114,31 @@ def assign_communications(aggregation: AggregationResult,
     latency (:func:`choose_scheme_routed`) and the reported cost carries the
     swap-inclusive physical EPR-pair count of the network's routes.
     """
-    mapping = aggregation.mapping
-    pattern_histogram: Dict[CommPattern, int] = {}
-    scheme_histogram: Dict[CommScheme, int] = {}
-    for block in aggregation.blocks:
-        pattern = block.pattern(mapping)
-        pattern_histogram[pattern] = pattern_histogram.get(pattern, 0) + 1
-        if cat_only:
-            scheme = CommScheme.CAT
-        elif network is not None:
-            scheme = choose_scheme_routed(block, mapping, network)
-        else:
-            scheme = choose_scheme(block, mapping)
-        block.scheme = scheme
-        scheme_histogram[scheme] = scheme_histogram.get(scheme, 0) + 1
-    cost = total_comm_count(aggregation.blocks, mapping, network=network)
-    return AssignmentResult(
-        aggregation=aggregation,
-        blocks=list(aggregation.blocks),
-        cost=cost,
-        pattern_histogram=pattern_histogram,
-        scheme_histogram=scheme_histogram,
-    )
+    with stage("assignment") as span:
+        mapping = aggregation.mapping
+        pattern_histogram: Dict[CommPattern, int] = {}
+        scheme_histogram: Dict[CommScheme, int] = {}
+        for block in aggregation.blocks:
+            pattern = block.pattern(mapping)
+            pattern_histogram[pattern] = pattern_histogram.get(pattern, 0) + 1
+            if cat_only:
+                scheme = CommScheme.CAT
+            elif network is not None:
+                scheme = choose_scheme_routed(block, mapping, network)
+            else:
+                scheme = choose_scheme(block, mapping)
+            block.scheme = scheme
+            scheme_histogram[scheme] = scheme_histogram.get(scheme, 0) + 1
+        cost = total_comm_count(aggregation.blocks, mapping, network=network)
+        if span.enabled:
+            span.set("blocks", len(aggregation.blocks))
+            span.set("cat_blocks", scheme_histogram.get(CommScheme.CAT, 0))
+            span.set("tp_blocks", scheme_histogram.get(CommScheme.TP, 0))
+            span.set("total_comm", cost.total_comm)
+        return AssignmentResult(
+            aggregation=aggregation,
+            blocks=list(aggregation.blocks),
+            cost=cost,
+            pattern_histogram=pattern_histogram,
+            scheme_histogram=scheme_histogram,
+        )

@@ -90,6 +90,27 @@ class CompilationMetrics:
             "migration_latency": self.migration_latency,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CompilationMetrics":
+        """Inverse of :meth:`as_dict` (used by the run-report loader).
+
+        ``as_dict(from_dict(d)) == d`` for any ``as_dict`` output, so
+        metrics survive a JSON round trip through
+        :class:`~repro.obs.report.RunReport` unchanged.
+        """
+        known = {f: data[f] for f in (
+            "name", "total_comm", "tp_comm", "cat_comm", "peak_rem_cx",
+            "latency", "num_blocks", "num_remote_gates", "total_epr_pairs",
+            "total_epr_latency", "num_phases", "migration_moves",
+            "migration_latency") if f in data}
+        missing = {"name", "total_comm", "tp_comm", "cat_comm",
+                   "peak_rem_cx", "latency", "num_blocks",
+                   "num_remote_gates"} - known.keys()
+        if missing:
+            raise ValueError("compilation metrics dict is missing required "
+                             f"fields: {', '.join(sorted(missing))}")
+        return cls(**known)
+
 
 def comparison_factors(baseline: CompilationMetrics,
                        optimized: CompilationMetrics) -> Dict[str, float]:

@@ -31,6 +31,7 @@ from ..comm.blocks import CommBlock
 from ..hardware.network import QuantumNetwork
 from ..ir.circuit import Circuit
 from ..ir.decompose import decompose_to_cx
+from ..obs.span import Span, Tracer, stage
 from ..partition.mapping import QubitMapping
 from ..partition.oee import oee_partition, oee_repartition
 from .aggregation import (AggregationResult, ScheduleItem,
@@ -107,6 +108,11 @@ class CompiledProgram:
     phases: Optional[List[CompiledPhase]] = None
     #: One migration list per phase boundary (``len(phases) - 1`` entries).
     migrations: Optional[List[List[MigrationOp]]] = None
+    #: Stage-timing tree of the compile (:mod:`repro.obs`): wall time and
+    #: counters per pass, phases nested.  Purely observational — ``None``
+    #: when tracing was globally disabled — and excluded from every
+    #: equivalence comparison.
+    spans: Optional[Span] = None
 
     def burst_distribution(self, max_x: Optional[int] = None) -> Dict[int, float]:
         """Figure 15 distribution for this compiled program.
@@ -144,11 +150,27 @@ class AutoCommCompiler:
 
         When ``mapping`` is omitted the qubits are placed with the OEE static
         partitioner, exactly as in the paper's experimental setup.
+
+        Every compile runs under an :mod:`repro.obs` tracer: the returned
+        program's ``spans`` field carries the stage-timing tree (one child
+        per pass, phases nested) unless tracing was globally disabled.
         """
-        if self.config.remap != "never":
-            return self._compile_phased(circuit, network, mapping)
+        with Tracer(f"compile/{circuit.name}") as tracer:
+            if self.config.remap != "never":
+                program = self._compile_phased(circuit, network, mapping)
+            else:
+                program = self._compile_static(circuit, network, mapping)
+        program.spans = tracer.root
+        return program
+
+    def _compile_static(self, circuit: Circuit, network: QuantumNetwork,
+                        mapping: Optional[QubitMapping]) -> CompiledProgram:
+        """The paper's single-mapping pipeline."""
         network.validate_capacity(circuit.num_qubits)
-        working = decompose_to_cx(circuit) if self.config.decompose else circuit
+        with stage("decompose") as span:
+            working = (decompose_to_cx(circuit) if self.config.decompose
+                       else circuit)
+            span.set("gates", len(working))
         if mapping is None:
             mapping = oee_partition(working, network).mapping
 
@@ -193,7 +215,10 @@ class AutoCommCompiler:
                         mapping: Optional[QubitMapping]) -> CompiledProgram:
         """The ``remap = "bursts"`` pipeline: segment, repartition, migrate."""
         network.validate_capacity(circuit.num_qubits)
-        working = decompose_to_cx(circuit) if self.config.decompose else circuit
+        with stage("decompose") as span:
+            working = (decompose_to_cx(circuit) if self.config.decompose
+                       else circuit)
+            span.set("gates", len(working))
         if mapping is None:
             mapping = oee_partition(working, network).mapping
 
@@ -203,42 +228,53 @@ class AutoCommCompiler:
             working, mapping,
             use_commutation=self.config.use_commutation,
             max_sweeps=self.config.max_sweeps)
-        segments = _segment_items(base.items, self.config.phase_blocks)
+        with stage("segment") as span:
+            segments = _segment_items(base.items, self.config.phase_blocks)
+            span.set("phases", len(segments))
+            span.set("phase_blocks", self.config.phase_blocks)
 
         phases: List[CompiledPhase] = []
         migrations: List[List[MigrationOp]] = []
         current = mapping
         for index, segment in enumerate(segments):
-            phase_circuit = _phase_circuit(working, segment, index)
-            if index > 0:
-                repartition = oee_repartition(phase_circuit, network,
-                                              previous=current)
-                new_mapping = repartition.mapping
-                moves = [MigrationOp(qubit=q, source=current.node_of(q),
-                                     target=new_mapping.node_of(q))
-                         for q in range(working.num_qubits)
-                         if new_mapping.node_of(q) != current.node_of(q)]
-                migrations.append(moves)
-                if moves:
-                    current = new_mapping
-            if current is mapping:
-                # Blocks from the initial aggregation were built under the
-                # initial mapping, so an un-remapped phase reuses them.
-                aggregation = AggregationResult(
-                    circuit=phase_circuit, mapping=current,
-                    items=list(segment),
-                    blocks=[i for i in segment if isinstance(i, CommBlock)])
-            else:
-                aggregation = aggregate_communications(
-                    phase_circuit, current,
-                    use_commutation=self.config.use_commutation,
-                    max_sweeps=self.config.max_sweeps)
-            assignment = assign_communications(aggregation,
-                                               cat_only=self.config.cat_only,
-                                               network=network)
-            phases.append(CompiledPhase(index=index, mapping=current,
-                                        aggregation=aggregation,
-                                        assignment=assignment))
+            with stage(f"phase-{index}") as phase_span:
+                phase_circuit = _phase_circuit(working, segment, index)
+                if index > 0:
+                    with stage("migration-planning") as plan_span:
+                        repartition = oee_repartition(phase_circuit, network,
+                                                      previous=current)
+                        new_mapping = repartition.mapping
+                        moves = [MigrationOp(qubit=q,
+                                             source=current.node_of(q),
+                                             target=new_mapping.node_of(q))
+                                 for q in range(working.num_qubits)
+                                 if new_mapping.node_of(q) != current.node_of(q)]
+                        plan_span.set("moves", len(moves))
+                        plan_span.set("migration_cost",
+                                      repartition.migration_cost)
+                    migrations.append(moves)
+                    if moves:
+                        current = new_mapping
+                if current is mapping:
+                    # Blocks from the initial aggregation were built under the
+                    # initial mapping, so an un-remapped phase reuses them.
+                    aggregation = AggregationResult(
+                        circuit=phase_circuit, mapping=current,
+                        items=list(segment),
+                        blocks=[i for i in segment
+                                if isinstance(i, CommBlock)])
+                else:
+                    aggregation = aggregate_communications(
+                        phase_circuit, current,
+                        use_commutation=self.config.use_commutation,
+                        max_sweeps=self.config.max_sweeps)
+                assignment = assign_communications(
+                    aggregation, cat_only=self.config.cat_only,
+                    network=network)
+                phase_span.set("blocks", len(assignment.blocks))
+                phases.append(CompiledPhase(index=index, mapping=current,
+                                            aggregation=aggregation,
+                                            assignment=assignment))
 
         schedule = schedule_phased_communications(
             phases, migrations, network,

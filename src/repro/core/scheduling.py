@@ -34,6 +34,7 @@ from ..hardware.network import QuantumNetwork
 from ..hardware.timing import LatencyModel
 from ..ir.commutation import commutes
 from ..ir.gates import Gate
+from ..obs.span import stage
 from ..partition.mapping import QubitMapping
 from .aggregation import ScheduleItem
 from .assignment import AssignmentResult
@@ -548,17 +549,21 @@ def plan_schedule(assignment: AssignmentResult, burst: bool) -> SchedulePlan:
     if plan is not None:
         return plan
 
-    mapping = assignment.mapping
-    num_qubits = assignment.aggregation.circuit.num_qubits
-    items: List[SchedulableItem] = list(assignment.items)
-    num_fused = 0
-    oracle = _PairwiseCommutation()
-    if burst:
-        fused = fuse_tp_chains(items, mapping, oracle=oracle)
-        num_fused = sum(isinstance(i, FusedTPChain) for i in fused)
-        items = fused
-    preds = _build_dependencies(items, num_qubits, commutation_aware=burst,
-                                oracle=oracle)
+    with stage(f"plan-{'burst' if burst else 'plain'}") as span:
+        mapping = assignment.mapping
+        num_qubits = assignment.aggregation.circuit.num_qubits
+        items: List[SchedulableItem] = list(assignment.items)
+        num_fused = 0
+        oracle = _PairwiseCommutation()
+        if burst:
+            fused = fuse_tp_chains(items, mapping, oracle=oracle)
+            num_fused = sum(isinstance(i, FusedTPChain) for i in fused)
+            items = fused
+        preds = _build_dependencies(items, num_qubits, commutation_aware=burst,
+                                    oracle=oracle)
+        if span.enabled:
+            span.set("items", len(items))
+            span.set("fused_chains", num_fused)
     plan = SchedulePlan(items=items, preds=preds, num_fused_chains=num_fused,
                         burst=burst)
     # When fusion changed nothing, the burst and plain plans schedule the
@@ -592,16 +597,32 @@ def schedule_communications(assignment: AssignmentResult,
     """
     if strategy not in ("burst-greedy", "greedy"):
         raise ValueError(f"unknown scheduling strategy {strategy!r}")
-    if strategy == "burst-greedy":
-        # The burst-aware schedule is adaptive: commutation-driven reordering
-        # and TP fusion almost always help, but greedy list scheduling under
-        # resource constraints can exhibit anomalies, so keep whichever of the
-        # two schedules finishes earlier.
-        burst_result = _run_schedule(assignment, network, burst=True)
-        plain_result = _run_schedule(assignment, network, burst=False)
-        return (burst_result if burst_result.latency <= plain_result.latency
-                else plain_result)
-    return _run_schedule(assignment, network, burst=False)
+    with stage("scheduling") as span:
+        if strategy == "burst-greedy":
+            # The burst-aware schedule is adaptive: commutation-driven
+            # reordering and TP fusion almost always help, but greedy list
+            # scheduling under resource constraints can exhibit anomalies, so
+            # keep whichever of the two schedules finishes earlier.
+            burst_result = _run_schedule(assignment, network, burst=True)
+            plain_result = _run_schedule(assignment, network, burst=False)
+            result = (burst_result
+                      if burst_result.latency <= plain_result.latency
+                      else plain_result)
+        else:
+            result = _run_schedule(assignment, network, burst=False)
+        _record_schedule_span(span, result)
+        return result
+
+
+def _record_schedule_span(span, result: ScheduleResult) -> None:
+    """Attach a schedule's headline statistics to its stage span."""
+    if not span.enabled:
+        return
+    span.set("ops", len(result.ops))
+    span.set("comm_ops", result.num_comm_ops)
+    span.set("fused_chains", result.num_fused_chains)
+    span.set("latency", result.latency)
+    span.set("burst_won", 1 if result.mode == "burst" else 0)
 
 
 def _run_schedule(assignment: AssignmentResult, network: QuantumNetwork,
@@ -786,49 +807,54 @@ def plan_phased_schedule(phases: Sequence, migrations: Sequence[Sequence[Migrati
                         for x, y in zip(cached_migrations, migrations))):
             return plan
 
-    num_qubits = anchor.aggregation.circuit.num_qubits
-    oracle = _PairwiseCommutation()
-    all_items: List[SchedulableItem] = []
-    item_mappings: List[QubitMapping] = []
-    preds: List[List[int]] = []
-    num_fused = 0
-    barrier: List[int] = []
-    for index, phase in enumerate(phases):
-        items: List[SchedulableItem] = list(phase.assignment.items)
-        if burst:
-            fused = fuse_tp_chains(items, phase.mapping, oracle=oracle)
-            num_fused += sum(isinstance(i, FusedTPChain) for i in fused)
-            items = fused
-        local_preds = _build_dependencies(items, num_qubits,
-                                          commutation_aware=burst,
-                                          oracle=oracle)
-        offset = len(all_items)
-        has_successor = [False] * len(items)
-        for local, plist in enumerate(local_preds):
-            shifted = [p + offset for p in plist]
-            if not shifted and barrier:
-                shifted = list(barrier)
-            preds.append(sorted(shifted))
-            for p in plist:
-                has_successor[p] = True
-        all_items.extend(items)
-        item_mappings.extend([phase.mapping] * len(items))
-        sinks = [offset + local for local in range(len(items))
-                 if not has_successor[local]]
-        if not sinks:
-            sinks = list(barrier)
-        if index < len(phases) - 1:
-            moves = list(migrations[index])
-            if moves:
-                move_offset = len(all_items)
-                next_mapping = phases[index + 1].mapping
-                for move in moves:
-                    preds.append(sorted(sinks))
-                    all_items.append(move)
-                    item_mappings.append(next_mapping)
-                barrier = list(range(move_offset, len(all_items)))
-            else:
-                barrier = sinks
+    with stage(f"plan-phased-{'burst' if burst else 'plain'}") as span:
+        num_qubits = anchor.aggregation.circuit.num_qubits
+        oracle = _PairwiseCommutation()
+        all_items: List[SchedulableItem] = []
+        item_mappings: List[QubitMapping] = []
+        preds: List[List[int]] = []
+        num_fused = 0
+        barrier: List[int] = []
+        for index, phase in enumerate(phases):
+            items: List[SchedulableItem] = list(phase.assignment.items)
+            if burst:
+                fused = fuse_tp_chains(items, phase.mapping, oracle=oracle)
+                num_fused += sum(isinstance(i, FusedTPChain) for i in fused)
+                items = fused
+            local_preds = _build_dependencies(items, num_qubits,
+                                              commutation_aware=burst,
+                                              oracle=oracle)
+            offset = len(all_items)
+            has_successor = [False] * len(items)
+            for local, plist in enumerate(local_preds):
+                shifted = [p + offset for p in plist]
+                if not shifted and barrier:
+                    shifted = list(barrier)
+                preds.append(sorted(shifted))
+                for p in plist:
+                    has_successor[p] = True
+            all_items.extend(items)
+            item_mappings.extend([phase.mapping] * len(items))
+            sinks = [offset + local for local in range(len(items))
+                     if not has_successor[local]]
+            if not sinks:
+                sinks = list(barrier)
+            if index < len(phases) - 1:
+                moves = list(migrations[index])
+                if moves:
+                    move_offset = len(all_items)
+                    next_mapping = phases[index + 1].mapping
+                    for move in moves:
+                        preds.append(sorted(sinks))
+                        all_items.append(move)
+                        item_mappings.append(next_mapping)
+                    barrier = list(range(move_offset, len(all_items)))
+                else:
+                    barrier = sinks
+        if span.enabled:
+            span.set("items", len(all_items))
+            span.set("fused_chains", num_fused)
+            span.set("phases", len(phases))
 
     plan = SchedulePlan(items=all_items, preds=preds,
                         num_fused_chains=num_fused, burst=burst,
@@ -851,14 +877,20 @@ def schedule_phased_communications(phases: Sequence,
     if strategy not in ("burst-greedy", "greedy"):
         raise ValueError(f"unknown scheduling strategy {strategy!r}")
     default_mapping = phases[0].mapping
-    if strategy == "burst-greedy":
-        burst_result = _execute_plan(
-            plan_phased_schedule(phases, migrations, burst=True),
-            network, default_mapping)
-        plain_result = _execute_plan(
-            plan_phased_schedule(phases, migrations, burst=False),
-            network, default_mapping)
-        return (burst_result if burst_result.latency <= plain_result.latency
-                else plain_result)
-    return _execute_plan(plan_phased_schedule(phases, migrations, burst=False),
-                         network, default_mapping)
+    with stage("scheduling") as span:
+        if strategy == "burst-greedy":
+            burst_result = _execute_plan(
+                plan_phased_schedule(phases, migrations, burst=True),
+                network, default_mapping)
+            plain_result = _execute_plan(
+                plan_phased_schedule(phases, migrations, burst=False),
+                network, default_mapping)
+            result = (burst_result
+                      if burst_result.latency <= plain_result.latency
+                      else plain_result)
+        else:
+            result = _execute_plan(
+                plan_phased_schedule(phases, migrations, burst=False),
+                network, default_mapping)
+        _record_schedule_span(span, result)
+        return result

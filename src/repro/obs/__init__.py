@@ -1,0 +1,39 @@
+"""Structured observability: spans, metrics and exportable run reports.
+
+Zero-dependency instrumentation substrate for the compiler and simulator:
+
+* :mod:`repro.obs.span` — context-manager stage spans with counters; the
+  compile pipeline threads these through every pass, and each
+  :class:`~repro.core.pipeline.CompiledProgram` carries the resulting tree;
+* :mod:`repro.obs.metrics` — a counters/gauges/histograms registry the
+  discrete-event engine fills with per-link contention, EPR retry and
+  occupancy data, aggregated across Monte-Carlo trials;
+* :mod:`repro.obs.report` — the versioned :class:`RunReport` JSON artifact
+  (``--report`` on the CLI);
+* :mod:`repro.obs.chrometrace` — Chrome-trace-format (``chrome://tracing``
+  / Perfetto) export of compile spans and simulator event traces
+  (``repro.cli trace``).
+
+Instrumentation is default-on and observational only: compile output,
+simulated latencies and Monte-Carlo streams are byte-identical with it on
+or off (guarded by ``tests/integration/test_obs_equivalence.py`` and the
+``bench_obs_overhead`` benchmark's <5% overhead bar).
+"""
+
+from .chrometrace import (PID_COMPILE, PID_LINKS, PID_SIM, chrome_trace,
+                          simulation_trace_events, span_trace_events,
+                          validate_trace_events, write_chrome_trace)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .report import RUN_REPORT_SCHEMA, RunReport, report_for_program
+from .span import (NULL_SPAN, NullSpan, Span, Tracer, current_span,
+                   set_tracing, stage, tracing_enabled)
+
+__all__ = [
+    "Span", "NullSpan", "NULL_SPAN", "Tracer", "stage", "current_span",
+    "set_tracing", "tracing_enabled",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "RUN_REPORT_SCHEMA", "RunReport", "report_for_program",
+    "PID_COMPILE", "PID_SIM", "PID_LINKS", "span_trace_events",
+    "simulation_trace_events", "chrome_trace", "write_chrome_trace",
+    "validate_trace_events",
+]

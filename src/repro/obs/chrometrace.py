@@ -1,0 +1,225 @@
+"""Chrome-trace-format export of compile spans and simulator traces.
+
+Produces the JSON object format consumed by ``chrome://tracing`` and
+Perfetto (https://ui.perfetto.dev): a list of *complete* (``"ph": "X"``)
+events, each carrying ``name``/``cat``/``ts``/``dur``/``pid``/``tid`` with
+times in microseconds.  Three processes are emitted:
+
+* ``pid`` :data:`PID_COMPILE` — the compile span tree, one thread, spans
+  nested exactly as the tracer recorded them;
+* ``pid`` :data:`PID_SIM` — the simulated operations (gates elided, they
+  would swamp the view), each op one event from EPR-prep start to protocol
+  end, greedily packed into non-overlapping lanes;
+* ``pid`` :data:`PID_LINKS` — per-link EPR generation windows from the
+  trace recorder, one lane group per physical link.
+
+Only ``X`` events are emitted (no metadata records), so every event in the
+file has ``ts``/``dur``/``pid``/``tid`` — the invariant
+:func:`validate_trace_events` checks, along with proper nesting within each
+``(pid, tid)`` lane.  Lane identities are encoded in event ``args`` (node
+sets, link endpoints) rather than thread-name metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .span import Span
+
+__all__ = ["PID_COMPILE", "PID_SIM", "PID_LINKS", "span_trace_events",
+           "simulation_trace_events", "chrome_trace", "write_chrome_trace",
+           "validate_trace_events"]
+
+PID_COMPILE = 1
+PID_SIM = 2
+PID_LINKS = 3
+
+#: Times below one count of the simulator's unit still need distinct ticks;
+#: everything is scaled to integer-friendly microseconds.
+_US = 1e6
+
+
+def span_trace_events(span: Span, pid: int = PID_COMPILE, tid: int = 0,
+                      origin: Optional[float] = None) -> List[Dict[str, object]]:
+    """Flatten a span tree into complete events (microsecond timestamps).
+
+    ``origin`` defaults to the root span's start so the trace begins at
+    ``ts = 0``.  Children are guaranteed to nest inside their parent by the
+    tracer's stack discipline; a child stamped a hair outside its parent by
+    clock granularity is clamped.
+    """
+    if origin is None:
+        origin = span.start
+    events: List[Dict[str, object]] = []
+
+    def emit(node: Span, lo: float, hi: float) -> None:
+        start = min(max(node.start, lo), hi)
+        end = node.end if node.end is not None else node.start
+        end = min(max(end, start), hi)
+        event: Dict[str, object] = {
+            "name": node.name,
+            "cat": "compile",
+            "ph": "X",
+            "ts": (start - origin) * _US,
+            "dur": (end - start) * _US,
+            "pid": pid,
+            "tid": tid,
+        }
+        if node.counters:
+            event["args"] = {k: node.counters[k]
+                             for k in sorted(node.counters)}
+        events.append(event)
+        for child in node.children:
+            emit(child, start, end)
+
+    emit(span, span.start, span.end if span.end is not None else span.start)
+    return events
+
+
+def _assign_lanes(intervals: Sequence[Tuple[float, float]]) -> List[int]:
+    """Greedy interval-graph colouring: lane index per interval.
+
+    Intervals assigned the same lane never overlap, so each lane is a valid
+    Chrome-trace thread.  Input order is preserved in the result.
+    """
+    order = sorted(range(len(intervals)),
+                   key=lambda i: (intervals[i][0], intervals[i][1]))
+    lane_ends: List[float] = []
+    lanes = [0] * len(intervals)
+    for index in order:
+        start, end = intervals[index]
+        for lane, busy_until in enumerate(lane_ends):
+            if busy_until <= start:
+                lane_ends[lane] = end
+                lanes[index] = lane
+                break
+        else:
+            lanes[index] = len(lane_ends)
+            lane_ends.append(end)
+    return lanes
+
+
+def simulation_trace_events(result, time_unit: float = 1.0,
+                            include_links: bool = True
+                            ) -> List[Dict[str, object]]:
+    """Complete events for one :class:`~repro.sim.engine.SimulationResult`.
+
+    Each communication op becomes one event spanning EPR preparation plus
+    protocol (``prep_start`` .. ``end``); per-link EPR generation windows
+    from the trace recorder are exported under their own process.  Ops are
+    packed into lanes so events on one ``tid`` never overlap — concurrent
+    communications land on different lanes.  ``time_unit`` scales simulator
+    time units (CX-gate latencies) to microseconds of trace time.
+    """
+    events: List[Dict[str, object]] = []
+    comm_ops = [op for op in result.ops if op.kind != "gate"]
+    lanes = _assign_lanes([(op.prep_start, op.end) for op in comm_ops])
+    for op, lane in zip(comm_ops, lanes):
+        events.append({
+            "name": f"{op.kind}#{op.index}",
+            "cat": "sim",
+            "ph": "X",
+            "ts": op.prep_start * time_unit * _US,
+            "dur": (op.end - op.prep_start) * time_unit * _US,
+            "pid": PID_SIM,
+            "tid": lane,
+            "args": {
+                "nodes": list(op.nodes),
+                "epr_attempts": op.epr_attempts,
+                "epr_pairs": op.epr_pairs,
+                "protocol_start": op.start * time_unit * _US,
+            },
+        })
+    if include_links and result.trace is not None:
+        link_items = sorted(result.trace.link_busy.items())
+        for tid, (link, windows) in enumerate(link_items):
+            # One lane per link: overlapping generation windows on one link
+            # (capacity > 1) are merged into their envelope per overlap
+            # group so the lane stays a valid, non-overlapping thread.
+            for start, end, count in _merge_windows(windows):
+                events.append({
+                    "name": f"epr {link[0]}-{link[1]}",
+                    "cat": "link",
+                    "ph": "X",
+                    "ts": start * time_unit * _US,
+                    "dur": (end - start) * time_unit * _US,
+                    "pid": PID_LINKS,
+                    "tid": tid,
+                    "args": {"link": list(link), "generations": count},
+                })
+    return events
+
+
+def _merge_windows(windows: Iterable[Tuple[float, float]]
+                   ) -> List[Tuple[float, float, int]]:
+    """Merge overlapping (start, end) windows into (start, end, count)."""
+    merged: List[Tuple[float, float, int]] = []
+    for start, end in sorted(windows):
+        if merged and start < merged[-1][1]:
+            last_start, last_end, count = merged[-1]
+            merged[-1] = (last_start, max(last_end, end), count + 1)
+        else:
+            merged.append((start, end, 1))
+    return merged
+
+
+def chrome_trace(events: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Wrap events in the Chrome trace JSON object format."""
+    return {"traceEvents": list(events), "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, events: Sequence[Dict[str, object]]) -> Path:
+    """Write events as a ``.trace.json`` loadable by chrome://tracing."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(events), indent=1,
+                               sort_keys=True) + "\n")
+    return path
+
+
+def validate_trace_events(events: Sequence[Dict[str, object]],
+                          tolerance: float = 1e-6) -> List[str]:
+    """Schema-check trace events; returns a list of violations (empty = OK).
+
+    Checks the acceptance invariants: every event is a complete (``X``)
+    event carrying numeric ``ts``/``dur``/``pid``/``tid`` with ``ts >= 0``
+    and ``dur >= 0``, and within each ``(pid, tid)`` lane events either
+    nest or are disjoint — no partial overlaps.
+    """
+    problems: List[str] = []
+    lanes: Dict[Tuple[object, object], List[Tuple[float, float, str]]] = {}
+    for position, event in enumerate(events):
+        label = f"event {position} ({event.get('name', '?')!r})"
+        if event.get("ph") != "X":
+            problems.append(f"{label}: ph is {event.get('ph')!r}, expected 'X'")
+            continue
+        missing = [key for key in ("ts", "dur", "pid", "tid")
+                   if key not in event]
+        if missing:
+            problems.append(f"{label}: missing {', '.join(missing)}")
+            continue
+        ts, dur = event["ts"], event["dur"]
+        if not isinstance(ts, (int, float)) or not isinstance(dur, (int, float)):
+            problems.append(f"{label}: non-numeric ts/dur")
+            continue
+        if ts < -tolerance:
+            problems.append(f"{label}: negative ts {ts}")
+        if dur < -tolerance:
+            problems.append(f"{label}: negative dur {dur}")
+        lanes.setdefault((event["pid"], event["tid"]), []).append(
+            (float(ts), float(ts) + float(dur), str(event.get("name", "?"))))
+
+    for (pid, tid), spans in lanes.items():
+        spans.sort(key=lambda s: (s[0], -(s[1] - s[0])))
+        stack: List[Tuple[float, str]] = []  # (end, name) of open ancestors
+        for start, end, name in spans:
+            while stack and stack[-1][0] <= start + tolerance:
+                stack.pop()
+            if stack and end > stack[-1][0] + tolerance:
+                problems.append(
+                    f"lane pid={pid} tid={tid}: {name!r} "
+                    f"[{start:.3f}, {end:.3f}] partially overlaps "
+                    f"{stack[-1][1]!r} ending at {stack[-1][0]:.3f}")
+            stack.append((end, name))
+    return problems

@@ -1,0 +1,254 @@
+"""Stage-timed compile spans.
+
+A :class:`Span` is one timed stage of a run — a compile pass, an OEE
+round, one phase of a phase-structured compile — with wall-clock start/end
+times, named numeric counters and nested children.  A :class:`Tracer`
+activates a root span; while it is active, :func:`stage` opens a child of
+the innermost open span and :func:`current_span` returns that span so any
+pass can attach counters without its signature changing.
+
+The design goal is *default-on, provably free-ish* instrumentation:
+
+* when no tracer is active (or tracing is globally disabled through
+  :func:`set_tracing`), :func:`stage` yields the shared :data:`NULL_SPAN`
+  whose mutators are no-ops — the cost of an instrumented pass is then one
+  small object allocation and two method calls;
+* spans only *observe*: nothing downstream reads them, so compile output is
+  byte-identical with tracing on or off (asserted by
+  ``tests/integration/test_obs_equivalence.py``).
+
+The active-span stack is a plain module global: the compiler is
+single-threaded per process (the eventual service layer runs one compile
+per worker), so no thread-local indirection is paid on the hot path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["Span", "NullSpan", "NULL_SPAN", "Tracer", "stage",
+           "current_span", "set_tracing", "tracing_enabled"]
+
+#: Global switch consulted by :class:`Tracer` activation (``stage`` itself
+#: only checks the active stack, so flipping this mid-trace is safe: open
+#: tracers finish, new ones become no-ops).
+_ENABLED = True
+
+#: Stack of open spans; ``_STACK[-1]`` is the innermost.
+_STACK: List["Span"] = []
+
+
+def set_tracing(enabled: bool) -> bool:
+    """Enable/disable span collection globally; returns the previous state.
+
+    Used by the overhead benchmark to A/B the instrumented pipeline against
+    the untraced one, and available to large sweeps that want the last few
+    tenths of a percent back.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+def tracing_enabled() -> bool:
+    return _ENABLED
+
+
+class Span:
+    """One timed stage with counters and nested children."""
+
+    __slots__ = ("name", "start", "end", "counters", "children")
+
+    enabled = True
+
+    def __init__(self, name: str, start: Optional[float] = None) -> None:
+        self.name = name
+        self.start = time.perf_counter() if start is None else start
+        self.end: Optional[float] = None
+        self.counters: Dict[str, float] = {}
+        self.children: List[Span] = []
+
+    # ------------------------------------------------------------- mutation
+
+    def child(self, name: str) -> "Span":
+        span = Span(name)
+        self.children.append(span)
+        return span
+
+    def close(self, end: Optional[float] = None) -> None:
+        if self.end is None:
+            self.end = time.perf_counter() if end is None else end
+
+    def add(self, counter: str, value: float = 1) -> None:
+        """Accumulate ``value`` onto a named counter."""
+        self.counters[counter] = self.counters.get(counter, 0) + value
+
+    def set(self, counter: str, value: float) -> None:
+        """Overwrite a named counter (for point-in-time quantities)."""
+        self.counters[counter] = value
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def duration(self) -> float:
+        """Wall time of the stage (up to now while still open)."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span named ``name`` in preorder, or ``None``."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    # ---------------------------------------------------------- conversion
+
+    def as_dict(self, origin: Optional[float] = None) -> Dict[str, object]:
+        """JSON-ready tree with times relative to ``origin`` (default: self).
+
+        ``start`` and ``duration`` are seconds; the root starts at 0.0, so
+        the dict round-trips through :meth:`from_dict` exactly.
+        """
+        if origin is None:
+            origin = self.start
+        return {
+            "name": self.name,
+            "start": self.start - origin,
+            "duration": self.duration,
+            "counters": dict(self.counters),
+            "children": [child.as_dict(origin) for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Span":
+        """Rebuild a span tree from :meth:`as_dict` output (relative times)."""
+        span = cls(str(data["name"]), start=float(data["start"]))
+        span.end = span.start + float(data["duration"])
+        span.counters = {str(k): v for k, v in data.get("counters", {}).items()}
+        span.children = [cls.from_dict(child)
+                         for child in data.get("children", ())]
+        return span
+
+    def render(self, indent: int = 0, unit: float = 1e3,
+               unit_label: str = "ms") -> str:
+        """Human-readable stage tree (used by ``repro.cli profile``)."""
+        counters = " ".join(f"{k}={v:g}" for k, v in sorted(self.counters.items()))
+        line = (f"{'  ' * indent}{self.name:<{max(1, 28 - 2 * indent)}} "
+                f"{self.duration * unit:9.3f} {unit_label}")
+        if counters:
+            line += f"  [{counters}]"
+        lines = [line]
+        lines.extend(child.render(indent + 1, unit=unit, unit_label=unit_label)
+                     for child in self.children)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Span({self.name!r}, {self.duration * 1e3:.3f} ms, "
+                f"{len(self.children)} children)")
+
+
+class NullSpan:
+    """Shared no-op span handed out when no tracer is active."""
+
+    __slots__ = ()
+
+    enabled = False
+    name = ""
+    counters: Dict[str, float] = {}
+    children: List[Span] = []
+
+    def child(self, name: str) -> "NullSpan":
+        return self
+
+    def close(self, end: Optional[float] = None) -> None:
+        pass
+
+    def add(self, counter: str, value: float = 1) -> None:
+        pass
+
+    def set(self, counter: str, value: float) -> None:
+        pass
+
+    @property
+    def duration(self) -> float:
+        return 0.0
+
+
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Context manager that activates a root span for one run.
+
+    .. code-block:: python
+
+        with Tracer("compile/qft") as tracer:
+            ...  # stages opened inside land under tracer.root
+        tree = tracer.root  # closed Span, or None when tracing is disabled
+    """
+
+    __slots__ = ("name", "root")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.root: Optional[Span] = None
+
+    def __enter__(self) -> "Tracer":
+        if _ENABLED:
+            self.root = Span(self.name)
+            _STACK.append(self.root)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.root is not None:
+            # Pop back to (and including) our root even if an inner stage
+            # leaked open because of an exception mid-stage.
+            while _STACK:
+                span = _STACK.pop()
+                span.close()
+                if span is self.root:
+                    break
+        return False
+
+
+class _Stage:
+    """Context manager opening a child of the innermost open span."""
+
+    __slots__ = ("name", "_span")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._span: Optional[Span] = None
+
+    def __enter__(self):
+        if not _STACK:
+            return NULL_SPAN
+        span = _STACK[-1].child(self.name)
+        _STACK.append(span)
+        self._span = span
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._span is not None and _STACK and _STACK[-1] is self._span:
+            _STACK.pop()
+            self._span.close()
+        return False
+
+
+def stage(name: str) -> _Stage:
+    """Open a timed child stage of the active span (no-op without a tracer)."""
+    return _Stage(name)
+
+
+def current_span():
+    """The innermost open span, or :data:`NULL_SPAN` when none is active."""
+    return _STACK[-1] if _STACK else NULL_SPAN

@@ -20,6 +20,7 @@ import networkx as nx
 
 from ..hardware.network import QuantumNetwork
 from ..ir.circuit import Circuit
+from ..obs.span import stage
 from .interaction_graph import cut_weight, interaction_graph
 from .mapping import QubitMapping, block_mapping
 
@@ -133,6 +134,19 @@ def _topology_distances(network: QuantumNetwork,
     return routing.cost_matrix()
 
 
+def _record_oee_span(span, result: OEEResult) -> None:
+    """Attach an OEE run's search statistics to its stage span."""
+    if not span.enabled:
+        return
+    span.set("rounds", result.rounds)
+    span.set("exchanges", result.num_exchanges)
+    span.set("initial_cut", result.initial_cut)
+    span.set("final_cut", result.final_cut)
+    if result.migration_moves or result.migration_cost:
+        span.set("moves", result.migration_moves)
+        span.set("migration_cost", result.migration_cost)
+
+
 def oee_partition(circuit: Circuit, network: QuantumNetwork,
                   initial: Optional[QubitMapping] = None,
                   max_rounds: int = 50,
@@ -161,6 +175,19 @@ def oee_partition(circuit: Circuit, network: QuantumNetwork,
         of remote multi-qubit gates — hop-weighted when distance weighting
         is engaged.
     """
+    with stage("oee-partition") as span:
+        result = _oee_partition(circuit, network, initial=initial,
+                                max_rounds=max_rounds,
+                                use_link_distances=use_link_distances)
+        _record_oee_span(span, result)
+        return result
+
+
+def _oee_partition(circuit: Circuit, network: QuantumNetwork,
+                   initial: Optional[QubitMapping] = None,
+                   max_rounds: int = 50,
+                   use_link_distances: Optional[bool] = None) -> OEEResult:
+    """The extreme-exchange search behind :func:`oee_partition`."""
     network.validate_capacity(circuit.num_qubits)
     distances = _topology_distances(network, use_link_distances)
     graph = interaction_graph(circuit)
@@ -197,7 +224,8 @@ def oee_partition(circuit: Circuit, network: QuantumNetwork,
 
     final_cut = cut_weight(graph, assignment, node_distances=distances)
     result_mapping = QubitMapping(assignment, network)
-    return OEEResult(result_mapping, initial_cut, final_cut, num_exchanges, rounds)
+    return OEEResult(result_mapping, initial_cut, final_cut, num_exchanges,
+                     rounds)
 
 
 def migration_distance_matrix(network: QuantumNetwork) -> List[List[float]]:
@@ -254,6 +282,22 @@ def oee_repartition(circuit: Circuit, network: QuantumNetwork,
         ``phase cut weight + migration cost``; ``migration_moves`` and
         ``migration_cost`` report the moves relative to ``previous``.
     """
+    with stage("oee-repartition") as span:
+        result = _oee_repartition(circuit, network, previous,
+                                  max_rounds=max_rounds,
+                                  use_link_distances=use_link_distances,
+                                  migration_costs=migration_costs)
+        _record_oee_span(span, result)
+        return result
+
+
+def _oee_repartition(circuit: Circuit, network: QuantumNetwork,
+                     previous: QubitMapping,
+                     max_rounds: int = 50,
+                     use_link_distances: Optional[bool] = None,
+                     migration_costs: Optional[List[List[float]]] = None
+                     ) -> OEEResult:
+    """The migration-aware search behind :func:`oee_repartition`."""
     network.validate_capacity(circuit.num_qubits)
     if previous.num_qubits != circuit.num_qubits:
         raise ValueError("previous mapping and circuit disagree on qubit count")
@@ -308,7 +352,7 @@ def oee_repartition(circuit: Circuit, network: QuantumNetwork,
     final_cut = cut_weight(graph, assignment, node_distances=distances)
     moves = [q for q in all_qubits if assignment[q] != home[q]]
     total_migration = sum(migration[home[q]][assignment[q]] for q in moves)
-    return OEEResult(QubitMapping(assignment, network), initial_cut, final_cut,
-                     num_exchanges, rounds,
+    return OEEResult(QubitMapping(assignment, network), initial_cut,
+                     final_cut, num_exchanges, rounds,
                      migration_moves=len(moves),
                      migration_cost=total_migration)

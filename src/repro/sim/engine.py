@@ -38,6 +38,7 @@ from ..core.pipeline import CompiledProgram
 from ..core.scheduling import SchedulePlan, plan_phased_schedule, plan_schedule
 from ..hardware.epr import CommResourceTracker, SlotSchedule
 from ..hardware.network import QuantumNetwork
+from ..obs.metrics import MetricsRegistry
 from .epr_process import EPRProcess
 from .trace import LatencyDistribution, TraceRecorder
 
@@ -78,6 +79,11 @@ class SimulationConfig:
     ideal_links: bool = False
     #: Record the fine-grained event trace (disable for large sweeps).
     record_trace: bool = True
+    #: Fill a :class:`~repro.obs.metrics.MetricsRegistry` with queue waits,
+    #: per-link EPR generation/retry counts, migration stalls and comm-qubit
+    #: occupancy.  Observation only: latencies and Monte-Carlo streams are
+    #: bit-identical with this on or off.
+    record_metrics: bool = True
     #: Pre-sample EPR attempt counts in vectorised batches (bitwise-identical
     #: to the per-attempt loop on the same seed; disable to A/B-test).
     batch_epr: bool = True
@@ -97,6 +103,9 @@ class SimulatedOp:
     num_items: int = 1
     #: Physical EPR pairs consumed (swaps included on routed topologies).
     epr_pairs: int = 0
+    #: Wait beyond the earliest feasible start (comm-qubit / link
+    #: contention); 0 for gates.
+    queue_wait: float = 0.0
 
     @property
     def duration(self) -> float:
@@ -120,6 +129,9 @@ class SimulationResult:
     #: (k+1 teleports instead of 2k) — this counts the itinerary really
     #: flown, the metric counts the paper's per-block convention.
     total_epr_pairs: int = 0
+    #: Registry the engine filled during this run (shared across trials in
+    #: a Monte-Carlo run); disabled when ``record_metrics`` was off.
+    metrics: Optional[MetricsRegistry] = None
 
     def comm_ops(self) -> List[SimulatedOp]:
         return [op for op in self.ops if op.kind != "gate"]
@@ -149,6 +161,8 @@ class MonteCarloResult:
     analytical_latency: Optional[float] = None
     #: Full result of the first trial (with trace) for inspection/rendering.
     sample_trial: Optional[SimulationResult] = None
+    #: One registry aggregated over every trial (all engines wrote into it).
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def distribution(self) -> LatencyDistribution:
@@ -170,7 +184,8 @@ class ExecutionEngine:
 
     def __init__(self, plan: SchedulePlan, network: QuantumNetwork,
                  mapping, config: Optional[SimulationConfig] = None,
-                 rng: Optional[random.Random] = None) -> None:
+                 rng: Optional[random.Random] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.plan = plan
         self.network = network
         self.mapping = mapping
@@ -230,6 +245,9 @@ class ExecutionEngine:
                                               seed=self.config.seed)
         self.resources = CommResourceTracker(network)
         self.trace = TraceRecorder(enabled=self.config.record_trace)
+        #: Caller-shared registry (Monte-Carlo aggregation), or this run's own.
+        self.metrics = (metrics if metrics is not None
+                        else MetricsRegistry(enabled=self.config.record_metrics))
         self._links: Dict[Tuple[int, int], SlotSchedule] = {}
 
     # ------------------------------------------------------------- event loop
@@ -269,12 +287,128 @@ class ExecutionEngine:
 
         ops = [op for op in executed if op is not None]
         makespan = max((op.end for op in ops), default=0.0)
+        total_attempts = sum(op.epr_attempts for op in ops)
+        metrics = self.metrics
+        if metrics.enabled:
+            self._flush_metrics(ops, makespan, total_attempts)
         return SimulationResult(
             ops=ops, latency=makespan, trace=self.trace,
             resources=self.resources, mode=self.plan.mode,
             seed=self.config.seed,
-            total_epr_attempts=sum(op.epr_attempts for op in ops),
-            total_epr_pairs=sum(op.epr_pairs for op in ops))
+            total_epr_attempts=total_attempts,
+            total_epr_pairs=sum(op.epr_pairs for op in ops),
+            metrics=metrics)
+
+    # ------------------------------------------------------------- metrics
+
+    def _flush_metrics(self, ops: List[SimulatedOp], makespan: float,
+                       total_attempts: int) -> None:
+        """Fold this run's executed ops into the registry, once per run.
+
+        Everything the metrics need is already in the :class:`SimulatedOp`
+        records, the trial-invariant profiles and the memoised route cache,
+        so the per-op execution path carries no metrics code at all —
+        registry lookups build sorted label keys and instrument calls are
+        attribute dispatches, which is too slow per executed op (the
+        overhead benchmark holds the instrumented engine within a few
+        percent of the stripped one).  Instrument handles are memoised on
+        the registry itself, so across a shared-registry Monte-Carlo run
+        only the first trial pays the labelled-lookup cost.  Node occupancy
+        is rebuilt from the op records (each comm op reserves one slot per
+        endpoint for its whole window), which spares the per-run
+        interval-list rescan of ``CommResourceTracker.utilisation``.
+        """
+        metrics = self.metrics
+        handles = metrics.handles
+        fixed = handles.get("sim")
+        if fixed is None:
+            fixed = handles["sim"] = (
+                metrics.counter("sim.trials"),
+                metrics.histogram("sim.latency"),
+                metrics.histogram("sim.epr_attempts"),
+                metrics.counter("epr.attempts"),
+                metrics.counter("epr.retries"))
+        trials, latency, attempts_hist, attempts, retries = fixed
+        trials.inc()
+        latency.observe(makespan)
+        attempts_hist.observe(total_attempts)
+
+        acc_attempts = 0
+        acc_retries = 0
+        waits_by_kind: Dict[str, List[float]] = {}
+        stalls: List[float] = []
+        node_busy: Dict[int, float] = {}
+        link_totals: Dict[Tuple[int, int], List[float]] = {}
+        profiles = self._profiles
+        route_cache = self._route_cache
+        per_link_stochastic = self.epr.per_link and not self.epr.deterministic
+        for op in ops:
+            kind = op.kind
+            if kind == "gate":
+                continue
+            wait = op.queue_wait
+            kind_waits = waits_by_kind.get(kind)
+            if kind_waits is None:
+                kind_waits = waits_by_kind[kind] = []
+            kind_waits.append(wait)
+            if kind == "migration":
+                stalls.append(wait)
+            prep_pairs = profiles[op.index].prep_pairs
+            acc_attempts += op.epr_attempts
+            acc_retries += op.epr_attempts - ((op.epr_pairs
+                                               if per_link_stochastic
+                                               else len(prep_pairs)) or 1)
+            prep_start = op.prep_start
+            window = op.end - prep_start
+            for node in op.nodes:
+                node_busy[node] = node_busy.get(node, 0.0) + window
+            busy = op.start - prep_start
+            # Always a hit: _execute_comm resolved this op's routes already.
+            for pair, count in route_cache[prep_pairs][0]:
+                totals = link_totals.get(pair)
+                if totals is None:
+                    totals = link_totals[pair] = [0, 0.0]
+                totals[0] += count
+                totals[1] += busy
+        attempts.inc(acc_attempts)
+        retries.inc(acc_retries)
+
+        if makespan > 0:
+            occ_handles = handles.get("occ")
+            if occ_handles is None:
+                occ_handles = handles["occ"] = {}
+            for node in self.network:
+                index = node.index
+                occupancy = occ_handles.get(index)
+                if occupancy is None:
+                    occupancy = occ_handles[index] = (
+                        metrics.histogram("node.comm_occupancy", node=index),
+                        node.num_comm_qubits)
+                occupancy[0].observe(
+                    node_busy.get(index, 0.0) / (makespan * occupancy[1]))
+        wait_handles = handles.get("qw")
+        if wait_handles is None:
+            wait_handles = handles["qw"] = {}
+        for kind, kind_waits in waits_by_kind.items():
+            queue_wait = wait_handles.get(kind)
+            if queue_wait is None:
+                queue_wait = wait_handles[kind] = metrics.histogram(
+                    "comm.queue_wait", kind=kind)
+            queue_wait.values.extend(kind_waits)
+        if stalls:
+            metrics.histogram("migration.stall").values.extend(stalls)
+        pair_handles = handles.get("links")
+        if pair_handles is None:
+            pair_handles = handles["links"] = {}
+        for pair, (generations, busy) in link_totals.items():
+            link_handles = pair_handles.get(pair)
+            if link_handles is None:
+                link = f"{pair[0]}-{pair[1]}"
+                link_handles = pair_handles[pair] = (
+                    metrics.counter("link.epr_generations", link=link),
+                    metrics.counter("link.busy_time", link=link))
+            link_handles[0].inc(generations)
+            link_handles[1].inc(busy)
 
     # ------------------------------------------------------------- execution
 
@@ -337,7 +471,8 @@ class ExecutionEngine:
                            nodes=nodes, prep_start=prep_start,
                            epr_attempts=sample.attempts,
                            num_items=self.plan.item_count(index),
-                           epr_pairs=num_physical)
+                           epr_pairs=num_physical,
+                           queue_wait=prep_start - not_before)
 
     def _physical_links(self, prep_pairs: Sequence[Tuple[int, int]]
                         ) -> Tuple[Tuple[Tuple[Tuple[int, int], int], ...], int]:
@@ -509,6 +644,9 @@ def run_monte_carlo(program: CompiledProgram,
     latencies: List[float] = []
     attempts: List[int] = []
     sample_trial: Optional[SimulationResult] = None
+    # One registry shared by every trial engine, so counters and histograms
+    # aggregate the whole Monte-Carlo run.
+    metrics = MetricsRegistry(enabled=config.record_metrics)
     for trial, trial_seed in enumerate(trial_seeds):
         # The trial's config carries its own derived seed, so the recorded
         # SimulationResult.seed reproduces that exact execution through
@@ -516,7 +654,7 @@ def run_monte_carlo(program: CompiledProgram,
         trial_config = replace(config, seed=trial_seed,
                                record_trace=config.record_trace and trial == 0)
         engine = ExecutionEngine(plan, program.network, mapping,
-                                 config=trial_config)
+                                 config=trial_config, metrics=metrics)
         result = engine.run()
         latencies.append(result.latency)
         attempts.append(result.total_epr_attempts)
@@ -528,4 +666,4 @@ def run_monte_carlo(program: CompiledProgram,
     return MonteCarloResult(config=config, latencies=latencies,
                             trial_seeds=trial_seeds, epr_attempts=attempts,
                             analytical_latency=analytical,
-                            sample_trial=sample_trial)
+                            sample_trial=sample_trial, metrics=metrics)

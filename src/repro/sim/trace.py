@@ -9,6 +9,7 @@ latencies of a seeded Monte-Carlo run.
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -64,11 +65,35 @@ class TraceRecorder:
         return len(self.events)
 
     def link_utilisation(self, horizon: float) -> Dict[Tuple[int, int], float]:
-        """Fraction of time each link spent generating EPR pairs."""
-        if horizon <= 0:
+        """Fraction of time each link spent generating EPR pairs.
+
+        Degenerate horizons — zero, negative or non-finite, as produced by
+        an empty program's zero makespan — yield zero utilisation for every
+        recorded link instead of dividing by them.
+        """
+        if not math.isfinite(horizon) or horizon <= 0:
             return {pair: 0.0 for pair in self.link_busy}
         return {pair: sum(e - s for (s, e) in windows) / horizon
                 for pair, windows in self.link_busy.items()}
+
+    def event_dicts(self) -> List[Dict[str, object]]:
+        """Timeline as JSON-ready dicts (one per event, time order)."""
+        return [{"time": event.time, "kind": event.kind, "index": event.index,
+                 "nodes": list(event.nodes), "detail": event.detail}
+                for event in self.timeline()]
+
+    def write_jsonl(self, path) -> int:
+        """Write the timeline as JSON Lines; returns the event count.
+
+        One JSON object per line (``time``/``kind``/``index``/``nodes``/
+        ``detail``), consumable with ``jq`` or a line-by-line reader without
+        loading the whole trace.  Used by ``repro.cli simulate --trace-out``.
+        """
+        events = self.event_dicts()
+        with open(path, "w") as handle:
+            for event in events:
+                handle.write(json.dumps(event) + "\n")
+        return len(events)
 
     def render(self, limit: Optional[int] = None) -> str:
         """Human-readable event log (used by the CLI's ``--trace`` flag)."""

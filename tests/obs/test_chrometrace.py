@@ -1,0 +1,162 @@
+"""Chrome-trace export: span flattening, lane packing, validation.
+
+Includes the acceptance scenario: compile a QFT for a 4-node line topology
+with dynamic remapping, simulate it, export the combined compile+sim trace
+and check that every event carries ``ts``/``dur``/``pid``/``tid`` and that
+spans nest without partial overlaps.
+"""
+
+import json
+
+import pytest
+
+from repro.circuits import qft_circuit
+from repro.core import AutoCommConfig, compile_autocomm
+from repro.hardware import apply_topology, uniform_network
+from repro.obs import (PID_COMPILE, PID_LINKS, PID_SIM, Span, chrome_trace,
+                       simulation_trace_events, span_trace_events,
+                       validate_trace_events, write_chrome_trace)
+from repro.obs.chrometrace import _assign_lanes, _merge_windows
+from repro.sim import SimulationConfig, simulate_program
+
+
+def _span_tree():
+    root = Span("compile", start=0.0)
+    first = root.child("first")
+    first.start = 0.0
+    first.add("gates", 3)
+    first.close(end=0.4)
+    second = root.child("second")
+    second.start = 0.4
+    second.close(end=1.0)
+    root.close(end=1.0)
+    return root
+
+
+class TestSpanTraceEvents:
+    def test_events_are_complete_and_relative(self):
+        events = span_trace_events(_span_tree())
+        assert [e["name"] for e in events] == ["compile", "first", "second"]
+        assert all(e["ph"] == "X" and e["pid"] == PID_COMPILE for e in events)
+        assert events[0]["ts"] == 0.0
+        assert events[0]["dur"] == pytest.approx(1.0e6)  # seconds → µs
+        assert events[1]["args"] == {"gates": 3}
+        assert validate_trace_events(events) == []
+
+    def test_child_clamped_into_parent_window(self):
+        root = Span("root", start=0.0)
+        child = root.child("late")
+        child.start = 0.9
+        child.close(end=1.5)  # stamped past the parent's end
+        root.close(end=1.0)
+        events = span_trace_events(root)
+        child_event = events[1]
+        assert child_event["ts"] + child_event["dur"] <= events[0]["dur"]
+        assert validate_trace_events(events) == []
+
+
+class TestLaneAssignment:
+    def test_disjoint_intervals_share_a_lane(self):
+        assert _assign_lanes([(0, 1), (2, 3), (4, 5)]) == [0, 0, 0]
+
+    def test_overlapping_intervals_get_distinct_lanes(self):
+        lanes = _assign_lanes([(0, 4), (1, 2), (1, 3)])
+        assert lanes[0] != lanes[1]
+        assert lanes[0] != lanes[2]
+        assert lanes[1] != lanes[2]
+
+    def test_empty_input(self):
+        assert _assign_lanes([]) == []
+
+    def test_merge_windows_counts_overlaps(self):
+        merged = _merge_windows([(0.0, 2.0), (1.0, 3.0), (5.0, 6.0)])
+        assert merged == [(0.0, 3.0, 2), (5.0, 6.0, 1)]
+
+
+class TestChromeTraceFile:
+    def test_write_and_reload(self, tmp_path):
+        events = span_trace_events(_span_tree())
+        path = write_chrome_trace(tmp_path / "out.trace.json", events)
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert len(payload["traceEvents"]) == len(events)
+        assert chrome_trace(events)["traceEvents"] == events
+
+
+class TestValidation:
+    def test_flags_wrong_phase(self):
+        problems = validate_trace_events([{"name": "m", "ph": "M"}])
+        assert problems and "expected 'X'" in problems[0]
+
+    def test_flags_missing_fields(self):
+        problems = validate_trace_events([{"name": "e", "ph": "X", "ts": 0.0}])
+        assert problems and "missing" in problems[0]
+
+    def test_flags_negative_times(self):
+        event = {"name": "e", "ph": "X", "ts": -1.0, "dur": -2.0,
+                 "pid": 1, "tid": 0}
+        problems = validate_trace_events([event])
+        assert any("negative ts" in p for p in problems)
+        assert any("negative dur" in p for p in problems)
+
+    def test_flags_partial_overlap_within_a_lane(self):
+        events = [
+            {"name": "a", "ph": "X", "ts": 0.0, "dur": 10.0, "pid": 1, "tid": 0},
+            {"name": "b", "ph": "X", "ts": 5.0, "dur": 10.0, "pid": 1, "tid": 0},
+        ]
+        problems = validate_trace_events(events)
+        assert problems and "partially overlaps" in problems[0]
+
+    def test_accepts_nesting_and_cross_lane_overlap(self):
+        events = [
+            {"name": "a", "ph": "X", "ts": 0.0, "dur": 10.0, "pid": 1, "tid": 0},
+            {"name": "b", "ph": "X", "ts": 2.0, "dur": 3.0, "pid": 1, "tid": 0},
+            {"name": "c", "ph": "X", "ts": 5.0, "dur": 10.0, "pid": 1, "tid": 1},
+        ]
+        assert validate_trace_events(events) == []
+
+
+class TestAcceptanceScenario:
+    """Chrome-trace export of the 4-node line remap scenario validates."""
+
+    @pytest.fixture(scope="class")
+    def trace_events(self):
+        network = uniform_network(num_nodes=4, qubits_per_node=3)
+        apply_topology(network, "line")
+        program = compile_autocomm(
+            qft_circuit(12), network,
+            config=AutoCommConfig(remap="bursts", phase_blocks=3))
+        result = simulate_program(program,
+                                  SimulationConfig(p_epr=1.0, seed=0))
+        events = span_trace_events(program.spans, pid=PID_COMPILE)
+        events.extend(simulation_trace_events(result))
+        return events
+
+    def test_all_events_complete(self, trace_events):
+        assert trace_events
+        for event in trace_events:
+            assert event["ph"] == "X"
+            for key in ("ts", "dur", "pid", "tid"):
+                assert key in event, f"{event['name']} missing {key}"
+                assert isinstance(event[key], (int, float))
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+
+    def test_spans_nest_without_overlap(self, trace_events):
+        assert validate_trace_events(trace_events) == []
+
+    def test_all_three_processes_present(self, trace_events):
+        pids = {event["pid"] for event in trace_events}
+        assert pids == {PID_COMPILE, PID_SIM, PID_LINKS}
+
+    def test_compile_process_shows_remap_stages(self, trace_events):
+        names = {e["name"] for e in trace_events if e["pid"] == PID_COMPILE}
+        assert any(name.startswith("phase-") for name in names)
+        assert "migration-planning" in names
+        assert "oee-repartition" in names
+
+    def test_link_events_cover_line_links_only(self, trace_events):
+        links = {tuple(e["args"]["link"]) for e in trace_events
+                 if e["pid"] == PID_LINKS}
+        assert links  # EPR traffic happened
+        assert links <= {(0, 1), (1, 2), (2, 3)}  # line-topology links only

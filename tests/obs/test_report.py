@@ -1,0 +1,81 @@
+"""Unit tests for the versioned RunReport export format."""
+
+import json
+
+import pytest
+
+from repro.circuits import qft_circuit
+from repro.core import compile_autocomm
+from repro.core.metrics import CompilationMetrics
+from repro.hardware import uniform_network
+from repro.obs import RUN_REPORT_SCHEMA, RunReport, Span, report_for_program
+
+
+def _compiled():
+    network = uniform_network(num_nodes=2, qubits_per_node=4)
+    return compile_autocomm(qft_circuit(8), network)
+
+
+class TestRunReport:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown report kind"):
+            RunReport(kind="banana")
+
+    def test_minimal_roundtrip(self, tmp_path):
+        report = RunReport(kind="compile", meta={"qasm": "qft.qasm"})
+        path = report.save(tmp_path / "report.json")
+        loaded = RunReport.load(path)
+        assert loaded == report
+        assert loaded.schema == RUN_REPORT_SCHEMA
+
+    def test_to_json_from_dict_roundtrip(self):
+        report = RunReport(kind="simulate", meta={"nodes": 4},
+                           simulation={"validation": {"matches": True}})
+        rebuilt = RunReport.from_dict(json.loads(report.to_json()))
+        assert rebuilt == report
+
+    def test_wrong_schema_rejected(self):
+        data = RunReport(kind="compile").as_dict()
+        data["schema"] = RUN_REPORT_SCHEMA + 1
+        with pytest.raises(ValueError, match="unsupported run-report schema"):
+            RunReport.from_dict(data)
+
+    def test_load_rejects_non_object_and_bad_json(self, tmp_path):
+        array = tmp_path / "array.json"
+        array.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="JSON object"):
+            RunReport.load(array)
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            RunReport.load(broken)
+
+    def test_omitted_sections_absent_from_json(self):
+        data = RunReport(kind="compile").as_dict()
+        assert set(data) == {"schema", "kind", "meta"}
+
+
+class TestReportForProgram:
+    def test_compile_report_roundtrips_through_loader(self, tmp_path):
+        program = _compiled()
+        report = report_for_program(program, meta={"qasm": "qft.qasm"})
+        assert report.kind == "compile"
+        assert report.meta["compiler"] == program.compiler
+        assert report.meta["num_qubits"] == 8
+        assert report.meta["qasm"] == "qft.qasm"
+
+        loaded = RunReport.load(report.save(tmp_path / "r.json"))
+        assert loaded == report
+
+        # Both structured sections reconstruct into live objects.
+        metrics = loaded.compilation_metrics()
+        assert isinstance(metrics, CompilationMetrics)
+        assert metrics.as_dict() == program.metrics.as_dict()
+        tree = loaded.span_tree()
+        assert isinstance(tree, Span)
+        assert tree.name == f"compile/{program.circuit.name}"
+        assert tree.find("aggregation") is not None
+
+    def test_span_tree_none_without_spans(self):
+        assert RunReport(kind="compile").span_tree() is None
+        assert RunReport(kind="compile").compilation_metrics() is None

@@ -1,0 +1,123 @@
+"""Unit tests for the span/tracer stage-timing layer."""
+
+import pytest
+
+from repro.obs import (NULL_SPAN, Span, Tracer, current_span, set_tracing,
+                       stage, tracing_enabled)
+
+
+class TestSpan:
+    def test_duration_from_explicit_times(self):
+        span = Span("work", start=1.0)
+        span.close(end=3.5)
+        assert span.duration == pytest.approx(2.5)
+
+    def test_close_is_idempotent(self):
+        span = Span("work", start=0.0)
+        span.close(end=1.0)
+        span.close(end=99.0)
+        assert span.end == 1.0
+
+    def test_add_accumulates_and_set_overwrites(self):
+        span = Span("work")
+        span.add("items")
+        span.add("items", 4)
+        span.set("latency", 12.5)
+        span.set("latency", 7.0)
+        assert span.counters == {"items": 5, "latency": 7.0}
+
+    def test_walk_is_preorder(self):
+        root = Span("root", start=0.0)
+        a = root.child("a")
+        a.child("a1")
+        root.child("b")
+        assert [s.name for s in root.walk()] == ["root", "a", "a1", "b"]
+
+    def test_find_returns_first_match_or_none(self):
+        root = Span("root", start=0.0)
+        child = root.child("target")
+        child.child("target")
+        assert root.find("target") is child
+        assert root.find("missing") is None
+
+    def test_as_dict_roundtrip_is_exact(self):
+        root = Span("root", start=10.0)
+        child = root.child("child")
+        child.start = 10.5
+        child.add("gates", 7)
+        child.close(end=11.0)
+        root.set("total", 3)
+        root.close(end=12.0)
+
+        data = root.as_dict()
+        assert data["start"] == 0.0  # root is the origin
+        rebuilt = Span.from_dict(data)
+        assert rebuilt.as_dict() == data
+
+    def test_render_mentions_name_and_counters(self):
+        root = Span("compile", start=0.0)
+        root.set("gates", 42)
+        root.close(end=0.001)
+        text = root.render()
+        assert "compile" in text
+        assert "gates=42" in text
+
+
+class TestNullSpan:
+    def test_mutators_are_noops(self):
+        NULL_SPAN.add("x")
+        NULL_SPAN.set("y", 3)
+        assert NULL_SPAN.child("z") is NULL_SPAN
+        NULL_SPAN.close()
+        assert NULL_SPAN.duration == 0.0
+        assert NULL_SPAN.counters == {}
+        assert not NULL_SPAN.enabled
+
+
+class TestTracerAndStage:
+    def test_stage_without_tracer_yields_null_span(self):
+        with stage("orphan") as span:
+            assert span is NULL_SPAN
+        assert current_span() is NULL_SPAN
+
+    def test_stages_nest_under_tracer_root(self):
+        with Tracer("run") as tracer:
+            with stage("outer") as outer:
+                assert current_span() is outer
+                with stage("inner") as inner:
+                    inner.add("ticks")
+        root = tracer.root
+        assert root is not None
+        assert root.end is not None
+        assert [s.name for s in root.walk()] == ["run", "outer", "inner"]
+        assert root.find("inner").counters == {"ticks": 1}
+
+    def test_tracer_closes_leaked_stages_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with Tracer("run") as tracer:
+                with stage("doomed"):
+                    raise RuntimeError("boom")
+        assert current_span() is NULL_SPAN
+        assert tracer.root.end is not None
+        assert tracer.root.find("doomed").end is not None
+
+    def test_nested_tracers_do_not_corrupt_the_stack(self):
+        with Tracer("outer") as outer:
+            with Tracer("inner") as inner:
+                with stage("work"):
+                    pass
+            assert current_span() is outer.root
+        assert inner.root.find("work") is not None
+        assert current_span() is NULL_SPAN
+
+    def test_set_tracing_disables_new_tracers(self):
+        previous = set_tracing(False)
+        try:
+            assert not tracing_enabled()
+            with Tracer("run") as tracer:
+                with stage("work") as span:
+                    assert span is NULL_SPAN
+            assert tracer.root is None
+        finally:
+            set_tracing(previous)
+        assert tracing_enabled() == previous

@@ -1,0 +1,97 @@
+"""Trace-recorder disabled mode and degenerate-horizon guards.
+
+Covers the observability satellites: a disabled :class:`TraceRecorder`
+collects nothing and reports empty utilisation; ``record_trace=False``
+leaves Monte-Carlo streams bit-identical; ``link_utilisation`` tolerates
+zero, negative and non-finite horizons; and the JSONL export round-trips.
+"""
+
+import json
+import math
+
+from repro.circuits import qft_circuit
+from repro.core import compile_autocomm
+from repro.hardware import apply_topology, uniform_network
+from repro.sim import SimulationConfig, run_monte_carlo, simulate_program
+from repro.sim.trace import TraceRecorder
+
+
+def _line_program():
+    network = uniform_network(num_nodes=4, qubits_per_node=3)
+    apply_topology(network, "line")
+    return compile_autocomm(qft_circuit(12), network)
+
+
+class TestDisabledRecorder:
+    def test_records_nothing(self):
+        recorder = TraceRecorder(enabled=False)
+        recorder.record(1.0, "epr-start", index=0, nodes=(0, 1))
+        recorder.record_link(0, 1, 0.0, 2.0)
+        assert recorder.events == []
+        assert recorder.num_events() == 0
+        assert recorder.timeline() == []
+        assert recorder.link_busy == {}
+        assert recorder.link_utilisation(10.0) == {}
+
+    def test_record_trace_false_drops_trace_but_keeps_result(self):
+        program = _line_program()
+        result = simulate_program(program, SimulationConfig(
+            p_epr=1.0, seed=0, record_trace=False))
+        assert result.trace.num_events() == 0
+        assert result.trace.link_utilisation(result.latency) == {}
+        assert result.latency > 0
+
+    def test_monte_carlo_bit_identical_without_trace(self):
+        program = _line_program()
+        config = dict(p_epr=0.6, seed=11, trials=5)
+        on = run_monte_carlo(program, SimulationConfig(**config))
+        off = run_monte_carlo(program, SimulationConfig(
+            record_trace=False, **config))
+        assert off.latencies == on.latencies
+        assert off.epr_attempts == on.epr_attempts
+
+
+class TestLinkUtilisationGuards:
+    def _recorder(self):
+        recorder = TraceRecorder()
+        recorder.record_link(0, 1, 0.0, 2.0)
+        recorder.record_link(2, 1, 1.0, 3.0)  # normalised to (1, 2)
+        return recorder
+
+    def test_positive_horizon(self):
+        utilisation = self._recorder().link_utilisation(4.0)
+        assert utilisation == {(0, 1): 0.5, (1, 2): 0.5}
+
+    def test_degenerate_horizons_yield_zero(self):
+        recorder = self._recorder()
+        for horizon in (0.0, -1.0, float("nan"), float("inf"),
+                        float("-inf")):
+            utilisation = recorder.link_utilisation(horizon)
+            assert utilisation == {(0, 1): 0.0, (1, 2): 0.0}, horizon
+
+    def test_empty_program_zero_makespan(self):
+        # An empty recorder (no links) is safe at any horizon.
+        recorder = TraceRecorder()
+        assert recorder.link_utilisation(0.0) == {}
+        assert recorder.link_utilisation(math.inf) == {}
+
+
+class TestJsonlExport:
+    def test_write_jsonl_roundtrip(self, tmp_path):
+        program = _line_program()
+        result = simulate_program(program, SimulationConfig(p_epr=1.0, seed=0))
+        path = tmp_path / "run.trace.jsonl"
+        count = result.trace.write_jsonl(path)
+        lines = path.read_text().splitlines()
+        assert count == len(lines) == result.trace.num_events()
+        parsed = [json.loads(line) for line in lines]
+        assert parsed == result.trace.event_dicts()
+        times = [event["time"] for event in parsed]
+        assert times == sorted(times)
+        assert {"time", "kind", "index", "nodes", "detail"} <= set(parsed[0])
+
+    def test_disabled_recorder_writes_empty_file(self, tmp_path):
+        recorder = TraceRecorder(enabled=False)
+        path = tmp_path / "empty.jsonl"
+        assert recorder.write_jsonl(path) == 0
+        assert path.read_text() == ""

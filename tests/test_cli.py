@@ -484,6 +484,156 @@ class TestCompareFidelity:
         assert "fidelity" not in out
 
 
+class TestRunReportFlag:
+    def test_report_argument_parsed(self):
+        for command in ("compile", "compare", "simulate"):
+            args = build_parser().parse_args(
+                [command, "p.qasm", "--nodes", "2", "--report", "out.json"])
+            assert str(args.report) == "out.json"
+
+    def test_compile_report_roundtrips(self, qasm_file, tmp_path, capsys):
+        from repro.obs import RunReport
+
+        target = tmp_path / "compile.json"
+        exit_code = main(["compile", str(qasm_file), "--nodes", "2",
+                          "--report", str(target)])
+        assert exit_code == 0
+        assert f"wrote {target}" in capsys.readouterr().out
+        report = RunReport.load(target)
+        assert report.kind == "compile"
+        assert report.meta["qasm"] == str(qasm_file)
+        assert report.metrics is not None
+        assert report.span_tree().find("aggregation") is not None
+        # Saved bytes reload into an equal object.
+        assert RunReport.from_dict(report.as_dict()) == report
+
+    def test_compare_report_lists_all_contenders(self, qasm_file, tmp_path,
+                                                 capsys):
+        from repro.obs import RunReport
+
+        target = tmp_path / "compare.json"
+        exit_code = main(["compare", str(qasm_file), "--nodes", "2",
+                          "--report", str(target)])
+        assert exit_code == 0
+        report = RunReport.load(target)
+        assert report.kind == "compare"
+        assert {entry["compiler"] for entry in report.programs} \
+            >= set(COMPILERS)
+
+    def test_simulate_report_includes_simulation_section(self, qasm_file,
+                                                         tmp_path, capsys):
+        from repro.obs import RunReport
+
+        target = tmp_path / "simulate.json"
+        exit_code = main(["simulate", str(qasm_file), "--nodes", "2",
+                          "--p-epr", "0.5", "--trials", "3", "--seed", "1",
+                          "--report", str(target)])
+        assert exit_code == 0
+        report = RunReport.load(target)
+        assert report.kind == "simulate"
+        validation = report.simulation["validation"]
+        assert validation["matches"] is True
+        assert validation["analytical_latency"] > 0
+        assert report.simulation["monte_carlo"]["trials"] == 3.0
+        sim_metrics = report.simulation["sim_metrics"]
+        assert sim_metrics["counters"]["sim.trials"] == 3
+
+
+class TestTraceCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["trace", "p.qasm", "--nodes", "2"])
+        assert args.command == "trace"
+        assert args.p_epr == 1.0
+        assert args.seed == 0
+        assert args.out is None
+        assert args.no_sim is False
+
+    def test_writes_valid_trace_next_to_input(self, qasm_file, capsys):
+        import json
+
+        from repro.obs import validate_trace_events
+
+        exit_code = main(["trace", str(qasm_file), "--nodes", "2"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        target = qasm_file.with_name(qasm_file.stem + ".trace.json")
+        assert target.exists()
+        assert str(target) in out
+        events = json.loads(target.read_text())["traceEvents"]
+        assert events
+        assert validate_trace_events(events) == []
+        # Compile spans and simulated ops are both present.
+        assert {e["pid"] for e in events} >= {1, 2}
+
+    def test_explicit_out_and_no_sim(self, qasm_file, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "compile-only.trace.json"
+        exit_code = main(["trace", str(qasm_file), "--nodes", "2",
+                          "--no-sim", "--out", str(target)])
+        assert exit_code == 0
+        events = json.loads(target.read_text())["traceEvents"]
+        assert {e["pid"] for e in events} == {1}  # compile spans only
+
+    def test_remap_scenario_validates(self, qasm_file, tmp_path, capsys):
+        exit_code = main(["trace", str(qasm_file), "--nodes", "4",
+                          "--qubits-per-node", "2", "--topology", "line",
+                          "--remap", "bursts", "--phase-blocks", "3",
+                          "--out", str(tmp_path / "remap.trace.json")])
+        assert exit_code == 0
+
+    def test_invalid_p_epr_rejected(self, qasm_file):
+        with pytest.raises(SystemExit):
+            main(["trace", str(qasm_file), "--nodes", "2", "--p-epr", "0"])
+
+
+class TestTraceOutFlag:
+    def test_simulate_trace_out_writes_jsonl(self, qasm_file, tmp_path,
+                                             capsys):
+        import json
+
+        target = tmp_path / "events.jsonl"
+        exit_code = main(["simulate", str(qasm_file), "--nodes", "2",
+                          "--trace-out", str(target)])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert f"wrote {target}" in out
+        events = [json.loads(line)
+                  for line in target.read_text().splitlines()]
+        assert events
+        assert {"time", "kind", "index", "nodes", "detail"} <= set(events[0])
+        assert any(event["kind"] == "epr-start" for event in events)
+
+
+class TestProfileStageRows:
+    def test_stage_rows_and_tree_in_report(self, qasm_file, capsys):
+        exit_code = main(["profile", str(qasm_file), "--nodes", "2",
+                          "--repeat", "1"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "stage aggregation [ms]" in out
+        assert "stage scheduling [ms]" in out
+        assert "compile stage tree (profiled run):" in out
+
+    def test_json_payload_has_versioned_stage_tree(self, qasm_file, tmp_path,
+                                                   capsys):
+        import json
+
+        target = tmp_path / "bench.json"
+        exit_code = main(["profile", str(qasm_file), "--nodes", "2",
+                          "--repeat", "1", "--json", str(target)])
+        assert exit_code == 0
+        payload = json.loads(target.read_text())
+        # Existing keys are untouched; the stage tree is additive.
+        assert payload["command"] == "profile"
+        assert payload["compile_s"]["median"] > 0
+        assert payload["schema"] == 1
+        stages = payload["stages"]
+        assert stages["name"].startswith("compile/")
+        assert {child["name"] for child in stages["children"]} \
+            >= {"aggregation", "assignment", "scheduling"}
+
+
 class TestIdealLinksFlag:
     @pytest.fixture
     def wide_qasm(self, tmp_path):
