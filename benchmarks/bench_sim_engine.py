@@ -5,17 +5,25 @@ benchmark suite so simulator-speed regressions are visible, and records the
 event/op counts that drive the cost.  Uses wall-clock timing over the whole
 suite (one run per configuration, like the table harnesses) plus a
 pytest-benchmark microbenchmark of the hot path.
+
+The Monte-Carlo trial count follows ``REPRO_BENCH_SCALE`` (10 / 100 / 1000
+for small / medium / paper), matching the paper's 1000-trial protocol at
+full scale, and a second table times ``run_monte_carlo`` at worker counts
+1/2/4 on one program — asserting the distributions stay identical — so the
+process-pool path is exercised at every scale.
 """
 
+import os
 import time
 
 import pytest
 
-from _harness import emit, suite_specs
+from _harness import bench_scale, emit, suite_specs
 from repro.core import compile_autocomm
 from repro.sim import SimulationConfig, run_monte_carlo, simulate_program
 
-MC_TRIALS = 10
+MC_TRIALS_BY_SCALE = {"small": 10, "medium": 100, "paper": 1000}
+MC_TRIALS = MC_TRIALS_BY_SCALE[bench_scale()]
 
 
 def test_bench_sim_engine():
@@ -53,6 +61,37 @@ def qft_program():
     spec = next(s for s in suite_specs() if s.family == "QFT")
     circuit, network = spec.build()
     return compile_autocomm(circuit, network)
+
+
+def test_bench_mc_worker_scaling(qft_program):
+    """Monte-Carlo wall clock at 1/2/4 workers; results must not change."""
+    rows = []
+    baseline_s = None
+    baseline_latencies = None
+    cpu_count = os.cpu_count() or 1
+    for workers in (1, 2, 4):
+        config = SimulationConfig(p_epr=0.5, trials=MC_TRIALS, seed=17,
+                                  workers=workers, record_trace=False)
+        begin = time.perf_counter()
+        result = run_monte_carlo(qft_program, config)
+        elapsed = time.perf_counter() - begin
+        if workers == 1:
+            baseline_s = elapsed
+            baseline_latencies = result.latencies
+        assert result.latencies == baseline_latencies, \
+            f"workers={workers} changed the latency distribution"
+        speedup = baseline_s / elapsed
+        rows.append({
+            "workers": workers,
+            "wall_s": round(elapsed, 3),
+            "speedup": round(speedup, 2),
+            "efficiency": round(speedup / min(workers, cpu_count), 2),
+        })
+    emit("sim_engine_workers", rows,
+         columns=["workers", "wall_s", "speedup", "efficiency"],
+         note=(f"{MC_TRIALS}-trial Monte-Carlo on the smallest QFT config; "
+               f"host has {cpu_count} cpu(s); efficiency = speedup / "
+               "min(workers, cpus)"))
 
 
 def test_perf_deterministic_replay(benchmark, qft_program):

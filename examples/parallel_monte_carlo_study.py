@@ -1,0 +1,81 @@
+"""Process-parallel Monte-Carlo: same distribution, any worker count.
+
+``run_monte_carlo`` derives every trial's seed from the master generator in
+the parent process, so chunking trials across a process pool and merging
+the per-worker metric registries reproduces the sequential run exactly.
+This walkthrough demonstrates that contract end to end:
+
+1. compile one benchmark and run the same 64-trial study at ``workers=1``
+   and ``workers=4``;
+2. verify the latency distributions, per-trial seeds and merged metrics
+   are identical (not just statistically close);
+3. report wall-clock for both runs — speedup is honest about the host's
+   CPU count, since a single-core machine only pays the pool's spawn
+   overhead.
+
+Run with:  PYTHONPATH=src python examples/parallel_monte_carlo_study.py
+"""
+
+import os
+import time
+
+from repro import compile_autocomm
+from repro.analysis import render_table
+from repro.circuits import qft_circuit
+from repro.hardware import apply_topology, uniform_network
+from repro.sim import SimulationConfig, run_monte_carlo
+
+TRIALS = 64
+SEED = 2022
+
+
+def main() -> None:
+    circuit = qft_circuit(24)
+    network = uniform_network(num_nodes=4, qubits_per_node=6)
+    apply_topology(network, "line")
+    program = compile_autocomm(circuit, network)
+    cpu_count = os.cpu_count() or 1
+
+    print(f"program: {circuit.name}, {circuit.num_qubits} qubits on "
+          f"{network.num_nodes} nodes; host has {cpu_count} cpu(s)")
+
+    # -- 1. the same study, sequential and process-parallel --------------
+    rows = []
+    results = {}
+    for workers in (1, 4):
+        config = SimulationConfig(p_epr=0.5, trials=TRIALS, seed=SEED,
+                                  workers=workers, record_trace=False)
+        begin = time.perf_counter()
+        results[workers] = run_monte_carlo(program, config)
+        elapsed = time.perf_counter() - begin
+        summary = results[workers].summary()
+        rows.append({
+            "workers": workers,
+            "wall_s": round(elapsed, 3),
+            "mean": summary["mean"],
+            "p95": summary["p95"],
+            "max": summary["max"],
+        })
+    print(f"\n{TRIALS}-trial study at p_epr=0.5 (seed={SEED}):")
+    print(render_table(rows, columns=["workers", "wall_s", "mean", "p95",
+                                      "max"]))
+
+    # -- 2. bit-identical, not statistically close -----------------------
+    sequential, parallel = results[1], results[4]
+    assert parallel.latencies == sequential.latencies
+    assert parallel.trial_seeds == sequential.trial_seeds
+    assert parallel.metrics.as_dict() == sequential.metrics.as_dict()
+    print("\nworkers=4 reproduced workers=1 exactly: latencies, trial "
+          "seeds\nand merged metrics registry all match.")
+
+    # -- 3. honest speedup report ----------------------------------------
+    speedup = rows[0]["wall_s"] / rows[1]["wall_s"] if rows[1]["wall_s"] else 1.0
+    print(f"\nwall-clock speedup at 4 workers: {speedup:.2f}x "
+          f"(usable parallelism min(4, {cpu_count}) = {min(4, cpu_count)})")
+    if cpu_count == 1:
+        print("single-core host: the pool can only add spawn overhead; "
+              "use workers=1 here.")
+
+
+if __name__ == "__main__":
+    main()

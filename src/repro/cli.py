@@ -177,6 +177,21 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--fidelity", action="store_true",
                                 help="also report an estimated fidelity "
                                      "column per compiler")
+    compare_parser.add_argument("--trials", type=int, default=0, metavar="N",
+                                help="also run N Monte-Carlo trials per "
+                                     "compiler and report the simulated "
+                                     "latency distribution (default 0 = "
+                                     "analytical only)")
+    compare_parser.add_argument("--p-epr", type=float, default=1.0,
+                                help="EPR attempt success probability for "
+                                     "the Monte-Carlo columns (default 1.0)")
+    compare_parser.add_argument("--seed", type=int, default=0,
+                                help="master seed for the Monte-Carlo "
+                                     "columns (default 0)")
+    compare_parser.add_argument("--workers", type=int, default=1,
+                                help="worker processes for the Monte-Carlo "
+                                     "trials (default 1 = in-process; any "
+                                     "value returns identical results)")
     _add_topology_arguments(compare_parser)
     _add_remap_arguments(compare_parser)
     _add_report_argument(compare_parser)
@@ -202,6 +217,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--seed", type=int, default=0,
                                  help="master seed for stochastic runs "
                                       "(default 0)")
+    simulate_parser.add_argument("--workers", type=int, default=1,
+                                 help="worker processes for the Monte-Carlo "
+                                      "trials (default 1 = in-process); "
+                                      "results are identical for any value")
     simulate_parser.add_argument("--link-capacity", type=int, default=None,
                                  help="uniform concurrent EPR generations "
                                       "per link (default: unlimited); "
@@ -253,6 +272,9 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="EPR success probability for the "
                                      "simulation trials (default 0.5)")
     profile_parser.add_argument("--seed", type=int, default=0)
+    profile_parser.add_argument("--workers", type=int, default=1,
+                                help="worker processes for the profiled "
+                                     "Monte-Carlo trials (default 1)")
     profile_parser.add_argument("--json", type=Path, default=None,
                                 metavar="PATH",
                                 help="write machine-readable timings and "
@@ -443,6 +465,12 @@ def _cmd_compile(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    if not 0.0 < args.p_epr <= 1.0:
+        raise SystemExit(f"error: --p-epr must be in (0, 1], got {args.p_epr}")
+    if args.trials < 0:
+        raise SystemExit(f"error: --trials must be >= 0, got {args.trials}")
+    if args.workers < 1:
+        raise SystemExit(f"error: --workers must be >= 1, got {args.workers}")
     circuit = _load_circuit(args.qasm)
     network = _network_from_args(circuit, args)
     remap_config = _autocomm_config(args)
@@ -475,6 +503,18 @@ def _cmd_compare(args) -> int:
         if args.fidelity:
             row["fidelity"] = round(
                 estimate_fidelity(program, DEFAULT_ERROR_MODEL), 4)
+        if args.trials > 0:
+            # Simulated latency distribution next to the analytical number,
+            # under the same seeds for every compiler (per-trial streams
+            # derive from the master seed, so --workers never changes them).
+            config = SimulationConfig(p_epr=args.p_epr, seed=args.seed,
+                                      trials=args.trials,
+                                      workers=args.workers,
+                                      record_trace=False)
+            monte_carlo = run_monte_carlo(program, config)
+            summary = monte_carlo.summary()
+            row["sim_mean"] = round(summary["mean"], 1)
+            row["sim_p95"] = round(summary["p95"], 1)
         rows.append(row)
     columns = ["compiler", "communications", "tp_comm", "peak_rem_cx",
                "latency"]
@@ -482,6 +522,8 @@ def _cmd_compare(args) -> int:
         columns += ["epr_latency", "migrations"]
     if args.fidelity:
         columns.append("fidelity")
+    if args.trials > 0:
+        columns += ["sim_mean", "sim_p95"]
     print(render_table(rows, columns=columns))
     if args.report is not None:
         entries = []
@@ -506,6 +548,8 @@ def _cmd_simulate(args) -> int:
         raise SystemExit(f"error: --p-epr must be in (0, 1], got {args.p_epr}")
     if args.trials < 1:
         raise SystemExit(f"error: --trials must be >= 1, got {args.trials}")
+    if args.workers < 1:
+        raise SystemExit(f"error: --workers must be >= 1, got {args.workers}")
     if args.retry_latency is not None and args.retry_latency <= 0:
         raise SystemExit("error: --retry-latency must be positive")
     if args.link_capacity is not None and args.link_capacity < 1:
@@ -534,7 +578,8 @@ def _cmd_simulate(args) -> int:
                                   retry_latency=args.retry_latency,
                                   seed=args.seed, trials=args.trials,
                                   link_capacity=args.link_capacity,
-                                  ideal_links=args.ideal_links)
+                                  ideal_links=args.ideal_links,
+                                  workers=args.workers)
         monte_carlo = run_monte_carlo(program, config)
 
     row = simulation_row(report, monte_carlo)
@@ -649,7 +694,8 @@ def _cmd_profile(args) -> int:
         from .sim import SimulationConfig
         sim_config = SimulationConfig(p_epr=args.p_epr, seed=args.seed,
                                       trials=args.simulate_trials,
-                                      record_trace=False)
+                                      record_trace=False,
+                                      workers=args.workers)
         for _ in range(args.repeat):
             begin = time.perf_counter()
             _run_mc(program, sim_config)

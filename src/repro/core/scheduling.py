@@ -450,6 +450,20 @@ class SchedulePlan:
     def mode(self) -> str:
         return "burst" if self.burst else "plain"
 
+    def __getstate__(self):
+        """Pickle without the lazy caches.
+
+        ``_profiles`` is keyed by object identity (``id(mapping)`` /
+        ``id(latency)``), so its entries are meaningless in another process;
+        both caches rebuild on demand.  Dropping them is what lets a plan
+        travel to Monte-Carlo worker processes (and, eventually, a compile
+        cache) at minimal size.
+        """
+        state = self.__dict__.copy()
+        state["_succs"] = None
+        state["_profiles"] = None
+        return state
+
     def successors(self) -> List[List[int]]:
         if self._succs is None:
             succs: List[List[int]] = [[] for _ in self.items]

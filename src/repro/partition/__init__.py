@@ -3,7 +3,9 @@
 from .interaction_graph import interaction_graph, interaction_matrix, cut_weight
 from .mapping import QubitMapping, round_robin_mapping, block_mapping
 from .oee import (oee_partition, oee_repartition, OEEResult, exchange_gain,
-                  migration_distance_matrix)
+                  exchange_gain_vector, migration_distance_matrix)
+from .oee_reference import (exchange_gain_reference, oee_partition_reference,
+                            oee_repartition_reference)
 
 __all__ = [
     "interaction_graph",
@@ -16,5 +18,9 @@ __all__ = [
     "oee_repartition",
     "OEEResult",
     "exchange_gain",
+    "exchange_gain_vector",
     "migration_distance_matrix",
+    "exchange_gain_reference",
+    "oee_partition_reference",
+    "oee_repartition_reference",
 ]

@@ -9,14 +9,48 @@ different nodes) with the largest reduction in cut weight, until no exchange
 improves the cut.  The cut weight equals the number of remote multi-qubit
 gates under a static mapping, which is the objective the paper optimises
 before AutoComm runs.
+
+Vectorized search
+-----------------
+
+The search state lives on numpy: the interaction graph is a dense weight
+matrix ``W``, the assignment an index vector ``A``, and each pivot qubit's
+gains against *every* candidate partner come from one gathered vector
+expression instead of a pair of adjacency-dict walks per candidate.  The
+state matrices are updated incrementally after each accepted swap (rank-one
+column/outer-product updates), so a full improvement round is O(n) vector
+ops per pivot rather than O(n * degree) python arithmetic per pair.
+
+Two invariants keep the swap sequence — and therefore every mapping, phase
+split and migration plan downstream — bit-identical to the scalar search
+preserved in :mod:`repro.partition.oee_reference`:
+
+* Interaction weights are integer gate counts and node distances are hop
+  counts or dyadic link-latency sums, so every gain is computed exactly in
+  float64 no matter how the terms are grouped; regrouping the sums onto
+  matrix products cannot change the value.
+* Partner selection replays the reference tie-break exactly: candidates are
+  scanned in the reference order and a partner is accepted only when its
+  gain beats the *last accepted* gain by more than ``1e-12`` (a cheap python
+  scan over the numpy gain vector, entered only when the vectorized max
+  shows an improving partner exists).
+
+Setting ``REPRO_OEE_REFERENCE=1`` routes :func:`oee_partition` /
+:func:`oee_repartition` back through the preserved scalar implementation
+(useful when bisecting a suspected partitioner issue); equivalence of the
+two paths is enforced by ``tests/partition/test_oee_vectorized.py``, the
+hypothesis properties in ``tests/properties/test_property_oee.py`` and the
+assertions inside ``benchmarks/bench_partition.py``.
 """
 
 from __future__ import annotations
 
+import os
 from collections import defaultdict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import networkx as nx
+import numpy as np
 
 from ..hardware.network import QuantumNetwork
 from ..ir.circuit import Circuit
@@ -25,7 +59,17 @@ from .interaction_graph import cut_weight, interaction_graph
 from .mapping import QubitMapping, block_mapping
 
 __all__ = ["oee_partition", "oee_repartition", "OEEResult", "exchange_gain",
-           "migration_distance_matrix"]
+           "exchange_gain_vector", "migration_distance_matrix"]
+
+#: Tolerance of the greedy tie-break: a candidate replaces the incumbent
+#: partner only when its gain exceeds the incumbent's by more than this.
+_EPS = 1e-12
+
+
+def _use_reference() -> bool:
+    """True when ``REPRO_OEE_REFERENCE`` requests the scalar search."""
+    return os.environ.get("REPRO_OEE_REFERENCE", "").lower() not in (
+        "", "0", "false", "no")
 
 
 class OEEResult:
@@ -65,6 +109,10 @@ def exchange_gain(weights: Dict[int, Dict[int, float]], assignment: Dict[int, in
     gates would incur.  The edge
     between the two exchanged qubits never contributes: its endpoints swap
     nodes, so its (symmetric) distance is unchanged.
+
+    This scalar form prices one pair; the search itself evaluates whole
+    candidate rows at once via :class:`_GainState` /
+    :func:`exchange_gain_vector`.
     """
     node_a = assignment[qubit_a]
     node_b = assignment[qubit_b]
@@ -96,6 +144,175 @@ def exchange_gain(weights: Dict[int, Dict[int, float]], assignment: Dict[int, in
         node_n = assignment[neighbour]
         gain += weight * (dist_b[node_n] - dist_a[node_n])
     return gain
+
+
+def exchange_gain_vector(weights, assignment: Sequence[int], qubit_a: int,
+                         node_distances=None) -> "np.ndarray":
+    """Gains of swapping ``qubit_a`` with *every* qubit, as one numpy vector.
+
+    ``weights`` is the dense symmetric interaction matrix
+    (:func:`~repro.partition.interaction_graph.interaction_matrix`),
+    ``assignment`` a length-n node-index sequence.  Entry ``b`` equals
+    ``exchange_gain(..., qubit_a, b)``; entries where ``b`` shares
+    ``qubit_a``'s node (including ``b == qubit_a``) are 0.0, matching the
+    scalar early-return.  This is the vectorized gain math the OEE search
+    runs on, exposed for the property tests that pin it against the scalar
+    reference.
+    """
+    W = np.asarray(weights, dtype=np.float64)
+    A = np.asarray(assignment, dtype=np.int64)
+    num_nodes = int(A.max()) + 1 if A.size else 1
+    distances = None
+    if node_distances is not None:
+        distances = np.asarray(node_distances, dtype=np.float64)
+        num_nodes = distances.shape[0]
+    state = _GainState(W, A, num_nodes, distances)
+    gains = state.gain_vector(qubit_a)
+    gains[A == A[qubit_a]] = 0.0
+    return gains
+
+
+class _GainState:
+    """Incrementally-maintained vector state of one OEE search.
+
+    Uniform (unweighted-distance) objective: ``S[q, m]`` is the total
+    interaction weight between qubit ``q`` and the qubits currently on node
+    ``m`` (``S = W @ onehot(A)``), so the gain of swapping ``a`` and ``b``
+    is ``S[a, nb] - S[a, na] + S[b, na] - S[b, nb] - 2 W[a, b]``.
+
+    Routed objective: ``S[q, m]`` generalises to the distance-priced load
+    ``sum_n W[q, n] * D[m, A[n]]`` (``S = W @ D.T[A]``), whose gain formula
+    mirrors the scalar one with an explicit correction for the swapped
+    pair's own edge.  Both forms admit rank-one updates per accepted swap.
+
+    For migration-aware repartitioning, ``move`` holds each qubit's
+    effective move-cost row (home node priced at zero, exactly like the
+    scalar ``move_cost``) and ``cur_move`` the cost each qubit currently
+    pays under ``A``.
+    """
+
+    def __init__(self, W: "np.ndarray", A: "np.ndarray", num_nodes: int,
+                 distances: Optional["np.ndarray"],
+                 home: Optional["np.ndarray"] = None,
+                 migration: Optional["np.ndarray"] = None) -> None:
+        n = W.shape[0]
+        self.n = n
+        self.W = W
+        self.A = A
+        self.D = distances
+        self._rows = np.arange(n)
+        if distances is None:
+            onehot = np.zeros((n, num_nodes))
+            if n:
+                onehot[self._rows, A] = 1.0
+            self.S = W @ onehot
+        else:
+            self.S = W @ distances.T[A] if n else np.zeros((0, num_nodes))
+        self.S_self = self.S[self._rows, A] if n else np.zeros(0)
+        if migration is None:
+            self.move = None
+            self.cur_move = None
+        else:
+            self.home = home
+            move = migration[home].copy()
+            move[self._rows, home] = 0.0
+            self.move = move
+            self.cur_move = move[self._rows, A]
+
+    def gain_vector(self, qubit_a: int) -> "np.ndarray":
+        """Raw gain of swapping ``qubit_a`` with each qubit (length n).
+
+        Entries for same-node partners (and ``qubit_a`` itself) are
+        meaningless — callers mask them before use.
+        """
+        A = self.A
+        node_a = A[qubit_a]
+        row = self.S[qubit_a]
+        if self.D is None:
+            gains = (row.take(A) - row[node_a]
+                     + self.S[:, node_a] - self.S_self
+                     - 2.0 * self.W[qubit_a])
+        else:
+            D = self.D
+            # The swapped pair's own edge is excluded by the scalar form;
+            # remove its two (generally asymmetric-safe) contributions.
+            own_edge = self.W[qubit_a] * (
+                (D[node_a].take(A) - D.diagonal().take(A))
+                + (D[:, node_a].take(A) - D[node_a, node_a]))
+            gains = ((row[node_a] - row.take(A))
+                     + (self.S_self - self.S[:, node_a])
+                     - own_edge)
+        if self.move is not None:
+            # Migration delta, grouped exactly like the scalar accumulation:
+            # ((pay_a_now + pay_b_now) - pay_a_there) - pay_b_here.
+            gains = gains + (((self.move[qubit_a, node_a] + self.cur_move)
+                              - self.move[qubit_a].take(A))
+                             - self.move[:, node_a])
+        return gains
+
+    def best_partner(self, qubit_a: int,
+                     candidates: "np.ndarray") -> Optional[int]:
+        """Replay the reference greedy scan over ``candidates`` (in order)."""
+        if candidates.size == 0:
+            return None
+        gains = self.gain_vector(qubit_a).take(candidates)
+        gains[self.A.take(candidates) == self.A[qubit_a]] = -np.inf
+        if not (gains.max() > _EPS):
+            return None
+        # An improving partner exists: replay the scalar tie-break, which
+        # accepts a candidate only when it beats the last *accepted* gain.
+        best_gain = 0.0
+        best_partner: Optional[int] = None
+        order = candidates.tolist()
+        for index, gain in enumerate(gains.tolist()):
+            if gain > best_gain + _EPS:
+                best_gain = gain
+                best_partner = order[index]
+        return best_partner
+
+    def swap(self, qubit_a: int, qubit_b: int) -> None:
+        """Exchange the two qubits' nodes and refresh the state matrices."""
+        A = self.A
+        node_a = int(A[qubit_a])
+        node_b = int(A[qubit_b])
+        delta = self.W[qubit_a] - self.W[qubit_b]
+        if self.D is None:
+            self.S[:, node_a] -= delta
+            self.S[:, node_b] += delta
+        else:
+            self.S += np.outer(delta, self.D[:, node_b] - self.D[:, node_a])
+        A[qubit_a] = node_b
+        A[qubit_b] = node_a
+        self.S_self = self.S[self._rows, A]
+        if self.move is not None:
+            self.cur_move[qubit_a] = self.move[qubit_a, node_b]
+            self.cur_move[qubit_b] = self.move[qubit_b, node_a]
+
+    def as_dict(self) -> Dict[int, int]:
+        return {q: int(self.A[q]) for q in range(self.n)}
+
+
+def _weight_matrix(graph: nx.Graph, num_qubits: int) -> "np.ndarray":
+    """Dense symmetric weight matrix of an interaction graph.
+
+    Built from the graph (not the circuit) so the gate list is scanned once
+    per search; matches
+    :func:`~repro.partition.interaction_graph.interaction_matrix`.
+    """
+    W = np.zeros((num_qubits, num_qubits))
+    for a, b, data in graph.edges(data=True):
+        w = data.get("weight", 1.0)
+        W[a, b] = w
+        W[b, a] = w
+    return W
+
+
+def _active_qubits(W: "np.ndarray") -> "np.ndarray":
+    """Qubits with at least one interaction, in index order (the reference
+    iterates ``sorted(weights.keys())``, which is the same set and order)."""
+    if W.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.flatnonzero((W != 0.0).any(axis=1))
 
 
 def _neighbour_weights(graph: nx.Graph) -> Dict[int, Dict[int, float]]:
@@ -176,9 +393,15 @@ def oee_partition(circuit: Circuit, network: QuantumNetwork,
         is engaged.
     """
     with stage("oee-partition") as span:
-        result = _oee_partition(circuit, network, initial=initial,
-                                max_rounds=max_rounds,
-                                use_link_distances=use_link_distances)
+        if _use_reference():
+            from .oee_reference import oee_partition_reference
+            result = oee_partition_reference(
+                circuit, network, initial=initial, max_rounds=max_rounds,
+                use_link_distances=use_link_distances)
+        else:
+            result = _oee_partition(circuit, network, initial=initial,
+                                    max_rounds=max_rounds,
+                                    use_link_distances=use_link_distances)
         _record_oee_span(span, result)
         return result
 
@@ -187,41 +410,40 @@ def _oee_partition(circuit: Circuit, network: QuantumNetwork,
                    initial: Optional[QubitMapping] = None,
                    max_rounds: int = 50,
                    use_link_distances: Optional[bool] = None) -> OEEResult:
-    """The extreme-exchange search behind :func:`oee_partition`."""
+    """The vectorized extreme-exchange search behind :func:`oee_partition`."""
     network.validate_capacity(circuit.num_qubits)
     distances = _topology_distances(network, use_link_distances)
     graph = interaction_graph(circuit)
-    weights = _neighbour_weights(graph)
     mapping = initial if initial is not None else block_mapping(circuit.num_qubits, network)
     assignment = mapping.as_dict()
     initial_cut = cut_weight(graph, assignment, node_distances=distances)
 
+    n = circuit.num_qubits
+    W = _weight_matrix(graph, n)
+    A = np.array([assignment[q] for q in range(n)], dtype=np.int64)
+    dist_matrix = (None if distances is None
+                   else np.asarray(distances, dtype=np.float64))
+    state = _GainState(W, A, network.num_nodes, dist_matrix)
+
     # Only qubits with at least one interaction can change the cut.
-    active = sorted(weights.keys())
+    active = _active_qubits(W)
+    active_list = active.tolist()
     num_exchanges = 0
     rounds = 0
     for rounds in range(1, max_rounds + 1):
         improved = False
-        for i, qubit_a in enumerate(active):
-            # Greedy "extreme" step: find the partner with the largest gain.
-            best_gain = 0.0
-            best_partner: Optional[int] = None
-            for qubit_b in active[i + 1:]:
-                if assignment[qubit_a] == assignment[qubit_b]:
-                    continue
-                gain = exchange_gain(weights, assignment, qubit_a, qubit_b,
-                                     node_distances=distances)
-                if gain > best_gain + 1e-12:
-                    best_gain = gain
-                    best_partner = qubit_b
+        for i, qubit_a in enumerate(active_list):
+            # Greedy "extreme" step: find the partner with the largest gain
+            # among the not-yet-pivoted active qubits.
+            best_partner = state.best_partner(qubit_a, active[i + 1:])
             if best_partner is not None:
-                assignment[qubit_a], assignment[best_partner] = (
-                    assignment[best_partner], assignment[qubit_a])
+                state.swap(qubit_a, best_partner)
                 num_exchanges += 1
                 improved = True
         if not improved:
             break
 
+    assignment = state.as_dict()
     final_cut = cut_weight(graph, assignment, node_distances=distances)
     result_mapping = QubitMapping(assignment, network)
     return OEEResult(result_mapping, initial_cut, final_cut, num_exchanges,
@@ -283,10 +505,17 @@ def oee_repartition(circuit: Circuit, network: QuantumNetwork,
         ``migration_cost`` report the moves relative to ``previous``.
     """
     with stage("oee-repartition") as span:
-        result = _oee_repartition(circuit, network, previous,
-                                  max_rounds=max_rounds,
-                                  use_link_distances=use_link_distances,
-                                  migration_costs=migration_costs)
+        if _use_reference():
+            from .oee_reference import oee_repartition_reference
+            result = oee_repartition_reference(
+                circuit, network, previous, max_rounds=max_rounds,
+                use_link_distances=use_link_distances,
+                migration_costs=migration_costs)
+        else:
+            result = _oee_repartition(circuit, network, previous,
+                                      max_rounds=max_rounds,
+                                      use_link_distances=use_link_distances,
+                                      migration_costs=migration_costs)
         _record_oee_span(span, result)
         return result
 
@@ -297,7 +526,7 @@ def _oee_repartition(circuit: Circuit, network: QuantumNetwork,
                      use_link_distances: Optional[bool] = None,
                      migration_costs: Optional[List[List[float]]] = None
                      ) -> OEEResult:
-    """The migration-aware search behind :func:`oee_repartition`."""
+    """The vectorized migration-aware search behind :func:`oee_repartition`."""
     network.validate_capacity(circuit.num_qubits)
     if previous.num_qubits != circuit.num_qubits:
         raise ValueError("previous mapping and circuit disagree on qubit count")
@@ -305,52 +534,41 @@ def _oee_repartition(circuit: Circuit, network: QuantumNetwork,
     migration = (migration_costs if migration_costs is not None
                  else migration_distance_matrix(network))
     graph = interaction_graph(circuit)
-    weights = _neighbour_weights(graph)
     home = previous.as_dict()
     assignment = dict(home)
     initial_cut = cut_weight(graph, assignment, node_distances=distances)
 
-    def move_cost(qubit: int, node: int) -> float:
-        origin = home[qubit]
-        return 0.0 if node == origin else migration[origin][node]
+    n = circuit.num_qubits
+    W = _weight_matrix(graph, n)
+    A = np.array([assignment[q] for q in range(n)], dtype=np.int64)
+    home_arr = np.array([home[q] for q in range(n)], dtype=np.int64)
+    dist_matrix = (None if distances is None
+                   else np.asarray(distances, dtype=np.float64))
+    state = _GainState(W, A, network.num_nodes, dist_matrix,
+                       home=home_arr,
+                       migration=np.asarray(migration, dtype=np.float64))
 
     # Only qubits interacting in this phase can *earn* a move, but any
     # qubit may serve as the displaced swap partner (exchanges preserve
     # per-node load, so capacity is maintained by construction).
-    active = sorted(weights.keys())
-    all_qubits = list(range(circuit.num_qubits))
+    active_list = _active_qubits(W).tolist()
+    all_qubits = np.arange(n)
     num_exchanges = 0
     rounds = 0
     for rounds in range(1, max_rounds + 1):
         improved = False
-        for qubit_a in active:
-            best_gain = 0.0
-            best_partner: Optional[int] = None
-            node_a = assignment[qubit_a]
-            for qubit_b in all_qubits:
-                node_b = assignment[qubit_b]
-                if qubit_b == qubit_a or node_a == node_b:
-                    continue
-                gain = exchange_gain(weights, assignment, qubit_a, qubit_b,
-                                     node_distances=distances)
-                # Migration delta of the swap: what both qubits pay now vs
-                # what they would pay on each other's nodes.
-                gain += (move_cost(qubit_a, node_a) + move_cost(qubit_b, node_b)
-                         - move_cost(qubit_a, node_b) - move_cost(qubit_b, node_a))
-                if gain > best_gain + 1e-12:
-                    best_gain = gain
-                    best_partner = qubit_b
+        for qubit_a in active_list:
+            best_partner = state.best_partner(qubit_a, all_qubits)
             if best_partner is not None:
-                assignment[qubit_a], assignment[best_partner] = (
-                    assignment[best_partner], assignment[qubit_a])
-                node_a = assignment[qubit_a]
+                state.swap(qubit_a, best_partner)
                 num_exchanges += 1
                 improved = True
         if not improved:
             break
 
+    assignment = state.as_dict()
     final_cut = cut_weight(graph, assignment, node_distances=distances)
-    moves = [q for q in all_qubits if assignment[q] != home[q]]
+    moves = [q for q in range(n) if assignment[q] != home[q]]
     total_migration = sum(migration[home[q]][assignment[q]] for q in moves)
     return OEEResult(QubitMapping(assignment, network), initial_cut,
                      final_cut, num_exchanges, rounds,

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import heapq
 import random
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -87,6 +88,11 @@ class SimulationConfig:
     #: Pre-sample EPR attempt counts in vectorised batches (bitwise-identical
     #: to the per-attempt loop on the same seed; disable to A/B-test).
     batch_epr: bool = True
+    #: Worker processes for :func:`run_monte_carlo`.  Each trial's stream is
+    #: seeded independently from the master generator, so any worker count
+    #: returns identical latencies, attempts and merged metrics; ``1``
+    #: (default) runs in-process and never touches a pool.
+    workers: int = 1
 
 
 @dataclass(frozen=True)
@@ -154,6 +160,11 @@ class SimulationResult:
 class MonteCarloResult:
     """Seeded latency distribution over repeated stochastic executions."""
 
+    #: The run's configuration with the **master** seed — the one integer
+    #: the whole distribution reproduces from — not any trial's derived
+    #: seed.  Per-trial seeds live in ``trial_seeds`` (and each trial's
+    #: ``SimulationResult.seed``), so any single trial can be replayed
+    #: through :func:`simulate_program` with ``replace(config, seed=...)``.
     config: SimulationConfig
     latencies: List[float]
     trial_seeds: List[int]
@@ -624,42 +635,105 @@ def simulate_program(program: CompiledProgram,
     return engine.run()
 
 
+def _chunk_seeds(trial_seeds: List[int], workers: int) -> List[List[int]]:
+    """Split the trial seeds into ``workers`` contiguous chunks.
+
+    The split depends only on the counts (never on the host's core count or
+    timing), so chunked results re-concatenate into exactly the sequential
+    trial order for any worker count.
+    """
+    base, extra = divmod(len(trial_seeds), workers)
+    chunks: List[List[int]] = []
+    start = 0
+    for index in range(workers):
+        size = base + (1 if index < extra else 0)
+        chunks.append(trial_seeds[start:start + size])
+        start += size
+    return chunks
+
+
+def _run_trial_chunk(payload) -> Tuple[List[float], List[int],
+                                       MetricsRegistry,
+                                       Optional[SimulationResult]]:
+    """Execute one contiguous chunk of Monte-Carlo trials.
+
+    Runs inside a worker process (module-level so it pickles); the first
+    chunk also returns its first trial as the run's sample (with the trace,
+    when enabled), mirroring what the sequential loop keeps.
+    """
+    plan, network, mapping, config, seeds, first_chunk = payload
+    metrics = MetricsRegistry(enabled=config.record_metrics)
+    quiet = replace(config, record_trace=False)
+    latencies: List[float] = []
+    attempts: List[int] = []
+    sample: Optional[SimulationResult] = None
+    for index, trial_seed in enumerate(seeds):
+        is_sample = first_chunk and index == 0
+        template = config if is_sample else quiet
+        trial_config = replace(template, seed=trial_seed)
+        engine = ExecutionEngine(plan, network, mapping,
+                                 config=trial_config, metrics=metrics)
+        result = engine.run()
+        latencies.append(result.latency)
+        attempts.append(result.total_epr_attempts)
+        if is_sample:
+            sample = result
+    return latencies, attempts, metrics, sample
+
+
 def run_monte_carlo(program: CompiledProgram,
                     config: SimulationConfig) -> MonteCarloResult:
     """Run ``config.trials`` seeded stochastic executions of one program.
 
     Trial seeds are derived from ``config.seed`` through a master generator,
-    so the whole distribution is reproducible from one integer.
+    so the whole distribution is reproducible from one integer — the
+    returned result's ``config`` keeps that master seed (see
+    :class:`MonteCarloResult`).
+
+    With ``config.workers > 1`` the trials run on a process pool: seeds are
+    chunked deterministically, every worker executes its chunk with its own
+    engines and :class:`~repro.obs.metrics.MetricsRegistry`, and the
+    registries merge losslessly in chunk order.  Because each trial's
+    randomness comes only from its own derived seed, latencies, attempts and
+    merged metrics are identical to the sequential run for any worker count.
     """
     if config.trials < 1:
         raise ValueError("trials must be >= 1")
+    if config.workers < 1:
+        raise ValueError("workers must be >= 1")
     master = random.Random(config.seed)
     trial_seeds = [master.getrandbits(63) for _ in range(config.trials)]
 
     # The plan (items + dependency graph) is identical across trials and its
-    # commutation analysis dominates planning cost, so build it once.
+    # commutation analysis dominates planning cost, so build it once (each
+    # worker process receives the finished plan, not the program to re-plan).
     plan = _plan_for(program)
     mapping = _mapping_for(program)
 
-    latencies: List[float] = []
-    attempts: List[int] = []
-    sample_trial: Optional[SimulationResult] = None
-    # One registry shared by every trial engine, so counters and histograms
-    # aggregate the whole Monte-Carlo run.
-    metrics = MetricsRegistry(enabled=config.record_metrics)
-    for trial, trial_seed in enumerate(trial_seeds):
-        # The trial's config carries its own derived seed, so the recorded
-        # SimulationResult.seed reproduces that exact execution through
-        # simulate_program.
-        trial_config = replace(config, seed=trial_seed,
-                               record_trace=config.record_trace and trial == 0)
-        engine = ExecutionEngine(plan, program.network, mapping,
-                                 config=trial_config, metrics=metrics)
-        result = engine.run()
-        latencies.append(result.latency)
-        attempts.append(result.total_epr_attempts)
-        if trial == 0:
-            sample_trial = result
+    workers = min(config.workers, config.trials)
+    if workers > 1:
+        payloads = [(plan, program.network, mapping, config, chunk, index == 0)
+                    for index, chunk in enumerate(_chunk_seeds(trial_seeds,
+                                                               workers))]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_run_trial_chunk, payloads))
+        latencies = []
+        attempts = []
+        sample_trial: Optional[SimulationResult] = None
+        metrics = MetricsRegistry(enabled=config.record_metrics)
+        for chunk_latencies, chunk_attempts, chunk_metrics, sample in outcomes:
+            latencies.extend(chunk_latencies)
+            attempts.extend(chunk_attempts)
+            metrics.merge(chunk_metrics)
+            if sample is not None:
+                sample_trial = sample
+        if sample_trial is not None:
+            # The sequential loop's sample shares the run-wide registry;
+            # point the worker's sample at the merged aggregate likewise.
+            sample_trial.metrics = metrics
+    else:
+        latencies, attempts, metrics, sample_trial = _run_trial_chunk(
+            (plan, program.network, mapping, config, trial_seeds, True))
 
     analytical = (program.schedule.latency if program.schedule is not None
                   else None)

@@ -93,6 +93,43 @@ class TestMetricsRegistry:
         assert left.gauge("g").value == 9.0
         assert left.histogram("h").summary()["count"] == 2
 
+    def test_chunked_merge_equals_sequential_registry(self):
+        """Process-pool aggregation: one registry per worker chunk, merged
+        in chunk order, must equal the registry a sequential run fills."""
+        def record(registry, trial):
+            registry.counter("epr.attempts").inc(trial + 1)
+            registry.counter("link.gen", link=f"{trial % 3}").inc(2)
+            registry.gauge("plan.size").set(40 + trial)
+            registry.histogram("queue.wait").observe(float(trial) * 1.5)
+            registry.histogram("occupancy", node="0").observe(trial % 4)
+
+        trials = list(range(11))
+        sequential = MetricsRegistry()
+        for trial in trials:
+            record(sequential, trial)
+
+        merged = MetricsRegistry()
+        chunks = [trials[0:4], trials[4:8], trials[8:11]]
+        for chunk in chunks:
+            worker = MetricsRegistry()
+            for trial in chunk:
+                record(worker, trial)
+            merged.merge(worker)
+
+        assert merged.as_dict() == sequential.as_dict()
+        assert merged.counter_values() == sequential.counter_values()
+        # Chunk-ordered histogram merge preserves the raw sample order, so
+        # exact percentiles coincide at every quantile.
+        for key, seq_hist in sequential._histograms.items():
+            merged_hist = merged._histograms[key]
+            assert merged_hist.values == seq_hist.values
+            for q in (0, 10, 50, 95, 100):
+                assert merged_hist.percentile(q) == seq_hist.percentile(q)
+        # Gauges keep the last write (final trial), counters the exact sum.
+        assert merged.gauge("plan.size").value == 40 + trials[-1]
+        assert (merged.top_counters("link.", n=5)
+                == sequential.top_counters("link.", n=5))
+
     def test_top_counters_orders_by_value(self):
         registry = MetricsRegistry()
         registry.counter("link.epr", link="0-1").inc(10)

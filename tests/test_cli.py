@@ -71,6 +71,33 @@ class TestCompareCommand:
         assert exit_code == 0
         for name in COMPILERS:
             assert name in out
+        assert "sim_mean" not in out
+
+    def test_monte_carlo_columns(self, qasm_file, capsys):
+        exit_code = main(["compare", str(qasm_file), "--nodes", "2",
+                          "--trials", "4", "--p-epr", "0.6", "--seed", "7"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "sim_mean" in out
+        assert "sim_p95" in out
+
+    def test_workers_flag_leaves_output_identical(self, qasm_file, capsys):
+        argv = ["compare", str(qasm_file), "--nodes", "2",
+                "--trials", "4", "--p-epr", "0.6", "--seed", "7"]
+        main(argv)
+        sequential = capsys.readouterr().out
+        main(argv + ["--workers", "2"])
+        parallel = capsys.readouterr().out
+        assert parallel == sequential
+
+    @pytest.mark.parametrize("flags", [
+        ["--p-epr", "0"],
+        ["--trials", "-1"],
+        ["--workers", "0"],
+    ])
+    def test_invalid_arguments_rejected(self, qasm_file, flags):
+        with pytest.raises(SystemExit):
+            main(["compare", str(qasm_file), "--nodes", "2", *flags])
 
 
 class TestSimulateCommand:
@@ -125,10 +152,20 @@ class TestSimulateCommand:
         ["--trials", "0"],
         ["--retry-latency", "-1", "--p-epr", "0.5"],
         ["--link-capacity", "0"],
+        ["--workers", "0"],
     ])
     def test_invalid_simulation_arguments_rejected(self, qasm_file, flags):
         with pytest.raises(SystemExit):
             main(["simulate", str(qasm_file), "--nodes", "2", *flags])
+
+    def test_workers_flag_leaves_output_identical(self, qasm_file, capsys):
+        argv = ["simulate", str(qasm_file), "--nodes", "2",
+                "--p-epr", "0.5", "--trials", "6", "--seed", "3"]
+        main(argv)
+        sequential = capsys.readouterr().out
+        main(argv + ["--workers", "3"])
+        parallel = capsys.readouterr().out
+        assert parallel == sequential
 
 
 class TestProfileCommand:
