@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import List, Mapping, Sequence, Tuple
 
 from repro.analysis import render_table
 from repro.circuits import BenchmarkSpec, paper_configurations, scaled_configurations

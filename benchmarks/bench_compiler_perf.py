@@ -44,7 +44,7 @@ if __name__ == "__main__":  # allow standalone runs without PYTHONPATH=src
         except ImportError:
             sys.path.insert(0, src)
 
-from _harness import BENCH_SCALES, emit, family_specs
+from _harness import BENCH_SCALES, emit
 from repro.circuits import BenchmarkSpec, paper_configurations, scaled_configurations
 from repro.core import (
     aggregate_communications,

@@ -7,7 +7,6 @@ fidelity of the AutoComm, sparse-baseline and GP-TP programs under the
 multiplicative error model of ``repro.analysis.fidelity``.
 """
 
-import pytest
 
 from _harness import emit, suite_specs, prepare
 from repro import compile_autocomm, compile_gp_tp, compile_sparse

@@ -42,6 +42,6 @@ def test_fig15_burst_distribution(benchmark, panel, families):
                                        rounds=1, iterations=1)
     emit(panel, rows,
          columns=["name"] + [f"Pr[>={x}]" for x in X_VALUES],
-         note=f"Figure 15: burst distribution; fraction of communications "
+         note="Figure 15: burst distribution; fraction of communications "
               f"carrying >= 2 remote CX = {avg_two:.1%} "
-              f"(paper average across the suite: 76.8%).")
+              "(paper average across the suite: 76.8%).")

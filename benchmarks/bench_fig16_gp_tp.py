@@ -6,7 +6,6 @@ configurations, which is exactly the bar chart of Figure 16 (paper averages:
 3.3x communications, 4.3x latency; BV is the extreme case).
 """
 
-import pytest
 
 from _harness import emit, suite_specs, prepare
 from repro import compile_autocomm, compile_gp_tp

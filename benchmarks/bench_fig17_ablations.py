@@ -8,7 +8,6 @@ Each harness reports the same ratio the paper plots (ablated / AutoComm), so
 values above 1.0 mean the optimisation helps.
 """
 
-import pytest
 
 from _harness import emit, family_specs, prepare
 from repro import compile_autocomm

@@ -8,7 +8,6 @@ converges as qubits-per-node grows and deteriorates when qubits-per-node is
 small.
 """
 
-import pytest
 
 from _harness import bench_scale, emit
 from repro import compile_autocomm, compile_sparse

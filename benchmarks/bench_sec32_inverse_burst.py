@@ -6,7 +6,6 @@ measures P(4) on compiled programs and checks it against the bounds,
 regenerating the argument of Figures 5 and 6.
 """
 
-import pytest
 
 from _harness import bench_scale, emit
 from repro import compile_autocomm

@@ -10,7 +10,6 @@ import pytest
 
 from _harness import emit, suite_specs
 from repro.analysis import table2_row
-from repro.circuits import build_benchmark
 from repro.ir import decompose_to_cx
 from repro.partition import oee_partition
 

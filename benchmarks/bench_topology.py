@@ -54,7 +54,7 @@ if __name__ == "__main__":  # allow standalone runs without PYTHONPATH=src
         except ImportError:
             sys.path.insert(0, src)
 
-from _harness import BENCH_SCALES, emit, family_specs
+from _harness import BENCH_SCALES, emit
 from repro.analysis import topology_row
 from repro.circuits import BenchmarkSpec, paper_configurations, scaled_configurations
 from repro.core import AutoCommConfig, compile_autocomm
@@ -257,7 +257,7 @@ def _check(report: Dict[str, object]) -> List[str]:
     routing = report["routing_construction"]
     if routing["weighted_over_unweighted"] > routing["max_ratio"]:
         failures.append(
-            f"weighted RoutingTable construction regressed: "
+            "weighted RoutingTable construction regressed: "
             f"{routing['weighted_over_unweighted']:.2f}x the unit-weight "
             f"build (allowed {routing['max_ratio']}x)")
     return failures
@@ -268,7 +268,7 @@ def _emit_report(report: Dict[str, object]) -> None:
     note = (f"swap_overhead={report['swap_overhead']}; max inflation vs "
             f"all-to-all: EPR pairs {report['max_epr_pair_inflation']:.2f}x, "
             f"latency {report['max_latency_inflation']:.2f}x; remap EPR "
-            f"latency vs static "
+            "latency vs static "
             f"{report['min_remap_epr_latency_vs_static']:.2f}x.."
             f"{report['max_remap_epr_latency_vs_static']:.2f}x; weighted "
             f"routing build {routing['weighted_ms']:.2f}ms "

@@ -52,7 +52,7 @@ def main() -> None:
     print(f"\nschedule: AutoComm latency {autocomm.metrics.latency:.1f} CX units, "
           f"per-gate baseline {sparse.metrics.latency:.1f} CX units")
     print(f"latency saving: {saving:.1f}x "
-          f"(the paper reports 2.4x on its version of this snippet)")
+          "(the paper reports 2.4x on its version of this snippet)")
 
 
 if __name__ == "__main__":

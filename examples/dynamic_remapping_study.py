@@ -90,7 +90,7 @@ def main() -> None:
     assert saved_latency > 0, "remapping must strictly lower latency here"
     print(f"\nremapping saves {saved_volume:.0f} CX units of routed EPR "
           f"latency volume and {saved_latency:.1f} CX units of schedule "
-          f"latency,\nafter paying "
+          "latency,\nafter paying "
           f"{remapped.metrics.migration_latency:.1f} CX units to migrate "
           f"{remapped.metrics.migration_moves} qubits "
           f"across {remapped.metrics.num_phases} phases.")

@@ -52,7 +52,7 @@ def main() -> None:
 
     gain = estimate_fidelity(autocomm, model) / max(1e-12, estimate_fidelity(sparse, model))
     print(f"\nAutoComm improves the estimated fidelity by {gain:.2f}x over the "
-          f"per-gate baseline on this instance.")
+          "per-gate baseline on this instance.")
 
 
 if __name__ == "__main__":

@@ -88,7 +88,7 @@ def main() -> None:
     network = uniform_network(num_nodes=4, qubits_per_node=4)
     apply_topology(network, "all-to-all", link_model=slow_direct)
     route = network.epr_route(0, 1)
-    print(f"\nall-to-all with a 10x slow 0-1 fibre: route(0, 1) = "
+    print("\nall-to-all with a 10x slow 0-1 fibre: route(0, 1) = "
           f"{'-'.join(map(str, route.path))} "
           f"(latency {network.epr_latency(0, 1):.1f} vs "
           f"{BASE_T_EPR * 10:.1f} direct)")

@@ -11,7 +11,7 @@ import sys
 
 from repro import compile_autocomm, compile_sparse
 from repro.analysis import mean_remote_cx_per_comm, render_table
-from repro.circuits import qaoa_maxcut_circuit, random_maxcut_graph, qaoa_circuit_for_graph
+from repro.circuits import random_maxcut_graph, qaoa_circuit_for_graph
 from repro.comm import CommScheme
 from repro.hardware import uniform_network
 from repro.ir import decompose_to_cx

@@ -14,7 +14,7 @@ Two views are provided:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..comm.blocks import CommBlock
 from ..core.metrics import burst_distribution, communication_loads

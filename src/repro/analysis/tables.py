@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, TYPE_CHECKING
 
-from ..core.metrics import CompilationMetrics, comparison_factors
+from ..core.metrics import comparison_factors
 from ..core.pipeline import CompiledProgram
 from ..ir.circuit import Circuit
 from ..partition.mapping import QubitMapping

@@ -13,7 +13,6 @@ original compiler derives from graph partitioning.
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import Dict, List, Optional, Tuple
 
 from ..comm.blocks import CommBlock, CommScheme
@@ -53,7 +52,6 @@ class GPTPCompiler:
 
         location: Dict[int, int] = mapping.as_dict()
         gates = list(working.gates)
-        two_qubit_positions = [i for i, g in enumerate(gates) if g.is_two_qubit]
 
         items: List[ScheduleItem] = []
         blocks: List[CommBlock] = []

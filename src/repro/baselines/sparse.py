@@ -20,7 +20,6 @@ from ..core.scheduling import schedule_communications
 from ..hardware.network import QuantumNetwork
 from ..ir.circuit import Circuit
 from ..ir.decompose import decompose_to_cx
-from ..ir.gates import Gate
 from ..partition.mapping import QubitMapping
 from ..partition.oee import oee_partition
 

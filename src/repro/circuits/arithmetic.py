@@ -23,7 +23,7 @@ The default node layout is ``{q0, q1, q2} -> A``, ``{q3, q4} -> B``,
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict
 
 from ..ir.circuit import Circuit
 

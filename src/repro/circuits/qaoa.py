@@ -9,10 +9,9 @@ aggregation (Section 3.2, Figure 6).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import networkx as nx
-import numpy as np
 
 from ..ir.circuit import Circuit
 

@@ -14,7 +14,7 @@ Two configuration sets are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from ..hardware.network import QuantumNetwork, uniform_network
 from ..ir.circuit import Circuit

@@ -10,7 +10,7 @@ long same-qubit CX chains — the burst structure AutoComm exploits on UCCSD.
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..ir.circuit import Circuit
 

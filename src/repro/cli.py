@@ -42,6 +42,17 @@ the simulated execution for chrome://tracing or Perfetto, and ``simulate
 --trace-out events.jsonl`` dumps the raw simulator event trace as JSON
 Lines.
 
+``python -m repro.cli verify program.qasm --nodes 4`` runs the static
+verifier of :mod:`repro.verify` over the compiled artifact — dependency-DAG
+acyclicity, schedule-item coverage, mapping/migration legality, EPR route
+validity and schedule causality/booking feasibility — without executing it;
+``--simulate`` additionally sanitizes one deterministic run's op records
+and trace, ``--trace FILE`` validates a Chrome-trace JSON export, and
+``--json PATH`` writes the diagnostics report as a machine-readable
+artifact.  The same checks are available as ``--verify`` on ``compile``,
+``compare`` and ``simulate``; error diagnostics make all of them exit
+non-zero.
+
 ``--remap bursts`` (with ``--phase-blocks``) switches the autocomm pipeline
 to phase-structured compilation: the aggregated program is segmented at
 burst-phase boundaries, each later phase re-partitions incrementally from
@@ -80,6 +91,7 @@ from .obs import (PID_COMPILE, RunReport, report_for_program,
                   validate_trace_events, write_chrome_trace)
 from .sim import (SimulationConfig, run_monte_carlo, simulate_program,
                   validate_schedule)
+from .verify import sanitize_simulation, verify_program
 
 __all__ = ["main", "build_parser"]
 
@@ -129,6 +141,14 @@ def _add_report_argument(parser: argparse.ArgumentParser) -> None:
                              "to PATH")
 
 
+def _add_verify_argument(parser: argparse.ArgumentParser) -> None:
+    """The ``--verify`` option shared by compile/compare/simulate."""
+    parser.add_argument("--verify", action="store_true",
+                        help="run the static verifier (repro.verify) over "
+                             "every compiled program and fail on error "
+                             "diagnostics")
+
+
 def _add_remap_arguments(parser: argparse.ArgumentParser) -> None:
     """Dynamic-remapping options shared by compile/compare/simulate/profile."""
     parser.add_argument("--remap", choices=("never", "bursts"),
@@ -167,6 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_topology_arguments(compile_parser)
     _add_remap_arguments(compile_parser)
     _add_report_argument(compile_parser)
+    _add_verify_argument(compile_parser)
 
     compare_parser = subparsers.add_parser(
         "compare", help="run every compiler on the same program")
@@ -195,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_topology_arguments(compare_parser)
     _add_remap_arguments(compare_parser)
     _add_report_argument(compare_parser)
+    _add_verify_argument(compare_parser)
 
     simulate_parser = subparsers.add_parser(
         "simulate", help="execute a compiled program with the discrete-event "
@@ -248,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_topology_arguments(simulate_parser)
     _add_remap_arguments(simulate_parser)
     _add_report_argument(simulate_parser)
+    _add_verify_argument(simulate_parser)
 
     profile_parser = subparsers.add_parser(
         "profile", help="profile the compiler (and optionally the simulator) "
@@ -307,6 +330,44 @@ def build_parser() -> argparse.ArgumentParser:
                                    "simulated execution")
     _add_topology_arguments(trace_parser)
     _add_remap_arguments(trace_parser)
+
+    verify_parser = subparsers.add_parser(
+        "verify", help="statically verify a compiled program — dependency "
+                       "DAG, mapping/migration legality, EPR routes, "
+                       "schedule causality and resource booking — without "
+                       "executing it; optionally sanitize a simulated run "
+                       "or a Chrome-trace file")
+    verify_parser.add_argument("qasm", type=Path, nargs="?", default=None,
+                               help="input .qasm file to compile and verify")
+    verify_parser.add_argument("--nodes", type=int, default=None,
+                               help="number of quantum nodes (required with "
+                                    "a qasm input)")
+    verify_parser.add_argument("--qubits-per-node", type=int, default=None)
+    verify_parser.add_argument("--comm-qubits", type=int, default=2)
+    verify_parser.add_argument("--compiler", choices=sorted(COMPILERS),
+                               default="autocomm")
+    verify_parser.add_argument("--simulate", action="store_true",
+                               help="also run one deterministic simulation "
+                                    "and sanitize its op records and trace "
+                                    "(double-booked comm qubits, link "
+                                    "windows beyond capacity, causality)")
+    verify_parser.add_argument("--trace", type=Path, default=None,
+                               metavar="PATH",
+                               help="validate a Chrome-trace JSON file "
+                                    "(a traceEvents object or a bare event "
+                                    "list) instead of, or in addition to, "
+                                    "a compiled program")
+    verify_parser.add_argument("--json", type=Path, default=None,
+                               metavar="PATH",
+                               help="write the diagnostics report as JSON "
+                                    "to PATH")
+    verify_parser.add_argument("--strict", action="store_true",
+                               help="treat warning diagnostics as fatal")
+    verify_parser.add_argument("--list-checks", action="store_true",
+                               help="list the registered check passes and "
+                                    "exit")
+    _add_topology_arguments(verify_parser)
+    _add_remap_arguments(verify_parser)
 
     generate_parser = subparsers.add_parser(
         "generate", help="write a benchmark circuit as OpenQASM 2.0")
@@ -379,7 +440,7 @@ def _autocomm_config(args) -> Optional[AutoCommConfig]:
     remap = getattr(args, "remap", "never")
     phase_blocks = getattr(args, "phase_blocks", 8)
     if phase_blocks < 1:
-        raise SystemExit(f"error: --phase-blocks must be >= 1, "
+        raise SystemExit("error: --phase-blocks must be >= 1, "
                          f"got {phase_blocks}")
     if remap == "never":
         return None
@@ -428,7 +489,7 @@ def _report_rows(program) -> List[dict]:
                      "value": metrics.total_epr_pairs})
     if network.heterogeneous_links:
         rows.insert(3, {"metric": "link model",
-                        "value": f"heterogeneous "
+                        "value": "heterogeneous "
                                  f"({network.link_model.describe()})"})
         if metrics.total_epr_latency is not None:
             rows.append({"metric": "EPR latency volume [CX units]",
@@ -461,6 +522,11 @@ def _cmd_compile(args) -> int:
                                     meta={"qasm": str(args.qasm)})
         report.save(args.report)
         print(f"wrote {args.report}")
+    if args.verify:
+        verification = verify_program(program)
+        print(verification.render())
+        if not verification.ok:
+            return 1
     return 0
 
 
@@ -540,6 +606,14 @@ def _cmd_compare(args) -> int:
                            programs=entries)
         report.save(args.report)
         print(f"wrote {args.report}")
+    if args.verify:
+        verify_failed = False
+        for name, program in programs:
+            verification = verify_program(program)
+            print(verification.render())
+            verify_failed = verify_failed or not verification.ok
+        if verify_failed:
+            return 1
     return 0
 
 
@@ -628,7 +702,81 @@ def _cmd_simulate(args) -> int:
         run_report.simulation = simulation
         run_report.save(args.report)
         print(f"wrote {args.report}")
+    if args.verify:
+        # Static checks over the compiled artifact plus a post-hoc sanitize
+        # of the deterministic replay's op records and trace.
+        verification = verify_program(program)
+        verification.merge(sanitize_simulation(
+            program, deterministic, SimulationConfig(ideal_links=True)))
+        print(verification.render())
+        if not verification.ok:
+            return 1
     return 0 if report.matches else 1
+
+
+def _cmd_verify(args) -> int:
+    import json
+
+    from .verify import registered_passes
+
+    if args.list_checks:
+        for check_id, cls in sorted(registered_passes().items()):
+            print(f"{check_id:20s} [{cls.scope:7s}] {cls.description}")
+        return 0
+    if args.qasm is None and args.trace is None:
+        raise SystemExit("error: verify needs a qasm file, --trace FILE "
+                         "or --list-checks")
+
+    trace_violations: List[str] = []
+    if args.trace is not None:
+        if not args.trace.exists():
+            raise SystemExit(f"error: no such trace file: {args.trace}")
+        try:
+            payload = json.loads(args.trace.read_text())
+        except ValueError as exc:
+            raise SystemExit(f"error: {args.trace} is not valid JSON: {exc}")
+        events = (payload.get("traceEvents")
+                  if isinstance(payload, dict) else payload)
+        if not isinstance(events, list):
+            raise SystemExit(f"error: {args.trace} holds no trace-event "
+                             "list (expected a traceEvents object or a "
+                             "bare JSON array)")
+        trace_violations = validate_trace_events(events)
+        print(f"trace {args.trace}: {len(events)} events, "
+              f"{len(trace_violations)} violations")
+        for violation in trace_violations:
+            print(f"  error: chrome-trace: {violation}")
+
+    report = None
+    if args.qasm is not None:
+        if args.nodes is None:
+            raise SystemExit("error: --nodes is required when verifying a "
+                             "qasm input")
+        circuit = _load_circuit(args.qasm)
+        network = _network_from_args(circuit, args)
+        program = _compile_program(circuit, network, args)
+        report = verify_program(program)
+        if args.simulate:
+            config = SimulationConfig(ideal_links=True)
+            result = simulate_program(program, config)
+            report.merge(sanitize_simulation(program, result, config))
+        print(report.render())
+
+    if args.json is not None:
+        payload = {"command": "verify", "schema": 1}
+        if report is not None:
+            payload["report"] = report.as_dict()
+        if args.trace is not None:
+            payload["trace"] = {"file": str(args.trace),
+                                "violations": trace_violations}
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    failed = bool(trace_violations)
+    if report is not None:
+        failed = (failed or not report.ok
+                  or (args.strict and bool(report.warnings)))
+    return 1 if failed else 0
 
 
 def _cmd_trace(args) -> int:
@@ -653,7 +801,7 @@ def _cmd_trace(args) -> int:
         out = args.qasm.with_name(args.qasm.stem + ".trace.json")
     write_chrome_trace(out, events)
     print(f"wrote {out} ({len(events)} events) — open in chrome://tracing "
-          f"or https://ui.perfetto.dev")
+          "or https://ui.perfetto.dev")
     violations = validate_trace_events(events)
     if violations:
         for violation in violations:
@@ -743,7 +891,7 @@ def _cmd_profile(args) -> int:
                          "value": round(child.duration * 1e3, 2)})
     if simulate_times:
         rows.append({"metric": f"simulate {args.simulate_trials} trials "
-                               f"median [ms]",
+                               "median [ms]",
                      "value": round(statistics.median(simulate_times) * 1e3, 2)})
     print(render_table(rows, columns=["metric", "value"]))
     if spans is not None:
@@ -798,7 +946,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"compile": _cmd_compile, "compare": _cmd_compare,
                 "simulate": _cmd_simulate, "generate": _cmd_generate,
-                "profile": _cmd_profile, "trace": _cmd_trace}
+                "profile": _cmd_profile, "trace": _cmd_trace,
+                "verify": _cmd_verify}
     return handlers[args.command](args)
 
 

@@ -23,7 +23,7 @@ per operation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Optional, Sequence, TYPE_CHECKING
 
 from ..hardware.timing import DEFAULT_LATENCY, LatencyModel
 from ..partition.mapping import QubitMapping

@@ -23,7 +23,7 @@ them can append Hadamards (see :func:`release_comm_qubit`).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Sequence
 
 from ..ir.circuit import Circuit
 from ..ir.gates import Gate

@@ -25,8 +25,8 @@ qubit-node pair, processed in descending order of remote-gate count
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..comm.blocks import CommBlock
 from ..ir.circuit import Circuit

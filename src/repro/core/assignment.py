@@ -26,7 +26,7 @@ latency models where the fixed per-invocation overheads differ.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from ..comm.blocks import CommBlock, CommPattern, CommScheme
 from ..comm.cost import CommCost, total_comm_count

@@ -16,7 +16,7 @@ Do not "optimize" this module: its slowness is the baseline being measured.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..comm.blocks import (_CONTROL_TRANSPARENT, _TARGET_TRANSPARENT,
                            CommBlock, CommPattern, CommScheme)

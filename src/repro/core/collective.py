@@ -19,9 +19,9 @@ more than two communication qubits per node.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple, Union
+from typing import List, Optional, Set, Tuple, Union
 
-from ..comm.blocks import CommBlock, CommScheme
+from ..comm.blocks import CommBlock
 from ..comm.cost import block_comm_count, block_latency
 from ..hardware.network import QuantumNetwork
 from ..ir.gates import Gate

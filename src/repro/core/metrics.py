@@ -17,8 +17,8 @@ carries at least X remote CX gates) is also computed here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from ..comm.blocks import CommBlock, CommScheme
 from ..partition.mapping import QubitMapping

@@ -22,7 +22,6 @@ strict program order between blocks and performs no fusion.
 from __future__ import annotations
 
 import heapq
-import itertools
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union

@@ -17,7 +17,7 @@ identically to every compiler being compared.
 from __future__ import annotations
 
 from bisect import insort
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .network import QuantumNetwork

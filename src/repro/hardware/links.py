@@ -249,7 +249,7 @@ class LinkModel:
             if not graph.has_edge(a, b):
                 raise ValueError(
                     f"link spec names ({a}, {b}), which is not a link of "
-                    f"the topology")
+                    "the topology")
 
     # --------------------------------------------------------------- reporting
 

@@ -9,7 +9,6 @@ pair so non-uniform EPR latencies can be modelled.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .links import LinkModel

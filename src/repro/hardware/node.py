@@ -9,8 +9,7 @@ node, which is the default here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Tuple
+from dataclasses import dataclass
 
 __all__ = ["QuantumNode"]
 

@@ -109,6 +109,11 @@ class RoutingTable:
         if len(nodes) > 1 and not nx.is_connected(graph):
             raise ValueError("topology graph must be connected")
         self.num_nodes = len(nodes)
+        #: The physical links the table was built from, as normalised
+        #: (low, high) pairs — ground truth for static route verification
+        #: (:mod:`repro.verify`), independent of the stored routes.
+        self.physical_links = frozenset(
+            (a, b) if a < b else (b, a) for a, b in graph.edges)
         self.weighted = weights is not None
         if weights is not None:
             weights = {((a, b) if a < b else (b, a)): float(w)
@@ -117,7 +122,7 @@ class RoutingTable:
                        (tuple(sorted(edge)) for edge in graph.edges)
                        if link not in weights]
             if missing:
-                raise ValueError(f"missing routing weights for links "
+                raise ValueError("missing routing weights for links "
                                  f"{sorted(missing)}")
             if any(not (w > 0) for w in weights.values()):  # NaN-safe
                 raise ValueError("routing weights must be positive")

@@ -24,7 +24,7 @@ Derived quantities used throughout the scheduler:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable
 
 from ..ir.gates import Gate

@@ -23,7 +23,7 @@ one end-to-end EPR pair.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import networkx as nx
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections import Counter, defaultdict
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from .gates import Gate, gate_spec, is_supported_gate
+from .gates import Gate
 
 __all__ = ["Circuit"]
 

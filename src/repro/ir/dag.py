@@ -17,7 +17,7 @@ access so the hot analyses never pay for it.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List
 
 from .circuit import Circuit
 from .gates import Gate

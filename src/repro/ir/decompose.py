@@ -9,8 +9,7 @@ unitary-equivalence test in ``tests/ir/test_decompose.py``.
 
 from __future__ import annotations
 
-import math
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from .circuit import Circuit
 from .gates import Gate

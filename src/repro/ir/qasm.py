@@ -10,10 +10,10 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from .circuit import Circuit
-from .gates import Gate, gate_spec, is_supported_gate
+from .gates import Gate, is_supported_gate
 
 __all__ = ["to_qasm", "from_qasm", "QasmError"]
 

@@ -14,7 +14,7 @@ This matches the unitary builders in :mod:`repro.ir.gates`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 

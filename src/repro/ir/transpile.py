@@ -22,10 +22,10 @@ zero-rotation removal), which the test-suite checks by simulation.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from .circuit import Circuit
-from .gates import Gate, gate_spec
+from .gates import Gate
 
 __all__ = [
     "cancel_adjacent_inverses",

@@ -10,7 +10,7 @@ gates under a static mapping.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 import networkx as nx
 

@@ -8,8 +8,8 @@ compilers.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from collections import Counter
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..hardware.network import QuantumNetwork
 from ..ir.circuit import Circuit

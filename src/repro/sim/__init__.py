@@ -32,6 +32,8 @@ from .engine import (
     SimulatedOp,
     SimulationConfig,
     SimulationResult,
+    mapping_for_program,
+    plan_for_program,
     run_monte_carlo,
     simulate_program,
 )
@@ -47,6 +49,8 @@ __all__ = [
     "SimulationResult",
     "run_monte_carlo",
     "simulate_program",
+    "plan_for_program",
+    "mapping_for_program",
     "EPRProcess",
     "EPRSample",
     "LatencyDistribution",

@@ -45,7 +45,7 @@ from .trace import LatencyDistribution, TraceRecorder
 
 __all__ = ["SimulationConfig", "SimulatedOp", "SimulationResult",
            "MonteCarloResult", "ExecutionEngine", "simulate_program",
-           "run_monte_carlo"]
+           "run_monte_carlo", "plan_for_program", "mapping_for_program"]
 
 #: Event-queue ordering: finishing operations release dependencies before
 #: ready items placed at the same instant make resource decisions.
@@ -619,6 +619,13 @@ def _mapping_for(program: CompiledProgram):
     if getattr(program, "phases", None):
         return program.phases[0].mapping
     return _require_assignment(program).mapping
+
+
+#: Public names for the plan/mapping accessors: the static verifier
+#: (:mod:`repro.verify`) analyses the same plan object the analytical
+#: scheduler priced and the engine replays.
+plan_for_program = _plan_for
+mapping_for_program = _mapping_for
 
 
 def simulate_program(program: CompiledProgram,

@@ -1,0 +1,48 @@
+"""Static verification of compiled programs and simulation traces.
+
+``repro.verify`` analyses a :class:`~repro.core.pipeline.CompiledProgram`
+and its :class:`~repro.core.scheduling.SchedulePlan` *without executing
+them*: dependency-graph acyclicity and item coverage, mapping
+well-formedness, migration legality, EPR route validity against the
+routing table and link model, schedule causality and booking feasibility.
+A second family of passes sanitizes a finished simulation post-hoc — a
+race detector for the discrete-event engine.
+
+Quick start::
+
+    from repro import compile_autocomm
+    from repro.circuits import qft_circuit
+    from repro.hardware import uniform_network
+    from repro.verify import verify_program
+
+    program = compile_autocomm(qft_circuit(12), uniform_network(4, 3))
+    report = verify_program(program)
+    assert report.clean, report.render()
+
+Every checker self-registers through
+:func:`~repro.verify.passes.register_pass`; ``repro.cli verify`` and the
+CI gate enumerate the same registry.
+"""
+
+from .diagnostics import Diagnostic, Location, Severity, VerificationReport
+from .passes import (CheckPass, ProgramContext, TraceContext, program_passes,
+                     register_pass, registered_passes, sanitize_simulation,
+                     trace_passes, verify_program)
+from . import checks as _checks  # noqa: F401  (registers program passes)
+from . import sanitize as _sanitize  # noqa: F401  (registers trace passes)
+
+__all__ = [
+    "Severity",
+    "Location",
+    "Diagnostic",
+    "VerificationReport",
+    "CheckPass",
+    "ProgramContext",
+    "TraceContext",
+    "register_pass",
+    "registered_passes",
+    "program_passes",
+    "trace_passes",
+    "verify_program",
+    "sanitize_simulation",
+]

@@ -1,0 +1,153 @@
+"""Structured diagnostics for the static program verifier.
+
+A :class:`Diagnostic` is one finding of one checker: a severity, a
+human-readable message and a structured :class:`Location` (op index, phase,
+qubit, node, link) so tooling can attribute the finding to a concrete part
+of the compiled artifact without parsing the message.  Checkers collect
+their findings into a :class:`VerificationReport`, the unit the CLI, the CI
+gate and the test-suite fixture consume.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Severity", "Location", "Diagnostic", "VerificationReport"]
+
+
+class Severity(enum.IntEnum):
+    """Severity of one diagnostic; ordering follows the integer values."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Location:
+    """Structured position of a finding inside a compiled artifact.
+
+    Every field is optional; a checker fills in what it knows.  ``op`` is a
+    schedule-plan item index, ``phase`` a phase index of a phase-structured
+    compile, ``link`` a normalised (low, high) physical node pair.
+    """
+
+    op: Optional[int] = None
+    phase: Optional[int] = None
+    qubit: Optional[int] = None
+    node: Optional[int] = None
+    link: Optional[Tuple[int, int]] = None
+
+    def describe(self) -> str:
+        parts = []
+        if self.op is not None:
+            parts.append(f"op {self.op}")
+        if self.phase is not None:
+            parts.append(f"phase {self.phase}")
+        if self.qubit is not None:
+            parts.append(f"qubit {self.qubit}")
+        if self.node is not None:
+            parts.append(f"node {self.node}")
+        if self.link is not None:
+            parts.append(f"link {self.link[0]}-{self.link[1]}")
+        return ", ".join(parts)
+
+    def as_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {}
+        if self.op is not None:
+            data["op"] = self.op
+        if self.phase is not None:
+            data["phase"] = self.phase
+        if self.qubit is not None:
+            data["qubit"] = self.qubit
+        if self.node is not None:
+            data["node"] = self.node
+        if self.link is not None:
+            data["link"] = list(self.link)
+        return data
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one checker."""
+
+    checker: str
+    severity: Severity
+    message: str
+    location: Location = field(default_factory=Location)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "checker": self.checker,
+            "severity": self.severity.label,
+            "message": self.message,
+            "location": self.location.as_dict(),
+        }
+
+    def __str__(self) -> str:
+        where = self.location.describe()
+        suffix = f" [{where}]" if where else ""
+        return (f"{self.severity.label}: {self.checker}: "
+                f"{self.message}{suffix}")
+
+
+@dataclass
+class VerificationReport:
+    """All findings of one verification run over one artifact."""
+
+    target: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    checks_run: List[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity == Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity findings (warnings allowed)."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """No findings at all."""
+        return not self.diagnostics
+
+    def by_checker(self, checker: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.checker == checker]
+
+    def merge(self, other: "VerificationReport") -> "VerificationReport":
+        """Fold another report's findings and check list into this one."""
+        self.diagnostics.extend(other.diagnostics)
+        self.checks_run.extend(c for c in other.checks_run
+                               if c not in self.checks_run)
+        return self
+
+    def render(self) -> str:
+        lines = [f"verify {self.target}: {len(self.checks_run)} checks, "
+                 f"{len(self.diagnostics)} diagnostics"
+                 f" ({len(self.errors)} errors, "
+                 f"{len(self.warnings)} warnings)"]
+        for diagnostic in self.diagnostics:
+            lines.append(f"  {diagnostic}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "target": self.target,
+            "checks_run": list(self.checks_run),
+            "ok": self.ok,
+            "clean": self.clean,
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }

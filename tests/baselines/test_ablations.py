@@ -1,6 +1,5 @@
 """Unit tests for the ablation compilers (Figure 17 variants)."""
 
-import pytest
 
 from repro import compile_autocomm
 from repro.baselines import compile_cat_only, compile_no_commute, compile_plain_schedule

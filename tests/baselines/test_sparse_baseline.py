@@ -6,7 +6,7 @@ from repro import compile_autocomm, compile_sparse
 from repro.circuits import bv_circuit, qaoa_maxcut_circuit, qft_circuit
 from repro.comm import CommScheme
 from repro.hardware import uniform_network
-from repro.ir import Circuit, decompose_to_cx
+from repro.ir import Circuit
 from repro.partition import QubitMapping
 
 

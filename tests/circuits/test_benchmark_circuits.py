@@ -22,7 +22,7 @@ from repro.circuits import (
     uccsd_circuit,
 )
 from repro.ir import Circuit, decompose_to_cx
-from repro.ir.simulator import simulate, zero_state
+from repro.ir.simulator import simulate
 
 
 class TestQFT:

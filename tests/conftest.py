@@ -22,6 +22,57 @@ from repro.hardware import uniform_network
 from repro.partition import QubitMapping
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "no_autoverify: opt a test out of the automatic static verification "
+        "of every program it compiles (mutation tests corrupt compiled "
+        "artifacts on purpose)")
+
+
+@pytest.fixture(autouse=True)
+def _autoverify_compiled_programs(request):
+    """Statically verify every program the test compiles, at teardown.
+
+    Wraps :meth:`repro.core.pipeline.AutoCommCompiler.compile` to record
+    each compiled program, then asserts the :mod:`repro.verify` checkers
+    report zero error diagnostics on every one of them.  This turns the
+    whole suite into a verifier workload: any test that compiles a program
+    also proves the artifact passes static analysis.  Mark a test
+    ``no_autoverify`` when it deliberately produces corrupt artifacts.
+    """
+    if request.node.get_closest_marker("no_autoverify"):
+        yield
+        return
+    from repro.core import pipeline as _pipeline
+
+    compiled = []
+    original = _pipeline.AutoCommCompiler.compile
+
+    def recording_compile(self, circuit, network, mapping=None):
+        program = original(self, circuit, network, mapping)
+        compiled.append(program)
+        return program
+
+    _pipeline.AutoCommCompiler.compile = recording_compile
+    try:
+        yield
+    finally:
+        _pipeline.AutoCommCompiler.compile = original
+    if not compiled:
+        return
+    from repro.verify import verify_program
+
+    for program in compiled:
+        report = verify_program(program)
+        errors = report.errors
+        assert not errors, (
+            f"static verification of {program.name!r} "
+            f"({program.compiler}, remap={program.remap}) found "
+            f"{len(errors)} error diagnostics:\n"
+            + "\n".join(f"  {diag}" for diag in errors))
+
+
 @pytest.fixture
 def small_network():
     """Three nodes with four data qubits and two comm qubits each."""

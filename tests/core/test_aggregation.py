@@ -1,19 +1,17 @@
 """Unit tests for the communication aggregation pass."""
 
-import numpy as np
 import pytest
 
 from repro.circuits import arithmetic_snippet, arithmetic_snippet_layout, bv_circuit, qft_circuit
 from repro.comm import CommBlock
 from repro.core import aggregate_communications
-from repro.hardware import uniform_network
-from repro.ir import Circuit, Gate, decompose_to_cx
+from repro.ir import Circuit, decompose_to_cx
 from repro.ir.simulator import (
     random_statevector,
     simulate,
     states_equal_up_to_global_phase,
 )
-from repro.partition import QubitMapping, block_mapping
+from repro.partition import QubitMapping
 
 
 def two_node_mapping(num_qubits):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.circuits import bv_circuit, qft_circuit
+from repro.circuits import qft_circuit
 from repro.comm import CommBlock, CommScheme
 from repro.core import (
     FusedTPChain,
@@ -13,7 +13,7 @@ from repro.core import (
 )
 from repro.hardware import DEFAULT_LATENCY, uniform_network
 from repro.ir import Circuit, Gate, decompose_to_cx
-from repro.partition import QubitMapping, block_mapping
+from repro.partition import QubitMapping
 
 
 def compile_assignment(circuit, mapping):

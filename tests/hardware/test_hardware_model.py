@@ -4,7 +4,6 @@ import pytest
 
 from repro.hardware import (
     DEFAULT_LATENCY,
-    LatencyModel,
     QuantumNetwork,
     QuantumNode,
     uniform_network,

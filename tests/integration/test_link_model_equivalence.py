@@ -14,7 +14,6 @@ Two acceptance-level invariants of the heterogeneous link model:
   *exactly*, op for op.
 """
 
-import random
 
 import pytest
 

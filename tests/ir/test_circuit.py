@@ -1,6 +1,5 @@
 """Unit tests for the Circuit container."""
 
-import math
 
 import numpy as np
 import pytest

@@ -8,9 +8,7 @@ from repro.ir.decompose import CX_BASIS
 from repro.ir.simulator import (
     circuit_unitary,
     simulate,
-    states_equal_up_to_global_phase,
     unitaries_equal_up_to_global_phase,
-    random_statevector,
 )
 
 DECOMPOSABLE = [

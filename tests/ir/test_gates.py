@@ -1,6 +1,5 @@
 """Unit tests for the gate registry and Gate instances."""
 
-import math
 
 import numpy as np
 import pytest

@@ -2,10 +2,9 @@
 
 import math
 
-import numpy as np
 import pytest
 
-from repro.ir import Circuit, Gate, from_qasm, to_qasm
+from repro.ir import Circuit, from_qasm, to_qasm
 from repro.ir.qasm import QasmError
 from repro.ir.simulator import circuit_unitary, unitaries_equal_up_to_global_phase
 

@@ -2,13 +2,11 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.circuits import random_circuit
 from repro.ir import (
     Circuit,
-    Gate,
     cancel_adjacent_inverses,
     drop_identities,
     merge_rotations,

@@ -1,13 +1,11 @@
 """Unit tests for the interaction graph and OEE partitioner."""
 
-import networkx as nx
 import pytest
 
 from repro.circuits import qft_circuit, bv_circuit
 from repro.hardware import apply_topology, uniform_network
 from repro.ir import Circuit
 from repro.partition import (
-    QubitMapping,
     block_mapping,
     cut_weight,
     exchange_gain,

@@ -7,17 +7,21 @@ mode — that is what guarantees every compiled program downstream is
 unchanged by the rewrite.
 """
 
-import numpy as np
 import pytest
 
 from repro.circuits import (bv_circuit, mctr_circuit, qaoa_maxcut_circuit,
                             qft_circuit, rca_circuit_for_width)
 from repro.core import AutoCommConfig, compile_autocomm
 from repro.hardware import LinkModel, LinkSpec, apply_topology, uniform_network
-from repro.partition import (exchange_gain, exchange_gain_vector,
-                             interaction_matrix, oee_partition,
-                             oee_partition_reference, oee_repartition,
-                             oee_repartition_reference, round_robin_mapping)
+from repro.partition import (
+    exchange_gain,
+    exchange_gain_vector,
+    interaction_matrix,
+    oee_partition,
+    oee_partition_reference,
+    oee_repartition_reference,
+    round_robin_mapping,
+)
 from repro.partition.oee import _oee_partition, _oee_repartition
 from repro.partition.interaction_graph import interaction_graph
 

@@ -11,7 +11,6 @@ The central invariants:
   never reorders dependent operations.
 """
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.core import (

@@ -1,7 +1,6 @@
 """Property-based tests for the extension modules (transpile, topology,
 collective) and for the paper's Section 3.2 claims."""
 
-import math
 
 import networkx as nx
 import pytest
@@ -13,7 +12,7 @@ from repro.core import aggregate_communications, assign_communications, form_col
 from repro.core.collective import CollectiveBlock
 from repro.comm import CommBlock
 from repro.hardware import apply_topology, hop_counts, topology_graph, uniform_network
-from repro.ir import Gate, optimize_circuit
+from repro.ir import optimize_circuit
 from repro.ir.simulator import (
     random_statevector,
     simulate,

@@ -12,7 +12,6 @@ from repro.ir.simulator import (
     random_statevector,
     simulate,
     states_equal_up_to_global_phase,
-    unitaries_equal_up_to_global_phase,
 )
 
 MAX_QUBITS = 5

@@ -1,6 +1,5 @@
 """Property-based tests for entanglement routing and EPR-pair accounting."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.circuits import random_circuit

@@ -75,6 +75,7 @@ class TestDeterministicExecution:
         for value in result.node_utilisation().values():
             assert 0.0 <= value <= 1.0
 
+    @pytest.mark.no_autoverify  # deliberately corrupts the shared program
     def test_assignment_required(self, qft_program):
         qft_program.assignment = None
         with pytest.raises(ValueError):

@@ -1,0 +1,119 @@
+"""Edge cases of Chrome-trace validation, through the API and the CLI.
+
+``repro.obs.chrometrace.validate_trace_events`` backs both ``repro.cli
+trace`` and ``repro.cli verify --trace FILE``; these tests pin its
+behaviour on degenerate inputs: empty programs, single-op programs,
+zero-duration spans and unsorted event streams.
+"""
+
+import json
+
+from repro.circuits import qft_circuit
+from repro.cli import main
+from repro.core import compile_autocomm
+from repro.hardware import uniform_network
+from repro.ir import Circuit
+from repro.obs import (simulation_trace_events, span_trace_events,
+                       validate_trace_events)
+from repro.sim import SimulationConfig, simulate_program
+
+
+def _event(name, ts, dur, pid=1, tid=1, ph="X"):
+    return {"name": name, "ph": ph, "ts": ts, "dur": dur,
+            "pid": pid, "tid": tid}
+
+
+class TestEdgeCases:
+    def test_no_events_is_valid(self):
+        assert validate_trace_events([]) == []
+
+    def test_single_event(self):
+        assert validate_trace_events([_event("only", 0.0, 3.0)]) == []
+
+    def test_zero_duration_span_is_valid(self):
+        events = [_event("parent", 0.0, 4.0), _event("instant", 2.0, 0.0)]
+        assert validate_trace_events(events) == []
+
+    def test_zero_duration_at_sibling_boundary(self):
+        events = [_event("a", 0.0, 2.0), _event("tick", 2.0, 0.0),
+                  _event("b", 2.0, 2.0)]
+        assert validate_trace_events(events) == []
+
+    def test_unsorted_events_validate(self):
+        # The validator must not rely on input order: lanes are sorted
+        # internally before the nesting check.
+        events = [_event("late", 6.0, 2.0), _event("early", 0.0, 2.0),
+                  _event("middle", 3.0, 2.0)]
+        assert validate_trace_events(events) == []
+
+    def test_unsorted_partial_overlap_still_detected(self):
+        events = [_event("b", 3.0, 4.0), _event("a", 0.0, 4.0)]
+        problems = validate_trace_events(events)
+        assert len(problems) == 1
+        assert "partially overlaps" in problems[0]
+
+    def test_empty_program_trace(self):
+        # A gate-free circuit compiles to a program whose simulated trace
+        # and compile spans still form a valid event stream.
+        circuit = Circuit(4, name="empty")
+        program = compile_autocomm(circuit, uniform_network(2, 2))
+        events = list(span_trace_events(program.spans))
+        result = simulate_program(program, SimulationConfig())
+        events.extend(simulation_trace_events(result))
+        assert result.ops == []
+        assert validate_trace_events(events) == []
+
+    def test_single_op_program_trace(self):
+        circuit = Circuit(4, name="one-gate").cx(0, 2)
+        program = compile_autocomm(circuit, uniform_network(2, 2))
+        result = simulate_program(program, SimulationConfig())
+        events = simulation_trace_events(result)
+        assert events
+        assert validate_trace_events(events) == []
+
+
+class TestCliTraceVerification:
+    def _run_trace(self, tmp_path, payload):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(payload))
+        return main(["verify", "--trace", str(path)])
+
+    def test_empty_trace_object_passes(self, tmp_path):
+        assert self._run_trace(tmp_path, {"traceEvents": []}) == 0
+
+    def test_bare_event_list_accepted(self, tmp_path):
+        assert self._run_trace(tmp_path, [_event("a", 0, 1)]) == 0
+
+    def test_zero_duration_events_pass(self, tmp_path):
+        payload = {"traceEvents": [_event("a", 0, 0), _event("b", 0, 0)]}
+        assert self._run_trace(tmp_path, payload) == 0
+
+    def test_unsorted_overlap_fails(self, tmp_path, capsys):
+        payload = [_event("b", 3.0, 4.0), _event("a", 0.0, 4.0)]
+        assert self._run_trace(tmp_path, payload) == 1
+        assert "partially overlaps" in capsys.readouterr().out
+
+    def test_non_json_rejected(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text("not json")
+        import pytest
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["verify", "--trace", str(path)])
+
+    def test_non_list_payload_rejected(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({"traceEvents": 7}))
+        import pytest
+        with pytest.raises(SystemExit, match="no trace-event list"):
+            main(["verify", "--trace", str(path)])
+
+    def test_exported_trace_roundtrips(self, tmp_path, capsys):
+        from repro.ir import to_qasm
+        qasm = tmp_path / "p.qasm"
+        qasm.write_text(to_qasm(qft_circuit(8)))
+        assert main(["trace", str(qasm), "--nodes", "3"]) == 0
+        trace = tmp_path / "p.trace.json"
+        assert trace.exists()
+        capsys.readouterr()
+        assert main(["verify", "--trace", str(trace)]) == 0
+        assert "0 violations" in capsys.readouterr().out

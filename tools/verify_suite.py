@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""CI gate: run the static verifier over the whole benchmark matrix.
+
+Sweeps every benchmark family x topology x remap mode, compiles each
+combination and runs every program-scope check of :mod:`repro.verify`
+over the artifact; with ``--simulate`` (the CI default) each program is
+additionally executed once deterministically and the trace sanitizer
+passes run over the result.  The gate demands **zero** diagnostics —
+warnings included — across the matrix, and writes a JSON diagnostics
+report suitable for upload as a CI artifact.
+
+Usage::
+
+    python tools/verify_suite.py --output verify_report.json
+    python tools/verify_suite.py --qubits 12 --nodes 4 --no-simulate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(_SRC))
+
+from repro.circuits import BENCHMARK_FAMILIES, build_benchmark
+from repro.core import AutoCommConfig, compile_autocomm
+from repro.hardware import SUPPORTED_TOPOLOGIES, apply_topology
+from repro.sim import SimulationConfig, simulate_program
+from repro.verify import sanitize_simulation, verify_program
+
+REMAP_MODES = ("never", "bursts")
+
+
+def _compile(family: str, topology: str, remap: str, qubits: int,
+             nodes: int):
+    circuit, network = build_benchmark(family, qubits, nodes)
+    if topology != "all-to-all":
+        apply_topology(network, topology)
+    config = (AutoCommConfig(remap="bursts", phase_blocks=4)
+              if remap == "bursts" else None)
+    return compile_autocomm(circuit, network, config=config)
+
+
+def run_matrix(qubits: int, nodes: int, simulate: bool) -> dict:
+    entries = []
+    total_diagnostics = 0
+    for family in sorted(BENCHMARK_FAMILIES):
+        for topology in SUPPORTED_TOPOLOGIES:
+            for remap in REMAP_MODES:
+                label = f"{family.lower()}/{topology}/{remap}"
+                program = _compile(family, topology, remap, qubits, nodes)
+                report = verify_program(program)
+                if simulate:
+                    config = SimulationConfig(ideal_links=True)
+                    result = simulate_program(program, config)
+                    report.merge(sanitize_simulation(program, result,
+                                                     config))
+                entry = {
+                    "family": family,
+                    "topology": topology,
+                    "remap": remap,
+                    "checks_run": list(report.checks_run),
+                    "clean": report.clean,
+                    "diagnostics": [d.as_dict() for d in report.diagnostics],
+                }
+                entries.append(entry)
+                total_diagnostics += len(report.diagnostics)
+                status = ("ok" if report.clean
+                          else f"{len(report.diagnostics)} diagnostics")
+                print(f"verify {label}: {len(report.checks_run)} checks, "
+                      f"{status}")
+                if not report.clean:
+                    for diagnostic in report.diagnostics:
+                        print(f"  {diagnostic}")
+    return {
+        "command": "verify_suite",
+        "schema": 1,
+        "qubits": qubits,
+        "nodes": nodes,
+        "simulate": simulate,
+        "combinations": len(entries),
+        "total_diagnostics": total_diagnostics,
+        "entries": entries,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="verify every benchmark family x topology x remap mode "
+                    "compiles to a diagnostics-free artifact")
+    parser.add_argument("--qubits", type=int, default=12,
+                        help="circuit width per benchmark (default 12)")
+    parser.add_argument("--nodes", type=int, default=4,
+                        help="network nodes (default 4)")
+    parser.add_argument("--no-simulate", dest="simulate",
+                        action="store_false",
+                        help="skip the deterministic-execution sanitize "
+                             "passes (static checks only)")
+    parser.add_argument("--output", type=Path, default=None, metavar="PATH",
+                        help="write the JSON diagnostics report to PATH")
+    args = parser.parse_args(argv)
+
+    payload = run_matrix(args.qubits, args.nodes, args.simulate)
+    if args.output is not None:
+        args.output.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    print(f"{payload['combinations']} combinations, "
+          f"{payload['total_diagnostics']} diagnostics")
+    return 1 if payload["total_diagnostics"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
