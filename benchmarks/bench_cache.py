@@ -1,0 +1,368 @@
+"""Compile-cache perf benchmark (``BENCH_cache.json``).
+
+Times the persistent compile cache of :mod:`repro.persist` in three modes
+per configuration:
+
+* **cold** — fingerprint + full pipeline compile + atomic store into an
+  empty cache directory (a fresh directory per repeat, commutation cache
+  cleared so every repeat is a true first compile);
+* **warm** — fingerprint + cache hit: the program is decoded from its
+  on-disk artifact and the pipeline never runs;
+* **fingerprint** — the content-address alone, the fixed overhead every
+  cached compile pays.
+
+The warm/cold ratio is the benchmark's acceptance gate.  At **paper**
+scale (QFT-100/128, QAOA-192) every row must serve warm compiles at least
+:data:`WARM_SPEEDUP_FLOOR` times faster than recompiling.  Small-scale
+rows compile in tens of milliseconds, so their ratio is structurally
+lower; they are gated on staying warm-faster-than-cold
+(:data:`SANITY_SPEEDUP_FLOOR`) and on not regressing against the
+committed baseline.  Like ``BENCH_partition.json``, the committed file's
+top-level ``configs`` come from a ``small``-scale run that CI re-runs and
+gates, while its ``paper`` section records the paper-scale rows where the
+floor claim is made — and :func:`check_regression` re-asserts that claim
+from the baseline on every CI run.
+
+MCTR is benchmarked at ``medium`` scale but has no paper row: its compile
+is cheap per gate (no commutation search blow-up), so the cold side grows
+no faster than the artifact and the ratio plateaus around 7x however
+large the circuit.
+
+The paper rows deliberately cover both remap modes: the QFT rows compile
+with ``remap="never"`` and the QAOA row with the phased
+``remap="bursts"`` variant, so a cache hit is proven to skip both
+pipeline shapes.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_cache.py \
+        --scale paper --output BENCH_cache.json
+
+(``--scale paper`` runs the small scale for the gated top-level configs
+*and* the paper scale for the ``paper`` section, matching the committed
+file's layout) or through pytest (``pytest benchmarks/bench_cache.py``),
+which writes ``benchmarks/results/cache_perf.txt`` like the other
+harnesses.
+
+Timing protocol: per configuration the cold path runs ``--repeat`` times
+(each into a fresh directory), then the warm path runs ``--repeat`` times
+against the stored entry; medians are reported.  The garbage collector is
+paused around each timed region (and collected between them) so a cold
+compile's garbage is not charged to the warm load that happens to run
+next.  Every warm program is checked metric-identical to the cold one
+before any timing is trusted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if __name__ == "__main__":  # allow standalone runs without PYTHONPATH=src
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        try:
+            import repro  # noqa: F401
+        except ImportError:
+            sys.path.insert(0, src)
+
+from _harness import BENCH_SCALES, emit
+from repro.circuits import (bv_circuit, mctr_circuit, qaoa_maxcut_circuit,
+                            qft_circuit)
+from repro.core import AutoCommConfig, compile_autocomm
+from repro.hardware import apply_topology, uniform_network
+from repro.ir.commutation import clear_commutation_cache
+from repro.persist import CompileCache, compile_fingerprint
+
+DEFAULT_REPEAT = 3
+#: Every paper-scale row must serve warm compiles this much faster than cold.
+WARM_SPEEDUP_FLOOR = 10.0
+#: Every row at any scale must at least be warm-faster-than-cold by this much.
+SANITY_SPEEDUP_FLOOR = 1.5
+#: CI also fails when a row's speedup regresses below baseline / this.
+REGRESSION_FACTOR = 2.0
+
+
+class _Config:
+    def __init__(self, name: str, build: Callable, nodes: int, topology: str,
+                 remap: str = "never"):
+        self.name = name
+        self.build = build
+        self.nodes = nodes
+        self.topology = topology
+        self.remap = remap
+
+
+def _configs(scale: str) -> List[_Config]:
+    if scale == "small":
+        return [
+            _Config("qft-32@4", lambda: qft_circuit(32), 4, "ring"),
+            _Config("qaoa-48@6", lambda: qaoa_maxcut_circuit(48, seed=7),
+                    6, "grid", remap="bursts"),
+            _Config("bv-40@4", lambda: bv_circuit(40), 4, "line"),
+        ]
+    if scale == "medium":
+        return [
+            _Config("qft-64@8", lambda: qft_circuit(64), 8, "ring"),
+            _Config("qaoa-96@12", lambda: qaoa_maxcut_circuit(96, seed=7),
+                    12, "grid", remap="bursts"),
+            _Config("mctr-72@8", lambda: mctr_circuit(72), 8, "line"),
+        ]
+    # Paper scale: the sizes the acceptance bar is read on — QFT at 100+
+    # qubits and the large QAOA instance, covering both remap modes.
+    return [
+        _Config("qft-100@10", lambda: qft_circuit(100), 10, "ring"),
+        _Config("qft-128@16", lambda: qft_circuit(128), 16, "grid"),
+        _Config("qaoa-192@16", lambda: qaoa_maxcut_circuit(192, seed=7),
+                16, "grid", remap="bursts"),
+    ]
+
+
+def _network_for(config: _Config, num_qubits: int):
+    network = uniform_network(config.nodes, -(-num_qubits // config.nodes))
+    apply_topology(network, config.topology)
+    return network
+
+
+def _compiler_config(config: _Config) -> AutoCommConfig:
+    if config.remap == "bursts":
+        return AutoCommConfig(remap="bursts", phase_blocks=4)
+    return AutoCommConfig()
+
+
+def _timed(runner: Callable) -> float:
+    """One GC-quiesced wall-time sample of ``runner``."""
+    gc.collect()
+    gc.disable()
+    try:
+        begin = time.perf_counter()
+        runner()
+        return time.perf_counter() - begin
+    finally:
+        gc.enable()
+
+
+def _bench_config(config: _Config, repeat: int,
+                  workdir: Path) -> Dict[str, object]:
+    circuit = config.build()
+    network = _network_for(config, circuit.num_qubits)
+    compiler_config = _compiler_config(config)
+
+    # Cold: fingerprint + compile + store, each repeat into a fresh
+    # directory (so the store is always a first write) with the process
+    # commutation cache cleared (so the compile is a true first compile).
+    cold_timings = []
+    cold = None
+    for index in range(repeat):
+        cache_dir = workdir / f"{config.name}-cold-{index}"
+
+        def _cold_once():
+            nonlocal cold
+            clear_commutation_cache()
+            cold = compile_autocomm(circuit, network, config=compiler_config,
+                                    cache=CompileCache(cache_dir))
+
+        cold_timings.append(_timed(_cold_once))
+    cold_s = statistics.median(cold_timings)
+
+    # Warm: every run hits the entry the first store left behind.
+    warm_dir = workdir / f"{config.name}-cold-0"
+    artifact_bytes = CompileCache(warm_dir).entries()[0].stat().st_size
+    warm_timings = []
+    warm = None
+
+    def _warm_once():
+        nonlocal warm
+        warm = compile_autocomm(circuit, network, config=compiler_config,
+                                cache=CompileCache(warm_dir))
+
+    for _ in range(repeat):
+        warm_timings.append(_timed(_warm_once))
+    warm_s = statistics.median(warm_timings)
+
+    fingerprint_s = statistics.median(
+        [_timed(lambda: compile_fingerprint(circuit, network,
+                                            config=compiler_config))
+         for _ in range(repeat)])
+
+    return {
+        "name": config.name,
+        "qubits": circuit.num_qubits,
+        "nodes": config.nodes,
+        "topology": config.topology,
+        "remap": config.remap,
+        "gates": len(cold.circuit),
+        "artifact_bytes": artifact_bytes,
+        "cold_ms": round(cold_s * 1e3, 3),
+        "warm_ms": round(warm_s * 1e3, 3),
+        "fingerprint_ms": round(fingerprint_s * 1e3, 3),
+        "warm_speedup": round(cold_s / warm_s, 2),
+        "results_equal": warm.metrics.as_dict() == cold.metrics.as_dict(),
+    }
+
+
+def run_bench(scale: str, repeat: int = DEFAULT_REPEAT) -> Dict[str, object]:
+    workdir = Path(tempfile.mkdtemp(prefix="bench-cache-"))
+    try:
+        configs = [_bench_config(config, repeat, workdir)
+                   for config in _configs(scale)]
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    speedups = sorted(c["warm_speedup"] for c in configs)
+    return {
+        "bench": "cache_perf",
+        "schema": 1,
+        "scale": scale,
+        "repeat": repeat,
+        "warm_speedup_floor": WARM_SPEEDUP_FLOOR,
+        "floor_scale": "paper",
+        "configs": configs,
+        "min_warm_speedup": speedups[0],
+        "median_warm_speedup": round(statistics.median(speedups), 2),
+        "all_results_equal": all(c["results_equal"] for c in configs),
+    }
+
+
+def _floor_failures(configs: List[Dict[str, object]],
+                    floor: float) -> List[str]:
+    return [f"{c['name']}: warm_speedup {c['warm_speedup']}x is below "
+            f"the {floor:.1f}x floor"
+            for c in configs if c["warm_speedup"] < floor]
+
+
+def check_regression(report: Dict[str, object],
+                     baseline: Dict[str, object]) -> List[str]:
+    """Compare a fresh report against the committed baseline.
+
+    All gates run on the machine-independent warm/cold ratio: every fresh
+    row must beat :data:`SANITY_SPEEDUP_FLOOR` (paper-scale rows the full
+    :data:`WARM_SPEEDUP_FLOOR`), no fresh row may fall below its baseline
+    speedup / :data:`REGRESSION_FACTOR`, and the baseline's committed
+    ``paper`` rows must themselves clear the floor — so the paper-scale
+    claim is re-checked in CI without re-running paper-scale compiles.
+    Artifact sizes and absolute times are recorded but never gated.
+    """
+    failures = []
+    baseline_configs = {c["name"]: c for c in baseline.get("configs", [])}
+    floor = (WARM_SPEEDUP_FLOOR if report.get("scale") == "paper"
+             else SANITY_SPEEDUP_FLOOR)
+    for config in report["configs"]:
+        if not config["results_equal"]:
+            failures.append(f"{config['name']}: warm program's metrics "
+                            "differ from the cold compile")
+        if config["warm_speedup"] < floor:
+            failures.append(
+                f"{config['name']}: warm_speedup {config['warm_speedup']}x "
+                f"is below the {floor:.1f}x floor")
+        base = baseline_configs.get(config["name"])
+        if base is None:
+            continue
+        allowed = base["warm_speedup"] / REGRESSION_FACTOR
+        if config["warm_speedup"] < allowed:
+            failures.append(
+                f"{config['name']}: warm_speedup {config['warm_speedup']}x "
+                f"fell below {allowed:.1f}x (baseline {base['warm_speedup']}x "
+                f"/ {REGRESSION_FACTOR})")
+    paper = baseline.get("paper") or {}
+    failures.extend(_floor_failures(paper.get("configs", []),
+                                    WARM_SPEEDUP_FLOOR))
+    return failures
+
+
+def _emit_report(report: Dict[str, object]) -> None:
+    rows = [dict(config) for config in report["configs"]]
+    note = (f"min warm speedup {report['min_warm_speedup']}x "
+            f"(median {report['median_warm_speedup']}x) over "
+            f"{len(rows)} configs at scale {report['scale']}")
+    paper = report.get("paper")
+    if paper:
+        rows.extend(dict(config) for config in paper["configs"])
+        note += (f"; paper rows min {paper['min_warm_speedup']}x "
+                 f"(floor {WARM_SPEEDUP_FLOOR:.0f}x)")
+    emit("cache_perf", rows,
+         columns=["name", "qubits", "nodes", "topology", "remap", "gates",
+                  "artifact_bytes", "cold_ms", "warm_ms", "fingerprint_ms",
+                  "warm_speedup", "results_equal"],
+         note=note)
+
+
+def test_bench_cache():
+    """Pytest entry point (uses the REPRO_BENCH_SCALE protocol)."""
+    from _harness import bench_scale
+
+    scale = bench_scale()
+    report = run_bench(scale)
+    _emit_report(report)
+    assert report["all_results_equal"], \
+        "cache-served programs differ from fresh compiles"
+    floor = WARM_SPEEDUP_FLOOR if scale == "paper" else SANITY_SPEEDUP_FLOOR
+    assert report["min_warm_speedup"] >= floor, \
+        (f"warm path only {report['min_warm_speedup']}x faster than cold "
+         f"(floor {floor:.1f}x at scale {scale})")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compile-cache cold/warm perf benchmark")
+    parser.add_argument("--scale", choices=BENCH_SCALES, default="small")
+    parser.add_argument("--repeat", type=int, default=DEFAULT_REPEAT)
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the JSON report here "
+                             "(e.g. BENCH_cache.json)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="committed BENCH_cache.json to gate the "
+                             "warm-speedup floors and regressions against "
+                             "(exit 1 on failure)")
+    args = parser.parse_args(argv)
+
+    if args.scale == "paper":
+        # The committed layout: gated small-scale configs at top level,
+        # paper-scale rows (where the floor claim is made) under "paper".
+        report = run_bench("small", repeat=args.repeat)
+        report["paper"] = run_bench("paper", repeat=args.repeat)
+    else:
+        report = run_bench(args.scale, repeat=args.repeat)
+    _emit_report(report)
+
+    if args.output is not None:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+
+    failures = []
+    if not report["all_results_equal"]:
+        failures.append("cache-served programs differ from fresh compiles")
+    failures.extend(_floor_failures(report["configs"], SANITY_SPEEDUP_FLOOR))
+    paper = report.get("paper")
+    if paper:
+        if not paper["all_results_equal"]:
+            failures.append("paper scale: cache-served programs differ "
+                            "from fresh compiles")
+        failures.extend(_floor_failures(paper["configs"],
+                                        WARM_SPEEDUP_FLOOR))
+    if args.baseline is not None:
+        if not args.baseline.exists():
+            print(f"FAIL: baseline {args.baseline} not found", file=sys.stderr)
+            return 1
+        failures.extend(
+            check_regression(report, json.loads(args.baseline.read_text())))
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    if args.baseline is not None:
+        print("regression check against baseline: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

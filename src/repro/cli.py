@@ -149,6 +149,26 @@ def _add_verify_argument(parser: argparse.ArgumentParser) -> None:
                              "diagnostics")
 
 
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    """Compile-cache options shared by compile/compare/simulate/profile/verify."""
+    parser.add_argument("--cache-dir", type=Path, default=None, metavar="PATH",
+                        help="persistent compile-cache directory: store the "
+                             "compiled artifact there and serve repeat "
+                             "compiles of the same inputs from disk "
+                             "(default: the REPRO_CACHE_DIR environment "
+                             "variable, or no caching)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the compile cache even when "
+                             "REPRO_CACHE_DIR is set")
+
+
+def _cache_for_args(args):
+    """The ``cache`` argument of ``compile_autocomm`` the cache flags select."""
+    if getattr(args, "no_cache", False):
+        return False
+    return getattr(args, "cache_dir", None)
+
+
 def _add_remap_arguments(parser: argparse.ArgumentParser) -> None:
     """Dynamic-remapping options shared by compile/compare/simulate/profile."""
     parser.add_argument("--remap", choices=("never", "bursts"),
@@ -186,6 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="also print an estimated program fidelity")
     _add_topology_arguments(compile_parser)
     _add_remap_arguments(compile_parser)
+    _add_cache_arguments(compile_parser)
     _add_report_argument(compile_parser)
     _add_verify_argument(compile_parser)
 
@@ -215,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
                                      "value returns identical results)")
     _add_topology_arguments(compare_parser)
     _add_remap_arguments(compare_parser)
+    _add_cache_arguments(compare_parser)
     _add_report_argument(compare_parser)
     _add_verify_argument(compare_parser)
 
@@ -269,6 +291,7 @@ def build_parser() -> argparse.ArgumentParser:
                                       "line) to PATH")
     _add_topology_arguments(simulate_parser)
     _add_remap_arguments(simulate_parser)
+    _add_cache_arguments(simulate_parser)
     _add_report_argument(simulate_parser)
     _add_verify_argument(simulate_parser)
 
@@ -305,6 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
                                      "BENCH_compiler.json)")
     _add_topology_arguments(profile_parser)
     _add_remap_arguments(profile_parser)
+    _add_cache_arguments(profile_parser)
 
     trace_parser = subparsers.add_parser(
         "trace", help="compile + simulate a program and export a Chrome-"
@@ -368,6 +392,54 @@ def build_parser() -> argparse.ArgumentParser:
                                     "exit")
     _add_topology_arguments(verify_parser)
     _add_remap_arguments(verify_parser)
+    _add_cache_arguments(verify_parser)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect, clear or pre-warm the persistent compile "
+                      "cache (see --cache-dir / REPRO_CACHE_DIR)")
+    cache_subparsers = cache_parser.add_subparsers(dest="cache_command",
+                                                   required=True)
+
+    cache_stats_parser = cache_subparsers.add_parser(
+        "stats", help="print entry count, disk usage and cumulative "
+                      "hit/miss/store/corruption counters")
+    cache_stats_parser.add_argument("--cache-dir", type=Path, default=None,
+                                    metavar="PATH",
+                                    help="cache directory (default: "
+                                         "REPRO_CACHE_DIR)")
+
+    cache_clear_parser = cache_subparsers.add_parser(
+        "clear", help="delete every cached artifact in the directory")
+    cache_clear_parser.add_argument("--cache-dir", type=Path, default=None,
+                                    metavar="PATH",
+                                    help="cache directory (default: "
+                                         "REPRO_CACHE_DIR)")
+
+    cache_warm_parser = cache_subparsers.add_parser(
+        "warm", help="pre-compile benchmark circuits into the cache so "
+                     "later compiles are served warm")
+    cache_warm_parser.add_argument("--cache-dir", type=Path, default=None,
+                                   metavar="PATH",
+                                   help="cache directory (default: "
+                                        "REPRO_CACHE_DIR)")
+    cache_warm_parser.add_argument("--families", default=None,
+                                   metavar="A,B,...",
+                                   help="comma-separated benchmark families "
+                                        "to warm (default: all of "
+                                        f"{', '.join(sorted(BENCHMARK_FAMILIES))})")
+    cache_warm_parser.add_argument("--qubits", type=int, default=12,
+                                   help="qubits per benchmark circuit "
+                                        "(default 12)")
+    cache_warm_parser.add_argument("--nodes", type=int, default=4,
+                                   help="number of quantum nodes (default 4)")
+    cache_warm_parser.add_argument("--qubits-per-node", type=int, default=None,
+                                   help="data qubits per node (default: fit "
+                                        "the circuit)")
+    cache_warm_parser.add_argument("--comm-qubits", type=int, default=2,
+                                   help="communication qubits per node "
+                                        "(default 2)")
+    _add_topology_arguments(cache_warm_parser)
+    _add_remap_arguments(cache_warm_parser)
 
     generate_parser = subparsers.add_parser(
         "generate", help="write a benchmark circuit as OpenQASM 2.0")
@@ -448,19 +520,22 @@ def _autocomm_config(args) -> Optional[AutoCommConfig]:
 
 
 def _compiler_for_args(args):
-    """The compile callable the compiler/remap flags select."""
+    """The compile callable the compiler/remap/cache flags select."""
     config = _autocomm_config(args)
     name = getattr(args, "compiler", "autocomm")
-    if config is None:
-        return COMPILERS[name]
-    if name != "autocomm":
+    if config is not None and name != "autocomm":
         raise SystemExit("error: --remap only applies to the autocomm "
                          f"compiler, not {name!r}")
+    if name != "autocomm":
+        return COMPILERS[name]
+    cache = _cache_for_args(args)
 
-    def remapping_compiler(circuit, network, config=config):
-        return compile_autocomm(circuit, network, config=config)
+    def autocomm_compiler(circuit, network, mapping=None,
+                          config=config, cache=cache):
+        return compile_autocomm(circuit, network, mapping=mapping,
+                                config=config, cache=cache)
 
-    return remapping_compiler
+    return autocomm_compiler
 
 
 def _compile_program(circuit: Circuit, network, args):
@@ -540,7 +615,8 @@ def _cmd_compare(args) -> int:
     circuit = _load_circuit(args.qasm)
     network = _network_from_args(circuit, args)
     remap_config = _autocomm_config(args)
-    autocomm = compile_autocomm(circuit, network)
+    cache = _cache_for_args(args)
+    autocomm = compile_autocomm(circuit, network, cache=cache)
     programs = [(name,
                  autocomm if name == "autocomm"
                  else compiler(circuit, network, mapping=autocomm.mapping))
@@ -551,7 +627,8 @@ def _cmd_compare(args) -> int:
         programs.append(("autocomm-remap",
                          compile_autocomm(circuit, network,
                                           mapping=autocomm.mapping,
-                                          config=remap_config)))
+                                          config=remap_config,
+                                          cache=cache)))
     rows = []
     for name, program in programs:
         row = {
@@ -930,6 +1007,66 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cache_from_args(args):
+    """The cache the ``cache`` subcommand addresses; SystemExit when none."""
+    from .persist import CACHE_DIR_ENV, resolve_cache
+    cache = resolve_cache(args.cache_dir)
+    if cache is None:
+        raise SystemExit(f"error: give --cache-dir or set {CACHE_DIR_ENV}")
+    return cache
+
+
+def _cmd_cache(args) -> int:
+    if args.cache_command == "stats":
+        cache = _cache_from_args(args)
+        stats = cache.stats()
+        rows = [{"metric": "directory", "value": stats["directory"]},
+                {"metric": "entries", "value": stats["entries"]},
+                {"metric": "total bytes", "value": stats["total_bytes"]}]
+        for name, value in sorted(stats["counters"].items()):
+            rows.append({"metric": f"{name} (cumulative)", "value": value})
+        print(render_table(rows, columns=["metric", "value"]))
+        return 0
+    if args.cache_command == "clear":
+        cache = _cache_from_args(args)
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.directory}")
+        return 0
+
+    # warm: compile benchmark circuits into the cache.
+    cache = _cache_from_args(args)
+    if args.families is None:
+        families = sorted(BENCHMARK_FAMILIES)
+    else:
+        families = [f.strip().upper() for f in args.families.split(",")
+                    if f.strip()]
+        unknown = sorted(set(families) - set(BENCHMARK_FAMILIES))
+        if unknown:
+            raise SystemExit("error: unknown benchmark families "
+                             f"{', '.join(unknown)}; choose from "
+                             f"{', '.join(sorted(BENCHMARK_FAMILIES))}")
+    config = _autocomm_config(args)
+    rows = []
+    for family in families:
+        circuit, _ = build_benchmark(family, args.qubits, args.nodes,
+                                     comm_qubits_per_node=args.comm_qubits)
+        network = _network_from_args(circuit, args)
+        already = cache.counters()["hits"]
+        program = compile_autocomm(circuit, network, config=config,
+                                   cache=cache)
+        rows.append({"circuit": program.circuit.name,
+                     "gates": len(program.circuit),
+                     "latency": round(program.metrics.latency, 1),
+                     "source": ("warm" if cache.counters()["hits"] > already
+                                else "cold")})
+    print(render_table(rows,
+                       columns=["circuit", "gates", "latency", "source"]))
+    counters = cache.counters()
+    print(f"cache {cache.directory}: {counters['hits']} hits, "
+          f"{counters['stores']} stores this run")
+    return 0
+
+
 def _cmd_generate(args) -> int:
     circuit, _ = build_benchmark(args.family.upper(), args.qubits, num_nodes=1)
     text = to_qasm(circuit)
@@ -947,7 +1084,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {"compile": _cmd_compile, "compare": _cmd_compare,
                 "simulate": _cmd_simulate, "generate": _cmd_generate,
                 "profile": _cmd_profile, "trace": _cmd_trace,
-                "verify": _cmd_verify}
+                "verify": _cmd_verify, "cache": _cmd_cache}
     return handlers[args.command](args)
 
 

@@ -24,6 +24,7 @@ one.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -145,7 +146,8 @@ class AutoCommCompiler:
             raise ValueError("phase_blocks must be >= 1")
 
     def compile(self, circuit: Circuit, network: QuantumNetwork,
-                mapping: Optional[QubitMapping] = None) -> CompiledProgram:
+                mapping: Optional[QubitMapping] = None,
+                cache=None) -> CompiledProgram:
         """Compile ``circuit`` for ``network``.
 
         When ``mapping`` is omitted the qubits are placed with the OEE static
@@ -154,14 +156,52 @@ class AutoCommCompiler:
         Every compile runs under an :mod:`repro.obs` tracer: the returned
         program's ``spans`` field carries the stage-timing tree (one child
         per pass, phases nested) unless tracing was globally disabled.
+
+        ``cache`` enables the persistent compile cache
+        (:mod:`repro.persist`): a :class:`~repro.persist.CompileCache`, a
+        directory path, ``None`` to consult the ``REPRO_CACHE_DIR``
+        environment variable, or ``False`` to force caching off.  On a hit
+        the whole pipeline is skipped and the deserialized program (with a
+        fresh lookup-only span tree) is returned; on a miss the compiled
+        program is stored before returning.
         """
+        store = self._resolve_cache(cache)
+        key = None
+        cached = None
         with Tracer(f"compile/{circuit.name}") as tracer:
-            if self.config.remap != "never":
-                program = self._compile_phased(circuit, network, mapping)
-            else:
-                program = self._compile_static(circuit, network, mapping)
+            if store is not None:
+                from ..persist.fingerprint import compile_fingerprint
+                key = compile_fingerprint(circuit, network, mapping,
+                                          self.config)
+                with stage("cache-lookup") as span:
+                    cached = store.load(key)
+                    span.set("hit", 1 if cached is not None else 0)
+            if cached is None:
+                if self.config.remap != "never":
+                    program = self._compile_phased(circuit, network, mapping)
+                else:
+                    program = self._compile_static(circuit, network, mapping)
+        if cached is not None:
+            cached.spans = tracer.root
+            return cached
         program.spans = tracer.root
+        if store is not None:
+            store.store(key, program)
         return program
+
+    @staticmethod
+    def _resolve_cache(cache):
+        """Resolve the ``cache`` argument lazily.
+
+        The guard keeps the default (uncached) path free of any
+        :mod:`repro.persist` import — compilation without a cache neither
+        pays for nor depends on the persistence layer.
+        """
+        if (cache is None or cache is False) \
+                and not os.environ.get("REPRO_CACHE_DIR"):
+            return None
+        from ..persist.cache import resolve_cache
+        return resolve_cache(cache)
 
     def _compile_static(self, circuit: Circuit, network: QuantumNetwork,
                         mapping: Optional[QubitMapping]) -> CompiledProgram:
@@ -375,6 +415,8 @@ def _phase_circuit(working: Circuit, segment: Sequence[ScheduleItem],
 
 def compile_autocomm(circuit: Circuit, network: QuantumNetwork,
                      mapping: Optional[QubitMapping] = None,
-                     config: Optional[AutoCommConfig] = None) -> CompiledProgram:
+                     config: Optional[AutoCommConfig] = None,
+                     cache=None) -> CompiledProgram:
     """One-call convenience wrapper around :class:`AutoCommCompiler`."""
-    return AutoCommCompiler(config).compile(circuit, network, mapping)
+    return AutoCommCompiler(config).compile(circuit, network, mapping,
+                                            cache=cache)

@@ -463,6 +463,19 @@ class SchedulePlan:
         state["_profiles"] = None
         return state
 
+    def __setstate__(self, state):
+        """Restore a plan, re-initialising the lazy caches explicitly.
+
+        The default ``__dict__.update`` restore would happen to leave the
+        cache slots at whatever ``__getstate__`` stored, but that symmetry
+        is an accident callers should not depend on; resetting here makes
+        unpickled (and :mod:`repro.persist`-deserialized, which reuses this
+        path) plans safe by construction: both caches rebuild on demand.
+        """
+        self.__dict__.update(state)
+        self._succs = None
+        self._profiles = None
+
     def successors(self) -> List[List[int]]:
         if self._succs is None:
             succs: List[List[int]] = [[] for _ in self.items]

@@ -81,6 +81,17 @@ class Circuit:
             self.append(gate)
         return self
 
+    def extend_trusted(self, gates: Iterable[Gate]) -> "Circuit":
+        """Bulk-append gates already validated against this circuit.
+
+        For decode paths (:mod:`repro.persist`) replaying gate lists that
+        were validated when first constructed; skips the per-gate type and
+        qubit-range checks of :meth:`append`, which dominate rebuilding
+        circuits with tens of thousands of gates.
+        """
+        self._gates.extend(gates)
+        return self
+
     def add(self, name: str, qubits: Sequence[int],
             params: Sequence[float] = ()) -> "Circuit":
         """Append a gate by name."""

@@ -361,6 +361,34 @@ class Gate:
         object.__setattr__(self, "_diagonal", spec.diagonal)
         object.__setattr__(self, "_axis", spec.axis)
 
+    @classmethod
+    def from_trusted(cls, name: str, qubits: Tuple[int, ...],
+                     params: Tuple[float, ...] = ()) -> "Gate":
+        """Rebuild a gate from already-validated fields.
+
+        Skips ``__post_init__``'s per-field validation (but not the cached
+        structural facts) for decode paths that replay this class's own
+        output, where every field was validated when the gate was first
+        built — :mod:`repro.persist` decodes tens of thousands of gates
+        per artifact and the validation dominates an otherwise cheap load.
+        """
+        spec = gate_spec(name)
+        gate = object.__new__(cls)
+        set_attr = object.__setattr__
+        set_attr(gate, "name", name)
+        set_attr(gate, "qubits", qubits)
+        set_attr(gate, "params", params)
+        unitary = spec.unitary is not None
+        n = len(qubits)
+        set_attr(gate, "_qubit_set", frozenset(qubits))
+        set_attr(gate, "_is_unitary", unitary)
+        set_attr(gate, "_is_single", unitary and n == 1)
+        set_attr(gate, "_is_two", unitary and n == 2)
+        set_attr(gate, "_is_multi", unitary and n >= 2)
+        set_attr(gate, "_diagonal", spec.diagonal)
+        set_attr(gate, "_axis", spec.axis)
+        return gate
+
     # -- structural properties -------------------------------------------------
 
     @property

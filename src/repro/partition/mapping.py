@@ -33,6 +33,23 @@ class QubitMapping:
         if network is not None:
             self._validate_against(network)
 
+    @classmethod
+    def from_trusted(cls, assignment: Dict[int, int],
+                     network: Optional[QuantumNetwork] = None
+                     ) -> "QubitMapping":
+        """Rebuild a mapping from an already-validated assignment dict.
+
+        Skips the coverage and capacity checks of ``__init__`` (and takes
+        ownership of ``assignment`` instead of copying it) for decode
+        paths replaying this class's own output — :mod:`repro.persist`
+        rebuilds one mapping per phase of a phased program, and the
+        re-validation dominates an otherwise cheap load.
+        """
+        mapping = cls.__new__(cls)
+        mapping._assignment = assignment
+        mapping.network = network
+        return mapping
+
     def _validate_against(self, network: QuantumNetwork) -> None:
         loads = Counter(self._assignment.values())
         for node_index, load in loads.items():

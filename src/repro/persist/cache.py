@@ -1,0 +1,239 @@
+"""On-disk content-addressed compile cache.
+
+One entry per :func:`~repro.persist.fingerprint.compile_fingerprint`, stored
+as ``<fingerprint>.rpz`` — deterministic gzip (``mtime=0``) of the program's
+canonical JSON payload wrapped in an envelope carrying the schema version
+and the fingerprint.  Design points:
+
+* **Atomic writes.**  Entries are written to a temp file in the cache
+  directory and ``os.replace``-d into place, so concurrent writers of the
+  same key are safe (last rename wins; both wrote identical bytes) and a
+  crashed writer never leaves a half-entry under a live name.
+* **Corruption tolerance.**  A truncated, garbage or wrong-schema entry is
+  *never served*: ``load`` verifies the envelope's schema version and
+  fingerprint and decodes the full program; any failure counts as a miss
+  (with a warning for corrupt bytes, silently for version skew) so callers
+  fall back to recompiling.
+* **Observability.**  Hits/misses/stores/corruptions are counted in a
+  per-process :class:`~repro.obs.metrics.MetricsRegistry` and accumulated
+  in a ``stats.log`` append-only sidecar (one short line per event, so
+  concurrent writers interleave instead of clobbering and the hit path
+  never pays a rename) so ``repro.cli cache stats`` can report across
+  processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import warnings
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..core.pipeline import CompiledProgram
+from ..obs.metrics import MetricsRegistry
+from .codec import dumps_program, loads_program
+
+__all__ = ["CompileCache", "resolve_cache", "CACHE_DIR_ENV"]
+
+#: Environment variable enabling the cache without code or CLI changes.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Cache-entry file suffix ("repro program, zipped").
+ENTRY_SUFFIX = ".rpz"
+
+#: Errors that mark an entry unreadable rather than the process broken.
+_CORRUPTION_ERRORS = (OSError, EOFError, ValueError, KeyError, TypeError,
+                      IndexError)
+
+_COUNTER_NAMES = ("hits", "misses", "stores", "corrupt")
+
+
+class CompileCache:
+    """Content-addressed store of compiled programs under one directory."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.metrics = MetricsRegistry()
+
+    # ------------------------------------------------------------- layout
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.directory / f"{fingerprint}{ENTRY_SUFFIX}"
+
+    def _stats_path(self) -> Path:
+        return self.directory / "stats.log"
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.path_for(fingerprint).exists()
+
+    # ------------------------------------------------------------ load/store
+
+    def load(self, fingerprint: str) -> Optional[CompiledProgram]:
+        """The cached program for ``fingerprint``, or ``None`` on a miss.
+
+        Never raises on bad entries: anything unreadable — truncated bytes,
+        garbage, schema skew, fingerprint mismatch — degrades to a miss so
+        the caller recompiles.
+        """
+        path = self.path_for(fingerprint)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            self._count("misses")
+            return None
+        except OSError as exc:
+            warnings.warn(f"compile cache: unreadable entry {path}: {exc}",
+                          RuntimeWarning, stacklevel=2)
+            self._count("corrupt", "misses")
+            return None
+        try:
+            program = loads_program(data)
+        except _CORRUPTION_ERRORS as exc:
+            if _is_schema_skew(data):
+                # A valid entry from another schema version: expected after
+                # upgrades, not worth a warning — just recompile.
+                self._count("misses")
+                return None
+            warnings.warn(f"compile cache: corrupt entry {path} "
+                          f"({type(exc).__name__}: {exc}); recompiling",
+                          RuntimeWarning, stacklevel=2)
+            self._count("corrupt", "misses")
+            return None
+        self._count("hits")
+        return program
+
+    def store(self, fingerprint: str, program: CompiledProgram) -> Path:
+        """Atomically persist ``program`` under ``fingerprint``.
+
+        Entries are stored without the compile's span tree: a cache hit
+        gets a fresh cache-lookup span tree from the pipeline, so storing
+        the original spans would bloat every entry with dead diagnostics.
+        """
+        path = self.path_for(fingerprint)
+        data = dumps_program(program, spans=False)
+        handle, temp_name = tempfile.mkstemp(dir=self.directory,
+                                             prefix=".store-",
+                                             suffix=ENTRY_SUFFIX)
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                stream.write(data)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self._count("stores")
+        return path
+
+    # -------------------------------------------------------------- counters
+
+    def _count(self, *names: str) -> None:
+        for name in names:
+            self.metrics.counter(f"cache.{name}").inc()
+        self._bump_sidecar(names)
+
+    def counters(self) -> Dict[str, int]:
+        """This process's hit/miss/store/corrupt counts."""
+        return {name: int(self.metrics.counter(f"cache.{name}").value)
+                for name in _COUNTER_NAMES}
+
+    def _bump_sidecar(self, names) -> None:
+        # One short appended line per event: O_APPEND keeps concurrent
+        # writers from clobbering each other, and the cache-hit path never
+        # pays a temp-file + rename just to bump a diagnostic counter.
+        try:
+            with open(self._stats_path(), "a") as stream:
+                stream.write(" ".join(names) + "\n")
+        except OSError:  # pragma: no cover - diagnostics must never break
+            pass
+
+    def _sidecar_totals(self) -> Dict[str, int]:
+        totals = dict.fromkeys(_COUNTER_NAMES, 0)
+        try:
+            lines = self._stats_path().read_text().splitlines()
+        except OSError:
+            return totals
+        for line in lines:
+            for name in line.split():
+                if name in totals:
+                    totals[name] += 1
+        return totals
+
+    # ----------------------------------------------------------------- stats
+
+    def entries(self) -> list:
+        """Sorted entry paths currently in the cache."""
+        return sorted(self.directory.glob(f"*{ENTRY_SUFFIX}"))
+
+    def stats(self) -> Dict[str, object]:
+        """Disk usage plus cumulative counters (sidecar-backed)."""
+        entry_paths = self.entries()
+        total_bytes = 0
+        for path in entry_paths:
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:  # pragma: no cover - raced deletion
+                pass
+        return {
+            "directory": str(self.directory),
+            "entries": len(entry_paths),
+            "total_bytes": total_bytes,
+            "counters": self._sidecar_totals(),
+        }
+
+    def clear(self) -> int:
+        """Delete every entry (and the stats sidecar); returns entries removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - raced deletion
+                pass
+        try:
+            self._stats_path().unlink()
+        except OSError:
+            pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CompileCache({str(self.directory)!r})"
+
+
+def _is_schema_skew(data: bytes) -> bool:
+    """True when ``data`` is a well-formed entry of another schema version."""
+    import gzip
+
+    from .codec import SCHEMA_VERSION
+    try:
+        payload = json.loads(gzip.decompress(data).decode("utf-8"))
+    except _CORRUPTION_ERRORS:
+        return False
+    return (isinstance(payload, dict) and "schema" in payload
+            and payload.get("schema") != SCHEMA_VERSION)
+
+
+def resolve_cache(cache: Union["CompileCache", str, Path, None, bool] = None
+                  ) -> Optional[CompileCache]:
+    """Resolve a caller-supplied cache argument against the environment.
+
+    * a :class:`CompileCache` instance passes through;
+    * a path builds a cache there;
+    * ``False`` disables caching even when :data:`CACHE_DIR_ENV` is set
+      (the CLI's ``--no-cache``);
+    * ``None`` consults :data:`CACHE_DIR_ENV` and returns ``None`` when it
+      is unset.
+    """
+    if cache is False:
+        return None
+    if isinstance(cache, CompileCache):
+        return cache
+    if cache is not None and cache is not True:
+        return CompileCache(cache)
+    env = os.environ.get(CACHE_DIR_ENV)
+    return CompileCache(env) if env else None

@@ -49,8 +49,8 @@ def _autoverify_compiled_programs(request):
     compiled = []
     original = _pipeline.AutoCommCompiler.compile
 
-    def recording_compile(self, circuit, network, mapping=None):
-        program = original(self, circuit, network, mapping)
+    def recording_compile(self, circuit, network, mapping=None, cache=None):
+        program = original(self, circuit, network, mapping, cache=cache)
         compiled.append(program)
         return program
 

@@ -1,0 +1,84 @@
+"""Loaded programs are behaviourally identical to fresh compiles.
+
+The correctness bar of the persistence layer: across every benchmark
+family x topology x remap mode, a program serialized and loaded back must
+report the same metrics, replay to the same deterministic latency, pass
+static verification and drive bit-identical Monte-Carlo streams for any
+seed and worker count.
+"""
+
+import pytest
+
+from repro.circuits import BENCHMARK_FAMILIES, build_benchmark
+from repro.core import AutoCommConfig, compile_autocomm
+from repro.hardware import SUPPORTED_TOPOLOGIES, apply_topology
+from repro.persist import dumps_program, loads_program
+from repro.sim import SimulationConfig, run_monte_carlo, simulate_program
+from repro.verify import verify_program
+
+MATRIX = [(family, topology, remap)
+          for family in sorted(BENCHMARK_FAMILIES)
+          for topology in SUPPORTED_TOPOLOGIES
+          for remap in ("never", "bursts")]
+
+
+def _compile(family, topology, remap, num_qubits=8, nodes=4):
+    circuit, network = build_benchmark(family, num_qubits, nodes)
+    if topology != "all-to-all":
+        apply_topology(network, topology)
+    config = (AutoCommConfig(remap="bursts", phase_blocks=4)
+              if remap == "bursts" else None)
+    return compile_autocomm(circuit, network, config=config)
+
+
+@pytest.mark.parametrize("family,topology,remap", MATRIX)
+def test_roundtrip_matrix(family, topology, remap):
+    program = _compile(family, topology, remap)
+    loaded = loads_program(dumps_program(program))
+
+    assert loaded.metrics.as_dict() == program.metrics.as_dict()
+    assert loaded.metrics.latency == program.metrics.latency
+
+    fresh_replay = simulate_program(program, SimulationConfig(ideal_links=True))
+    loaded_replay = simulate_program(loaded, SimulationConfig(ideal_links=True))
+    assert loaded_replay.latency == fresh_replay.latency
+
+    report = verify_program(loaded)
+    assert not report.errors, "\n".join(str(d) for d in report.errors)
+
+
+@pytest.mark.parametrize("family", sorted(BENCHMARK_FAMILIES))
+def test_monte_carlo_streams_bit_identical(family):
+    # One representative per family: lossy links, several trials, and both
+    # worker counts must draw the exact same latency streams from the
+    # loaded program as from the fresh one.
+    program = _compile(family, "ring", "never")
+    loaded = loads_program(dumps_program(program))
+    for workers in (1, 3):
+        config = SimulationConfig(p_epr=0.7, seed=11, trials=6,
+                                  workers=workers, record_trace=False)
+        fresh = run_monte_carlo(program, config)
+        warm = run_monte_carlo(loaded, config)
+        assert warm.latencies == fresh.latencies
+
+
+@pytest.mark.parametrize("remap", ["never", "bursts"])
+def test_cache_hit_equivalence_through_pipeline(tmp_path, remap):
+    # The same guarantee end-to-end through CompileCache: the program a
+    # cache hit returns simulates identically to the one that was stored.
+    from repro.persist import CompileCache
+
+    cache = CompileCache(tmp_path)
+    cold = _compile("QAOA", "line", remap)
+    circuit, network = build_benchmark("QAOA", 8, 4)
+    apply_topology(network, "line")
+    config = (AutoCommConfig(remap="bursts", phase_blocks=4)
+              if remap == "bursts" else None)
+    compile_autocomm(circuit, network, config=config, cache=cache)
+    warm = compile_autocomm(circuit, network, config=config, cache=cache)
+    assert cache.counters()["hits"] == 1
+    assert warm.metrics.as_dict() == cold.metrics.as_dict()
+    config_mc = SimulationConfig(p_epr=0.8, seed=3, trials=4,
+                                 record_trace=False)
+    assert (run_monte_carlo(warm, config_mc).latencies
+            == run_monte_carlo(cold, config_mc).latencies)

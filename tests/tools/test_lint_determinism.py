@@ -114,6 +114,49 @@ class TestSetIteration:
         assert _rules("ok = x in {1, 2, 3}\n") == []
 
 
+class TestHashId:
+    def test_silent_without_opt_in(self):
+        # hash-id is opt-in: ordinary modules may use hash()/id() freely
+        # (dict internals, identity checks) without findings.
+        assert _rules("x = hash(key)\ny = id(obj)\n") == []
+
+    def test_fires_with_opt_in(self):
+        findings = linter.check_source("x = hash(key)\ny = id(obj)\n",
+                                       "snippet.py",
+                                       extra=frozenset({"hash-id"}))
+        assert [f.rule for f in findings] == ["hash-id", "hash-id"]
+
+    def test_method_named_hash_allowed(self):
+        src = "d = obj.hash()\ne = spec.id(3)\n"
+        findings = linter.check_source(src, "snippet.py",
+                                       extra=frozenset({"hash-id"}))
+        assert findings == []
+
+    def test_persist_package_opted_in(self):
+        path = REPO_ROOT / "src" / "repro" / "persist" / "codec.py"
+        assert linter._extra_rules(path) == frozenset({"hash-id"})
+        assert linter._extra_rules(
+            REPO_ROOT / "src" / "repro" / "core" / "pipeline.py"
+        ) == frozenset()
+
+    def test_persist_package_is_clean(self):
+        persist = REPO_ROOT / "src" / "repro" / "persist"
+        findings = []
+        for path in linter.iter_py_files(persist):
+            findings.extend(linter.check_file(path))
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_check_file_applies_strict_rules(self, tmp_path):
+        strict_dir = tmp_path / "repro" / "persist"
+        strict_dir.mkdir(parents=True)
+        dirty = strict_dir / "payload.py"
+        dirty.write_text("key = hash((a, b))\n")
+        assert [f.rule for f in linter.check_file(dirty)] == ["hash-id"]
+        relaxed = tmp_path / "repro" / "other.py"
+        relaxed.write_text("key = hash((a, b))\n")
+        assert linter.check_file(relaxed) == []
+
+
 class TestAllowlistAndTree:
     def test_allowlist_suppresses_rule(self):
         src = "import numpy as np\nrng = np.random.RandomState()\n"

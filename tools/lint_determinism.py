@@ -20,10 +20,17 @@ constructs that silently break that promise:
   literals/comprehensions as loop iterables, ``list(set(...))``).
   CPython's set order is insertion-and-hash dependent; wrap in
   ``sorted(...)`` to pin the order.
+* ``hash-id`` — the ``hash()`` and ``id()`` builtins.  ``hash()`` of a
+  string varies per process (``PYTHONHASHSEED``) and ``id()`` is a memory
+  address; neither may leak into persisted payloads or cache fingerprints.
+  Opt-in: applied only where ``STRICT_RULES`` says so (``repro/persist``),
+  where every emitted byte must be stable across processes.
 
 Per-file exemptions live in ``ALLOWLIST`` (path suffix -> rule ids), each
-with a reason a reviewer can audit.  Run ``python tools/lint_determinism.py``
-from the repository root; exit status 1 means findings.
+with a reason a reviewer can audit; ``STRICT_RULES`` is the inverse — path
+fragments where *extra* opt-in rules apply.  Run
+``python tools/lint_determinism.py`` from the repository root; exit
+status 1 means findings.
 """
 
 from __future__ import annotations
@@ -43,6 +50,13 @@ ALLOWLIST: Mapping[str, FrozenSet[str]] = {
     "sim/epr_process.py": frozenset({"numpy-random"}),
 }
 
+#: Path fragment -> extra opt-in rule ids enforced there.  The persistence
+#: layer writes content-addressed artifacts, so anything process-dependent
+#: (hash randomisation, object addresses) is banned outright.
+STRICT_RULES: Mapping[str, FrozenSet[str]] = {
+    "repro/persist/": frozenset({"hash-id"}),
+}
+
 _RANDOM_GLOBAL_FNS = {
     "betavariate", "choice", "choices", "expovariate", "gammavariate",
     "gauss", "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
@@ -51,6 +65,9 @@ _RANDOM_GLOBAL_FNS = {
 }
 _WALL_CLOCK_FNS = {"now", "utcnow", "today"}
 _TIME_FNS = {"time", "time_ns", "ctime"}
+#: Rules that apply only where STRICT_RULES opts a path in.
+_OPT_IN_RULES = frozenset({"hash-id"})
+
 _NUMPY_RANDOM_FNS = {
     "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
     "exponential", "gamma", "geometric", "normal", "permutation", "poisson",
@@ -120,6 +137,11 @@ class _DeterminismVisitor(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         name = _dotted(node.func)
         self._check_call(node, name)
+        if isinstance(node.func, ast.Name) and node.func.id in ("hash", "id"):
+            self._add(node, "hash-id",
+                      f"{node.func.id}() is process-dependent "
+                      f"({'PYTHONHASHSEED' if node.func.id == 'hash' else 'a memory address'}); "
+                      "it must not shape persisted payloads or fingerprints")
         if (isinstance(node.func, ast.Name)
                 and node.func.id in ("list", "tuple")
                 and len(node.args) == 1
@@ -192,12 +214,19 @@ class _DeterminismVisitor(ast.NodeVisitor):
 
 
 def check_source(source: str, filename: str,
-                 allow: FrozenSet[str] = frozenset()) -> List[Finding]:
-    """Lint one module's source text; returns the findings not allowed."""
+                 allow: FrozenSet[str] = frozenset(),
+                 extra: FrozenSet[str] = frozenset()) -> List[Finding]:
+    """Lint one module's source text; returns the findings not allowed.
+
+    ``extra`` activates opt-in rules (see ``STRICT_RULES``) for this file;
+    opt-in findings are dropped everywhere else.
+    """
     tree = ast.parse(source, filename=filename)
     visitor = _DeterminismVisitor(filename)
     visitor.visit(tree)
-    return [f for f in visitor.findings if f.rule not in allow]
+    return [f for f in visitor.findings
+            if f.rule not in allow
+            and (f.rule not in _OPT_IN_RULES or f.rule in extra)]
 
 
 def _allowed_rules(path: Path) -> FrozenSet[str]:
@@ -208,8 +237,18 @@ def _allowed_rules(path: Path) -> FrozenSet[str]:
     return frozenset()
 
 
+def _extra_rules(path: Path) -> FrozenSet[str]:
+    posix = path.as_posix()
+    extra: FrozenSet[str] = frozenset()
+    for fragment, rules in STRICT_RULES.items():
+        if fragment in posix:
+            extra |= rules
+    return extra
+
+
 def check_file(path: Path) -> List[Finding]:
-    return check_source(path.read_text(), str(path), _allowed_rules(path))
+    return check_source(path.read_text(), str(path), _allowed_rules(path),
+                        _extra_rules(path))
 
 
 def iter_py_files(root: Path) -> Iterable[Path]:

@@ -32,6 +32,7 @@ if str(_SRC) not in sys.path:
 from repro.circuits import BENCHMARK_FAMILIES, build_benchmark
 from repro.core import AutoCommConfig, compile_autocomm
 from repro.hardware import SUPPORTED_TOPOLOGIES, apply_topology
+from repro.persist import CompileCache
 from repro.sim import SimulationConfig, simulate_program
 from repro.verify import sanitize_simulation, verify_program
 
@@ -39,23 +40,25 @@ REMAP_MODES = ("never", "bursts")
 
 
 def _compile(family: str, topology: str, remap: str, qubits: int,
-             nodes: int):
+             nodes: int, cache=None):
     circuit, network = build_benchmark(family, qubits, nodes)
     if topology != "all-to-all":
         apply_topology(network, topology)
     config = (AutoCommConfig(remap="bursts", phase_blocks=4)
               if remap == "bursts" else None)
-    return compile_autocomm(circuit, network, config=config)
+    return compile_autocomm(circuit, network, config=config, cache=cache)
 
 
-def run_matrix(qubits: int, nodes: int, simulate: bool) -> dict:
+def run_matrix(qubits: int, nodes: int, simulate: bool,
+               cache: "CompileCache | None" = None) -> dict:
     entries = []
     total_diagnostics = 0
     for family in sorted(BENCHMARK_FAMILIES):
         for topology in SUPPORTED_TOPOLOGIES:
             for remap in REMAP_MODES:
                 label = f"{family.lower()}/{topology}/{remap}"
-                program = _compile(family, topology, remap, qubits, nodes)
+                program = _compile(family, topology, remap, qubits, nodes,
+                                   cache=cache)
                 report = verify_program(program)
                 if simulate:
                     config = SimulationConfig(ideal_links=True)
@@ -79,7 +82,7 @@ def run_matrix(qubits: int, nodes: int, simulate: bool) -> dict:
                 if not report.clean:
                     for diagnostic in report.diagnostics:
                         print(f"  {diagnostic}")
-    return {
+    payload = {
         "command": "verify_suite",
         "schema": 1,
         "qubits": qubits,
@@ -89,6 +92,9 @@ def run_matrix(qubits: int, nodes: int, simulate: bool) -> dict:
         "total_diagnostics": total_diagnostics,
         "entries": entries,
     }
+    if cache is not None:
+        payload["cache"] = cache.counters()
+    return payload
 
 
 def main(argv=None) -> int:
@@ -105,14 +111,34 @@ def main(argv=None) -> int:
                              "passes (static checks only)")
     parser.add_argument("--output", type=Path, default=None, metavar="PATH",
                         help="write the JSON diagnostics report to PATH")
+    parser.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
+                        help="compile through a persistent compile cache "
+                             "rooted at DIR (repro.persist)")
+    parser.add_argument("--expect-warm", action="store_true",
+                        help="fail unless every combination was served from "
+                             "the cache (requires --cache-dir); proves a "
+                             "pre-populated cache covers the whole matrix")
     args = parser.parse_args(argv)
 
-    payload = run_matrix(args.qubits, args.nodes, args.simulate)
+    if args.expect_warm and args.cache_dir is None:
+        parser.error("--expect-warm requires --cache-dir")
+    cache = None if args.cache_dir is None else CompileCache(args.cache_dir)
+
+    payload = run_matrix(args.qubits, args.nodes, args.simulate, cache=cache)
     if args.output is not None:
         args.output.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.output}")
     print(f"{payload['combinations']} combinations, "
           f"{payload['total_diagnostics']} diagnostics")
+    if cache is not None:
+        counters = payload["cache"]
+        print(f"compile cache: {counters['hits']} hits, "
+              f"{counters['misses']} misses, {counters['stores']} stores")
+        if args.expect_warm and counters["hits"] != payload["combinations"]:
+            print(f"FAIL: expected all {payload['combinations']} "
+                  f"combinations served warm, got {counters['hits']} hits "
+                  f"({counters['misses']} misses)", file=sys.stderr)
+            return 1
     return 1 if payload["total_diagnostics"] else 0
 
 
