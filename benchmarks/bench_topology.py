@@ -23,6 +23,12 @@ assumption:
   the rows compare the remapped EPR latency volume and schedule latency
   against the static mapping, and the deterministic replay check covers
   the phased plan, migration teleports included;
+* every ``+remap`` row gains a zero-bubble sibling
+  (``<kind>+remap+overlap``, ``AutoCommConfig(overlap=True)``): the
+  ``latency_vs_barrier`` column compares the overlapped schedule against
+  its barrier counterpart and must stay ``<= 1.0`` — the scheduler keeps
+  barrier plans as candidates, so overlap is never slower — and the
+  replay check covers the per-qubit overlapped plan;
 * the cost of building a latency-weighted RoutingTable is measured against
   the unit-weight build on a 64-node grid, with a regression guard on the
   ratio (same Dijkstra, float weight sums — a blowup means a complexity
@@ -154,7 +160,38 @@ def _bench_spec(spec: BenchmarkSpec,
             remap_row["latency_vs_static"] = (
                 remap.metrics.latency / program.metrics.latency
                 if program.metrics.latency else 1.0)
+            remap_row["boundary_bubble"] = remap.metrics.boundary_bubble
             rows.append(remap_row)
+            # Zero-bubble boundaries: the same phased compile with the
+            # barrier replaced by per-qubit migration/compute overlap.
+            # The scheduler keeps the barrier plans as candidates, so
+            # latency_vs_barrier must never exceed 1.0.
+            overlap = _compile_for_topology(
+                spec, kind, swap_overhead,
+                config=AutoCommConfig(remap="bursts",
+                                      phase_blocks=REMAP_PHASE_BLOCKS,
+                                      overlap=True))
+            overlap_report = validate_schedule(overlap)
+            overlap_row = topology_row(
+                overlap, baseline=baseline,
+                simulated_latency=overlap_report.simulated_latency)
+            overlap_row["topology"] = f"{kind}+remap+overlap"
+            overlap_row["replay_validated"] = overlap_report.matches
+            overlap_row["num_phases"] = overlap.metrics.num_phases
+            overlap_row["migration_moves"] = overlap.metrics.migration_moves
+            overlap_row["migration_latency"] = overlap.metrics.migration_latency
+            overlap_row["total_epr_latency"] = overlap.metrics.total_epr_latency
+            overlap_row["boundary_bubble"] = overlap.metrics.boundary_bubble
+            overlap_row["latency_vs_static"] = (
+                overlap.metrics.latency / program.metrics.latency
+                if program.metrics.latency else 1.0)
+            overlap_row["latency_vs_barrier"] = (
+                overlap.metrics.latency / remap.metrics.latency
+                if remap.metrics.latency else 1.0)
+            overlap_row["bubble_vs_barrier"] = (
+                overlap.metrics.boundary_bubble
+                - remap.metrics.boundary_bubble)
+            rows.append(overlap_row)
     return rows
 
 
@@ -208,16 +245,18 @@ def run_bench(scale: str, families: Sequence[str] = DEFAULT_FAMILIES,
     configs: List[Dict[str, object]] = []
     for spec in specs:
         configs.extend(_bench_spec(spec, swap_overhead))
-    # The +remap rows are a separate study (remap vs static); the
-    # inflation aggregates keep their schema-2 meaning over the static
-    # pipeline's rows only.
+    # The +remap/+remap+overlap rows are a separate study (remap vs
+    # static, overlap vs barrier); the inflation aggregates keep their
+    # schema-2 meaning over the static pipeline's rows only.
     remap_rows = [c for c in configs if str(c["topology"]).endswith("+remap")]
+    overlap_rows = [c for c in configs
+                    if str(c["topology"]).endswith("+remap+overlap")]
     static_rows = [c for c in configs
-                   if not str(c["topology"]).endswith("+remap")]
+                   if "+remap" not in str(c["topology"])]
     constrained = [c for c in static_rows if c["topology"] != "all-to-all"]
     return {
         "bench": "topology_sensitivity",
-        "schema": 3,
+        "schema": 4,
         "scale": scale,
         "swap_overhead": swap_overhead,
         "hetero_profile": {"name": HETERO_PROFILE, "factor": HETERO_FACTOR},
@@ -239,6 +278,10 @@ def run_bench(scale: str, families: Sequence[str] = DEFAULT_FAMILIES,
             (c["epr_latency_vs_static"] for c in remap_rows), default=1.0),
         "max_remap_epr_latency_vs_static": max(
             (c["epr_latency_vs_static"] for c in remap_rows), default=1.0),
+        "max_overlap_latency_vs_barrier": max(
+            (c["latency_vs_barrier"] for c in overlap_rows), default=1.0),
+        "overlap_never_slower": all(
+            c["latency_vs_barrier"] <= 1.0 + 1e-9 for c in overlap_rows),
     }
 
 
@@ -254,6 +297,11 @@ def _check(report: Dict[str, object]) -> List[str]:
     if not report["epr_pairs_never_below_logical"]:
         failures.append("physical EPR-pair count fell below the logical "
                         "communication count")
+    if not report["overlap_never_slower"]:
+        failures.append(
+            "an overlapped schedule came out slower than its barrier "
+            "counterpart (latency_vs_barrier "
+            f"{report['max_overlap_latency_vs_barrier']:.4f}x > 1.0)")
     routing = report["routing_construction"]
     if routing["weighted_over_unweighted"] > routing["max_ratio"]:
         failures.append(
@@ -270,14 +318,17 @@ def _emit_report(report: Dict[str, object]) -> None:
             f"latency {report['max_latency_inflation']:.2f}x; remap EPR "
             "latency vs static "
             f"{report['min_remap_epr_latency_vs_static']:.2f}x.."
-            f"{report['max_remap_epr_latency_vs_static']:.2f}x; weighted "
+            f"{report['max_remap_epr_latency_vs_static']:.2f}x; overlap "
+            "latency vs barrier <= "
+            f"{report['max_overlap_latency_vs_barrier']:.2f}x; weighted "
             f"routing build {routing['weighted_ms']:.2f}ms "
             f"({routing['weighted_over_unweighted']:.2f}x unit-weight)")
     emit("topology_sensitivity", report["configs"],
          columns=["name", "topology", "max_hops", "total_comm",
                   "total_epr_pairs", "latency", "simulated_latency",
                   "latency_vs_all_to_all", "epr_pairs_vs_all_to_all",
-                  "migration_moves", "replay_validated"],
+                  "migration_moves", "boundary_bubble",
+                  "latency_vs_barrier", "replay_validated"],
          note=note)
 
 

@@ -182,6 +182,19 @@ def _add_remap_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--phase-blocks", type=int, default=8,
                         help="burst blocks per phase under --remap bursts "
                              "(default 8)")
+    parser.add_argument("--overlap", action="store_true",
+                        help="zero-bubble phase boundaries under --remap "
+                             "bursts: migration teleports overlap with "
+                             "compute through per-qubit dependencies "
+                             "instead of a global barrier (never slower "
+                             "than the barrier schedule)")
+    parser.add_argument("--phase-sizing", choices=("fixed", "auto"),
+                        default="fixed",
+                        help="how phase boundaries are placed under --remap "
+                             "bursts: 'fixed' cuts every --phase-blocks "
+                             "burst blocks, 'auto' searches a slack window "
+                             "around that quota for the boundary with the "
+                             "cheapest migration bill (default fixed)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -511,12 +524,20 @@ def _autocomm_config(args) -> Optional[AutoCommConfig]:
     """The AutoComm pipeline config the remap flags ask for (None = default)."""
     remap = getattr(args, "remap", "never")
     phase_blocks = getattr(args, "phase_blocks", 8)
+    overlap = getattr(args, "overlap", False)
+    phase_sizing = getattr(args, "phase_sizing", "fixed")
     if phase_blocks < 1:
         raise SystemExit("error: --phase-blocks must be >= 1, "
                          f"got {phase_blocks}")
     if remap == "never":
+        if overlap:
+            raise SystemExit("error: --overlap requires --remap bursts")
+        if phase_sizing != "fixed":
+            raise SystemExit("error: --phase-sizing auto requires "
+                             "--remap bursts")
         return None
-    return AutoCommConfig(remap=remap, phase_blocks=phase_blocks)
+    return AutoCommConfig(remap=remap, phase_blocks=phase_blocks,
+                          overlap=overlap, phase_sizing=phase_sizing)
 
 
 def _compiler_for_args(args):
@@ -576,6 +597,8 @@ def _report_rows(program) -> List[dict]:
                      "value": metrics.migration_moves})
         rows.append({"metric": "migration latency [CX units]",
                      "value": round(metrics.migration_latency, 1)})
+        rows.append({"metric": "boundary bubble [CX units]",
+                     "value": round(metrics.boundary_bubble, 1)})
         if (metrics.total_epr_latency is not None
                 and not network.heterogeneous_links):
             rows.append({"metric": "EPR latency volume [CX units]",
@@ -623,12 +646,13 @@ def _cmd_compare(args) -> int:
                 for name, compiler in sorted(COMPILERS.items())]
     if remap_config is not None:
         # The dynamically remapped pipeline as an extra contender, seeded
-        # from the same initial mapping as every static compiler.
-        programs.append(("autocomm-remap",
-                         compile_autocomm(circuit, network,
-                                          mapping=autocomm.mapping,
-                                          config=remap_config,
-                                          cache=cache)))
+        # from the same initial mapping as every static compiler.  Its
+        # row is named by its compiler label so --overlap and
+        # --phase-sizing auto variants are distinguishable in the table.
+        remapped = compile_autocomm(circuit, network,
+                                    mapping=autocomm.mapping,
+                                    config=remap_config, cache=cache)
+        programs.append((remapped.compiler, remapped))
     rows = []
     for name, program in programs:
         row = {
@@ -643,6 +667,7 @@ def _cmd_compare(args) -> int:
             row["epr_latency"] = (round(epr_latency, 1)
                                   if epr_latency is not None else "-")
             row["migrations"] = program.metrics.migration_moves
+            row["bubble"] = round(program.metrics.boundary_bubble, 1)
         if args.fidelity:
             row["fidelity"] = round(
                 estimate_fidelity(program, DEFAULT_ERROR_MODEL), 4)
@@ -662,7 +687,7 @@ def _cmd_compare(args) -> int:
     columns = ["compiler", "communications", "tp_comm", "peak_rem_cx",
                "latency"]
     if remap_config is not None:
-        columns += ["epr_latency", "migrations"]
+        columns += ["epr_latency", "migrations", "bubble"]
     if args.fidelity:
         columns.append("fidelity")
     if args.trials > 0:
@@ -989,6 +1014,8 @@ def _cmd_profile(args) -> int:
             "nodes": args.nodes,
             "topology": args.topology,
             "remap": args.remap,
+            "overlap": getattr(args, "overlap", False),
+            "boundary_bubble": program.metrics.boundary_bubble,
             "gates": len(program.circuit),
             "compile_s": {"median": statistics.median(compile_times),
                           "runs": compile_times},

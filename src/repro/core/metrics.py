@@ -68,6 +68,12 @@ class CompilationMetrics:
     #: what the machine really does.)
     migration_moves: int = 0
     migration_latency: float = 0.0
+    #: Compute-idle time at phase boundaries in the resource-constrained
+    #: schedule: per boundary, the gap between the last compute op of the
+    #: earlier phase retiring and the first compute op of the later phase
+    #: starting, where only migration teleports run.  Zero for static
+    #: compiles; the overlap scheduler exists to shrink this.
+    boundary_bubble: float = 0.0
 
     def __post_init__(self) -> None:
         if self.total_epr_pairs is None:
@@ -88,6 +94,7 @@ class CompilationMetrics:
             "num_phases": self.num_phases,
             "migration_moves": self.migration_moves,
             "migration_latency": self.migration_latency,
+            "boundary_bubble": self.boundary_bubble,
         }
 
     @classmethod
@@ -102,7 +109,7 @@ class CompilationMetrics:
             "name", "total_comm", "tp_comm", "cat_comm", "peak_rem_cx",
             "latency", "num_blocks", "num_remote_gates", "total_epr_pairs",
             "total_epr_latency", "num_phases", "migration_moves",
-            "migration_latency") if f in data}
+            "migration_latency", "boundary_bubble") if f in data}
         missing = {"name", "total_comm", "tp_comm", "cat_comm",
                    "peak_rem_cx", "latency", "num_blocks",
                    "num_remote_gates"} - known.keys()

@@ -49,6 +49,9 @@ __all__ = ["AutoCommConfig", "CompiledPhase", "CompiledProgram",
 #: Accepted values of :attr:`AutoCommConfig.remap`.
 REMAP_MODES = ("never", "bursts")
 
+#: Accepted values of :attr:`AutoCommConfig.phase_sizing`.
+PHASE_SIZING_MODES = ("fixed", "auto")
+
 
 @dataclass(frozen=True)
 class AutoCommConfig:
@@ -71,6 +74,19 @@ class AutoCommConfig:
     remap: str = "never"
     #: Burst blocks per phase when segmenting under ``remap = "bursts"``.
     phase_blocks: int = 8
+    #: Zero-bubble phase boundaries: schedule migration teleports on
+    #: per-qubit edges so they overlap with compute on both sides of the
+    #: boundary, instead of draining each phase behind a hard barrier.
+    #: Adaptive — the barrier plans stay in the candidate pool, so an
+    #: overlapped schedule is never slower than the barrier one.  Requires
+    #: ``remap = "bursts"``.
+    overlap: bool = False
+    #: How phase boundaries are placed: "fixed" slices every
+    #: ``phase_blocks`` burst blocks; "auto" searches a window around that
+    #: quota and puts each boundary where the repartitioner's migration
+    #: bill (priced via the routed migration-distance matrix) is cheapest.
+    #: Requires ``remap = "bursts"``.
+    phase_sizing: str = "fixed"
 
 
 @dataclass
@@ -144,6 +160,16 @@ class AutoCommCompiler:
                              f"choose from {REMAP_MODES}")
         if self.config.phase_blocks < 1:
             raise ValueError("phase_blocks must be >= 1")
+        if self.config.phase_sizing not in PHASE_SIZING_MODES:
+            raise ValueError(
+                f"unknown phase sizing {self.config.phase_sizing!r}; "
+                f"choose from {PHASE_SIZING_MODES}")
+        if self.config.remap == "never":
+            if self.config.overlap:
+                raise ValueError('overlap requires remap="bursts"')
+            if self.config.phase_sizing != "fixed":
+                raise ValueError('phase_sizing="auto" requires '
+                                 'remap="bursts"')
 
     def compile(self, circuit: Circuit, network: QuantumNetwork,
                 mapping: Optional[QubitMapping] = None,
@@ -269,7 +295,17 @@ class AutoCommCompiler:
             use_commutation=self.config.use_commutation,
             max_sweeps=self.config.max_sweeps)
         with stage("segment") as span:
-            segments = _segment_items(base.items, self.config.phase_blocks)
+            if self.config.phase_sizing == "auto":
+                segments, decisions = _segment_items_auto(
+                    base.items, self.config.phase_blocks, working, network,
+                    mapping)
+                span.set("sizing_auto", 1)
+                span.set("sizing_candidates",
+                         sum(len(d["candidates"]) for d in decisions))
+            else:
+                segments = _segment_items(base.items,
+                                          self.config.phase_blocks)
+                span.set("sizing_auto", 0)
             span.set("phases", len(segments))
             span.set("phase_blocks", self.config.phase_blocks)
 
@@ -318,7 +354,8 @@ class AutoCommCompiler:
 
         schedule = schedule_phased_communications(
             phases, migrations, network,
-            strategy=self.config.schedule_strategy)
+            strategy=self.config.schedule_strategy,
+            overlap=self.config.overlap)
 
         latency_model = network.latency
         all_moves = [move for boundary in migrations for move in boundary]
@@ -345,6 +382,7 @@ class AutoCommCompiler:
             num_phases=len(phases),
             migration_moves=len(all_moves),
             migration_latency=migration_latency,
+            boundary_bubble=schedule.boundary_bubble,
         )
         return CompiledProgram(
             name=circuit.name,
@@ -372,6 +410,10 @@ class AutoCommCompiler:
             label += f"-{self.config.schedule_strategy}"
         if self.config.remap != "never":
             label += "-remap"
+        if self.config.overlap:
+            label += "-overlap"
+        if self.config.phase_sizing == "auto":
+            label += "-autosize"
         return label
 
 
@@ -399,6 +441,82 @@ def _segment_items(items: Sequence[ScheduleItem],
     if open_segment or not segments:
         segments.append(open_segment)
     return segments
+
+
+def _segment_items_auto(items: Sequence[ScheduleItem], phase_blocks: int,
+                        working: Circuit, network: QuantumNetwork,
+                        mapping: QubitMapping):
+    """Remap-aware phase sizing: place boundaries where migration is cheap.
+
+    Greedy left-to-right replacement for the fixed ``phase_blocks`` quota:
+    each boundary may fall anywhere in a slack window around the quota
+    (``max(1, phase_blocks // 2)`` blocks either side), and every candidate
+    position is priced by seeding :func:`~repro.partition.oee.oee_repartition`
+    — whose objective charges each move its routed
+    :func:`~repro.partition.oee.migration_distance_matrix` distance — with
+    the mapping the open phase runs under, over a preview of the next
+    ``phase_blocks`` burst blocks.  The candidate with the smallest
+    migration bill wins; ties prefer the position closest to the quota,
+    then the earliest.  The main phase loop re-runs the repartition on the
+    chosen segments, so sizing only decides *where* boundaries go, never
+    what migrates.
+
+    Returns ``(segments, decisions)`` where ``decisions`` records, per
+    boundary, every candidate's block count and priced bill plus the
+    chosen count — the auditable trail the sizing tests pin down.
+    """
+    slack = max(1, phase_blocks // 2)
+    lo = max(1, phase_blocks - slack)
+    hi = phase_blocks + slack
+    block_positions = [i for i, item in enumerate(items)
+                       if isinstance(item, CommBlock)]
+    segments: List[List[ScheduleItem]] = []
+    decisions: List[Dict[str, object]] = []
+    start = 0
+    block_cursor = 0
+    current = mapping
+    while len(block_positions) - block_cursor > lo:
+        remaining = len(block_positions) - block_cursor
+        candidates = []
+        for count in range(lo, min(hi, remaining - 1) + 1):
+            boundary = block_positions[block_cursor + count]
+            preview_last = block_cursor + count + phase_blocks
+            preview_end = (block_positions[preview_last]
+                           if preview_last < len(block_positions)
+                           else len(items))
+            preview = _phase_circuit(working, items[boundary:preview_end],
+                                     len(segments) + 1)
+            repartition = oee_repartition(preview, network, previous=current)
+            candidates.append({
+                "blocks": count,
+                "boundary_item": boundary,
+                "migration_cost": repartition.migration_cost,
+                "migration_moves": repartition.migration_moves,
+                "mapping": repartition.mapping,
+            })
+        if not candidates:
+            break
+        chosen = min(candidates,
+                     key=lambda c: (c["migration_cost"],
+                                    abs(c["blocks"] - phase_blocks),
+                                    c["blocks"]))
+        decisions.append({
+            "boundary": len(segments),
+            "candidates": [{"blocks": c["blocks"],
+                            "migration_cost": c["migration_cost"],
+                            "migration_moves": c["migration_moves"]}
+                           for c in candidates],
+            "chosen_blocks": chosen["blocks"],
+            "migration_cost": chosen["migration_cost"],
+        })
+        segments.append(list(items[start:chosen["boundary_item"]]))
+        start = chosen["boundary_item"]
+        block_cursor += chosen["blocks"]
+        if chosen["migration_moves"]:
+            current = chosen["mapping"]
+    if items[start:] or not segments:
+        segments.append(list(items[start:]))
+    return segments, decisions
 
 
 def _phase_circuit(working: Circuit, segment: Sequence[ScheduleItem],

@@ -1,0 +1,255 @@
+"""Composable schedule-construction passes for phase-structured plans.
+
+Mirrors the pass-pipeline structure of zero-bubble pipeline parallelism's
+``run_schedule_passes``: schedule construction is a sequence of small,
+individually testable rewriting passes over a :class:`ScheduleDraft` — the
+evolving per-phase item streams plus the growing combined plan arrays —
+instead of one monolithic loop.  The registry ships four passes:
+
+* ``fuse-chains`` — per-phase TP-chain fusion (burst mode only);
+* ``build-deps`` — per-phase dependency graphs (commutation-aware under
+  burst), recording for every item the qubits it has **no** intra-phase
+  dependency on (its *open* qubits);
+* ``barrier-phases`` — the PR 5 boundary semantics: every migration waits
+  for all sinks of the earlier phase, and the later phase's sources wait
+  for the boundary.  Byte-identical to the pre-pass-pipeline stitcher;
+* ``overlap-boundaries`` — zero-bubble boundaries: a migration teleport of
+  qubit ``q`` may start as soon as ``q``'s last phase-N ops retire, and
+  phase-N+1 items are gated only on the migrations and cross-phase
+  predecessors of the qubits they actually touch, so boundary bubbles fill
+  with migration/compute overlap.
+
+:func:`repro.core.scheduling.plan_phased_schedule` drives the default
+pipeline; custom pipelines can be run directly via
+:func:`run_schedule_passes` for per-pass testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from ..partition.mapping import QubitMapping
+from .scheduling import (FusedTPChain, MigrationOp, SchedulableItem,
+                         _PairwiseCommutation, _build_dependencies,
+                         _item_qubits, fuse_tp_chains)
+
+__all__ = ["ScheduleDraft", "SCHEDULE_PASSES", "register_schedule_pass",
+           "default_passes", "run_schedule_passes"]
+
+
+@dataclass
+class ScheduleDraft:
+    """Mutable working state threaded through the schedule passes.
+
+    The per-phase stream fields (``phase_items``, ``local_preds``,
+    ``open_qubits``) are rewritten by the local passes; exactly one stitch
+    pass (``barrier-phases`` or ``overlap-boundaries``) then flattens them
+    into the combined plan arrays (``items``/``preds``/``item_mappings``/
+    ``item_phases``) a :class:`~repro.core.scheduling.SchedulePlan` is built
+    from.
+    """
+
+    phases: Sequence
+    migrations: Sequence[Sequence[MigrationOp]]
+    burst: bool
+    overlap: bool
+    num_qubits: int
+    oracle: _PairwiseCommutation
+    #: One schedulable-item stream per phase (seeded from the assignments).
+    phase_items: List[List[SchedulableItem]] = field(default_factory=list)
+    #: Per-phase intra-phase predecessor lists (local indices).
+    local_preds: Optional[List[List[List[int]]]] = None
+    #: Per-phase, per-item qubits with no intra-phase dependency chosen.
+    open_qubits: Optional[List[List[Set[int]]]] = None
+    num_fused_chains: int = 0
+    # Combined plan arrays, filled by the stitch pass.
+    items: List[SchedulableItem] = field(default_factory=list)
+    preds: List[List[int]] = field(default_factory=list)
+    item_mappings: List[QubitMapping] = field(default_factory=list)
+    #: Phase index per plan item; migrations carry the phase they move into.
+    item_phases: List[int] = field(default_factory=list)
+
+    @classmethod
+    def from_phases(cls, phases: Sequence,
+                    migrations: Sequence[Sequence[MigrationOp]],
+                    burst: bool, overlap: bool,
+                    num_qubits: int) -> "ScheduleDraft":
+        return cls(phases=phases, migrations=migrations, burst=burst,
+                   overlap=overlap, num_qubits=num_qubits,
+                   oracle=_PairwiseCommutation(),
+                   phase_items=[list(phase.assignment.items)
+                                for phase in phases])
+
+
+PassFn = Callable[[ScheduleDraft], None]
+
+#: Registry of named schedule passes, in no particular order; pipelines are
+#: explicit pass-name lists (see :func:`default_passes`).
+SCHEDULE_PASSES: Dict[str, PassFn] = {}
+
+
+def register_schedule_pass(name: str) -> Callable[[PassFn], PassFn]:
+    """Register ``fn`` under ``name`` in :data:`SCHEDULE_PASSES`."""
+    def decorator(fn: PassFn) -> PassFn:
+        SCHEDULE_PASSES[name] = fn
+        return fn
+    return decorator
+
+
+def default_passes(draft: ScheduleDraft) -> List[str]:
+    """The standard pipeline for a draft: local passes, then one stitcher."""
+    return ["fuse-chains", "build-deps",
+            "overlap-boundaries" if draft.overlap else "barrier-phases"]
+
+
+def run_schedule_passes(draft: ScheduleDraft,
+                        pass_names: Optional[Sequence[str]] = None
+                        ) -> ScheduleDraft:
+    """Run ``pass_names`` (default pipeline when omitted) over ``draft``."""
+    if pass_names is None:
+        pass_names = default_passes(draft)
+    for name in pass_names:
+        try:
+            schedule_pass = SCHEDULE_PASSES[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown schedule pass {name!r}; registered: "
+                f"{sorted(SCHEDULE_PASSES)}") from None
+        schedule_pass(draft)
+    return draft
+
+
+# ---------------------------------------------------------------------------
+# Local (per-phase) passes
+# ---------------------------------------------------------------------------
+
+@register_schedule_pass("fuse-chains")
+def fuse_chains_pass(draft: ScheduleDraft) -> None:
+    """Fuse sequential TP blocks per phase (no-op outside burst mode)."""
+    if not draft.burst:
+        return
+    for index, phase in enumerate(draft.phases):
+        fused = fuse_tp_chains(draft.phase_items[index], phase.mapping,
+                               oracle=draft.oracle)
+        draft.num_fused_chains += sum(isinstance(i, FusedTPChain)
+                                      for i in fused)
+        draft.phase_items[index] = fused
+
+
+@register_schedule_pass("build-deps")
+def build_deps_pass(draft: ScheduleDraft) -> None:
+    """Build each phase's intra-phase dependency graph and open-qubit sets."""
+    draft.local_preds = []
+    draft.open_qubits = []
+    for items in draft.phase_items:
+        preds, open_qubits = _build_dependencies(
+            items, draft.num_qubits, commutation_aware=draft.burst,
+            oracle=draft.oracle, collect_open=True)
+        draft.local_preds.append(preds)
+        draft.open_qubits.append(open_qubits)
+
+
+# ---------------------------------------------------------------------------
+# Stitch passes (exactly one per pipeline)
+# ---------------------------------------------------------------------------
+
+@register_schedule_pass("barrier-phases")
+def barrier_phases_pass(draft: ScheduleDraft) -> None:
+    """Hard phase boundaries: migrations wait for every earlier-phase sink.
+
+    Reproduces the PR 5 semantics exactly: each boundary's migrations
+    depend on all sinks of the phase before it, and every source of the
+    later phase depends on the boundary (on the earlier phase's sinks
+    directly when no qubit moves).
+    """
+    barrier: List[int] = []
+    for index, phase in enumerate(draft.phases):
+        items = draft.phase_items[index]
+        local_preds = draft.local_preds[index]
+        offset = len(draft.items)
+        has_successor = [False] * len(items)
+        for local, plist in enumerate(local_preds):
+            shifted = [p + offset for p in plist]
+            if not shifted and barrier:
+                shifted = list(barrier)
+            draft.preds.append(sorted(shifted))
+            for p in plist:
+                has_successor[p] = True
+        draft.items.extend(items)
+        draft.item_mappings.extend([phase.mapping] * len(items))
+        draft.item_phases.extend([index] * len(items))
+        sinks = [offset + local for local in range(len(items))
+                 if not has_successor[local]]
+        if not sinks:
+            sinks = list(barrier)
+        if index < len(draft.phases) - 1:
+            moves = list(draft.migrations[index])
+            if moves:
+                move_offset = len(draft.items)
+                next_mapping = draft.phases[index + 1].mapping
+                for move in moves:
+                    draft.preds.append(sorted(sinks))
+                    draft.items.append(move)
+                    draft.item_mappings.append(next_mapping)
+                    draft.item_phases.append(index + 1)
+                barrier = list(range(move_offset, len(draft.items)))
+            else:
+                barrier = sinks
+
+
+@register_schedule_pass("overlap-boundaries")
+def overlap_boundaries_pass(draft: ScheduleDraft) -> None:
+    """Zero-bubble boundaries: per-qubit edges instead of a global barrier.
+
+    A *retire frontier* per qubit tracks, across the stream, the plan
+    indices whose completion releases the qubit: all of the latest phase's
+    items touching it, or the migration that moved it.  The boundary rules:
+
+    * a migration of qubit ``q`` depends on **every** phase-N item touching
+      ``q`` (commutation-aware intra-phase graphs do not totally order a
+      qubit's touchers, so depending only on the last one would be unsound)
+      — or on ``q``'s previous frontier when phase N never touched it;
+    * a phase-N+1 item waits on the frontier of each qubit it has no
+      intra-phase dependency on (its open qubits); every other qubit's
+      cross-phase ordering is inherited transitively through the item's
+      intra-phase predecessor chain, which bottoms out at that qubit's
+      first toucher — itself gated on the frontier.
+
+    The resulting invariant (checked by ``schedule-causality`` /
+    ``migration-legality``): for any qubit, items of a later phase touching
+    it never start before items of an earlier phase touching it retire, and
+    migrations fall strictly between the phases they separate — per qubit,
+    not globally, which is what lets migration teleports overlap with
+    unrelated compute on both sides of the boundary.
+    """
+    cross: Dict[int, List[int]] = {}
+    for index, phase in enumerate(draft.phases):
+        items = draft.phase_items[index]
+        local_preds = draft.local_preds[index]
+        open_qubits = draft.open_qubits[index]
+        offset = len(draft.items)
+        touched: Dict[int, List[int]] = {}
+        for local, item in enumerate(items):
+            chosen = {p + offset for p in local_preds[local]}
+            for qubit in open_qubits[local]:
+                chosen.update(cross.get(qubit, ()))
+            draft.preds.append(sorted(chosen))
+            draft.items.append(item)
+            draft.item_mappings.append(phase.mapping)
+            draft.item_phases.append(index)
+            for qubit in _item_qubits(item, draft.num_qubits):
+                touched.setdefault(qubit, []).append(offset + local)
+        if index < len(draft.phases) - 1:
+            next_mapping = draft.phases[index + 1].mapping
+            move_frontier: Dict[int, List[int]] = {}
+            for move in draft.migrations[index]:
+                waits = touched.get(move.qubit) or cross.get(move.qubit, [])
+                move_frontier[move.qubit] = [len(draft.items)]
+                draft.preds.append(sorted(set(waits)))
+                draft.items.append(move)
+                draft.item_mappings.append(next_mapping)
+                draft.item_phases.append(index + 1)
+            for qubit, indices in touched.items():
+                cross[qubit] = indices
+            cross.update(move_frontier)

@@ -41,7 +41,7 @@ from .assignment import AssignmentResult
 __all__ = ["ScheduledOp", "ScheduleResult", "SchedulePlan", "OpProfile",
            "plan_schedule", "schedule_communications", "FusedTPChain",
            "prep_latency_for_pairs", "MigrationOp", "plan_phased_schedule",
-           "schedule_phased_communications"]
+           "schedule_phased_communications", "compute_boundary_bubble"]
 
 
 @dataclass(frozen=True)
@@ -171,6 +171,16 @@ class ScheduleResult:
     #: dependencies + TP fusion) or "plain" (strict program order).  The
     #: execution simulator replays the same variant.
     mode: str = "plain"
+    #: Whether the winning plan used zero-bubble (overlapped) phase
+    #: boundaries instead of hard barriers.  The simulator replays the same
+    #: boundary semantics; always ``False`` for single-phase schedules.
+    overlap: bool = False
+    #: Idle time summed over phase boundaries: the gap between the last
+    #: compute op of each phase and the first compute op of the next, minus
+    #: the time migration work (EPR preparation included) covers inside the
+    #: gap.  Zero for single-phase schedules; the quantity the overlap pass
+    #: exists to shrink.
+    boundary_bubble: float = 0.0
 
     def comm_ops(self) -> List[ScheduledOp]:
         return [op for op in self.ops if op.kind != "gate"]
@@ -180,14 +190,31 @@ class ScheduleResult:
         return sum(op.num_items for op in self.ops)
 
     def parallelism_profile(self, resolution: int = 200) -> List[int]:
-        """Sampled count of concurrently running communications over time."""
+        """Sampled count of concurrently running communications over time.
+
+        Samples ``resolution + 1`` points covering ``[0, latency]``
+        *inclusive*: the final time point is a real sample (an op running
+        up to the horizon counts there), and a zero-duration op counts at
+        the sample landing exactly on its instant.  Pre-fix, the horizon
+        sample was dropped (off-by-one) and zero-duration ops never
+        counted anywhere.
+        """
         comm = self.comm_ops()
         if not comm or self.latency <= 0:
             return []
+
+        def active(op: ScheduledOp, t: float) -> bool:
+            if op.start == op.end:
+                return op.start == t
+            if t == self.latency:
+                return op.start < t <= op.end
+            return op.start <= t < op.end
+
         samples = []
-        for i in range(resolution):
-            t = self.latency * i / resolution
-            samples.append(sum(1 for op in comm if op.start <= t < op.end))
+        for i in range(resolution + 1):
+            # The horizon sample is the exact latency, not a rounded ratio.
+            t = self.latency if i == resolution else self.latency * i / resolution
+            samples.append(sum(1 for op in comm if active(op, t)))
         return samples
 
 
@@ -341,15 +368,24 @@ def _items_commute(a: SchedulableItem, b: SchedulableItem) -> bool:
 def _build_dependencies(items: Sequence[SchedulableItem], num_qubits: int,
                         commutation_aware: bool,
                         lookback: int = 12,
-                        oracle: Optional[_PairwiseCommutation] = None
-                        ) -> List[List[int]]:
+                        oracle: Optional[_PairwiseCommutation] = None,
+                        collect_open: bool = False):
     """Return predecessor lists per item index.
 
     With ``commutation_aware`` enabled, an item may skip the dependency on
     the most recent items sharing a qubit when they commute (pairwise,
     bounded lookback), which is what allows two commutable blocks with a
     shared qubit or node to run in parallel.
+
+    With ``collect_open`` the return value is ``(preds, open_qubits)``
+    where ``open_qubits[i]`` is the set of item ``i``'s qubits for which
+    *no* predecessor was chosen — the qubit was never touched before, or
+    everything touching it within the window commuted and no beyond-window
+    anchor exists.  The overlap stitch pass uses these to gate items on the
+    cross-phase retire frontier of exactly the qubits whose ordering the
+    intra-phase graph does not already carry.
     """
+    open_qubits: List[Set[int]] = []
     if not commutation_aware:
         # Plain program order: each item depends on the latest earlier item
         # per qubit, so only that latest index needs tracking.
@@ -362,9 +398,12 @@ def _build_dependencies(items: Sequence[SchedulableItem], num_qubits: int,
                 qubits = _touched_set(item)
             chosen = {last_on_qubit[q] for q in qubits if q in last_on_qubit}
             preds.append(sorted(chosen))
+            if collect_open:
+                open_qubits.append({q for q in qubits
+                                    if q not in last_on_qubit})
             for qubit in qubits:
                 last_on_qubit[qubit] = index
-        return preds
+        return (preds, open_qubits) if collect_open else preds
 
     if oracle is None:
         oracle = _PairwiseCommutation()
@@ -380,10 +419,12 @@ def _build_dependencies(items: Sequence[SchedulableItem], num_qubits: int,
         else:
             qubits = _touched_set(item)
         chosen: Set[int] = set()
+        open_set: Set[int] = set()
         both_blocks_possible = isinstance(item, (CommBlock, FusedTPChain))
         for qubit in qubits:
             chain = history[qubit]
             if not chain:
+                open_set.add(qubit)
                 continue
             depends_on_someone = False
             for offset, prev_index in enumerate(reversed(chain)):
@@ -406,10 +447,14 @@ def _build_dependencies(items: Sequence[SchedulableItem], num_qubits: int,
                 # beyond the window if one exists.
                 if len(chain) > lookback:
                     chosen.add(chain[-lookback - 1])
+                else:
+                    open_set.add(qubit)
         preds[index] = sorted(chosen)
+        if collect_open:
+            open_qubits.append(open_set)
         for qubit in qubits:
             history[qubit].append(index)
-    return preds
+    return (preds, open_qubits) if collect_open else preds
 
 
 # ---------------------------------------------------------------------------
@@ -436,6 +481,15 @@ class SchedulePlan:
     #: remote-gate counts must be derived from that mapping, not the
     #: program-level one.
     item_mappings: Optional[List[QubitMapping]] = None
+    #: Whether phase boundaries were stitched with the zero-bubble overlap
+    #: pass (per-qubit migration/compute edges) instead of hard barriers.
+    #: Always ``False`` for single-mapping plans.
+    overlap: bool = False
+    #: Phase index per item for phase-structured plans (``None`` for the
+    #: static pipeline).  Migrations carry the index of the phase they move
+    #: into; the boundary a migration belongs to is therefore
+    #: ``item_phases[i] - 1``.
+    item_phases: Optional[List[int]] = None
     #: Lazily built caches shared by every consumer of the plan (the
     #: analytical scheduler and all Monte-Carlo trial engines).
     _succs: Optional[List[List[int]]] = field(
@@ -649,6 +703,8 @@ def _record_schedule_span(span, result: ScheduleResult) -> None:
     span.set("fused_chains", result.num_fused_chains)
     span.set("latency", result.latency)
     span.set("burst_won", 1 if result.mode == "burst" else 0)
+    span.set("overlap_won", 1 if result.overlap else 0)
+    span.set("boundary_bubble", result.boundary_bubble)
 
 
 def _run_schedule(assignment: AssignmentResult, network: QuantumNetwork,
@@ -727,7 +783,7 @@ def _execute_plan(plan: SchedulePlan, network: QuantumNetwork,
     return ScheduleResult(ops=ops, latency=makespan, resources=resources,
                           num_comm_ops=num_comm,
                           num_fused_chains=plan.num_fused_chains,
-                          mode=plan.mode)
+                          mode=plan.mode, overlap=plan.overlap)
 
 
 def prep_latency_for_pairs(network: QuantumNetwork,
@@ -791,30 +847,35 @@ def _reserve_comm(resources: CommResourceTracker, nodes: Sequence[int],
 # ---------------------------------------------------------------------------
 
 def plan_phased_schedule(phases: Sequence, migrations: Sequence[Sequence[MigrationOp]],
-                         burst: bool) -> SchedulePlan:
+                         burst: bool, overlap: bool = False) -> SchedulePlan:
     """Build one combined plan over a phase-structured program.
 
     ``phases`` are the pipeline's ``CompiledPhase`` objects (anything with
     ``mapping`` and ``assignment`` works); ``migrations`` holds one list of
     :class:`MigrationOp` per phase boundary (``len(phases) - 1`` entries).
 
-    Within each phase the plan is built exactly like the static pipeline's
-    (TP fusion and commutation-aware dependencies under ``burst``, strict
-    program order otherwise) under that phase's own mapping.  Phase
-    boundaries are barriers: the boundary's migration teleports depend on
-    every sink of the earlier phase, and every source of the later phase
-    depends on the boundary (on the earlier phase's sinks directly when no
-    qubit moves).  With a single phase the plan degenerates to the static
-    plan's items and dependencies.
+    Construction runs the :mod:`repro.core.schedule_passes` pipeline:
+    per-phase TP fusion and dependency graphs (commutation-aware under
+    ``burst``, strict program order otherwise) under each phase's own
+    mapping, then one stitch pass.  With ``overlap`` off, phase boundaries
+    are hard barriers (``barrier-phases``): the boundary's migration
+    teleports depend on every sink of the earlier phase, and every source
+    of the later phase depends on the boundary — byte-identical to the
+    pre-pass-pipeline plans.  With ``overlap`` on, boundaries become
+    per-qubit edges (``overlap-boundaries``): a migration starts as soon as
+    its qubit's last earlier-phase ops retire and later-phase items wait
+    only on the frontiers of the qubits they touch.  With a single phase
+    the plan degenerates to the static plan's items and dependencies either
+    way.
 
-    Plans are memoised on the first phase's assignment object so the
-    analytical scheduler and the execution simulator replay the *same* plan
-    object — deterministic replay then matches the analytical latency
-    bit-for-bit for the same reason it does on the static pipeline.  The
-    cached entry keeps the exact phase and migration objects it was built
-    from and is validated by identity, so a call with a different phase or
-    migration list (sharing the same first assignment) rebuilds instead of
-    returning a stale plan.
+    Plans are memoised on the first phase's assignment object, keyed by
+    ``(burst, overlap)``, so the analytical scheduler and the execution
+    simulator replay the *same* plan object — deterministic replay then
+    matches the analytical latency bit-for-bit for the same reason it does
+    on the static pipeline.  The cached entry keeps the exact phase and
+    migration objects it was built from and is validated by identity, so a
+    call with a different phase or migration list (sharing the same first
+    assignment) rebuilds instead of returning a stale plan.
     """
     if len(migrations) != max(0, len(phases) - 1):
         raise ValueError("need exactly one migration list per phase boundary")
@@ -823,7 +884,7 @@ def plan_phased_schedule(phases: Sequence, migrations: Sequence[Sequence[Migrati
     if cache is None:
         cache = {}
         anchor._phased_plan_cache = cache
-    entry = cache.get(burst)
+    entry = cache.get((burst, overlap))
     if entry is not None:
         cached_phases, cached_migrations, plan = entry
         if (len(cached_phases) == len(phases)
@@ -833,90 +894,104 @@ def plan_phased_schedule(phases: Sequence, migrations: Sequence[Sequence[Migrati
                         for x, y in zip(cached_migrations, migrations))):
             return plan
 
-    with stage(f"plan-phased-{'burst' if burst else 'plain'}") as span:
-        num_qubits = anchor.aggregation.circuit.num_qubits
-        oracle = _PairwiseCommutation()
-        all_items: List[SchedulableItem] = []
-        item_mappings: List[QubitMapping] = []
-        preds: List[List[int]] = []
-        num_fused = 0
-        barrier: List[int] = []
-        for index, phase in enumerate(phases):
-            items: List[SchedulableItem] = list(phase.assignment.items)
-            if burst:
-                fused = fuse_tp_chains(items, phase.mapping, oracle=oracle)
-                num_fused += sum(isinstance(i, FusedTPChain) for i in fused)
-                items = fused
-            local_preds = _build_dependencies(items, num_qubits,
-                                              commutation_aware=burst,
-                                              oracle=oracle)
-            offset = len(all_items)
-            has_successor = [False] * len(items)
-            for local, plist in enumerate(local_preds):
-                shifted = [p + offset for p in plist]
-                if not shifted and barrier:
-                    shifted = list(barrier)
-                preds.append(sorted(shifted))
-                for p in plist:
-                    has_successor[p] = True
-            all_items.extend(items)
-            item_mappings.extend([phase.mapping] * len(items))
-            sinks = [offset + local for local in range(len(items))
-                     if not has_successor[local]]
-            if not sinks:
-                sinks = list(barrier)
-            if index < len(phases) - 1:
-                moves = list(migrations[index])
-                if moves:
-                    move_offset = len(all_items)
-                    next_mapping = phases[index + 1].mapping
-                    for move in moves:
-                        preds.append(sorted(sinks))
-                        all_items.append(move)
-                        item_mappings.append(next_mapping)
-                    barrier = list(range(move_offset, len(all_items)))
-                else:
-                    barrier = sinks
-        if span.enabled:
-            span.set("items", len(all_items))
-            span.set("fused_chains", num_fused)
-            span.set("phases", len(phases))
+    # Imported here: schedule_passes imports this module's primitives at
+    # its own top level, so the dependency must stay one-way at import time.
+    from .schedule_passes import ScheduleDraft, run_schedule_passes
 
-    plan = SchedulePlan(items=all_items, preds=preds,
-                        num_fused_chains=num_fused, burst=burst,
-                        item_mappings=item_mappings)
-    cache[burst] = (tuple(phases), tuple(tuple(b) for b in migrations), plan)
+    with stage(f"plan-phased-{'burst' if burst else 'plain'}") as span:
+        draft = ScheduleDraft.from_phases(
+            phases, migrations, burst=burst, overlap=overlap,
+            num_qubits=anchor.aggregation.circuit.num_qubits)
+        run_schedule_passes(draft)
+        if span.enabled:
+            span.set("items", len(draft.items))
+            span.set("fused_chains", draft.num_fused_chains)
+            span.set("phases", len(phases))
+            span.set("overlap", 1 if overlap else 0)
+
+    plan = SchedulePlan(items=draft.items, preds=draft.preds,
+                        num_fused_chains=draft.num_fused_chains, burst=burst,
+                        item_mappings=draft.item_mappings,
+                        overlap=overlap, item_phases=draft.item_phases)
+    cache[(burst, overlap)] = (tuple(phases),
+                               tuple(tuple(b) for b in migrations), plan)
     return plan
+
+
+def compute_boundary_bubble(plan: SchedulePlan,
+                            ops: Sequence[ScheduledOp]) -> float:
+    """Compute-idle time at phase boundaries of one scheduled phased plan.
+
+    For each pair of consecutive phases, the bubble is the gap between the
+    last compute (non-migration) op of the earlier phase retiring and the
+    first compute op of the later phase starting — the stretch where the
+    compute pipeline is stalled and only migration teleports (if anything)
+    run.  Under barrier boundaries every migration bill shows up here;
+    overlapped schedules pull later-phase compute into the window, shrinking
+    the gap (clamped at zero when the phase windows interleave).  This is
+    the phased-schedule analogue of a pipeline bubble in zero-bubble
+    pipeline parallelism.  Returns ``0.0`` for single-phase or non-phased
+    plans.
+    """
+    if plan.item_phases is None:
+        return 0.0
+    windows: Dict[int, List[float]] = {}
+    for op in ops:
+        if isinstance(plan.items[op.index], MigrationOp):
+            continue
+        phase = plan.item_phases[op.index]
+        window = windows.get(phase)
+        if window is None:
+            windows[phase] = [op.start, op.end]
+        else:
+            window[0] = min(window[0], op.start)
+            window[1] = max(window[1], op.end)
+    if len(windows) < 2:
+        return 0.0
+    ordered = sorted(windows)
+    return sum(max(0.0, windows[later][0] - windows[earlier][1])
+               for earlier, later in zip(ordered, ordered[1:]))
 
 
 def schedule_phased_communications(phases: Sequence,
                                    migrations: Sequence[Sequence[MigrationOp]],
                                    network: QuantumNetwork,
-                                   strategy: str = "burst-greedy"
+                                   strategy: str = "burst-greedy",
+                                   overlap: bool = False
                                    ) -> ScheduleResult:
     """Schedule a phase-structured program (phases + migration teleports).
 
     The same adaptive strategy as :func:`schedule_communications`: under
     ``"burst-greedy"`` both the burst-aware and the plain combined plans are
-    scheduled and the earlier-finishing one wins.
+    scheduled and the earlier-finishing one wins.  With ``overlap`` the
+    candidate set doubles to include the zero-bubble (overlapped-boundary)
+    plans, preferred on ties — greedy list scheduling under resource
+    constraints can exhibit anomalies, so keeping the barrier plans in the
+    pool makes the overlapped schedule *never worse* than the barrier one
+    by construction.
     """
     if strategy not in ("burst-greedy", "greedy"):
         raise ValueError(f"unknown scheduling strategy {strategy!r}")
     default_mapping = phases[0].mapping
     with stage("scheduling") as span:
+        # (burst, overlap) variants in preference order: strict improvement
+        # required to displace an earlier candidate, so overlap beats
+        # barrier and burst beats plain on equal latency.
         if strategy == "burst-greedy":
-            burst_result = _execute_plan(
-                plan_phased_schedule(phases, migrations, burst=True),
-                network, default_mapping)
-            plain_result = _execute_plan(
-                plan_phased_schedule(phases, migrations, burst=False),
-                network, default_mapping)
-            result = (burst_result
-                      if burst_result.latency <= plain_result.latency
-                      else plain_result)
+            variants = [(True, True), (False, True)] if overlap else []
+            variants += [(True, False), (False, False)]
         else:
-            result = _execute_plan(
-                plan_phased_schedule(phases, migrations, burst=False),
-                network, default_mapping)
+            variants = [(False, True)] if overlap else []
+            variants += [(False, False)]
+        result: Optional[ScheduleResult] = None
+        result_plan: Optional[SchedulePlan] = None
+        for burst, overlapped in variants:
+            plan = plan_phased_schedule(phases, migrations, burst=burst,
+                                        overlap=overlapped)
+            candidate = _execute_plan(plan, network, default_mapping)
+            if result is None or candidate.latency < result.latency:
+                result, result_plan = candidate, plan
+        result.boundary_bubble = compute_boundary_bubble(result_plan,
+                                                         result.ops)
         _record_schedule_span(span, result)
         return result

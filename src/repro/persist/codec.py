@@ -69,7 +69,10 @@ __all__ = [
 #: Version of the payload schema.  Bump on any change to field names,
 #: orderings or semantics; the compile cache silently ignores entries
 #: written under a different version.
-SCHEMA_VERSION = 1
+#:
+#: v2: zero-bubble boundaries — plans carry ``overlap``/``item_phases``,
+#: schedules carry ``overlap``/``boundary_bubble``.
+SCHEMA_VERSION = 2
 
 Payload = Dict[str, Any]
 
@@ -451,6 +454,8 @@ def schedule_to_payload(schedule: ScheduleResult) -> Payload:
         "num_comm_ops": schedule.num_comm_ops,
         "num_fused_chains": schedule.num_fused_chains,
         "mode": schedule.mode,
+        "overlap": schedule.overlap,
+        "boundary_bubble": schedule.boundary_bubble,
         "reservations": [[r.node, r.slot, r.start, r.end, r.label]
                          for r in schedule.resources.reservations],
     }
@@ -471,6 +476,8 @@ def schedule_from_payload(payload: Payload,
         num_comm_ops=payload["num_comm_ops"],
         num_fused_chains=payload["num_fused_chains"],
         mode=payload["mode"],
+        overlap=payload["overlap"],
+        boundary_bubble=payload["boundary_bubble"],
     )
 
 
@@ -522,6 +529,9 @@ def plan_to_payload(plan: SchedulePlan) -> Payload:
         "preds": [list(plist) for plist in plan.preds],
         "num_fused_chains": plan.num_fused_chains,
         "burst": plan.burst,
+        "overlap": plan.overlap,
+        "item_phases": (None if plan.item_phases is None
+                        else list(plan.item_phases)),
         "mappings": mappings_payload,
         "item_mapping_indices": indices_payload,
     }
@@ -555,6 +565,9 @@ def plan_from_payload(payload: Payload,
         "preds": [list(plist) for plist in payload["preds"]],
         "num_fused_chains": payload["num_fused_chains"],
         "burst": payload["burst"],
+        "overlap": payload["overlap"],
+        "item_phases": (None if payload["item_phases"] is None
+                        else [int(p) for p in payload["item_phases"]]),
         "item_mappings": item_mappings,
     })
     return plan

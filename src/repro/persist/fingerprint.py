@@ -63,6 +63,8 @@ def fingerprint_config(config: AutoCommConfig) -> str:
         "max_sweeps": config.max_sweeps,
         "remap": config.remap,
         "phase_blocks": config.phase_blocks,
+        "overlap": config.overlap,
+        "phase_sizing": config.phase_sizing,
     })
 
 

@@ -599,17 +599,26 @@ def _program_burst(program: CompiledProgram) -> bool:
     return program.schedule is not None and program.schedule.mode == "burst"
 
 
+def _program_overlap(program: CompiledProgram) -> bool:
+    """Whether the winning analytical schedule used overlapped boundaries."""
+    return (program.schedule is not None
+            and getattr(program.schedule, "overlap", False))
+
+
 def _plan_for(program: CompiledProgram) -> SchedulePlan:
     """The plan the program's analytical schedule was computed from.
 
     Phase-structured programs replay the combined phased plan (per-phase
     items plus inter-phase migration teleports); plans are memoised on the
     underlying assignment, so the engine executes the *same* plan object
-    the analytical scheduler priced.
+    the analytical scheduler priced — including, since the zero-bubble
+    boundaries change, whether that plan's cross-phase dependencies are
+    barrier edges or overlapped per-qubit edges.
     """
     if getattr(program, "phases", None):
         return plan_phased_schedule(program.phases, program.migrations or [],
-                                    burst=_program_burst(program))
+                                    burst=_program_burst(program),
+                                    overlap=_program_overlap(program))
     assignment = _require_assignment(program)
     return plan_schedule(assignment, burst=_program_burst(program))
 

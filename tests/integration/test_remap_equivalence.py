@@ -166,3 +166,42 @@ class TestRemapPaysOff:
             for move in moves:
                 assert move.source == before.node_of(move.qubit)
                 assert move.target == after.node_of(move.qubit)
+
+
+class TestZeroBubbleBoundaries:
+    """Overlapped boundaries beat the barrier on the committed scenario."""
+
+    def _compile(self, overlap):
+        circuit = phase_shift_circuit()
+        network = uniform_network(4, 2)
+        apply_topology(network, "line")
+        return compile_autocomm(
+            circuit, network,
+            config=AutoCommConfig(remap="bursts", phase_blocks=4,
+                                  overlap=overlap))
+
+    def test_overlap_strictly_reduces_latency(self):
+        barrier = self._compile(overlap=False)
+        overlapped = self._compile(overlap=True)
+        assert barrier.metrics.latency == pytest.approx(170.9, abs=0.1)
+        assert overlapped.metrics.latency < barrier.metrics.latency
+        assert (overlapped.metrics.boundary_bubble
+                < barrier.metrics.boundary_bubble)
+        assert overlapped.schedule.overlap
+
+    def test_overlap_replay_is_exact(self):
+        overlapped = self._compile(overlap=True)
+        report = validate_schedule(overlapped)
+        assert report.matches, report.describe()
+        replay = simulate_program(overlapped, SimulationConfig())
+        assert replay.latency == pytest.approx(overlapped.metrics.latency,
+                                               abs=1e-9)
+
+    def test_overlap_monte_carlo_never_slower_mean(self):
+        barrier = self._compile(overlap=False)
+        overlapped = self._compile(overlap=True)
+        config = SimulationConfig(p_epr=1.0, seed=7, trials=3,
+                                  record_trace=False)
+        barrier_mc = run_monte_carlo(barrier, config).summary()
+        overlap_mc = run_monte_carlo(overlapped, config).summary()
+        assert overlap_mc["mean"] <= barrier_mc["mean"] + 1e-9

@@ -25,8 +25,9 @@ def _compiled(num_qubits=10, nodes=4, topology="all-to-all", remap="never"):
     network = uniform_network(nodes, -(-num_qubits // nodes))
     if topology != "all-to-all":
         apply_topology(network, topology)
-    config = (AutoCommConfig(remap="bursts", phase_blocks=4)
-              if remap == "bursts" else None)
+    config = (AutoCommConfig(remap="bursts", phase_blocks=4,
+                             overlap=remap.endswith("+overlap"))
+              if remap.startswith("bursts") else None)
     return compile_autocomm(circuit, network, config=config)
 
 
@@ -102,7 +103,7 @@ class TestMappingCodec:
 
 
 class TestProgramCodec:
-    @pytest.mark.parametrize("remap", ["never", "bursts"])
+    @pytest.mark.parametrize("remap", ["never", "bursts", "bursts+overlap"])
     def test_payload_round_trip(self, remap):
         program = _compiled(remap=remap)
         loaded = program_from_payload(program_to_payload(program))
@@ -110,6 +111,20 @@ class TestProgramCodec:
         assert loaded.compiler == program.compiler
         assert loaded.remap == program.remap
         assert len(loaded.circuit) == len(program.circuit)
+        assert loaded.schedule.overlap == program.schedule.overlap
+        assert (loaded.schedule.boundary_bubble
+                == program.schedule.boundary_bubble)
+
+    def test_overlapped_plan_round_trip(self):
+        from repro.persist.codec import plan_from_payload, plan_to_payload
+        from repro.sim.engine import plan_for_program
+        program = _compiled(remap="bursts+overlap")
+        plan = plan_for_program(program)
+        assert plan.overlap and plan.item_phases is not None
+        loaded = plan_from_payload(plan_to_payload(plan), program.network)
+        assert loaded.overlap == plan.overlap
+        assert loaded.item_phases == plan.item_phases
+        assert loaded.preds == plan.preds
 
     def test_schema_version_enforced(self):
         payload = program_to_payload(_compiled(num_qubits=6, nodes=2))

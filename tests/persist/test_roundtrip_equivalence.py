@@ -19,15 +19,16 @@ from repro.verify import verify_program
 MATRIX = [(family, topology, remap)
           for family in sorted(BENCHMARK_FAMILIES)
           for topology in SUPPORTED_TOPOLOGIES
-          for remap in ("never", "bursts")]
+          for remap in ("never", "bursts", "bursts+overlap")]
 
 
 def _compile(family, topology, remap, num_qubits=8, nodes=4):
     circuit, network = build_benchmark(family, num_qubits, nodes)
     if topology != "all-to-all":
         apply_topology(network, topology)
-    config = (AutoCommConfig(remap="bursts", phase_blocks=4)
-              if remap == "bursts" else None)
+    config = (AutoCommConfig(remap="bursts", phase_blocks=4,
+                             overlap=remap.endswith("+overlap"))
+              if remap.startswith("bursts") else None)
     return compile_autocomm(circuit, network, config=config)
 
 

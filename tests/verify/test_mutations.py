@@ -414,3 +414,121 @@ class TestTraceLinkCapacity:
             TraceLinkCapacityCheck).by_checker("trace-link-capacity")
         assert any("malformed link window" in d.message
                    and d.location.link == (0, 1) for d in diags)
+
+
+def _overlapped_program():
+    circuit = qft_circuit(12)
+    network = uniform_network(4, 3)
+    return compile_autocomm(
+        circuit, network, config=AutoCommConfig(remap="bursts",
+                                                phase_blocks=4,
+                                                overlap=True))
+
+
+def _scheduled_migrations(program):
+    """(migration item, phase it moves into, its scheduled op index)."""
+    from repro.core import MigrationOp
+    plan = plan_for_program(program)
+    out = []
+    for position, op in enumerate(program.schedule.ops):
+        item = plan.items[op.index]
+        if isinstance(item, MigrationOp):
+            out.append((item, plan.item_phases[op.index], position))
+    return out
+
+
+class TestOverlapLegality:
+    """The extended checkers catch illegal migration/compute overlaps."""
+
+    def test_healthy_overlapped_program_verifies(self):
+        program = _overlapped_program()
+        assert program.schedule.overlap
+        assert verify_program(program).ok
+
+    def test_migration_jumping_its_qubits_work_detected(self):
+        from repro.core.scheduling import _item_qubits
+        program = _overlapped_program()
+        plan = plan_for_program(program)
+        ops = program.schedule.ops
+        num_qubits = program.circuit.num_qubits
+        for move, phase, position in _scheduled_migrations(program):
+            mig_op = ops[position]
+            blockers = [
+                op for op in ops
+                if plan.item_phases[op.index] <= phase - 1
+                and op.end <= mig_op.start
+                and op.end > 0
+                and move.qubit in _item_qubits(plan.items[op.index],
+                                               num_qubits)]
+            if blockers:
+                # Teleport the qubit away before its last user retires.
+                ops[position] = replace(mig_op, start=0.0,
+                                        end=mig_op.duration)
+                break
+        else:
+            pytest.fail("no migration with an earlier-phase user found")
+        diags = _run(program, MigrationCheck).by_checker("migration-legality")
+        assert any("before the phase-" in d.message
+                   and d.location.qubit == move.qubit for d in diags)
+
+    def test_op_racing_an_inflight_migration_detected(self):
+        from repro.core.scheduling import _item_qubits
+        program = _overlapped_program()
+        plan = plan_for_program(program)
+        ops = program.schedule.ops
+        num_qubits = program.circuit.num_qubits
+        for move, phase, position in _scheduled_migrations(program):
+            mig_op = ops[position]
+            racer = next(
+                (i for i, op in enumerate(ops)
+                 if plan.item_phases[op.index] >= phase
+                 and op.start >= mig_op.end
+                 and not isinstance(plan.items[op.index],
+                                    type(move))
+                 and move.qubit in _item_qubits(plan.items[op.index],
+                                                num_qubits)),
+                None)
+            if racer is not None:
+                # Use the qubit while its teleport is still in flight.
+                op = ops[racer]
+                ops[racer] = replace(op, start=mig_op.start,
+                                     end=mig_op.start + op.duration)
+                break
+        else:
+            pytest.fail("no later-phase user of a migrated qubit found")
+        diags = _run(program, MigrationCheck).by_checker("migration-legality")
+        assert any("in flight" in d.message
+                   and d.location.qubit == move.qubit for d in diags)
+
+    def test_cross_phase_qubit_race_detected(self):
+        from repro.core.scheduling import _item_qubits
+        program = _overlapped_program()
+        plan = plan_for_program(program)
+        ops = program.schedule.ops
+        num_qubits = program.circuit.num_qubits
+        from repro.core import MigrationOp
+        victim = None
+        for i, op in enumerate(ops):
+            item = plan.items[op.index]
+            if isinstance(item, MigrationOp):
+                continue
+            phase = plan.item_phases[op.index]
+            if phase == 0 or op.start <= 0:
+                continue
+            qubits = set(_item_qubits(item, num_qubits))
+            earlier = [other for other in ops
+                       if not isinstance(plan.items[other.index],
+                                         MigrationOp)
+                       and plan.item_phases[other.index] < phase
+                       and other.end > 0
+                       and qubits & set(_item_qubits(
+                           plan.items[other.index], num_qubits))]
+            if earlier:
+                victim = i
+                break
+        assert victim is not None
+        op = ops[victim]
+        ops[victim] = replace(op, start=0.0, end=op.duration)
+        diags = _run(program, CausalityCheck).by_checker("schedule-causality")
+        assert any("earlier phase's op on the same" in d.message
+                   for d in diags)
